@@ -1,0 +1,98 @@
+package cpsmon_test
+
+import (
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestMonitorPassivity enforces the bolt-on isolation argument at the
+// package-dependency level: the monitor side of the repository (the
+// specification language, the engine, and the rule sets) must never
+// import the system under test (the feature, the plant, the bench, the
+// scenarios or the injectors). Its entire view of the system is the
+// frame log and the signal database — exactly what a passive listener
+// on the physical bus records.
+func TestMonitorPassivity(t *testing.T) {
+	monitorPkgs := []string{"internal/speclang", "internal/core", "internal/rules", "internal/trace", "internal/can", "internal/sigdb"}
+	forbidden := []string{
+		"cpsmon/internal/fsracc",
+		"cpsmon/internal/vehicle",
+		"cpsmon/internal/hil",
+		"cpsmon/internal/scenario",
+		"cpsmon/internal/inject",
+		"cpsmon/internal/campaign",
+	}
+	for _, pkg := range monitorPkgs {
+		entries, err := os.ReadDir(pkg)
+		if err != nil {
+			t.Fatalf("read %s: %v", pkg, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(pkg, name)
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			for _, imp := range f.Imports {
+				ipath, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					t.Fatalf("%s: bad import literal %s", path, imp.Path.Value)
+				}
+				for _, bad := range forbidden {
+					if ipath == bad {
+						t.Errorf("%s imports %s: the monitor must stay passive (bolt-on isolation)", path, ipath)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSystemUnderTestDoesNotImportMonitor checks the other direction of
+// the isolation boundary: the simulated system (plant, feature, bench)
+// has no knowledge of the monitor, mirroring a deployment where the
+// testing box is removed without invalidating the system.
+func TestSystemUnderTestDoesNotImportMonitor(t *testing.T) {
+	systemPkgs := []string{"internal/fsracc", "internal/vehicle", "internal/hil", "internal/scenario"}
+	forbidden := []string{
+		"cpsmon/internal/core",
+		"cpsmon/internal/speclang",
+		"cpsmon/internal/rules",
+	}
+	for _, pkg := range systemPkgs {
+		entries, err := os.ReadDir(pkg)
+		if err != nil {
+			t.Fatalf("read %s: %v", pkg, err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+				continue
+			}
+			path := filepath.Join(pkg, name)
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				t.Fatalf("parse %s: %v", path, err)
+			}
+			for _, imp := range f.Imports {
+				ipath, _ := strconv.Unquote(imp.Path.Value)
+				for _, bad := range forbidden {
+					if ipath == bad {
+						t.Errorf("%s imports %s: the system under test must not depend on the monitor", path, ipath)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus the ablation experiments and the monitor engine's
+// throughput. One benchmark per artifact:
+//
+//	BenchmarkTableI               — Table I (fault-injection results)
+//	BenchmarkFig1SignalCodec      — Figure 1 (the I/O signal contract, as codec throughput)
+//	BenchmarkRealVehicleAnalysis  — Section IV.A (real-vehicle log analysis)
+//	BenchmarkAblation*            — Sections V.A, V.C.1, V.C.2, V.C.3
+//	BenchmarkMonitor*             — engine micro-benchmarks
+package cpsmon_test
+
+import (
+	"testing"
+	"time"
+
+	"cpsmon/internal/campaign"
+	"cpsmon/internal/hil"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/scenario"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+	"cpsmon/internal/trace"
+
+	"cpsmon/internal/core"
+)
+
+// BenchmarkTableI regenerates the paper's Table I: the full robustness
+// campaign (32 tests, three fault classes, the paper's 20-second holds)
+// plus monitoring of every captured trace. One iteration is one
+// complete table.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := campaign.RunTableI(campaign.DefaultTableIConfig(42))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := table.RulesViolatedAnywhere(); got != 6 {
+			b.Fatalf("rules violated = %d, want 6 (paper: all except Rule #0)", got)
+		}
+	}
+}
+
+// BenchmarkFig1SignalCodec measures pack/unpack throughput of the
+// Figure 1 signal set over its broadcast frames — the monitor's entire
+// decode path.
+func BenchmarkFig1SignalCodec(b *testing.B) {
+	db := sigdb.Vehicle()
+	values := map[string]float64{
+		sigdb.SigVelocity:     24.5,
+		sigdb.SigThrotPos:     31.2,
+		sigdb.SigTargetRange:  38.7,
+		sigdb.SigTargetRelVel: -1.4,
+	}
+	frames := []uint32{sigdb.FrameVehicleDyn, sigdb.FrameRadar}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, id := range frames {
+			data, err := db.Pack(id, values)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := db.Unpack(id, data); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkRealVehicleAnalysis reproduces the Section IV.A pipeline:
+// one 10-minute prototype-vehicle drive cycle generated, captured, and
+// checked with both the strict and relaxed rule sets.
+func BenchmarkRealVehicleAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := campaign.RunVehicleLogs(2024, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range []string{"Rule0", "Rule1", "Rule5", "Rule6"} {
+			if r, ok := a.Rule(name); !ok || r.StrictVerdict != core.Satisfied {
+				b.Fatalf("%s not satisfied on the drive cycle", name)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationMultiRate regenerates the Section V.C.1 experiment.
+func BenchmarkAblationMultiRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := campaign.RunMultiRateAblation(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.AwareVerdict != core.Violated || r.NaiveVerdict != core.Satisfied {
+			b.Fatalf("multirate trap not reproduced: %+v", r)
+		}
+	}
+}
+
+// BenchmarkAblationWarmup regenerates the Section V.C.2 experiment.
+func BenchmarkAblationWarmup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := campaign.RunWarmupAblation(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.WithoutWarmup == 0 || r.WithWarmup != 0 {
+			b.Fatalf("warmup ablation not reproduced: %+v", r)
+		}
+	}
+}
+
+// BenchmarkAblationTypeCheck regenerates the Section V.C.3 experiment.
+func BenchmarkAblationTypeCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := campaign.RunTypeCheckAblation(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.HILRejected || r.VehicleViolations == 0 {
+			b.Fatalf("typecheck ablation not reproduced: %+v", r)
+		}
+	}
+}
+
+// BenchmarkAblationLatency regenerates the online decision-latency
+// characterization (the runtime-monitoring question the paper defers).
+func BenchmarkAblationLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := campaign.RunLatencyAblation(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Stats) == 0 {
+			b.Fatal("no latency stats")
+		}
+	}
+}
+
+// BenchmarkAblationIntent regenerates the Section V.A threshold sweep.
+func BenchmarkAblationIntent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := campaign.RunIntentAblation(7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Points) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// benchTrace builds a 10-minute follow trace once for the engine
+// micro-benchmarks.
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	bench, err := hil.New(scenario.Follow(12, 10*time.Minute))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := bench.Run(10*time.Minute, nil); err != nil {
+		b.Fatal(err)
+	}
+	tr, err := trace.FromCANLog(bench.Log(), sigdb.Vehicle())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkMonitorCheckTrace measures the offline oracle over ten
+// minutes of bus traffic: all seven rules, triage included. The paper's
+// real-time question — can this keep up with the bus? — reads directly
+// off this number (10 minutes of traffic per iteration).
+func BenchmarkMonitorCheckTrace(b *testing.B) {
+	tr := benchTrace(b)
+	mon, err := rules.NewStrictMonitor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mon.CheckTrace(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonitorOnline measures the streaming monitor over the same
+// ten minutes of traffic, frame by frame — the runtime-deployment path.
+func BenchmarkMonitorOnline(b *testing.B) {
+	bench, err := hil.New(scenario.Follow(12, 10*time.Minute))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := bench.Run(10*time.Minute, nil); err != nil {
+		b.Fatal(err)
+	}
+	log := bench.Log()
+	mon, err := rules.NewStrictMonitor()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		om, err := mon.Online(sigdb.Vehicle())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range log.Frames() {
+			if _, err := om.PushFrame(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := om.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMonitorAlign isolates the grid-alignment stage.
+func BenchmarkMonitorAlign(b *testing.B) {
+	tr := benchTrace(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.Align(tr, sigdb.FastPeriod); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSpecCompile measures parsing and compiling the full strict
+// rule set.
+func BenchmarkSpecCompile(b *testing.B) {
+	signals := sigdb.Vehicle().SignalNames()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := speclang.Parse(rules.StrictSource)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := speclang.Compile(f, signals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHILStep measures the co-simulation step rate (plant + bus +
+// feature + actuation per tick).
+func BenchmarkHILStep(b *testing.B) {
+	bench, err := hil.New(scenario.Follow(12, time.Duration(b.N+1)*sigdb.FastPeriod))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bench.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command ablate runs the discussion-section experiments: the design
+// issues the paper identifies as remaining research challenges, each
+// turned into a measurable ablation.
+//
+//	multirate  — naive vs update-aware differences over slow frames (V.C.1)
+//	warmup     — acquisition-jump false alarms with/without warm-up (V.C.2)
+//	typecheck  — HIL type checking masking real-vehicle hazards (V.C.3)
+//	intent     — intent-approximation threshold tradeoff (V.A)
+//	latency    — online decision latency per rule (runtime monitoring)
+//
+// Usage:
+//
+//	ablate                 # all experiments
+//	ablate -exp multirate -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+import "cpsmon/internal/campaign"
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ablate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ablate", flag.ContinueOnError)
+	var (
+		exp  = fs.String("exp", "all", "experiment: multirate, warmup, typecheck, intent, all")
+		seed = fs.Int64("seed", 7, "experiment seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	type renderer interface{ Render(io.Writer) error }
+	runners := map[string]func(int64) (renderer, error){
+		"multirate": func(s int64) (renderer, error) { return campaign.RunMultiRateAblation(s) },
+		"warmup":    func(s int64) (renderer, error) { return campaign.RunWarmupAblation(s) },
+		"typecheck": func(s int64) (renderer, error) { return campaign.RunTypeCheckAblation(s) },
+		"intent":    func(s int64) (renderer, error) { return campaign.RunIntentAblation(s) },
+		"latency":   func(s int64) (renderer, error) { return campaign.RunLatencyAblation(s) },
+	}
+	order := []string{"multirate", "warmup", "typecheck", "intent", "latency"}
+	if *exp != "all" {
+		if _, ok := runners[*exp]; !ok {
+			return fmt.Errorf("unknown experiment %q", *exp)
+		}
+		order = []string{*exp}
+	}
+	for i, name := range order {
+		if i > 0 {
+			fmt.Println()
+		}
+		res, err := runners[name](*seed)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if err := res.Render(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated ablation")
+	}
+	if err := run([]string{"-exp", "warmup"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nosuch"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Command faultinject runs the full robustness-testing campaign and
+// regenerates the paper's Table I: random value injection, Ballista
+// exceptional values and bit flips against each FSRACC input and
+// against multi-signal groups, each trace checked by the bolt-on
+// monitor.
+//
+// Usage:
+//
+//	faultinject                # full campaign, paper protocol
+//	faultinject -seed 7 -compare
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cpsmon/internal/campaign"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "faultinject:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("faultinject", flag.ContinueOnError)
+	var (
+		seed     = fs.Int64("seed", 42, "campaign seed")
+		compare  = fs.Bool("compare", false, "compare the reproduced table against the published Table I")
+		detail   = fs.Bool("detail", false, "print per-rule violation counts and triage classes under the table")
+		coverage = fs.Bool("coverage", false, "mark vacuously satisfied cells (rule never exercised) with a lower-case s")
+		jsonOut  = fs.Bool("json", false, "emit the table as JSON instead of text")
+		quiet    = fs.Bool("q", false, "suppress per-test progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := campaign.DefaultTableIConfig(*seed)
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	table, err := campaign.RunTableI(cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(table)
+	}
+	render := table.Render
+	if *detail {
+		render = table.RenderDetail
+	}
+	if *coverage {
+		render = table.RenderCoverage
+	}
+	if err := render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nrules violated anywhere: %d of %d (paper: 6 of 7, all except Rule #0)\n",
+		table.RulesViolatedAnywhere(), len(table.RuleNames))
+	if *compare {
+		fmt.Println("\nCOMPARISON AGAINST PUBLISHED TABLE I")
+		cmp := campaign.Compare(table, campaign.PaperTableI())
+		if err := campaign.RenderComparison(os.Stdout, cmp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

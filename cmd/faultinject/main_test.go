@@ -1,0 +1,9 @@
+package main
+
+import "testing"
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-seed", "banana"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/trace"
+)
+
+func TestRunWritesCANLog(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "capture.canlog")
+	err := run([]string{"-scenario", "follow", "-duration", "5s", "-out", out})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	log, err := can.ReadLog(f)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	// 5 s at 10 ms: 500 ticks x 6 fast frames + 125 slow frames.
+	if log.Len() < 3000 {
+		t.Errorf("log has %d frames, want ≥3000", log.Len())
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "capture.csv")
+	if err := run([]string{"-scenario", "approach", "-duration", "2s", "-out", out}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	tr, err := trace.ReadCSV(f)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if _, ok := tr.Series("Velocity"); !ok {
+		t.Error("CSV trace missing Velocity")
+	}
+}
+
+func TestRunWithInjection(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bad.canlog")
+	err := run([]string{
+		"-scenario", "follow", "-duration", "10s",
+		"-inject", "Velocity=5", "-at", "3s", "-hold", "4s",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("output missing: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{"-scenario", "nosuch"},
+		{"-inject", "Velocity"},          // missing =value
+		{"-inject", "NoSignal=1"},        // unknown signal
+		{"-inject", "Velocity=potato"},   // unparsable value
+		{"-out", "/nonexistent-dir/x.y"}, // unwritable output
+	}
+	for _, args := range tests {
+		if err := run(append(args, "-duration", "1s")); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParseInjection(t *testing.T) {
+	name, v, err := parseInjection("TargetRange=42.5")
+	if err != nil || name != "TargetRange" || v != 42.5 {
+		t.Errorf("parseInjection = %q %v %v", name, v, err)
+	}
+}

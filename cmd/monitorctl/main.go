@@ -1,0 +1,268 @@
+// Command monitorctl is the bolt-on test oracle: it checks recorded
+// traces (CAN frame logs or CSV signal traces) against the safety rule
+// sets and reports per-rule verdicts, violations and triage classes.
+//
+// Usage:
+//
+//	monitorctl -trace capture.canlog            # strict rules
+//	monitorctl -trace drive.csv -rules relaxed
+//	monitorctl -trace capture.canlog -rules specs/strict.spec -delta naive
+//	monitorctl -trace capture.canlog -online     # streaming replay
+//	monitorctl -trace capture.canlog -explain 2  # context strips per violation
+//	monitorctl -signals                          # print the Figure 1 inventory
+//	monitorctl -writedb my.netdb                 # export the network DB template
+//	monitorctl -db plant.netdb -rules plant.spec -trace plant.canlog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/core"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+	"cpsmon/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "monitorctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("monitorctl", flag.ContinueOnError)
+	var (
+		tracePath = fs.String("trace", "", "trace to check: a .canlog frame capture or a .csv signal trace")
+		ruleSpec  = fs.String("rules", "strict", "rule set: strict, relaxed, or a path to a .spec file")
+		deltaMode = fs.String("delta", "aware", "multi-rate difference semantics: aware or naive")
+		dbPath    = fs.String("db", "", "custom network database file (see 'monitorctl -writedb' for the format); default is the paper's vehicle network")
+		writeDB   = fs.String("writedb", "", "write the built-in vehicle database to this file as a template and exit")
+		signals   = fs.Bool("signals", false, "print the network's signal inventory (paper Figure 1 for the built-in vehicle) and exit")
+		online    = fs.Bool("online", false, "replay the capture through the streaming monitor, printing events as they become decidable (requires a .canlog trace)")
+		explain   = fs.Int("explain", 0, "render signal context strips for up to N violations per rule")
+		margin    = fs.Duration("margin", 2*time.Second, "context margin around each explained violation")
+		verbose   = fs.Bool("v", false, "list every violation")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *writeDB != "" {
+		f, err := os.Create(*writeDB)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sigdb.WriteFormat(f, sigdb.Vehicle()); err != nil {
+			return err
+		}
+		return f.Close()
+	}
+	db := sigdb.Vehicle()
+	if *dbPath != "" {
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			return err
+		}
+		loaded, err := sigdb.ReadFormat(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		db = loaded
+	}
+	if *signals {
+		printSignals(db)
+		return nil
+	}
+	if *tracePath == "" {
+		fs.Usage()
+		return fmt.Errorf("-trace is required")
+	}
+
+	rs, err := loadRules(*ruleSpec, db)
+	if err != nil {
+		return err
+	}
+	mode := speclang.DeltaUpdateAware
+	switch *deltaMode {
+	case "aware":
+	case "naive":
+		mode = speclang.DeltaNaive
+	default:
+		return fmt.Errorf("unknown -delta %q (want aware or naive)", *deltaMode)
+	}
+	mon, err := core.New(core.Config{Rules: rs, DeltaMode: mode, Triage: rules.DefaultTriage()})
+	if err != nil {
+		return err
+	}
+	if *online {
+		return runOnline(mon, *tracePath, db)
+	}
+
+	tr, err := loadTrace(*tracePath, db)
+	if err != nil {
+		return err
+	}
+	rep, err := mon.CheckTrace(tr)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("trace: %s (%d steps at %v)\n\n", *tracePath, rep.Steps, rep.Period)
+	for _, rr := range rep.Rules {
+		fmt.Printf("%-28s %s", rr.Name(), rr.Verdict)
+		if rr.Verdict == core.Violated {
+			fmt.Printf("  (%d violations: %d real, %d transient, %d negligible)",
+				len(rr.Result.Violations),
+				rr.Count(core.ClassReal), rr.Count(core.ClassTransient), rr.Count(core.ClassNegligible))
+		}
+		fmt.Println()
+		if *verbose {
+			for i, v := range rr.Result.Violations {
+				fmt.Printf("    [%s] at %v for %v peak %.4g: %s\n",
+					rr.Classes[i], v.Start, v.Duration(), v.Peak, v.Msg)
+			}
+		}
+	}
+	if *explain > 0 {
+		for _, rr := range rep.Rules {
+			for i := range rr.Result.Violations {
+				if i >= *explain {
+					break
+				}
+				ex, err := mon.Explain(tr, rep, rr.Name(), i, *margin)
+				if err != nil {
+					return err
+				}
+				fmt.Println()
+				if err := ex.Render(os.Stdout); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if rep.AnyReal() {
+		fmt.Println("\nverdict: VIOLATED (real violations present)")
+	} else if rep.AnyViolated() {
+		fmt.Println("\nverdict: violated, but every violation triaged as overly-strict")
+	} else {
+		fmt.Println("\nverdict: satisfied")
+	}
+	return nil
+}
+
+// runOnline replays a frame capture through the streaming monitor,
+// printing each event with the frame time at which it became decidable.
+func runOnline(mon *core.Monitor, path string, db *sigdb.DB) error {
+	if strings.HasSuffix(path, ".csv") {
+		return fmt.Errorf("-online replays CAN frame captures, not CSV traces")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	log, err := can.ReadLog(f)
+	if err != nil {
+		return err
+	}
+	om, err := mon.Online(db)
+	if err != nil {
+		return err
+	}
+	report := func(at string, evs []core.OnlineEvent) {
+		for _, e := range evs {
+			switch e.Kind {
+			case speclang.ViolationBegin:
+				fmt.Printf("[%8s] %-8s violation BEGINS at %v\n", at, e.Rule, e.Time)
+			case speclang.ViolationEnd:
+				v := e.Violation
+				fmt.Printf("[%8s] %-8s violation ENDS: %v..%v (%v) peak %.4g class %s: %s\n",
+					at, e.Rule, v.Start, v.End, v.Duration(), v.Peak, e.Class, v.Msg)
+			}
+		}
+	}
+	for _, fr := range log.Frames() {
+		evs, err := om.PushFrame(fr)
+		if err != nil {
+			return err
+		}
+		report(fr.Time.String(), evs)
+	}
+	evs, err := om.Close()
+	if err != nil {
+		return err
+	}
+	report("close", evs)
+	return nil
+}
+
+func loadRules(spec string, db *sigdb.DB) (*speclang.RuleSet, error) {
+	switch spec {
+	case "strict":
+		return rules.Strict()
+	case "relaxed":
+		return rules.Relaxed()
+	}
+	src, err := os.ReadFile(spec)
+	if err != nil {
+		return nil, err
+	}
+	f, err := speclang.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	return speclang.Compile(f, db.SignalNames())
+}
+
+func loadTrace(path string, db *sigdb.DB) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".csv") {
+		return trace.ReadCSV(f)
+	}
+	log, err := can.ReadLog(f)
+	if err != nil {
+		return nil, err
+	}
+	return trace.FromCANLog(log, db)
+}
+
+func printSignals(db *sigdb.DB) {
+	// Classify the paper's Figure 1 signals as feature inputs/outputs
+	// when present; a custom database lists its signals unclassified.
+	role := make(map[string]string)
+	for _, name := range sigdb.FSRACCInputs() {
+		role[name] = "Input"
+	}
+	for _, name := range sigdb.FSRACCOutputs() {
+		role[name] = "Output"
+	}
+	fmt.Println("NETWORK SIGNAL INVENTORY")
+	fmt.Printf("\n%-6s %-16s %-6s %-6s %s\n", "I/O", "Name", "Type", "Unit", "Description")
+	for _, name := range db.SignalNames() {
+		s, ok := db.Signal(name)
+		if !ok {
+			continue
+		}
+		fmt.Printf("%-6s %-16s %-6s %-6s %s\n", role[s.Name], s.Name, s.Kind, s.Unit, s.Comment)
+	}
+	fmt.Println("\nBroadcast frames:")
+	for _, f := range db.Frames() {
+		var names []string
+		for _, s := range f.Signals {
+			names = append(names, s.Name)
+		}
+		fmt.Printf("  0x%03X %-12s every %-5v %s\n", f.ID, f.Name, f.Period, strings.Join(names, ", "))
+	}
+}

@@ -1,0 +1,184 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/sigdb"
+)
+
+// writeTestLog records a short capture with a Rule #0 violation burst.
+func writeTestLog(t *testing.T) string {
+	t.Helper()
+	db := sigdb.Vehicle()
+	sched, err := can.NewTxSchedule(db, sigdb.FastPeriod, 0, nil)
+	if err != nil {
+		t.Fatalf("NewTxSchedule: %v", err)
+	}
+	bus := can.NewBus(db, sched)
+	for tick := 0; tick < 100; tick++ {
+		if tick >= 50 && tick < 70 {
+			_ = bus.Set(sigdb.SigServiceACC, 1)
+			_ = bus.Set(sigdb.SigACCEnabled, 1)
+		} else {
+			_ = bus.Set(sigdb.SigServiceACC, 0)
+			_ = bus.Set(sigdb.SigACCEnabled, 0)
+		}
+		if err := bus.Step(time.Duration(tick) * sigdb.FastPeriod); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "test.canlog")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	defer f.Close()
+	if _, err := bus.Log().WriteTo(f); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return path
+}
+
+func TestRunChecksCANLog(t *testing.T) {
+	path := writeTestLog(t)
+	if err := run([]string{"-trace", path, "-v"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunOnlineMode(t *testing.T) {
+	path := writeTestLog(t)
+	if err := run([]string{"-trace", path, "-online"}); err != nil {
+		t.Fatalf("run -online: %v", err)
+	}
+}
+
+func TestRunRelaxedAndNaive(t *testing.T) {
+	path := writeTestLog(t)
+	if err := run([]string{"-trace", path, "-rules", "relaxed", "-delta", "naive"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunCustomRuleFile(t *testing.T) {
+	path := writeTestLog(t)
+	spec := filepath.Join(t.TempDir(), "custom.spec")
+	src := `spec Custom { assert ServiceACC -> !ACCEnabled }`
+	if err := os.WriteFile(spec, []byte(src), 0o644); err != nil {
+		t.Fatalf("write spec: %v", err)
+	}
+	if err := run([]string{"-trace", path, "-rules", spec}); err != nil {
+		t.Fatalf("run with custom rules: %v", err)
+	}
+}
+
+func TestRunSignalsInventory(t *testing.T) {
+	if err := run([]string{"-signals"}); err != nil {
+		t.Fatalf("run -signals: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestLog(t)
+	tests := [][]string{
+		{},                         // no trace
+		{"-trace", "/nonexistent"}, // missing file
+		{"-trace", path, "-delta", "sideways"},
+		{"-trace", path, "-rules", "/nonexistent.spec"},
+		{"-trace", path + ".csv", "-online"}, // online requires canlog
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRunRejectsBadSpecFile(t *testing.T) {
+	path := writeTestLog(t)
+	spec := filepath.Join(t.TempDir(), "bad.spec")
+	if err := os.WriteFile(spec, []byte("spec Broken {"), 0o644); err != nil {
+		t.Fatalf("write spec: %v", err)
+	}
+	if err := run([]string{"-trace", path, "-rules", spec}); err == nil {
+		t.Error("malformed spec file accepted")
+	}
+}
+
+func TestRunWriteAndLoadCustomDB(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "vehicle.netdb")
+	if err := run([]string{"-writedb", dbPath}); err != nil {
+		t.Fatalf("run -writedb: %v", err)
+	}
+	// The exported template loads back and drives a full check.
+	logPath := writeTestLog(t)
+	if err := run([]string{"-db", dbPath, "-trace", logPath}); err != nil {
+		t.Fatalf("run with custom db: %v", err)
+	}
+	if err := run([]string{"-db", dbPath, "-signals"}); err != nil {
+		t.Fatalf("run -db -signals: %v", err)
+	}
+}
+
+func TestRunCustomDBWithCustomRules(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "plant.netdb")
+	dbSrc := `frame 0x42 Sensors period=10ms
+    signal Pressure float bits=0:32 unit="bar"
+    signal ValveOpen bool bits=32:1
+`
+	if err := os.WriteFile(dbPath, []byte(dbSrc), 0o644); err != nil {
+		t.Fatalf("write db: %v", err)
+	}
+	specPath := filepath.Join(dir, "plant.spec")
+	spec := `spec Relief { assert Pressure > 8.0 -> ValveOpen }`
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatalf("write spec: %v", err)
+	}
+	// Record a short capture on the custom network.
+	db, err := sigdb.ReadFormat(strings.NewReader(dbSrc))
+	if err != nil {
+		t.Fatalf("ReadFormat: %v", err)
+	}
+	sched, err := can.NewTxSchedule(db, 10*time.Millisecond, 0, nil)
+	if err != nil {
+		t.Fatalf("NewTxSchedule: %v", err)
+	}
+	bus := can.NewBus(db, sched)
+	for tick := 0; tick < 50; tick++ {
+		_ = bus.Set("Pressure", 9.5) // over-pressure, valve shut: violation
+		_ = bus.Set("ValveOpen", 0)
+		if err := bus.Step(time.Duration(tick) * 10 * time.Millisecond); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	logPath := filepath.Join(dir, "plant.canlog")
+	f, err := os.Create(logPath)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := bus.Log().WriteTo(f); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	_ = f.Close()
+	// The bolt-on monitor checks a completely different CPS.
+	if err := run([]string{"-db", dbPath, "-rules", specPath, "-trace", logPath, "-v"}); err != nil {
+		t.Fatalf("run on custom network: %v", err)
+	}
+	if err := run([]string{"-db", dbPath, "-rules", specPath, "-trace", logPath, "-online"}); err != nil {
+		t.Fatalf("online run on custom network: %v", err)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	path := writeTestLog(t)
+	if err := run([]string{"-trace", path, "-explain", "2", "-margin", "500ms"}); err != nil {
+		t.Fatalf("run -explain: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+// Command vehlog reproduces the paper's Section IV.A: it generates
+// prototype-vehicle drive-cycle logs (hills, cut-ins, stop-and-go,
+// sensor noise, frame jitter, no injection type checking) and analyses
+// them with the strict rules, the triage pass, and the relaxed rules.
+//
+// Usage:
+//
+//	vehlog                     # 12 cycles ≈ 2 hours of driving
+//	vehlog -cycles 3 -seed 99
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cpsmon/internal/campaign"
+	"cpsmon/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "vehlog:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("vehlog", flag.ContinueOnError)
+	var (
+		seed    = fs.Int64("seed", 2024, "drive-cycle seed")
+		cycles  = fs.Int("cycles", 12, "number of 10-minute drive cycles")
+		jsonOut = fs.Bool("json", false, "emit the analysis as JSON instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	a, err := campaign.RunVehicleLogs(*seed, *cycles)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(a)
+	}
+	if err := a.Render(os.Stdout); err != nil {
+		return err
+	}
+
+	fmt.Println("\nPAPER EXPECTATION: Rules #0, #1, #5, #6 not violated; Rules #2, #3, #4")
+	fmt.Println("violated but determined to be reasonable violations (overly strict rules).")
+	ok := true
+	for _, name := range []string{"Rule0", "Rule1", "Rule5", "Rule6"} {
+		if r, found := a.Rule(name); found && r.StrictVerdict != core.Satisfied {
+			ok = false
+			fmt.Printf("MISMATCH: %s violated on the vehicle logs\n", name)
+		}
+	}
+	for _, name := range []string{"Rule2", "Rule3", "Rule4"} {
+		r, found := a.Rule(name)
+		if !found {
+			continue
+		}
+		if r.StrictVerdict != core.Violated {
+			fmt.Printf("NOTE: %s was not violated in this sample of driving\n", name)
+		}
+		if r.Real > 0 {
+			ok = false
+			fmt.Printf("MISMATCH: %s has %d violations triage could not explain\n", name, r.Real)
+		}
+	}
+	if ok {
+		fmt.Println("reproduction matches the paper's real-vehicle findings.")
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunSingleCycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulated drive cycle")
+	}
+	if err := run([]string{"-cycles", "1", "-seed", "2024"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-cycles", "banana"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

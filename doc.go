@@ -1,0 +1,15 @@
+// Package cpsmon is a reproduction of "Monitor Based Oracles for
+// Cyber-Physical System Testing: Practical Experience Report" (Kane,
+// Fuhrman, Koopman — DSN 2014): a bolt-on, passive runtime monitor used
+// as a partial test oracle over a vehicle's CAN broadcast traffic, plus
+// everything needed to evaluate it — a simulated HIL bench, a
+// prototype-quality FSRACC feature under test, robustness-testing fault
+// injectors, and the campaign harnesses that regenerate the paper's
+// Table I, its real-vehicle log analysis, and its discussion-section
+// findings as ablation experiments.
+//
+// See README.md for the layout, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The root package
+// holds no code; the library lives under internal/ and the executables
+// under cmd/.
+package cpsmon

@@ -1,0 +1,156 @@
+// Customnet: the generalizability claim of the paper's Section V.D,
+// demonstrated end to end.
+//
+// "If a system is distributed, then some amount of useful state will be
+// observable as the distributed nodes must communicate their state to
+// each other." Here the system is not a car at all: a pressure vessel
+// whose controller node broadcasts tank pressure, heater duty and
+// relief-valve state on a small internal network. We describe that
+// network in the textual database format, write two safety rules
+// against it, simulate a sticky relief valve, and let the same bolt-on
+// monitor that checked the FSRACC catch the hazard — no code specific
+// to the new system anywhere in the monitor.
+//
+// Run with:
+//
+//	go run ./examples/customnet
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/core"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+)
+
+// The plant's network, as its integrator would describe it.
+const networkDB = `
+# pressure vessel internal network
+frame 0x10 TankState period=10ms
+    signal Pressure float bits=0:32 unit="bar" comment="vessel pressure"
+    signal Temp float bits=32:32 unit="C" comment="vessel temperature"
+frame 0x11 Actuators period=10ms
+    signal HeaterDuty float bits=0:32 unit="%" comment="heater PWM duty"
+    signal ReliefOpen bool bits=32:1 comment="relief valve commanded open"
+`
+
+// Expert-elicited safety rules, exactly the paper's method: written
+// from the observable signals and domain common sense, without access
+// to the controller's internals.
+const safetyRules = `
+// Over-pressure must open the relief valve within half a second.
+monitor ReliefResponse "relief valve must react to over-pressure" {
+    initial state Normal {
+        when Pressure > 8.0 => High
+    }
+    state High {
+        when Pressure <= 8.0 || ReliefOpen => Normal
+        after 500ms => violate "relief valve not opened within 500ms of over-pressure"
+    }
+}
+
+// The heater must not keep pushing while pressure is critical.
+spec HeaterCutoff "no heating at critical pressure" {
+    severity HeaterDuty
+    assert Pressure > 9.0 -> HeaterDuty <= 5.0
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	db, err := sigdb.ReadFormat(strings.NewReader(networkDB))
+	if err != nil {
+		return err
+	}
+	file, err := speclang.Parse(safetyRules)
+	if err != nil {
+		return err
+	}
+	rs, err := speclang.Compile(file, db.SignalNames())
+	if err != nil {
+		return err
+	}
+	mon, err := core.New(core.Config{Rules: rs})
+	if err != nil {
+		return err
+	}
+
+	// Simulate the vessel with a sticky relief valve: pressure rises
+	// under heating, crosses the limit, and the valve opens two full
+	// seconds late while the naive controller keeps heating.
+	log := simulateVessel(db)
+	fmt.Printf("captured %d frames from the vessel network\n\n", log.Len())
+
+	rep, err := mon.CheckLog(log, db)
+	if err != nil {
+		return err
+	}
+	for _, rr := range rep.Rules {
+		fmt.Printf("%-16s %s\n", rr.Name(), rr.Verdict)
+		for i, v := range rr.Result.Violations {
+			fmt.Printf("    [%s] at %v for %v: %s\n", rr.Classes[i], v.Start, v.Duration(), v.Msg)
+		}
+	}
+	fmt.Println("\nThe same monitor, rules in the same language, zero vehicle code:")
+	fmt.Println("the approach transfers to any CPS whose nodes broadcast their state.")
+	return nil
+}
+
+// simulateVessel produces the bus capture of one over-pressure episode.
+func simulateVessel(db *sigdb.DB) *can.Log {
+	sched, err := can.NewTxSchedule(db, 10*time.Millisecond, 0, nil)
+	if err != nil {
+		panic(err)
+	}
+	bus := can.NewBus(db, sched)
+	pressure, temp := 5.0, 80.0
+	reliefOpen := false
+	for tick := 0; tick < 3000; tick++ {
+		t := time.Duration(tick) * 10 * time.Millisecond
+		// A naive bang-bang heater that only cuts off at 9.5 bar.
+		duty := 60.0
+		if pressure > 9.5 {
+			duty = 0
+		}
+		// The sticky relief valve: commanded open only 2 s after the
+		// 8 bar threshold (the fault the monitor must catch).
+		if pressure > 8.0 && t > 14*time.Second {
+			reliefOpen = true
+		}
+		if pressure < 6.0 {
+			reliefOpen = false
+		}
+		// Plant: heating raises pressure, the open valve dumps it.
+		pressure += 0.003 * duty / 60
+		if reliefOpen {
+			pressure -= 0.01
+		}
+		temp = 80 + 8*(pressure-5)
+
+		_ = bus.Set("Pressure", pressure)
+		_ = bus.Set("Temp", temp)
+		_ = bus.Set("HeaterDuty", duty)
+		_ = bus.Set("ReliefOpen", boolToF(reliefOpen))
+		if err := bus.Step(t); err != nil {
+			panic(err)
+		}
+	}
+	return bus.Log()
+}
+
+func boolToF(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,3 @@
+module cpsmon
+
+go 1.23

@@ -1,0 +1,153 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cpsmon/internal/hil"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/scenario"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+)
+
+// LatencyStat characterizes one rule's online decision latency: how
+// long after a violation begins the streaming monitor reports it.
+type LatencyStat struct {
+	// Rule is the rule name.
+	Rule string `json:"rule"`
+	// Horizon is the rule's theoretical decision latency: its temporal
+	// lookahead.
+	Horizon time.Duration `json:"horizonNanos"`
+	// Begins is the number of violation-begin events observed.
+	Begins int `json:"begins"`
+	// MaxLatency and MeanLatency are the observed delivery latencies
+	// (bus time of delivery minus violation start).
+	MaxLatency  time.Duration `json:"maxLatencyNanos"`
+	MeanLatency time.Duration `json:"meanLatencyNanos"`
+}
+
+// LatencyResult is the online-latency characterization: the answer to
+// the paper's deferred question of whether this monitoring approach
+// can run in real time with useful reaction times.
+type LatencyResult struct {
+	// Stats holds one entry per rule that produced events.
+	Stats []LatencyStat `json:"stats"`
+}
+
+// RunLatencyAblation replays a fault-rich bench capture through the
+// streaming monitor and measures, for every violation-begin event, the
+// gap between the violation's start and the bus time at which the event
+// was delivered. The observed latency must stay within one step plus
+// the rule's declared temporal horizon.
+func RunLatencyAblation(seed int64) (*LatencyResult, error) {
+	duration := 3 * time.Minute
+	bench, err := hil.New(scenario.Follow(seed, duration))
+	if err != nil {
+		return nil, err
+	}
+	err = bench.Run(duration, func(now time.Duration, b *hil.Bench) error {
+		switch now {
+		case 20 * time.Second:
+			return b.SetInjection(sigdb.SigVelocity, 5)
+		case 40 * time.Second:
+			b.ClearAllInjections()
+			return b.SetInjection(sigdb.SigTargetRange, 4294967296.000001)
+		case 60 * time.Second:
+			b.ClearAllInjections()
+			return b.SetInjection(sigdb.SigTargetRelVel, -500)
+		case 80 * time.Second:
+			b.ClearAllInjections()
+			return b.SetInjection(sigdb.SigVelocity, 1000)
+		case 100 * time.Second:
+			b.ClearAllInjections()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rs, err := rules.Strict()
+	if err != nil {
+		return nil, err
+	}
+	mon, err := rules.NewStrictMonitor()
+	if err != nil {
+		return nil, err
+	}
+	om, err := mon.Online(sigdb.Vehicle())
+	if err != nil {
+		return nil, err
+	}
+
+	type agg struct {
+		begins int
+		sum    time.Duration
+		max    time.Duration
+	}
+	byRule := make(map[string]*agg)
+	record := func(rule string, latency time.Duration) {
+		a := byRule[rule]
+		if a == nil {
+			a = &agg{}
+			byRule[rule] = a
+		}
+		a.begins++
+		a.sum += latency
+		if latency > a.max {
+			a.max = latency
+		}
+	}
+	for _, f := range bench.Log().Frames() {
+		evs, err := om.PushFrame(f)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range evs {
+			if e.Kind == speclang.ViolationBegin {
+				record(e.Rule, f.Time-e.Time)
+			}
+		}
+	}
+	// Events delivered only at Close have no bus-time upper bound to
+	// compare against; they are end-of-trace drains and excluded.
+	if _, err := om.Close(); err != nil {
+		return nil, err
+	}
+
+	out := &LatencyResult{}
+	for _, name := range rules.Names() {
+		a, ok := byRule[name]
+		if !ok {
+			continue
+		}
+		r, _ := rs.Rule(name)
+		out.Stats = append(out.Stats, LatencyStat{
+			Rule:        name,
+			Horizon:     r.Horizon(sigdb.FastPeriod),
+			Begins:      a.begins,
+			MaxLatency:  a.max,
+			MeanLatency: a.sum / time.Duration(a.begins),
+		})
+	}
+	if len(out.Stats) == 0 {
+		return nil, fmt.Errorf("campaign: latency ablation produced no violation events")
+	}
+	return out, nil
+}
+
+// Render writes the characterization.
+func (r *LatencyResult) Render(w io.Writer) error {
+	fmt.Fprintln(w, "A5  ONLINE DECISION LATENCY (runtime monitoring, paper future work)")
+	fmt.Fprintf(w, "    %-8s %-10s %-8s %-12s %-12s\n", "rule", "horizon", "begins", "max", "mean")
+	for _, s := range r.Stats {
+		if _, err := fmt.Fprintf(w, "    %-8s %-10v %-8d %-12v %-12v\n",
+			s.Rule, s.Horizon, s.Begins, s.MaxLatency, s.MeanLatency); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w, "    (delivery is bounded by the rule's horizon plus one broadcast step)")
+	return nil
+}

@@ -1,0 +1,175 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+
+	"cpsmon/internal/core"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/sigdb"
+)
+
+// paperCells holds the published Table I verdicts, row by row in paper
+// order, columns Rule #0..#6. The paper's table labels the brake-pedal
+// signal "BrakePedPos"; it is the same signal Figure 1 calls
+// BrakePedPres, and we use the Figure 1 name throughout.
+var paperCells = []struct {
+	test   string
+	target string
+	cells  string // "S V S V S S V"
+}{
+	{"Random", sigdb.SigVelocity, "S V S V S S V"},
+	{"Random", sigdb.SigTargetRange, "S S V S V S V"},
+	{"Random", sigdb.SigTargetRelVel, "S V S S S S V"},
+	{"Random", sigdb.SigACCSetSpeed, "S V S V S S V"},
+	{"Random", sigdb.SigThrotPos, "S S S S S S S"},
+	{"Random", sigdb.SigAccelPedPos, "S S S S S S S"},
+	{"Random", sigdb.SigBrakePedPres, "S S S S S S S"},
+	{"Random", sigdb.SigSelHeadway, "S S S S S S S"},
+	{"Ballista", sigdb.SigVelocity, "S S V S S V V"},
+	{"Ballista", sigdb.SigTargetRange, "S V S S S V V"},
+	{"Ballista", sigdb.SigTargetRelVel, "S V S S S S V"},
+	{"Ballista", sigdb.SigACCSetSpeed, "S S V V V S S"},
+	{"Ballista", sigdb.SigThrotPos, "S S S S S S S"},
+	{"Ballista", sigdb.SigAccelPedPos, "S S S S S S S"},
+	{"Ballista", sigdb.SigBrakePedPres, "S S S S S S S"},
+	{"Ballista", sigdb.SigSelHeadway, "S S S S S S S"},
+	{"Bitflips", sigdb.SigVelocity, "S V V S V V V"},
+	{"Bitflips", sigdb.SigTargetRange, "S V S S S V V"},
+	{"Bitflips", sigdb.SigTargetRelVel, "S V S S S V V"},
+	{"Bitflips", sigdb.SigACCSetSpeed, "S V S S S V V"},
+	{"Bitflips", sigdb.SigThrotPos, "S S S S S S S"},
+	{"Bitflips", sigdb.SigAccelPedPos, "S S S S S S S"},
+	{"Bitflips", sigdb.SigBrakePedPres, "S S S S S S S"},
+	{"Bitflips", sigdb.SigSelHeadway, "S S S S S S S"},
+	{"mBallista", GroupRangePlus, "S V S S V V V"},
+	{"mBallista", GroupAll, "S V S S S S S"},
+	{"mRandom", GroupRangePlus, "S V V S V V S"},
+	{"mRandom", GroupAll, "S V S S S V S"},
+	{"mRandom", GroupRangePlusSet, "S V S S S V S"},
+	{"mBitflip1", GroupRangePlus, "S V S S S V V"},
+	{"mBitflip2", GroupRangePlus, "S V V V V V V"},
+	{"mBitflip4", GroupRangePlus, "S V S S S V S"},
+}
+
+// PaperTableI returns the published Table I as a TableI value, for
+// comparison against the reproduced table.
+func PaperTableI() *TableI {
+	t := &TableI{RuleNames: rules.Names()}
+	for _, r := range paperCells {
+		row := Row{Test: r.test, Target: r.target}
+		for _, c := range r.cells {
+			switch c {
+			case 'S':
+				row.Verdicts = append(row.Verdicts, core.Satisfied)
+			case 'V':
+				row.Verdicts = append(row.Verdicts, core.Violated)
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// TableComparison quantifies how a reproduced table tracks the paper.
+type TableComparison struct {
+	// Cells is the number of compared cells.
+	Cells int
+	// Matches is the number of cells with identical verdicts.
+	Matches int
+	// RowShapeMatches counts rows whose any-violation flag agrees
+	// (both all-S, or both contain at least one V).
+	RowShapeMatches int
+	// Rows is the number of compared rows.
+	Rows int
+	// Rule0CleanBoth reports whether Rule #0 is all-S in both tables.
+	Rule0CleanBoth bool
+	// BenignRowsCleanBoth reports whether every pedal/throttle/headway
+	// row is all-S in both tables.
+	BenignRowsCleanBoth bool
+}
+
+// CellAgreement returns the fraction of matching cells.
+func (c TableComparison) CellAgreement() float64 {
+	if c.Cells == 0 {
+		return 0
+	}
+	return float64(c.Matches) / float64(c.Cells)
+}
+
+// RowShapeAgreement returns the fraction of rows with matching
+// any-violation shape.
+func (c TableComparison) RowShapeAgreement() float64 {
+	if c.Rows == 0 {
+		return 0
+	}
+	return float64(c.RowShapeMatches) / float64(c.Rows)
+}
+
+// Compare matches a reproduced table against a reference (usually
+// PaperTableI) by (test, target) row keys.
+func Compare(got, ref *TableI) TableComparison {
+	cmp := TableComparison{Rule0CleanBoth: true, BenignRowsCleanBoth: true}
+	benign := map[string]bool{
+		sigdb.SigThrotPos:     true,
+		sigdb.SigAccelPedPos:  true,
+		sigdb.SigBrakePedPres: true,
+		sigdb.SigSelHeadway:   true,
+	}
+	for _, refRow := range ref.Rows {
+		var gotRow *Row
+		for i := range got.Rows {
+			if got.Rows[i].Test == refRow.Test && got.Rows[i].Target == refRow.Target {
+				gotRow = &got.Rows[i]
+				break
+			}
+		}
+		if gotRow == nil {
+			continue
+		}
+		cmp.Rows++
+		gotAny, refAny := false, false
+		for i := range refRow.Verdicts {
+			if i >= len(gotRow.Verdicts) {
+				break
+			}
+			cmp.Cells++
+			if gotRow.Verdicts[i] == refRow.Verdicts[i] {
+				cmp.Matches++
+			}
+			if gotRow.Verdicts[i] == core.Violated {
+				gotAny = true
+				if i == 0 {
+					cmp.Rule0CleanBoth = false
+				}
+				if benign[refRow.Target] {
+					cmp.BenignRowsCleanBoth = false
+				}
+			}
+			if refRow.Verdicts[i] == core.Violated {
+				refAny = true
+				if i == 0 {
+					cmp.Rule0CleanBoth = false
+				}
+				if benign[refRow.Target] {
+					cmp.BenignRowsCleanBoth = false
+				}
+			}
+		}
+		if gotAny == refAny {
+			cmp.RowShapeMatches++
+		}
+	}
+	return cmp
+}
+
+// RenderComparison writes the comparison summary.
+func RenderComparison(w io.Writer, cmp TableComparison) error {
+	fmt.Fprintf(w, "cells compared: %d, matching: %d (%.1f%%)\n",
+		cmp.Cells, cmp.Matches, 100*cmp.CellAgreement())
+	fmt.Fprintf(w, "row any-violation shape agreement: %d/%d (%.1f%%)\n",
+		cmp.RowShapeMatches, cmp.Rows, 100*cmp.RowShapeAgreement())
+	fmt.Fprintf(w, "Rule #0 clean in both: %v\n", cmp.Rule0CleanBoth)
+	_, err := fmt.Fprintf(w, "benign rows (throttle/pedals/headway) clean in both: %v\n", cmp.BenignRowsCleanBoth)
+	return err
+}

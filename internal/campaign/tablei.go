@@ -1,0 +1,486 @@
+// Package campaign orchestrates the paper's evaluation: the Table I
+// robustness-testing matrix, the Section IV.A real-vehicle log
+// analysis, and the discussion-section ablation experiments.
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"cpsmon/internal/core"
+	"cpsmon/internal/hil"
+	"cpsmon/internal/inject"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/scenario"
+	"cpsmon/internal/sigdb"
+)
+
+// Multi-target group labels, matching the paper's Table I rows.
+const (
+	// GroupRangePlus injects TargetRange, TargetRelVel and VehicleAhead
+	// at once ("Range+").
+	GroupRangePlus = "Range+"
+	// GroupRangePlusSet additionally injects ACCSetSpeed ("Range+Set").
+	GroupRangePlusSet = "Range+Set"
+	// GroupAll injects all nine FSRACC inputs ("All").
+	GroupAll = "All"
+)
+
+// groupSignals expands a group label to its signal names.
+func groupSignals(group string) []string {
+	switch group {
+	case GroupRangePlus:
+		return []string{sigdb.SigTargetRange, sigdb.SigTargetRelVel, sigdb.SigVehicleAhead}
+	case GroupRangePlusSet:
+		return []string{sigdb.SigTargetRange, sigdb.SigTargetRelVel, sigdb.SigVehicleAhead, sigdb.SigACCSetSpeed}
+	case GroupAll:
+		return sigdb.FSRACCInputs()
+	default:
+		return []string{group}
+	}
+}
+
+// TableIConfig parameterizes the robustness campaign. The defaults
+// reproduce the paper's protocol: eight injection values per
+// single-target Random/Ballista test, four injections per bit-flip
+// size (one, two and four bits), twenty injections per multi-target
+// test, every fault held for 20 s.
+type TableIConfig struct {
+	// Seed derives all per-test random sources.
+	Seed int64
+	// Hold is how long each injected fault is held.
+	Hold time.Duration
+	// Recover is the fault-free gap between injections.
+	Recover time.Duration
+	// Settle is the scenario warm-in before the first injection.
+	Settle time.Duration
+	// Injections is the number of values per Random/Ballista test.
+	Injections int
+	// FlipsPerSize is the number of injections per bit-flip size.
+	FlipsPerSize int
+	// MultiInjections is the number of values per multi-target test.
+	MultiInjections int
+	// TypeChecking enables the HIL injection interface's type checks.
+	TypeChecking bool
+	// Parallelism bounds how many tests run concurrently. Every test
+	// is an independent bench with its own seed, so results are
+	// identical at any parallelism; 0 means GOMAXPROCS.
+	Parallelism int
+	// Progress, when non-nil, receives one line per completed test.
+	// Under parallel execution lines appear in completion order.
+	Progress io.Writer
+}
+
+// DefaultTableIConfig returns the paper's protocol.
+func DefaultTableIConfig(seed int64) TableIConfig {
+	return TableIConfig{
+		Seed:            seed,
+		Hold:            20 * time.Second,
+		Recover:         13 * time.Second, // co-prime with the 120 s traffic cycle, so injections sweep all phases
+		Settle:          15 * time.Second,
+		Injections:      8,
+		FlipsPerSize:    4,
+		MultiInjections: 20,
+		TypeChecking:    true,
+	}
+}
+
+// Row is one Table I row: a (test, target) pair and its per-rule
+// verdicts.
+type Row struct {
+	// Test is the row label: Random, Ballista, Bitflips, mRandom,
+	// mBallista, mBitflip1, mBitflip2, mBitflip4.
+	Test string `json:"test"`
+	// Target is the injected signal or group label.
+	Target string `json:"target"`
+	// Verdicts holds one verdict per rule, in rules.Names() order.
+	Verdicts []core.Verdict `json:"verdicts"`
+	// Report is the full monitor report for the test trace. It is
+	// omitted from JSON output, which carries only the table cells.
+	Report *core.Report `json:"-"`
+}
+
+// TableI is the reproduced fault-injection results table.
+type TableI struct {
+	// RuleNames are the column labels.
+	RuleNames []string `json:"rules"`
+	// Rows are the test rows in paper order.
+	Rows []Row `json:"rows"`
+}
+
+// singleTargets lists the eight single-signal injection targets in the
+// paper's row order. (VehicleAhead, the ninth input, appears only in
+// the multi-target groups, as in the paper.)
+func singleTargets() []string {
+	return []string{
+		sigdb.SigVelocity,
+		sigdb.SigTargetRange,
+		sigdb.SigTargetRelVel,
+		sigdb.SigACCSetSpeed,
+		sigdb.SigThrotPos,
+		sigdb.SigAccelPedPos,
+		sigdb.SigBrakePedPres,
+		sigdb.SigSelHeadway,
+	}
+}
+
+// RunTableI executes the full robustness campaign and returns the
+// reproduced Table I. Tests are fully independent benches with their
+// own derived seeds, so they run concurrently (bounded by
+// cfg.Parallelism) and the resulting table is identical at any
+// parallelism level.
+func RunTableI(cfg TableIConfig) (*TableI, error) {
+	mon, err := rules.NewStrictMonitor()
+	if err != nil {
+		return nil, err
+	}
+
+	type testSpec struct {
+		test   string
+		target string
+		plan   []injectionStep
+	}
+	var specs []testSpec
+
+	// Single-target tests: Random, Ballista, then bit flips, for each
+	// of the eight targets (paper order groups by method).
+	for _, method := range []inject.Method{inject.Random, inject.Ballista} {
+		for _, target := range singleTargets() {
+			specs = append(specs, testSpec{
+				test: method.String(), target: target,
+				plan: singlePlan(method, target, cfg.Injections, 0),
+			})
+		}
+	}
+	for _, target := range singleTargets() {
+		// One bit-flip test per target covering one-, two- and
+		// four-bit flips.
+		var plan []injectionStep
+		for _, bits := range []int{1, 2, 4} {
+			plan = append(plan, singlePlan(inject.BitFlip, target, cfg.FlipsPerSize, bits)...)
+		}
+		specs = append(specs, testSpec{test: inject.BitFlip.String(), target: target, plan: plan})
+	}
+
+	// Multi-target tests, in the paper's row order.
+	multis := []struct {
+		test   string
+		method inject.Method
+		group  string
+		bits   int
+	}{
+		{"mBallista", inject.Ballista, GroupRangePlus, 0},
+		{"mBallista", inject.Ballista, GroupAll, 0},
+		{"mRandom", inject.Random, GroupRangePlus, 0},
+		{"mRandom", inject.Random, GroupAll, 0},
+		{"mRandom", inject.Random, GroupRangePlusSet, 0},
+		{"mBitflip1", inject.BitFlip, GroupRangePlus, 1},
+		{"mBitflip2", inject.BitFlip, GroupRangePlus, 2},
+		{"mBitflip4", inject.BitFlip, GroupRangePlus, 4},
+	}
+	for _, m := range multis {
+		specs = append(specs, testSpec{
+			test: m.test, target: m.group,
+			plan: multiPlan(m.method, groupSignals(m.group), cfg.MultiInjections, m.bits),
+		})
+	}
+
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+
+	rows := make([]Row, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, workers)
+	var progressMu sync.Mutex
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			sp := specs[i]
+			// Per-test seeds depend only on the test's position, so
+			// parallel and serial runs produce identical tables.
+			seed := cfg.Seed + 1000*int64(i+1)
+			row, err := runInjectionTest(cfg, mon, seed, sp.test, sp.target, sp.plan)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows[i] = row
+			if cfg.Progress != nil {
+				progressMu.Lock()
+				fmt.Fprintf(cfg.Progress, "%-9s %-13s %s\n", sp.test, sp.target, verdictCells(row.Verdicts))
+				progressMu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &TableI{RuleNames: rules.Names(), Rows: rows}, nil
+}
+
+// injectionStep describes one fault of a test plan: which signals to
+// corrupt and how to derive each injected value.
+type injectionStep struct {
+	targets []injectionTarget
+}
+
+type injectionTarget struct {
+	signal string
+	method inject.Method
+	bits   int
+}
+
+func singlePlan(method inject.Method, signal string, count, bits int) []injectionStep {
+	plan := make([]injectionStep, count)
+	for i := range plan {
+		plan[i] = injectionStep{targets: []injectionTarget{{signal: signal, method: method, bits: bits}}}
+	}
+	return plan
+}
+
+func multiPlan(method inject.Method, signals []string, count, bits int) []injectionStep {
+	plan := make([]injectionStep, count)
+	for i := range plan {
+		st := injectionStep{}
+		for _, s := range signals {
+			st.targets = append(st.targets, injectionTarget{signal: s, method: method, bits: bits})
+		}
+		plan[i] = st
+	}
+	return plan
+}
+
+// runInjectionTest runs one Table I test: a fresh follow scenario with
+// the plan's faults injected in sequence, then the monitor over the
+// captured bus log.
+func runInjectionTest(cfg TableIConfig, mon *core.Monitor, seed int64, test, target string, plan []injectionStep) (Row, error) {
+	duration := cfg.Settle + time.Duration(len(plan))*(cfg.Hold+cfg.Recover)
+	benchCfg := scenario.Follow(seed, duration)
+	benchCfg.TypeChecking = cfg.TypeChecking
+	bench, err := hil.New(benchCfg)
+	if err != nil {
+		return Row{}, fmt.Errorf("campaign: %s %s: %w", test, target, err)
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	db := sigdb.Vehicle()
+
+	next := 0
+	injecting := false
+	var injectEnd time.Duration
+	onTick := func(now time.Duration, b *hil.Bench) error {
+		if injecting && now >= injectEnd {
+			b.ClearAllInjections()
+			injecting = false
+		}
+		if injecting || next >= len(plan) {
+			return nil
+		}
+		startAt := cfg.Settle + time.Duration(next)*(cfg.Hold+cfg.Recover)
+		if now < startAt {
+			return nil
+		}
+		step := plan[next]
+		next++
+		injecting = true
+		injectEnd = now + cfg.Hold
+		for _, tg := range step.targets {
+			sig, ok := db.Signal(tg.signal)
+			if !ok {
+				return fmt.Errorf("campaign: unknown signal %q", tg.signal)
+			}
+			if err := applyInjection(rng, b, sig, tg, cfg.TypeChecking); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := bench.Run(duration, onTick); err != nil {
+		return Row{}, fmt.Errorf("campaign: %s %s: %w", test, target, err)
+	}
+	rep, err := mon.CheckLog(bench.Log(), db)
+	if err != nil {
+		return Row{}, fmt.Errorf("campaign: %s %s: %w", test, target, err)
+	}
+	row := Row{Test: test, Target: target, Report: rep}
+	for _, name := range rules.Names() {
+		rr, ok := rep.Rule(name)
+		if !ok {
+			return Row{}, fmt.Errorf("campaign: report missing rule %q", name)
+		}
+		row.Verdicts = append(row.Verdicts, rr.Verdict)
+	}
+	return row, nil
+}
+
+// applyInjection derives one injected value and enables the signal's
+// multiplexor. On the type-checked HIL bench an injection the interface
+// rejects (an out-of-range bit-flipped enum, say) is retried with fresh
+// randomness a few times and then skipped, which is exactly the
+// limitation the paper reports the bench imposing.
+func applyInjection(rng *rand.Rand, b *hil.Bench, sig *sigdb.Signal, tg injectionTarget, typeChecked bool) error {
+	const retries = 8
+	for attempt := 0; attempt < retries; attempt++ {
+		var v float64
+		switch tg.method {
+		case inject.Random:
+			v = inject.RandomValue(rng, sig, typeChecked)
+		case inject.Ballista:
+			v = inject.BallistaValue(rng, sig, typeChecked)
+		case inject.BitFlip:
+			cur, err := b.BusValue(sig.Name)
+			if err != nil {
+				return err
+			}
+			v = inject.FlipBits(rng, sig, cur, tg.bits)
+		default:
+			return fmt.Errorf("campaign: unknown method %v", tg.method)
+		}
+		err := b.SetInjection(sig.Name, v)
+		if err == nil {
+			return nil
+		}
+		// Rejected by the HIL's type checking: retry with new
+		// randomness, then give up on this signal for this step.
+	}
+	return nil
+}
+
+func verdictCells(vs []core.Verdict) string {
+	cells := make([]string, len(vs))
+	for i, v := range vs {
+		cells[i] = v.String()
+	}
+	return strings.Join(cells, " ")
+}
+
+// Render writes the table in the paper's layout.
+func (t *TableI) Render(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "FAULT INJECTION RESULTS"); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %-13s", "Injection", "Target Signal")
+	for i := range t.RuleNames {
+		fmt.Fprintf(w, " %d", i)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 24+2*len(t.RuleNames)))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "%-10s %-13s %s\n", row.Test, row.Target, verdictCells(row.Verdicts))
+	}
+	return nil
+}
+
+// RenderDetail writes the table with, under each violated row, the
+// per-rule violation counts broken down by triage class — the evidence
+// behind each V cell.
+func (t *TableI) RenderDetail(w io.Writer) error {
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "\nVIOLATION DETAIL (real/transient/negligible per rule)")
+	for _, row := range t.Rows {
+		if row.Report == nil {
+			continue
+		}
+		any := false
+		for _, rr := range row.Report.Rules {
+			if rr.Verdict == core.Violated {
+				any = true
+			}
+		}
+		if !any {
+			continue
+		}
+		fmt.Fprintf(w, "%s %s:\n", row.Test, row.Target)
+		for _, name := range t.RuleNames {
+			rr, ok := row.Report.Rule(name)
+			if !ok || rr.Verdict != core.Violated {
+				continue
+			}
+			first := rr.Result.Violations[0]
+			fmt.Fprintf(w, "  %-6s %3d violations (%d/%d/%d), first at %v for %v\n",
+				name, len(rr.Result.Violations),
+				rr.Count(core.ClassReal), rr.Count(core.ClassTransient), rr.Count(core.ClassNegligible),
+				first.Start, first.Duration())
+		}
+	}
+	return nil
+}
+
+// RenderCoverage writes the table with vacuously satisfied cells marked
+// "s" (lower case): the rule passed but its antecedent never fired, so
+// that cell is no evidence the system is safe under that fault — only
+// that the test did not exercise the rule. This implements the
+// oracle-adequacy check behind the paper's remark that "coverage of the
+// safety rules is not intended to be complete".
+func (t *TableI) RenderCoverage(w io.Writer) error {
+	fmt.Fprintln(w, "FAULT INJECTION RESULTS WITH VACUITY (s = satisfied but never exercised)")
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-10s %-13s", "Injection", "Target Signal")
+	for i := range t.RuleNames {
+		fmt.Fprintf(w, " %d", i)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 24+2*len(t.RuleNames)))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "%-10s %-13s", row.Test, row.Target)
+		for i, v := range row.Verdicts {
+			cell := v.String()
+			if v == core.Satisfied && row.Report != nil {
+				if rr, ok := row.Report.Rule(t.RuleNames[i]); ok && rr.Vacuous() {
+					cell = "s"
+				}
+			}
+			fmt.Fprintf(w, " %s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Verdict returns the verdict for a (test, target, rule) cell.
+func (t *TableI) Verdict(test, target string, ruleIdx int) (core.Verdict, bool) {
+	for _, row := range t.Rows {
+		if row.Test == test && row.Target == target {
+			if ruleIdx < 0 || ruleIdx >= len(row.Verdicts) {
+				return 0, false
+			}
+			return row.Verdicts[ruleIdx], true
+		}
+	}
+	return 0, false
+}
+
+// RulesViolatedAnywhere returns how many rules have at least one V cell
+// — the paper reports "six out of the seven rules were detected as
+// violated during testing (all except Rule #0)".
+func (t *TableI) RulesViolatedAnywhere() int {
+	n := 0
+	for i := range t.RuleNames {
+		for _, row := range t.Rows {
+			if i < len(row.Verdicts) && row.Verdicts[i] == core.Violated {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+	"cpsmon/internal/trace"
+)
+
+func compileRules(t *testing.T, src string, signals ...string) *speclang.RuleSet {
+	t.Helper()
+	f, err := speclang.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	rs, err := speclang.Compile(f, signals)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return rs
+}
+
+func TestVerdictString(t *testing.T) {
+	if Satisfied.String() != "S" || Violated.String() != "V" || Verdict(0).String() != "?" {
+		t.Error("verdict strings wrong")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	tests := []struct {
+		c    Class
+		want string
+	}{
+		{ClassReal, "real"}, {ClassTransient, "transient"},
+		{ClassNegligible, "negligible"}, {Class(0), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("Class(%d) = %q, want %q", int(tt.c), got, tt.want)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New without rules succeeded")
+	}
+	rs := compileRules(t, `spec R { assert x }`, "x")
+	if _, err := New(Config{Rules: rs, Period: -time.Second}); err == nil {
+		t.Error("negative period accepted")
+	}
+	m, err := New(Config{Rules: rs})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if m.period != sigdb.FastPeriod {
+		t.Errorf("default period = %v", m.period)
+	}
+}
+
+func TestTriageClassify(t *testing.T) {
+	tri := Triage{TransientMax: 30 * time.Millisecond, NegligiblePeak: 1.0}
+	mkV := func(dur time.Duration, peak float64) speclang.Violation {
+		return speclang.Violation{Start: 0, End: dur, Peak: peak}
+	}
+	tests := []struct {
+		v    speclang.Violation
+		want Class
+	}{
+		{mkV(10*time.Millisecond, 100), ClassTransient}, // short wins
+		{mkV(time.Second, 0.5), ClassNegligible},
+		{mkV(time.Second, 5), ClassReal},
+	}
+	for i, tt := range tests {
+		if got := tri.Classify(tt.v); got != tt.want {
+			t.Errorf("case %d: Classify = %v, want %v", i, got, tt.want)
+		}
+	}
+	// Disabled thresholds classify everything real.
+	var none Triage
+	if got := none.Classify(mkV(time.Millisecond, 0)); got != ClassReal {
+		t.Errorf("empty triage = %v, want real", got)
+	}
+}
+
+func TestCheckTraceVerdictsAndTriage(t *testing.T) {
+	rs := compileRules(t, `spec R { severity x assert x <= 0 }
+spec Clean { assert true }`, "x")
+	m, err := New(Config{
+		Rules:  rs,
+		Period: 10 * time.Millisecond,
+		Triage: map[string]Triage{"R": {NegligiblePeak: 1.0}},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tr := trace.New()
+	s := tr.Ensure("x")
+	vals := []float64{0, 0, 0.5, 0, 0, 7, 7, 0}
+	for i, v := range vals {
+		if err := s.Append(time.Duration(i)*10*time.Millisecond, v); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	rep, err := m.CheckTrace(tr)
+	if err != nil {
+		t.Fatalf("CheckTrace: %v", err)
+	}
+	if len(rep.Rules) != 2 {
+		t.Fatalf("rules = %d", len(rep.Rules))
+	}
+	r, ok := rep.Rule("R")
+	if !ok || r.Verdict != Violated {
+		t.Fatalf("rule R: %+v", r)
+	}
+	if len(r.Classes) != 2 || r.Classes[0] != ClassNegligible || r.Classes[1] != ClassReal {
+		t.Errorf("classes = %v", r.Classes)
+	}
+	if r.Count(ClassReal) != 1 || !r.RealViolations() {
+		t.Errorf("real count = %d", r.Count(ClassReal))
+	}
+	clean, _ := rep.Rule("Clean")
+	if clean.Verdict != Satisfied {
+		t.Errorf("clean rule verdict = %v", clean.Verdict)
+	}
+	if !rep.AnyViolated() || !rep.AnyReal() {
+		t.Error("report aggregates wrong")
+	}
+	if got := rep.Verdicts(); len(got) != 2 || got[0] != Violated || got[1] != Satisfied {
+		t.Errorf("Verdicts = %v", got)
+	}
+	if _, ok := rep.Rule("NoSuch"); ok {
+		t.Error("Rule(NoSuch) found")
+	}
+}
+
+func TestCheckLogEndToEnd(t *testing.T) {
+	db := sigdb.Vehicle()
+	sched, err := can.NewTxSchedule(db, sigdb.FastPeriod, 0, nil)
+	if err != nil {
+		t.Fatalf("NewTxSchedule: %v", err)
+	}
+	bus := can.NewBus(db, sched)
+	// Broadcast 50 ticks with ServiceACC and ACCEnabled both true from
+	// tick 30: a Rule #0 style violation.
+	for tick := 0; tick < 50; tick++ {
+		if tick >= 30 {
+			_ = bus.Set(sigdb.SigServiceACC, 1)
+			_ = bus.Set(sigdb.SigACCEnabled, 1)
+		}
+		if err := bus.Step(time.Duration(tick) * sigdb.FastPeriod); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	rs := compileRules(t, `spec Rule0 { assert ServiceACC -> !ACCEnabled }`, db.SignalNames()...)
+	m, err := New(Config{Rules: rs})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	rep, err := m.CheckLog(bus.Log(), db)
+	if err != nil {
+		t.Fatalf("CheckLog: %v", err)
+	}
+	r := rep.Rules[0]
+	if r.Verdict != Violated {
+		t.Fatal("Rule0 violation not detected from the CAN log")
+	}
+	if r.Result.Violations[0].Start != 300*time.Millisecond {
+		t.Errorf("violation start = %v, want 300ms", r.Result.Violations[0].Start)
+	}
+}
+
+func TestCheckTraceMissingSignal(t *testing.T) {
+	rs := compileRules(t, `spec R { assert x > 0 }`, "x")
+	m, err := New(Config{Rules: rs, Period: time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tr := trace.New()
+	_ = tr.Ensure("y").Append(0, 1)
+	if _, err := m.CheckTrace(tr); err == nil {
+		t.Fatal("missing signal accepted")
+	}
+}
+
+func TestEstimateAccelIntent(t *testing.T) {
+	period := 10 * time.Millisecond
+	n := 100
+	torque := make([]float64, n)
+	upd := make([]bool, n)
+	for i := range torque {
+		upd[i] = true
+		switch {
+		case i < 20:
+			torque[i] = 50 // flat
+		case i < 60:
+			torque[i] = 50 + 2*float64(i-20) // ramp +200 N·m/s
+		default:
+			torque[i] = 130
+		}
+	}
+	cfg := IntentConfig{MinRate: 50, MinDuration: 100 * time.Millisecond}
+	got := EstimateAccelIntent(torque, upd, period, cfg)
+	if got[10] {
+		t.Error("intent during flat prefix")
+	}
+	if !got[40] {
+		t.Error("no intent mid-ramp")
+	}
+	if got[80] {
+		t.Error("intent after ramp ended")
+	}
+	// The duration backfill marks the early ramp steps too.
+	if !got[25] {
+		t.Error("sustained run not backfilled")
+	}
+}
+
+func TestEstimateAccelIntentDurationThreshold(t *testing.T) {
+	period := 10 * time.Millisecond
+	torque := []float64{0, 10, 0, 0, 0, 0}
+	upd := []bool{true, true, true, true, true, true}
+	cfg := IntentConfig{MinRate: 50, MinDuration: 50 * time.Millisecond}
+	got := EstimateAccelIntent(torque, upd, period, cfg)
+	for i, g := range got {
+		if g {
+			t.Errorf("one-cycle spike marked as intent at step %d", i)
+		}
+	}
+}
+
+func TestEstimateAccelIntentEmpty(t *testing.T) {
+	got := EstimateAccelIntent(nil, nil, time.Millisecond, IntentConfig{})
+	if len(got) != 0 {
+		t.Errorf("empty input produced %v", got)
+	}
+}
+
+func TestCompareIntentAndRates(t *testing.T) {
+	est := []bool{true, true, false, false}
+	truth := []bool{true, false, true, false}
+	c := CompareIntent(est, truth)
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.FalsePositiveRate() != 0.5 || c.FalseNegativeRate() != 0.5 {
+		t.Errorf("rates = %v, %v", c.FalsePositiveRate(), c.FalseNegativeRate())
+	}
+	var zero Confusion
+	if zero.FalsePositiveRate() != 0 || zero.FalseNegativeRate() != 0 {
+		t.Error("zero confusion rates not 0")
+	}
+}

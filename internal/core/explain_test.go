@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"cpsmon/internal/speclang"
+	"cpsmon/internal/trace"
+)
+
+// explainFixture builds a monitor and trace with one clear violation.
+func explainFixture(t *testing.T) (*Monitor, *trace.Trace, *Report) {
+	t.Helper()
+	rs := compileRules(t, `spec Decel {
+  severity RequestedDecel
+  assert BrakeRequested -> RequestedDecel <= 0.0
+}`, "BrakeRequested", "RequestedDecel", "Velocity")
+	m, err := New(Config{Rules: rs, Period: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	tr := trace.New()
+	brake := tr.Ensure("BrakeRequested")
+	decel := tr.Ensure("RequestedDecel")
+	vel := tr.Ensure("Velocity")
+	for i := 0; i < 300; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		b, d := 0.0, 0.0
+		if i >= 100 && i < 200 {
+			b, d = 1, -1.5
+		}
+		if i >= 150 && i < 160 {
+			d = 0.4 // the violation
+		}
+		_ = brake.Append(at, b)
+		_ = decel.Append(at, d)
+		_ = vel.Append(at, 25-float64(i)*0.02)
+	}
+	rep, err := m.CheckTrace(tr)
+	if err != nil {
+		t.Fatalf("CheckTrace: %v", err)
+	}
+	return m, tr, rep
+}
+
+func TestExplainExtractsContext(t *testing.T) {
+	m, tr, rep := explainFixture(t)
+	ex, err := m.Explain(tr, rep, "Decel", 0, 500*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if ex.Violation.Start != 1500*time.Millisecond {
+		t.Errorf("violation start = %v", ex.Violation.Start)
+	}
+	if ex.From != time.Second || ex.To != 2100*time.Millisecond {
+		t.Errorf("window = %v..%v, want 1s..2.1s", ex.From, ex.To)
+	}
+	// Only the referenced signals appear: BrakeRequested and
+	// RequestedDecel, not Velocity.
+	if len(ex.Signals) != 2 {
+		t.Fatalf("signals = %d, want 2", len(ex.Signals))
+	}
+	names := []string{ex.Signals[0].Name, ex.Signals[1].Name}
+	if names[0] != "BrakeRequested" || names[1] != "RequestedDecel" {
+		t.Errorf("signal names = %v", names)
+	}
+	decel := ex.Signals[1]
+	if decel.Min != -1.5 || decel.Max != 0.4 {
+		t.Errorf("decel range = [%v, %v], want [-1.5, 0.4]", decel.Min, decel.Max)
+	}
+	if len([]rune(decel.Spark)) != sparkWidth {
+		t.Errorf("spark width = %d, want %d", len([]rune(decel.Spark)), sparkWidth)
+	}
+	if !strings.Contains(decel.Marker, "^") {
+		t.Error("marker has no violation span")
+	}
+}
+
+func TestExplainRender(t *testing.T) {
+	m, tr, rep := explainFixture(t)
+	ex, err := m.Explain(tr, rep, "Decel", 0, 200*time.Millisecond)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := ex.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Decel violation", "RequestedDecel", "^"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	m, tr, rep := explainFixture(t)
+	if _, err := m.Explain(tr, rep, "NoSuch", 0, time.Second); err == nil {
+		t.Error("unknown rule accepted")
+	}
+	if _, err := m.Explain(tr, rep, "Decel", 5, time.Second); err == nil {
+		t.Error("out-of-range violation index accepted")
+	}
+	if _, err := m.Explain(tr, rep, "Decel", -1, time.Second); err == nil {
+		t.Error("negative violation index accepted")
+	}
+}
+
+func TestExplainWindowClamping(t *testing.T) {
+	m, tr, rep := explainFixture(t)
+	// A huge margin clamps to the trace bounds.
+	ex, err := m.Explain(tr, rep, "Decel", 0, time.Hour)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if ex.From != 0 {
+		t.Errorf("From = %v, want 0", ex.From)
+	}
+	if ex.To > tr.Duration()+10*time.Millisecond {
+		t.Errorf("To = %v beyond trace end", ex.To)
+	}
+}
+
+func TestSignalContextNonFinite(t *testing.T) {
+	var s trace.Series
+	s.Name = "x"
+	for i := 0; i < 100; i++ {
+		v := float64(i)
+		if i >= 40 && i < 60 {
+			v = math.NaN()
+		}
+		_ = s.Append(time.Duration(i)*10*time.Millisecond, v)
+	}
+	ctx := signalContext(&s, 0, time.Second, violationAt(400, 600))
+	if ctx.NonFinite == 0 {
+		t.Error("non-finite samples not counted")
+	}
+	if !strings.Contains(ctx.Spark, "!") {
+		t.Errorf("spark has no '!' markers: %s", ctx.Spark)
+	}
+}
+
+func TestSignalContextBeforeFirstSample(t *testing.T) {
+	var s trace.Series
+	s.Name = "x"
+	_ = s.Append(800*time.Millisecond, 5)
+	ctx := signalContext(&s, 0, time.Second, violationAt(0, 100))
+	if !strings.Contains(ctx.Spark, "·") {
+		t.Errorf("spark has no undefined markers: %s", ctx.Spark)
+	}
+}
+
+func violationAt(startMs, endMs int) speclang.Violation {
+	return speclang.Violation{
+		Start: time.Duration(startMs) * time.Millisecond,
+		End:   time.Duration(endMs) * time.Millisecond,
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// IntentConfig tunes the acceleration-intent estimator.
+//
+// The paper used "an increase in FSRACC requested torque as an
+// estimation for the FSRACC intending to accelerate the vehicle" and
+// noted that real torque requests "can be differentiated by factors
+// such as duration and amplitude of the increase". These two knobs are
+// exactly that tradeoff; the intent ablation sweeps them against the
+// feature's ground truth.
+type IntentConfig struct {
+	// MinRate is the minimum torque increase rate treated as intent,
+	// in N·m per second.
+	MinRate float64
+	// MinDuration is how long the increase must be sustained before it
+	// is treated as intent.
+	MinDuration time.Duration
+}
+
+// EstimateAccelIntent derives a per-step "the feature intends to
+// accelerate" estimate from the observable RequestedTorque stream.
+// torque holds the held values on the evaluation grid, updated the
+// per-step freshness bits, and period the grid step.
+//
+// A step is marked once the update-aware torque increase rate has been
+// at least MinRate for at least MinDuration.
+func EstimateAccelIntent(torque []float64, updated []bool, period time.Duration, cfg IntentConfig) []bool {
+	n := len(torque)
+	out := make([]bool, n)
+	if n == 0 {
+		return out
+	}
+	minSteps := int(cfg.MinDuration / period)
+	if minSteps < 1 {
+		minSteps = 1
+	}
+	// Update-aware increase rate, mirroring speclang's rate() builtin.
+	increasing := make([]bool, n)
+	prevVal, curVal := math.NaN(), math.NaN()
+	prevStep, curStep := -1, -1
+	for t := 0; t < n; t++ {
+		if updated[t] {
+			prevVal, prevStep = curVal, curStep
+			curVal, curStep = torque[t], t
+		}
+		if prevStep >= 0 && curStep > prevStep {
+			gap := float64(curStep-prevStep) * period.Seconds()
+			rate := (curVal - prevVal) / gap
+			increasing[t] = rate >= cfg.MinRate
+		}
+	}
+	run := 0
+	for t := 0; t < n; t++ {
+		if increasing[t] {
+			run++
+		} else {
+			run = 0
+		}
+		if run >= minSteps {
+			// Mark the whole sustained run, including the steps that
+			// were waiting out the duration threshold.
+			for k := t - run + 1; k <= t; k++ {
+				out[k] = true
+			}
+		}
+	}
+	return out
+}
+
+// Confusion is a binary confusion matrix of estimated intent against
+// ground truth.
+type Confusion struct {
+	TP, FP, FN, TN int
+}
+
+// CompareIntent scores a per-step estimate against per-step ground
+// truth. The slices must have equal length.
+func CompareIntent(estimate, truth []bool) Confusion {
+	var c Confusion
+	for i := range estimate {
+		switch {
+		case estimate[i] && truth[i]:
+			c.TP++
+		case estimate[i] && !truth[i]:
+			c.FP++
+		case !estimate[i] && truth[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// FalsePositiveRate returns FP / (FP + TN), or 0 when undefined.
+func (c Confusion) FalsePositiveRate() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// FalseNegativeRate returns FN / (FN + TP), or 0 when undefined.
+// The paper's safety-case discussion wants this at (or near) zero: an
+// estimator that misses real intent weakens the oracle's evidence.
+func (c Confusion) FalseNegativeRate() float64 {
+	if c.FN+c.TP == 0 {
+		return 0
+	}
+	return float64(c.FN) / float64(c.FN+c.TP)
+}

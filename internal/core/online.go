@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+)
+
+// OnlineEvent is one incremental oracle notification: a violation
+// opening or closing, delivered a bounded number of steps after the
+// fact (the rule's temporal horizon).
+type OnlineEvent struct {
+	// Rule is the reporting rule.
+	Rule string
+	// Kind is speclang.ViolationBegin or speclang.ViolationEnd.
+	Kind speclang.EventKind
+	// Time is the violation start (Begin) or exclusive end (End).
+	Time time.Duration
+	// Violation is the completed record, set on ViolationEnd.
+	Violation speclang.Violation
+	// Class is the triage classification, set on ViolationEnd.
+	Class Class
+}
+
+// OnlineMonitor is the runtime variant of the bolt-on oracle: CAN
+// frames are pushed as they are captured and violation events come back
+// incrementally with bounded memory and latency. The paper ran offline
+// for flexibility but notes "there is no fundamental reason the
+// monitoring could not be done at runtime"; this is that path, and it
+// produces byte-for-byte the same violations as CheckLog.
+type OnlineMonitor struct {
+	db     *sigdb.DB
+	period time.Duration
+	triage map[string]Triage
+	sc     *speclang.StreamChecker
+
+	names []string
+	index map[string]int
+
+	latched []float64
+	updated []bool
+
+	pending  int           // the step currently accumulating frames
+	lastTime time.Duration // time of the newest accepted frame
+	sawFrame bool
+	closed   bool
+}
+
+// Online creates a streaming session of this monitor over the given
+// signal database.
+func (m *Monitor) Online(db *sigdb.DB) (*OnlineMonitor, error) {
+	names := db.SignalNames()
+	sc, err := m.rules.NewStreamChecker(names, m.period, speclang.EvalOptions{DeltaMode: m.mode})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	o := &OnlineMonitor{
+		db:      db,
+		period:  m.period,
+		triage:  m.triage,
+		sc:      sc,
+		names:   names,
+		index:   make(map[string]int, len(names)),
+		latched: make([]float64, len(names)),
+		updated: make([]bool, len(names)),
+	}
+	for i, n := range names {
+		o.index[n] = i
+		o.latched[i] = math.NaN() // not yet valid, as offline alignment
+	}
+	return o, nil
+}
+
+// PushFrame feeds one captured frame. Frames must arrive in
+// non-decreasing time order; frames with IDs outside the database are
+// ignored, as a passive listener ignores foreign traffic.
+func (o *OnlineMonitor) PushFrame(f can.Frame) ([]OnlineEvent, error) {
+	if o.closed {
+		return nil, fmt.Errorf("core: PushFrame after Close")
+	}
+	if o.sawFrame && f.Time < o.lastTime {
+		return nil, fmt.Errorf("core: out-of-order frame at %v after %v", f.Time, o.lastTime)
+	}
+	def, ok := o.db.Frame(f.ID)
+	if !ok {
+		return nil, nil
+	}
+	o.sawFrame = true
+	o.lastTime = f.Time
+
+	// The frame belongs to the step whose window (stepTime-period,
+	// stepTime] contains its timestamp.
+	k := int((f.Time + o.period - 1) / o.period)
+
+	// Finalize every step strictly before k.
+	var events []OnlineEvent
+	for o.pending < k {
+		evs, err := o.finalizeStep()
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, evs...)
+	}
+
+	values, err := o.db.Unpack(f.ID, f.Data)
+	if err != nil {
+		return nil, err
+	}
+	for _, sig := range def.Signals {
+		idx := o.index[sig.Name]
+		o.latched[idx] = values[sig.Name]
+		o.updated[idx] = true
+	}
+	return events, nil
+}
+
+// finalizeStep pushes the pending step into the checker.
+func (o *OnlineMonitor) finalizeStep() ([]OnlineEvent, error) {
+	evs, err := o.sc.Step(o.latched, o.updated)
+	if err != nil {
+		return nil, err
+	}
+	for i := range o.updated {
+		o.updated[i] = false
+	}
+	o.pending++
+	return o.convert(evs), nil
+}
+
+// Close finalizes the trace — steps up to the last frame's grid slot,
+// exactly the steps the offline alignment evaluates — drains every
+// rule, and returns the remaining events.
+func (o *OnlineMonitor) Close() ([]OnlineEvent, error) {
+	if o.closed {
+		return nil, fmt.Errorf("core: Close called twice")
+	}
+	var events []OnlineEvent
+	last := int(o.lastTime / o.period) // floor: trailing partial-step frames fall outside the grid
+	for o.pending <= last {
+		evs, err := o.finalizeStep()
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, evs...)
+	}
+	o.closed = true
+	evs, err := o.sc.Finish()
+	if err != nil {
+		return nil, err
+	}
+	return append(events, o.convert(evs)...), nil
+}
+
+func (o *OnlineMonitor) convert(evs []speclang.Event) []OnlineEvent {
+	if len(evs) == 0 {
+		return nil
+	}
+	out := make([]OnlineEvent, len(evs))
+	for i, e := range evs {
+		oe := OnlineEvent{Rule: e.Rule, Kind: e.Kind, Time: e.Time, Violation: e.Violation}
+		if e.Kind == speclang.ViolationEnd {
+			oe.Class = o.triage[e.Rule].Classify(e.Violation)
+		}
+		out[i] = oe
+	}
+	return out
+}

@@ -1,0 +1,327 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+)
+
+// buildLog broadcasts the given per-tick setter over the vehicle bus
+// and returns the capture.
+func buildLog(t *testing.T, ticks int, set func(tick int, bus *can.Bus)) *can.Log {
+	t.Helper()
+	db := sigdb.Vehicle()
+	sched, err := can.NewTxSchedule(db, sigdb.FastPeriod, 0, nil)
+	if err != nil {
+		t.Fatalf("NewTxSchedule: %v", err)
+	}
+	bus := can.NewBus(db, sched)
+	for tick := 0; tick < ticks; tick++ {
+		if set != nil {
+			set(tick, bus)
+		}
+		if err := bus.Step(time.Duration(tick) * sigdb.FastPeriod); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	return bus.Log()
+}
+
+// onlineViolations replays a log through the online monitor and
+// collects closed violations per rule.
+func onlineViolations(t *testing.T, m *Monitor, log *can.Log) map[string][]OnlineEvent {
+	t.Helper()
+	om, err := m.Online(sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	out := make(map[string][]OnlineEvent)
+	collect := func(evs []OnlineEvent) {
+		for _, e := range evs {
+			if e.Kind == speclang.ViolationEnd {
+				out[e.Rule] = append(out[e.Rule], e)
+			}
+		}
+	}
+	for _, f := range log.Frames() {
+		evs, err := om.PushFrame(f)
+		if err != nil {
+			t.Fatalf("PushFrame: %v", err)
+		}
+		collect(evs)
+	}
+	evs, err := om.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	collect(evs)
+	return out
+}
+
+// requireOnlineOfflineMatch asserts that the streaming monitor
+// reproduces CheckLog exactly, including triage classes.
+func requireOnlineOfflineMatch(t *testing.T, m *Monitor, log *can.Log) {
+	t.Helper()
+	offline, err := m.CheckLog(log, sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("CheckLog: %v", err)
+	}
+	online := onlineViolations(t, m, log)
+	for _, rr := range offline.Rules {
+		got := online[rr.Name()]
+		if len(got) != len(rr.Result.Violations) {
+			t.Fatalf("rule %s: online %d violations, offline %d\nonline: %+v\noffline: %+v",
+				rr.Name(), len(got), len(rr.Result.Violations), got, rr.Result.Violations)
+		}
+		for i, want := range rr.Result.Violations {
+			g := got[i].Violation
+			if g.StartStep != want.StartStep || g.EndStep != want.EndStep || g.Msg != want.Msg {
+				t.Fatalf("rule %s violation %d: online %+v, offline %+v", rr.Name(), i, g, want)
+			}
+			if g.Peak != want.Peak && !(math.IsInf(g.Peak, 1) && math.IsInf(want.Peak, 1)) {
+				t.Fatalf("rule %s violation %d peak: online %v, offline %v", rr.Name(), i, g.Peak, want.Peak)
+			}
+			if got[i].Class != rr.Classes[i] {
+				t.Fatalf("rule %s violation %d class: online %v, offline %v", rr.Name(), i, got[i].Class, rr.Classes[i])
+			}
+		}
+	}
+}
+
+func testMonitor(t *testing.T) *Monitor {
+	t.Helper()
+	db := sigdb.Vehicle()
+	rs := compileRules(t, `
+spec Rule0 { assert ServiceACC -> !ACCEnabled }
+spec DecelOK { severity RequestedDecel warmup 50ms assert BrakeRequested -> RequestedDecel <= 0.0 }
+spec Slow4 { assert (Velocity > ACCSetSpeed) -> eventually[0:400ms](delta(RequestedTorque) <= 0.0) }
+monitor Headway {
+  let h = TargetRange / Velocity
+  initial state Normal { when VehicleAhead && h < 1.0 => Low }
+  state Low {
+    when !VehicleAhead || h >= 1.0 => Normal
+    after 5s => violate "not recovered"
+  }
+}`, db.SignalNames()...)
+	m, err := New(Config{
+		Rules: rs,
+		Triage: map[string]Triage{
+			"DecelOK": {TransientMax: 25 * time.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestOnlineMatchesOfflineCleanTrace(t *testing.T) {
+	log := buildLog(t, 200, func(tick int, bus *can.Bus) {
+		_ = bus.Set(sigdb.SigVelocity, 24)
+		_ = bus.Set(sigdb.SigACCSetSpeed, 25)
+	})
+	requireOnlineOfflineMatch(t, testMonitor(t), log)
+}
+
+func TestOnlineMatchesOfflineWithViolations(t *testing.T) {
+	log := buildLog(t, 1200, func(tick int, bus *can.Bus) {
+		_ = bus.Set(sigdb.SigVelocity, 24)
+		_ = bus.Set(sigdb.SigACCSetSpeed, 25)
+		// Rule0 violation burst.
+		if tick >= 100 && tick < 130 {
+			_ = bus.Set(sigdb.SigServiceACC, 1)
+			_ = bus.Set(sigdb.SigACCEnabled, 1)
+		} else {
+			_ = bus.Set(sigdb.SigServiceACC, 0)
+			_ = bus.Set(sigdb.SigACCEnabled, 0)
+		}
+		// A transient decel blip and a NaN stretch.
+		switch {
+		case tick == 300:
+			_ = bus.Set(sigdb.SigBrakeRequested, 1)
+			_ = bus.Set(sigdb.SigRequestedDecel, 0.12)
+		case tick > 300 && tick < 360:
+			_ = bus.Set(sigdb.SigBrakeRequested, 1)
+			_ = bus.Set(sigdb.SigRequestedDecel, math.NaN())
+		default:
+			_ = bus.Set(sigdb.SigBrakeRequested, 0)
+			_ = bus.Set(sigdb.SigRequestedDecel, 0)
+		}
+		// Sustained torque ramp above set speed (Slow4 + headway).
+		if tick >= 500 && tick < 1100 {
+			_ = bus.Set(sigdb.SigVelocity, 27)
+			_ = bus.Set(sigdb.SigRequestedTorque, float64(tick))
+			_ = bus.Set(sigdb.SigVehicleAhead, 1)
+			_ = bus.Set(sigdb.SigTargetRange, 15)
+		} else {
+			_ = bus.Set(sigdb.SigVehicleAhead, 0)
+			_ = bus.Set(sigdb.SigTargetRange, 0)
+			_ = bus.Set(sigdb.SigRequestedTorque, 0)
+		}
+	})
+	m := testMonitor(t)
+	// Sanity: the offline report finds all three problem classes.
+	rep, err := m.CheckLog(log, sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("CheckLog: %v", err)
+	}
+	if !rep.AnyViolated() {
+		t.Fatal("synthetic log produced no violations")
+	}
+	requireOnlineOfflineMatch(t, m, log)
+}
+
+func TestOnlineEventLatency(t *testing.T) {
+	// Rule0 has no temporal horizon: its Begin event must arrive on
+	// the very next step boundary after the violating frame.
+	m := testMonitor(t)
+	om, err := m.Online(sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	log := buildLog(t, 50, func(tick int, bus *can.Bus) {
+		if tick >= 20 {
+			_ = bus.Set(sigdb.SigServiceACC, 1)
+			_ = bus.Set(sigdb.SigACCEnabled, 1)
+		}
+		_ = bus.Set(sigdb.SigVelocity, 20)
+		_ = bus.Set(sigdb.SigACCSetSpeed, 25)
+	})
+	var beginFrameTime time.Duration = -1
+	for _, f := range log.Frames() {
+		evs, err := om.PushFrame(f)
+		if err != nil {
+			t.Fatalf("PushFrame: %v", err)
+		}
+		for _, e := range evs {
+			if e.Rule == "Rule0" && e.Kind == speclang.ViolationBegin && beginFrameTime < 0 {
+				beginFrameTime = f.Time
+				if e.Time != 200*time.Millisecond {
+					t.Errorf("violation begins at %v, want 200ms", e.Time)
+				}
+			}
+		}
+	}
+	if _, err := om.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if beginFrameTime < 0 {
+		t.Fatal("no Rule0 begin event delivered during streaming")
+	}
+	if beginFrameTime > 220*time.Millisecond {
+		t.Errorf("begin event delivered at frame time %v, want within two steps of 200ms", beginFrameTime)
+	}
+}
+
+func TestOnlineRejectsOutOfOrderFrames(t *testing.T) {
+	m := testMonitor(t)
+	om, err := m.Online(sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	if _, err := om.PushFrame(can.Frame{Time: 50 * time.Millisecond, ID: sigdb.FrameRadar}); err != nil {
+		t.Fatalf("PushFrame: %v", err)
+	}
+	if _, err := om.PushFrame(can.Frame{Time: 10 * time.Millisecond, ID: sigdb.FrameRadar}); err == nil {
+		t.Error("out-of-order frame accepted")
+	}
+}
+
+func TestOnlineIgnoresForeignFrames(t *testing.T) {
+	m := testMonitor(t)
+	om, err := m.Online(sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	evs, err := om.PushFrame(can.Frame{Time: 0, ID: 0x7FF})
+	if err != nil || evs != nil {
+		t.Errorf("foreign frame: evs=%v err=%v", evs, err)
+	}
+	if _, err := om.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestOnlineLifecycleErrors(t *testing.T) {
+	m := testMonitor(t)
+	om, err := m.Online(sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	if _, err := om.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := om.Close(); err == nil {
+		t.Error("second Close accepted")
+	}
+	if _, err := om.PushFrame(can.Frame{}); err == nil {
+		t.Error("PushFrame after Close accepted")
+	}
+}
+
+func TestOnlineEmptyTrace(t *testing.T) {
+	m := testMonitor(t)
+	om, err := m.Online(sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	evs, err := om.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for _, e := range evs {
+		if e.Kind == speclang.ViolationEnd {
+			t.Errorf("violation on empty trace: %+v", e)
+		}
+	}
+}
+
+func TestOnlineMatchesOfflineWithOffGridTimestamps(t *testing.T) {
+	// Real captures timestamp frames with bus latency: not on neat
+	// tick boundaries. The online step placement must match the
+	// offline alignment exactly for arbitrary times.
+	db := sigdb.Vehicle()
+	var log can.Log
+	mk := func(at time.Duration, service, enabled float64) {
+		data, err := db.Pack(sigdb.FrameACCStatus, map[string]float64{
+			sigdb.SigServiceACC: service,
+			sigdb.SigACCEnabled: enabled,
+		})
+		if err != nil {
+			t.Fatalf("Pack: %v", err)
+		}
+		if err := log.Append(can.Frame{Time: at, ID: sigdb.FrameACCStatus, Data: data}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// Also broadcast the other frames once so every signal exists.
+	for _, id := range []uint32{sigdb.FrameVehicleDyn, sigdb.FramePedals, sigdb.FrameRadar, sigdb.FrameRadarState, sigdb.FrameACCCommand, sigdb.FrameACCOutput} {
+		data, err := db.Pack(id, nil)
+		if err != nil {
+			t.Fatalf("Pack: %v", err)
+		}
+		if err := log.Append(can.Frame{Time: 0, ID: id, Data: data}); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	// Off-grid times: 3ms, 17ms, 23ms, 30ms (exactly on grid), 41ms,
+	// then a gap, then a violating burst at 87..113ms, and a trailing
+	// partial-step frame at 135ms that the offline grid drops.
+	mk(3*time.Millisecond, 0, 0)
+	mk(17*time.Millisecond, 0, 0)
+	mk(23*time.Millisecond, 0, 0)
+	mk(30*time.Millisecond, 0, 0)
+	mk(41*time.Millisecond, 0, 0)
+	mk(87*time.Millisecond, 1, 1)
+	mk(95*time.Millisecond, 1, 1)
+	mk(113*time.Millisecond, 1, 1)
+	mk(130*time.Millisecond, 0, 0)
+	mk(135*time.Millisecond, 1, 1) // beyond the offline grid: dropped
+
+	m := testMonitor(t)
+	requireOnlineOfflineMatch(t, m, &log)
+}

@@ -1,0 +1,486 @@
+// Package fsracc implements the feature under test: a prototype-quality
+// Full Speed Range Adaptive Cruise Control module.
+//
+// The paper tested a third-party FSRACC supplied as a placeholder for
+// early system integration: realistic control behaviour, but *not*
+// hardened for robustness. This implementation deliberately reproduces
+// that class of prototype behaviour, because the paper's findings depend
+// on it:
+//
+//   - No bounds checking of Velocity, TargetRange, TargetRelVel or
+//     ACCSetSpeed: exceptional values propagate straight into the
+//     control law (Section IV: "neither bounds checked ... nor
+//     consistency checked").
+//   - No consistency checking between the change of TargetRange and the
+//     sign of TargetRelVel.
+//   - A single-cycle positive RequestedDecel when a braking phase ends
+//     (the control-overshoot source of most Rule #5 violations) and a
+//     one-cycle positive blip when the feature is switched on into an
+//     immediate braking situation (the latent-initialization bug).
+//   - Internal consistency for the errors it *does* detect: whenever
+//     ServiceACC is raised, ACCEnabled is dropped in the same cycle, so
+//     Rule #0 can never be violated.
+//
+// The module is a black box to the rest of the system: it consumes the
+// Figure 1 input signals and produces the Figure 1 output signals, with
+// no other interface. The sole exception is IntendsAccel, a test-only
+// ground-truth probe used by the intent-approximation ablation; it is
+// never broadcast on the bus.
+package fsracc
+
+import "math"
+
+// Mode is the internal operating mode of the controller.
+type Mode int
+
+const (
+	// ModeOff means cruise control is not engaged.
+	ModeOff Mode = iota + 1
+	// ModeStandby means engagement is requested but suppressed (driver
+	// braking).
+	ModeStandby
+	// ModeActive means the feature is controlling the vehicle.
+	ModeActive
+	// ModeFault means the feature detected an internal error; ServiceACC
+	// is raised and control is relinquished.
+	ModeFault
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ModeOff:
+		return "off"
+	case ModeStandby:
+		return "standby"
+	case ModeActive:
+		return "active"
+	case ModeFault:
+		return "fault"
+	default:
+		return "unknown"
+	}
+}
+
+// Inputs is the Figure 1 input signal set, as read from the network
+// (possibly through the HIL injection multiplexors).
+type Inputs struct {
+	Velocity     float64 // m/s
+	AccelPedPos  float64 // %
+	BrakePedPres float64 // bar
+	ACCSetSpeed  float64 // m/s
+	ThrotPos     float64 // % (diagnostic only; no control effect)
+	VehicleAhead bool
+	TargetRange  float64 // m
+	TargetRelVel float64 // m/s
+	SelHeadway   float64 // enum ordinal
+}
+
+// Outputs is the Figure 1 output signal set broadcast by the feature.
+type Outputs struct {
+	ACCEnabled      bool
+	BrakeRequested  bool
+	TorqueRequested bool
+	RequestedTorque float64 // N·m, may be negative (engine braking)
+	RequestedDecel  float64 // m/s², negative when decelerating
+	ServiceACC      bool
+}
+
+// Config holds the control parameters.
+type Config struct {
+	// EngageSpeed is the minimum ACCSetSpeed treated as an engagement
+	// request, in m/s.
+	EngageSpeed float64
+	// CancelBrakePressure is the brake pedal pressure that cancels the
+	// feature, in bar. (The accelerator pedal does not cancel: the
+	// engine controller arbitrates the maximum of the driver's and the
+	// feature's torque, so AccelPedPos and ThrotPos are diagnostic
+	// inputs with no effect on the feature's own requests — which is
+	// why their Table I rows are all-satisfied.)
+	CancelBrakePressure float64
+	// SpeedGain is the proportional speed-control gain (1/s).
+	SpeedGain float64
+	// GapGain is the proportional gap-control gain (1/s²).
+	GapGain float64
+	// RelVelGain is the relative-velocity gain (1/s).
+	RelVelGain float64
+	// MinGap is the standstill gap added to the headway distance, in m.
+	MinGap float64
+	// MaxAccel is the acceleration command ceiling, in m/s².
+	MaxAccel float64
+	// MaxDecel is the deceleration command floor, in m/s² (negative).
+	MaxDecel float64
+	// BrakeThreshold is the commanded acceleration below which the
+	// brake path is used instead of (negative) engine torque, in m/s².
+	BrakeThreshold float64
+	// TorqueSlewRate limits RequestedTorque changes, in N·m per second.
+	TorqueSlewRate float64
+	// DecelTau is the brake-command lag time constant, in seconds.
+	DecelTau float64
+	// VelFilterTau is the time constant of the low-pass filter the
+	// feature applies to its Velocity input, in seconds. The filter is
+	// re-initialized from the raw input on every activation. Filtering
+	// the control input is standard practice — and it means the raw,
+	// noisy wheel-speed broadcast the monitor sees can momentarily read
+	// above the set speed while the feature's smoothed torque ramp is
+	// still rising, the source of the Rule #3/#4 "negligible" false
+	// positives on real-vehicle logs.
+	VelFilterTau float64
+	// RadarFilterTau is the time constant of the low-pass filter on the
+	// TargetRange and TargetRelVel inputs, in seconds. The filters are
+	// re-initialized from the raw measurements whenever a target is
+	// (re)acquired, so acquisition jumps pass through unsmoothed.
+	RadarFilterTau float64
+	// ReleaseOvershootFrac scales the single-cycle positive decel blip
+	// emitted when a braking phase ends, as a fraction of the last
+	// commanded deceleration magnitude.
+	ReleaseOvershootFrac float64
+	// SnapReleaseJump is the single-cycle rise of the acceleration
+	// command (in m/s² per cycle) above which a release from braking
+	// counts as a snap and triggers the overshoot blip. Smooth releases
+	// ramp the command by a tiny amount per cycle and never trip it.
+	SnapReleaseJump float64
+	// ActivationBlip is the positive RequestedDecel emitted for one
+	// cycle when the feature re-activates out of a fault retry straight
+	// into braking, in m/s² (the latent initialization bug: the fault
+	// path does not reset the actuation ramp state).
+	ActivationBlip float64
+	// FaultCycles is the number of consecutive non-finite command
+	// cycles before the internal watchdog trips ServiceACC.
+	FaultCycles int
+	// FaultRecoveryCycles is the number of consecutive healthy cycles
+	// after which a fault auto-clears (prototype retry behaviour).
+	FaultRecoveryCycles int
+
+	// Internal plant model used to convert commanded acceleration to an
+	// engine torque request. The feature was tuned on the same vehicle.
+	VehicleMass float64 // kg
+	DragArea    float64 // Cd·A, m²
+	AirDensity  float64 // kg/m³
+	RollCoeff   float64
+	WheelRadius float64 // m
+	DriveRatio  float64
+}
+
+// DefaultConfig returns the parameter set used throughout the
+// reproduction.
+func DefaultConfig() Config {
+	return Config{
+		EngageSpeed:          5.0,
+		CancelBrakePressure:  3.0,
+		SpeedGain:            0.35,
+		GapGain:              0.12,
+		RelVelGain:           0.90,
+		MinGap:               4.0,
+		MaxAccel:             1.8,
+		MaxDecel:             -3.5,
+		BrakeThreshold:       -0.8,
+		TorqueSlewRate:       200,
+		DecelTau:             0.05,
+		VelFilterTau:         0.4,
+		RadarFilterTau:       0.15,
+		ReleaseOvershootFrac: 0.08,
+		SnapReleaseJump:      0.15,
+		ActivationBlip:       0.12,
+		FaultCycles:          50,
+		FaultRecoveryCycles:  200,
+		VehicleMass:          1600,
+		DragArea:             0.70,
+		AirDensity:           1.20,
+		RollCoeff:            0.012,
+		WheelRadius:          0.33,
+		DriveRatio:           6.0,
+	}
+}
+
+// Controller is the FSRACC module state.
+type Controller struct {
+	cfg Config
+
+	mode         Mode
+	torqueOut    float64
+	decelOut     float64
+	braking      bool
+	lastDecelCmd float64
+	releaseBlip  bool
+	nonFinite    int
+	healthy      int
+	faultRetry   bool
+	intendsAccel bool
+	velFilt      float64
+	velFiltInit  bool
+	rangeFilt    float64
+	relVelFilt   float64
+	radarInit    bool
+	targetLost   bool
+}
+
+// New creates a controller in ModeOff.
+func New(cfg Config) *Controller {
+	return &Controller{cfg: cfg, mode: ModeOff}
+}
+
+// Mode returns the current internal mode.
+func (c *Controller) Mode() Mode { return c.mode }
+
+// IntendsAccel reports whether the control law currently intends to
+// accelerate the vehicle. This is ground truth for the
+// intent-approximation experiments only; it is not a bus signal and the
+// monitor never sees it.
+func (c *Controller) IntendsAccel() bool { return c.intendsAccel }
+
+// headwayTimeFor maps the SelHeadway enum to a headway time in seconds.
+// Ordinal 0 ("not selected") falls back to the medium setting — a benign
+// default the supplier did implement. Ordinals beyond the declared range
+// are NOT defended against: the lookup returns zero headway, the garbage
+// a raw table read would produce. On the HIL the interface's type
+// checking makes that unreachable; on the real vehicle it is not
+// (Section V.C.3).
+func (c *Controller) headwayTimeFor(sel float64) float64 {
+	switch {
+	case math.IsNaN(sel):
+		return math.NaN()
+	case sel == 0, sel == 2:
+		return 1.5
+	case sel == 1:
+		return 1.0
+	case sel == 3:
+		return 2.2
+	default:
+		return 0
+	}
+}
+
+// Step advances the controller by dt seconds with the given inputs and
+// returns the broadcast outputs.
+func (c *Controller) Step(dt float64, in Inputs) Outputs {
+	engaged := in.ACCSetSpeed >= c.cfg.EngageSpeed
+	braking := in.BrakePedPres > c.cfg.CancelBrakePressure
+
+	prevMode := c.mode
+	switch {
+	case c.mode == ModeFault:
+		// Fault handling below.
+	case !engaged:
+		c.mode = ModeOff
+	case braking:
+		c.mode = ModeStandby
+	default:
+		c.mode = ModeActive
+	}
+
+	if c.mode != ModeActive {
+		if c.mode == ModeOff || c.mode == ModeStandby {
+			c.resetActuation()
+		}
+		if c.mode == ModeOff {
+			c.faultRetry = false
+		}
+		if c.mode == ModeFault {
+			c.stepFaultRecovery(engaged)
+		}
+		c.velFiltInit = false
+		c.radarInit = false
+		return c.inactiveOutputs()
+	}
+
+	// Low-pass the speed input, re-initializing on activation.
+	if !c.velFiltInit {
+		c.velFilt = in.Velocity
+		c.velFiltInit = true
+	} else {
+		alpha := dt / (c.cfg.VelFilterTau + dt)
+		c.velFilt += alpha * (in.Velocity - c.velFilt)
+	}
+	// Low-pass the radar inputs, re-initializing on (re)acquisition so
+	// the discrete jump from zero to the true range is not smeared.
+	c.targetLost = c.radarInit && !in.VehicleAhead
+	if !in.VehicleAhead {
+		c.radarInit = false
+	} else if !c.radarInit {
+		c.rangeFilt = in.TargetRange
+		c.relVelFilt = in.TargetRelVel
+		c.radarInit = true
+	} else {
+		alpha := dt / (c.cfg.RadarFilterTau + dt)
+		c.rangeFilt += alpha * (in.TargetRange - c.rangeFilt)
+		c.relVelFilt += alpha * (in.TargetRelVel - c.relVelFilt)
+	}
+
+	cmd := c.commandedAccel(in)
+	c.intendsAccel = cmd > 0.2
+
+	// Internal watchdog: the only input problem the prototype detects is
+	// its own command going non-finite for a sustained period.
+	if !isFinite(cmd) {
+		c.nonFinite++
+		if c.nonFinite >= c.cfg.FaultCycles {
+			c.mode = ModeFault
+			c.healthy = 0
+			c.resetActuation()
+			return c.inactiveOutputs()
+		}
+	} else {
+		c.nonFinite = 0
+	}
+
+	activated := prevMode != ModeActive
+
+	return c.actuate(dt, in, cmd, activated)
+}
+
+// commandedAccel evaluates the control law. No input validation
+// whatsoever: this is where exceptional values flow through.
+func (c *Controller) commandedAccel(in Inputs) float64 {
+	speedCmd := clamp(c.cfg.SpeedGain*(in.ACCSetSpeed-c.velFilt), c.cfg.MaxDecel, c.cfg.MaxAccel)
+	if !in.VehicleAhead {
+		return speedCmd
+	}
+	desiredGap := c.headwayTimeFor(in.SelHeadway)*c.velFilt + c.cfg.MinGap
+	gapCmd := c.cfg.GapGain*(c.rangeFilt-desiredGap) + c.cfg.RelVelGain*c.relVelFilt
+	gapCmd = clamp(gapCmd, c.cfg.MaxDecel, c.cfg.MaxAccel)
+	return math.Min(speedCmd, gapCmd)
+}
+
+// actuate converts the commanded acceleration to torque/brake requests,
+// reproducing the prototype's actuation artifacts.
+func (c *Controller) actuate(dt float64, in Inputs, cmd float64, activated bool) Outputs {
+	out := Outputs{ACCEnabled: true}
+
+	useBrakes := !(cmd >= c.cfg.BrakeThreshold) // non-finite cmd lands on the brake path
+
+	retry := c.faultRetry
+	if activated {
+		c.faultRetry = false
+	}
+
+	if useBrakes {
+		if activated && retry {
+			// Latent initialization bug: re-activating out of a fault
+			// retry straight into a braking situation emits one cycle
+			// of positive decel — the fault path never reset the
+			// actuation ramp state.
+			c.braking = true
+			c.decelOut = c.cfg.ActivationBlip
+			c.lastDecelCmd = cmd
+			out.BrakeRequested = true
+			out.RequestedDecel = c.decelOut
+			out.RequestedTorque = c.torqueOut
+			return out
+		}
+		c.braking = true
+		c.releaseBlip = false
+		// First-order lag toward the commanded deceleration.
+		alpha := dt / (c.cfg.DecelTau + dt)
+		c.decelOut += alpha * (cmd - c.decelOut)
+		c.lastDecelCmd = cmd
+		out.BrakeRequested = true
+		out.RequestedDecel = c.decelOut
+		// RequestedTorque goes stale while braking: the field keeps
+		// broadcasting the last slewed value (the engine controller
+		// ignores it while TorqueRequested is false). Freezing rather
+		// than zeroing avoids meaningless torque steps on every
+		// torque/brake handoff.
+		out.RequestedTorque = c.torqueOut
+		return out
+	}
+
+	// Torque path.
+	if c.braking && !c.releaseBlip && !c.targetLost && isFinite(c.lastDecelCmd) && cmd-c.lastDecelCmd > c.cfg.SnapReleaseJump {
+		// (When the braking target has just been lost, the feature
+		// cancels braking outright rather than ramping the loop out,
+		// so no overshoot occurs on cut-outs.)
+		// Control overshoot on brake release: when the acceleration
+		// command *snaps* upward out of braking within one cycle (as
+		// injected faults appearing or vanishing make it do), the loop
+		// overshoots and emits one final braking cycle with a small
+		// positive decel. A smooth release ramps the command by a tiny
+		// amount per cycle and never trips this, which is why normal
+		// driving stays clean on Rule #5.
+		c.releaseBlip = true
+		c.decelOut = c.cfg.ReleaseOvershootFrac * -c.lastDecelCmd
+		out.BrakeRequested = true
+		out.RequestedDecel = c.decelOut
+		out.RequestedTorque = c.torqueOut
+		return out
+	}
+	c.braking = false
+	c.releaseBlip = false
+	c.decelOut = 0
+	c.lastDecelCmd = 0
+
+	target := c.torqueForAccel(cmd, c.velFilt)
+	maxStep := c.cfg.TorqueSlewRate * dt
+	diff := target - c.torqueOut
+	if diff > maxStep {
+		diff = maxStep
+	} else if diff < -maxStep {
+		diff = -maxStep
+	}
+	if isFinite(diff) {
+		c.torqueOut += diff
+	} else {
+		c.torqueOut = target // non-finite flows straight out, unvalidated
+	}
+	out.TorqueRequested = true
+	out.RequestedTorque = c.torqueOut
+	return out
+}
+
+// torqueForAccel is the feature's internal inverse plant model. It uses
+// the (possibly faulty) Velocity input, so a corrupted speed corrupts
+// the torque request.
+func (c *Controller) torqueForAccel(accel, velocity float64) float64 {
+	drag := 0.5 * c.cfg.AirDensity * c.cfg.DragArea * velocity * velocity
+	roll := c.cfg.RollCoeff * c.cfg.VehicleMass * 9.81
+	force := c.cfg.VehicleMass*accel + drag + roll
+	return force * c.cfg.WheelRadius / c.cfg.DriveRatio
+}
+
+func (c *Controller) stepFaultRecovery(engaged bool) {
+	if !engaged {
+		// Disengaging clears the fault.
+		c.mode = ModeOff
+		c.nonFinite = 0
+		c.healthy = 0
+		c.faultRetry = false
+		return
+	}
+	c.healthy++
+	if c.healthy >= c.cfg.FaultRecoveryCycles {
+		// Prototype retry: clear the fault and try again.
+		c.mode = ModeStandby
+		c.nonFinite = 0
+		c.healthy = 0
+		c.faultRetry = true
+	}
+}
+
+func (c *Controller) resetActuation() {
+	c.torqueOut = 0
+	c.decelOut = 0
+	c.braking = false
+	c.releaseBlip = false
+	c.lastDecelCmd = 0
+	c.intendsAccel = false
+}
+
+func (c *Controller) inactiveOutputs() Outputs {
+	return Outputs{ServiceACC: c.mode == ModeFault}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	// NaN passes through: the prototype's clamp is a pair of naive
+	// comparisons, which is exactly how NaN escapes saturation blocks.
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}

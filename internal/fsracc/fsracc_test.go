@@ -1,0 +1,549 @@
+package fsracc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const dt = 0.01
+
+// cruise returns nominal free-road inputs: engaged at 25 m/s, currently
+// driving at the given speed with no target ahead.
+func cruise(speed float64) Inputs {
+	return Inputs{
+		Velocity:    speed,
+		ACCSetSpeed: 25,
+		SelHeadway:  2,
+	}
+}
+
+// follow returns nominal following inputs at the given range/relvel.
+func follow(speed, rng, relvel float64) Inputs {
+	in := cruise(speed)
+	in.VehicleAhead = true
+	in.TargetRange = rng
+	in.TargetRelVel = relvel
+	return in
+}
+
+func run(c *Controller, in Inputs, steps int) Outputs {
+	var out Outputs
+	for i := 0; i < steps; i++ {
+		out = c.Step(dt, in)
+	}
+	return out
+}
+
+func TestModeOffWhenNotEngaged(t *testing.T) {
+	c := New(DefaultConfig())
+	in := cruise(20)
+	in.ACCSetSpeed = 0
+	out := c.Step(dt, in)
+	if c.Mode() != ModeOff {
+		t.Errorf("mode = %v, want off", c.Mode())
+	}
+	if out.ACCEnabled || out.TorqueRequested || out.BrakeRequested || out.ServiceACC {
+		t.Errorf("inactive outputs not clean: %+v", out)
+	}
+}
+
+func TestModeActiveWhenEngaged(t *testing.T) {
+	c := New(DefaultConfig())
+	out := c.Step(dt, cruise(20))
+	if c.Mode() != ModeActive {
+		t.Errorf("mode = %v, want active", c.Mode())
+	}
+	if !out.ACCEnabled {
+		t.Error("ACCEnabled false while active")
+	}
+}
+
+func TestBrakePedalCancelsToStandby(t *testing.T) {
+	c := New(DefaultConfig())
+	c.Step(dt, cruise(20))
+	in := cruise(20)
+	in.BrakePedPres = 10
+	out := c.Step(dt, in)
+	if c.Mode() != ModeStandby {
+		t.Errorf("mode = %v, want standby", c.Mode())
+	}
+	if out.ACCEnabled {
+		t.Error("ACCEnabled true in standby")
+	}
+}
+
+func TestAccelPedalHasNoControlEffect(t *testing.T) {
+	// The engine controller arbitrates the maximum of driver and ACC
+	// torque, so the feature ignores AccelPedPos entirely; its Table I
+	// rows are all-S.
+	a := New(DefaultConfig())
+	b := New(DefaultConfig())
+	ina := cruise(20)
+	inb := cruise(20)
+	inb.AccelPedPos = 100
+	var oa, ob Outputs
+	for i := 0; i < 200; i++ {
+		oa = a.Step(dt, ina)
+		ob = b.Step(dt, inb)
+	}
+	if oa != ob {
+		t.Errorf("AccelPedPos affected outputs: %+v vs %+v", oa, ob)
+	}
+}
+
+func TestThrotPosHasNoControlEffect(t *testing.T) {
+	a := New(DefaultConfig())
+	b := New(DefaultConfig())
+	ina := cruise(20)
+	inb := cruise(20)
+	inb.ThrotPos = math.NaN()
+	var oa, ob Outputs
+	for i := 0; i < 200; i++ {
+		oa = a.Step(dt, ina)
+		ob = b.Step(dt, inb)
+	}
+	if oa != ob {
+		t.Errorf("ThrotPos affected outputs: %+v vs %+v", oa, ob)
+	}
+}
+
+func TestSpeedControlRequestsTorqueBelowSetSpeed(t *testing.T) {
+	c := New(DefaultConfig())
+	out := run(c, cruise(20), 300)
+	if !out.TorqueRequested {
+		t.Fatal("TorqueRequested false while below set speed")
+	}
+	if out.RequestedTorque <= 0 {
+		t.Errorf("RequestedTorque = %v, want positive", out.RequestedTorque)
+	}
+	if out.BrakeRequested {
+		t.Error("BrakeRequested while accelerating")
+	}
+}
+
+func TestSpeedControlEngineBrakesSlightlyAboveSetSpeed(t *testing.T) {
+	c := New(DefaultConfig())
+	// 27 m/s with set speed 25: command ≈ -0.7, above the brake
+	// threshold, so the feature requests negative engine torque.
+	out := run(c, cruise(27), 500)
+	if !out.TorqueRequested {
+		t.Fatal("TorqueRequested false during engine braking")
+	}
+	if out.RequestedTorque >= 0 {
+		t.Errorf("RequestedTorque = %v, want negative at 2 m/s overspeed", out.RequestedTorque)
+	}
+}
+
+func TestSpeedControlBrakesWellAboveSetSpeed(t *testing.T) {
+	c := New(DefaultConfig())
+	out := run(c, cruise(35), 300)
+	if !out.BrakeRequested {
+		t.Fatal("BrakeRequested false at 10 m/s overspeed")
+	}
+	if out.RequestedDecel >= 0 {
+		t.Errorf("RequestedDecel = %v, want negative", out.RequestedDecel)
+	}
+	if out.TorqueRequested {
+		t.Error("TorqueRequested while braking")
+	}
+}
+
+func TestGapControlBrakesWhenClosingFast(t *testing.T) {
+	c := New(DefaultConfig())
+	out := run(c, follow(25, 20, -8), 300)
+	if !out.BrakeRequested || out.RequestedDecel >= 0 {
+		t.Errorf("no braking when closing fast: %+v", out)
+	}
+}
+
+func TestGapControlSteadyFollowHoldsGap(t *testing.T) {
+	c := New(DefaultConfig())
+	// At the desired gap with zero relative velocity the command is
+	// near zero: a small torque request to hold speed.
+	desired := 1.5*25 + 4
+	out := run(c, follow(25, desired, 0), 500)
+	if !out.TorqueRequested {
+		t.Fatalf("steady follow should hold with torque: %+v", out)
+	}
+	if out.BrakeRequested {
+		t.Error("steady follow should not brake")
+	}
+}
+
+func TestTorqueSlewRateLimited(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	var prev float64
+	for i := 0; i < 100; i++ {
+		out := c.Step(dt, cruise(15))
+		if i > 0 {
+			if d := out.RequestedTorque - prev; d > cfg.TorqueSlewRate*dt+1e-9 {
+				t.Fatalf("torque slew %v exceeds limit %v", d, cfg.TorqueSlewRate*dt)
+			}
+		}
+		prev = out.RequestedTorque
+	}
+}
+
+func TestNoInputValidationPropagatesNaNDecel(t *testing.T) {
+	c := New(DefaultConfig())
+	run(c, follow(25, 41.5, 0), 50)
+	in := follow(math.NaN(), 41.5, 0) // corrupted Velocity input
+	out := c.Step(dt, in)
+	if !out.BrakeRequested {
+		t.Fatalf("NaN command did not land on brake path: %+v", out)
+	}
+	if !math.IsNaN(out.RequestedDecel) {
+		t.Errorf("RequestedDecel = %v, want NaN propagated to the bus", out.RequestedDecel)
+	}
+}
+
+func TestExceptionalTargetRangeCommandsAcceleration(t *testing.T) {
+	// The paper's flagship failure: a huge TargetRange while following
+	// makes the feature accelerate into the target.
+	c := New(DefaultConfig())
+	run(c, follow(20, 30, -2), 100)
+	out := run(c, follow(20, 4294967296.000001, -2), 300)
+	if !out.TorqueRequested || out.RequestedTorque <= 0 {
+		t.Errorf("huge TargetRange did not command acceleration: %+v", out)
+	}
+}
+
+func TestNegativeRelVelInconsistencyNotChecked(t *testing.T) {
+	// Range growing but relvel hugely positive: the feature trusts the
+	// positive relative velocity and accelerates despite a close gap.
+	c := New(DefaultConfig())
+	out := run(c, follow(25, 30, 50), 300)
+	if !out.TorqueRequested || out.RequestedTorque <= 0 {
+		t.Errorf("inconsistent relvel did not command acceleration: %+v", out)
+	}
+}
+
+func TestWatchdogTripsServiceACCConsistently(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	in := follow(math.NaN(), 40, 0)
+	tripped := false
+	for i := 0; i < cfg.FaultCycles+10; i++ {
+		out := c.Step(dt, in)
+		if out.ServiceACC {
+			tripped = true
+			if out.ACCEnabled {
+				t.Fatal("ServiceACC raised while ACCEnabled true (Rule #0 violation inside the feature)")
+			}
+		}
+	}
+	if !tripped {
+		t.Fatal("watchdog never tripped on sustained NaN")
+	}
+	if c.Mode() != ModeFault {
+		t.Errorf("mode = %v, want fault", c.Mode())
+	}
+}
+
+func TestFaultAutoRecovery(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	run(c, follow(math.NaN(), 40, 0), cfg.FaultCycles+1)
+	if c.Mode() != ModeFault {
+		t.Fatalf("mode = %v, want fault", c.Mode())
+	}
+	run(c, cruise(20), cfg.FaultRecoveryCycles+2)
+	if c.Mode() != ModeActive {
+		t.Errorf("mode = %v, want active after recovery", c.Mode())
+	}
+}
+
+func TestFaultClearsOnDisengage(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	run(c, follow(math.NaN(), 40, 0), cfg.FaultCycles+1)
+	in := cruise(20)
+	in.ACCSetSpeed = 0
+	c.Step(dt, in)
+	if c.Mode() != ModeOff {
+		t.Errorf("mode = %v, want off after disengage", c.Mode())
+	}
+}
+
+func TestSnapBrakeReleaseEmitsSingleCyclePositiveDecel(t *testing.T) {
+	c := New(DefaultConfig())
+	// Establish strong braking, then snap the relative velocity hugely
+	// positive (as an injected fault does): the command jumps out of
+	// braking within a couple of cycles and the loop overshoots.
+	run(c, follow(25, 10, -10), 200)
+	snapped := follow(25, 10, 60)
+	var out Outputs
+	blip := false
+	for i := 0; i < 10; i++ {
+		out = c.Step(dt, snapped)
+		if out.BrakeRequested && out.RequestedDecel > 0 {
+			blip = true
+			break
+		}
+	}
+	if !blip {
+		t.Fatalf("no release blip within 10 cycles of the snap: %+v", out)
+	}
+	// Exactly one cycle: the next step must be clean.
+	out = c.Step(dt, snapped)
+	if out.BrakeRequested {
+		t.Errorf("blip lasted more than one cycle: %+v", out)
+	}
+}
+
+func TestSmoothBrakeReleaseHasNoBlip(t *testing.T) {
+	c := New(DefaultConfig())
+	// Warm up in steady following, then ramp the braking command
+	// smoothly down and back by easing the relative velocity; no
+	// single-cycle snap occurs.
+	run(c, follow(25, 41.5, 0), 100)
+	relvel := -4.0
+	for i := 0; i < 2000; i++ {
+		in := follow(25, 38, relvel)
+		out := c.Step(dt, in)
+		if out.BrakeRequested && out.RequestedDecel > 0 {
+			t.Fatalf("smooth release produced a positive decel blip at step %d: %+v", i, out)
+		}
+		if relvel < 0 {
+			relvel += 0.01 // ≈1 m/s² of relative easing, smooth
+		}
+	}
+}
+
+func TestFaultRetryActivationIntoBrakingEmitsBlip(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	// Trip the watchdog with sustained NaN, wait out the fault retry,
+	// and re-activate into an immediate braking situation: the latent
+	// initialization bug emits one cycle of positive decel.
+	run(c, follow(math.NaN(), 40, 0), cfg.FaultCycles+1)
+	if c.Mode() != ModeFault {
+		t.Fatalf("mode = %v, want fault", c.Mode())
+	}
+	braking := follow(25, 12, -8)
+	blip := false
+	for i := 0; i < cfg.FaultRecoveryCycles+5; i++ {
+		out := c.Step(dt, braking)
+		if out.BrakeRequested && out.RequestedDecel == cfg.ActivationBlip {
+			blip = true
+			// Exactly one cycle: the next step must be a real decel.
+			next := c.Step(dt, braking)
+			if next.RequestedDecel >= 0 {
+				t.Errorf("cycle after blip decel = %v, want negative", next.RequestedDecel)
+			}
+			break
+		}
+	}
+	if !blip {
+		t.Fatal("fault-retry activation blip missing")
+	}
+}
+
+func TestDriverStandbyActivationHasNoBlip(t *testing.T) {
+	c := New(DefaultConfig())
+	// Standby entered by driver braking (no fault) and released into a
+	// braking situation: no blip, the ramp state was properly reset.
+	in := follow(25, 12, -8)
+	in.BrakePedPres = 10
+	c.Step(dt, in)
+	if c.Mode() != ModeStandby {
+		t.Fatalf("mode = %v, want standby", c.Mode())
+	}
+	out := c.Step(dt, follow(25, 12, -8))
+	if out.RequestedDecel > 0 {
+		t.Errorf("driver-standby activation produced positive decel %v", out.RequestedDecel)
+	}
+}
+
+func TestActivationIntoAccelerationHasNoBlip(t *testing.T) {
+	c := New(DefaultConfig())
+	out := c.Step(dt, cruise(20))
+	if out.BrakeRequested {
+		t.Errorf("activation into free road requested braking: %+v", out)
+	}
+}
+
+func TestHeadwayEnumMapping(t *testing.T) {
+	c := New(DefaultConfig())
+	tests := []struct {
+		sel  float64
+		want float64
+	}{
+		{0, 1.5}, // "not selected" falls back to medium
+		{1, 1.0},
+		{2, 1.5},
+		{3, 2.2},
+		{7, 0},   // out of range: garbage table read
+		{200, 0}, // out of range: garbage table read
+	}
+	for _, tt := range tests {
+		if got := c.headwayTimeFor(tt.sel); got != tt.want {
+			t.Errorf("headwayTimeFor(%v) = %v, want %v", tt.sel, got, tt.want)
+		}
+	}
+	if got := c.headwayTimeFor(math.NaN()); !math.IsNaN(got) {
+		t.Errorf("headwayTimeFor(NaN) = %v, want NaN", got)
+	}
+}
+
+func TestOutOfRangeHeadwayEnumTailgates(t *testing.T) {
+	// With an out-of-range enum (possible only without the HIL's type
+	// checking) the desired gap collapses to MinGap: the feature
+	// tailgates. This is the Section V.C.3 hazard the HIL masked.
+	cfg := DefaultConfig()
+	c := New(cfg)
+	in := follow(25, 15, 0) // 15 m at 25 m/s ≈ 0.6 s headway
+	in.SelHeadway = 77
+	out := run(c, in, 500)
+	if out.BrakeRequested {
+		t.Errorf("tailgating feature braked: %+v", out)
+	}
+	if !out.TorqueRequested {
+		t.Errorf("tailgating feature should hold speed with torque: %+v", out)
+	}
+}
+
+func TestIntendsAccelGroundTruth(t *testing.T) {
+	c := New(DefaultConfig())
+	run(c, cruise(15), 200)
+	if !c.IntendsAccel() {
+		t.Error("IntendsAccel false while far below set speed")
+	}
+	// Allow the input low-pass filter to converge to the new speed.
+	run(c, cruise(35), 200)
+	if c.IntendsAccel() {
+		t.Error("IntendsAccel true while far above set speed")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	tests := []struct {
+		m    Mode
+		want string
+	}{
+		{ModeOff, "off"}, {ModeStandby, "standby"}, {ModeActive, "active"},
+		{ModeFault, "fault"}, {Mode(0), "unknown"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("Mode(%d).String() = %q, want %q", int(tt.m), got, tt.want)
+		}
+	}
+}
+
+// TestServiceACCImpliesDisabledQuick property-tests Rule #0 inside the
+// feature: whatever garbage the inputs hold, a cycle reporting
+// ServiceACC never reports ACCEnabled.
+func TestServiceACCImpliesDisabledQuick(t *testing.T) {
+	f := func(vel, rng, relvel, set float64, ahead bool, steps uint8) bool {
+		c := New(DefaultConfig())
+		in := Inputs{
+			Velocity:     vel,
+			ACCSetSpeed:  set,
+			VehicleAhead: ahead,
+			TargetRange:  rng,
+			TargetRelVel: relvel,
+			SelHeadway:   2,
+		}
+		for i := 0; i < int(steps)+60; i++ {
+			out := c.Step(dt, in)
+			if out.ServiceACC && out.ACCEnabled {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestBrakeAndTorqueMutuallyExclusiveQuick property-tests that the
+// feature never requests torque and braking in the same cycle.
+func TestBrakeAndTorqueMutuallyExclusiveQuick(t *testing.T) {
+	f := func(vel, rng, relvel float64, steps uint8) bool {
+		c := New(DefaultConfig())
+		in := follow(vel, rng, relvel)
+		for i := 0; i < int(steps); i++ {
+			out := c.Step(dt, in)
+			if out.TorqueRequested && out.BrakeRequested {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRadarFilterInitializesOnAcquisition(t *testing.T) {
+	// The acquisition jump (range 0 -> true value) must pass through
+	// unsmeared: the filters re-initialize from the raw measurement, so
+	// the very first gap command reflects the true geometry.
+	a := New(DefaultConfig())
+	b := New(DefaultConfig())
+	// a: always following at 12 m. b: free road, then the target
+	// appears at 12 m.
+	for i := 0; i < 100; i++ {
+		a.Step(dt, follow(25, 12, -3))
+		b.Step(dt, cruise(25))
+	}
+	oa := a.Step(dt, follow(25, 12, -3))
+	ob := b.Step(dt, follow(25, 12, -3))
+	if !oa.BrakeRequested {
+		t.Fatalf("steady close follow not braking: %+v", oa)
+	}
+	if !ob.BrakeRequested {
+		t.Errorf("fresh acquisition at 12 m did not brake immediately: %+v (filter smeared the jump)", ob)
+	}
+}
+
+func TestRadarFilterSmoothsWithinTrack(t *testing.T) {
+	// Within a continuous track, one noisy sample barely moves the
+	// command: the filter absorbs it.
+	c := New(DefaultConfig())
+	run(c, follow(25, 41.5, 0), 300)
+	clean := c.Step(dt, follow(25, 41.5, 0))
+	spiked := c.Step(dt, follow(25, 60, 0)) // one wild range sample
+	diff := spiked.RequestedTorque - clean.RequestedTorque
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 3 {
+		t.Errorf("single-sample range spike moved torque by %v N·m; radar filter not smoothing", diff)
+	}
+}
+
+func TestRadarFilterResetAfterTargetLoss(t *testing.T) {
+	// Losing the target resets the filters; the next acquisition must
+	// again use raw values, not stale filtered state.
+	c := New(DefaultConfig())
+	run(c, follow(25, 60, 0), 200) // far target
+	run(c, cruise(25), 50)         // lost
+	out := c.Step(dt, follow(25, 10, -6))
+	if !out.BrakeRequested {
+		t.Errorf("re-acquisition at 10 m closing did not brake: %+v (stale filter state)", out)
+	}
+}
+
+func TestNaNRadarPoisonsFilterUntilFaultRetry(t *testing.T) {
+	cfg := DefaultConfig()
+	c := New(cfg)
+	run(c, follow(25, 41.5, 0), 100)
+	// NaN range poisons the filter; the command goes non-finite and
+	// the watchdog eventually trips.
+	in := follow(25, math.NaN(), 0)
+	tripped := false
+	for i := 0; i < cfg.FaultCycles+10; i++ {
+		if c.Step(dt, in).ServiceACC {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Fatal("NaN TargetRange never tripped the watchdog")
+	}
+}

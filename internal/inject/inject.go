@@ -1,0 +1,151 @@
+// Package inject implements the three robustness-testing fault classes
+// from the paper: random value injection, Ballista-style exceptional
+// value injection, and random bit flips, plus the per-signal value
+// generators they share.
+package inject
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cpsmon/internal/sigdb"
+)
+
+// Method enumerates the robustness-testing classes.
+type Method int
+
+const (
+	// Random injects values drawn from wide numeric ranges.
+	Random Method = iota + 1
+	// Ballista injects exceptional values from a fixed dictionary.
+	Ballista
+	// BitFlip injects the current value with random bits flipped.
+	BitFlip
+)
+
+// String returns the method label used in Table I.
+func (m Method) String() string {
+	switch m {
+	case Random:
+		return "Random"
+	case Ballista:
+		return "Ballista"
+	case BitFlip:
+		return "Bitflips"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// BallistaFloats is the paper's exceptional float dictionary, verbatim:
+// NaN, ±∞, ±0.0, ±1.0, multiples of π and e, roots, logarithms, values
+// at the 2³² boundary, and the smallest denormals.
+func BallistaFloats() []float64 {
+	return []float64{
+		math.NaN(),
+		math.Inf(1),
+		math.Inf(-1),
+		0.0,
+		math.Copysign(0, -1),
+		1.0,
+		-1.0,
+		math.Pi,
+		math.Pi / 2,
+		math.Pi / 4,
+		2 * math.Pi,
+		math.E,
+		math.E / 2,
+		math.E / 4,
+		math.Sqrt2,
+		math.Sqrt2 / 2,
+		math.Ln2,
+		math.Ln2 / 2,
+		4294967296.000001,
+		4294967295.9999995,
+		4.9406564584124654e-324,
+		-4.9406564584124654e-324,
+	}
+}
+
+// RandomFloatRange is the random-injection range for float signals,
+// "chosen such that it would go beyond the possible non-faulty values
+// of the target messages while keeping the range small enough that at
+// least some values chosen would land in the value's normal range".
+const (
+	RandomFloatMin = -2000
+	RandomFloatMax = 2000
+)
+
+// nominalFrac is the fraction of random float draws taken from the
+// signal's normal operating range rather than the full ±2000 span.
+// With a uniform draw over ±2000 essentially no values would land in a
+// ~0..40 m/s signal's normal range, contradicting the paper's stated
+// intent, so a quarter of the draws are confined to the nominal band.
+const nominalFrac = 0.25
+
+// nominalRanges maps signals to their normal operating bands.
+var nominalRanges = map[string][2]float64{
+	sigdb.SigVelocity:     {0, 40},
+	sigdb.SigAccelPedPos:  {0, 100},
+	sigdb.SigBrakePedPres: {0, 50},
+	sigdb.SigACCSetSpeed:  {0, 40},
+	sigdb.SigThrotPos:     {0, 100},
+	sigdb.SigTargetRange:  {0, 120},
+	sigdb.SigTargetRelVel: {-15, 15},
+}
+
+// RandomValue draws one random injection value for the signal. Floats
+// draw from the wide range (with an occasional nominal-band draw);
+// booleans draw 0/1; enumerations draw a random value — valid ordinals
+// when typeChecked (the HIL constrains them), raw field values
+// otherwise (a real vehicle does not).
+func RandomValue(rng *rand.Rand, sig *sigdb.Signal, typeChecked bool) float64 {
+	switch sig.Kind {
+	case sigdb.Float:
+		if rng.Float64() < nominalFrac {
+			if band, ok := nominalRanges[sig.Name]; ok {
+				return band[0] + rng.Float64()*(band[1]-band[0])
+			}
+		}
+		return RandomFloatMin + rng.Float64()*(RandomFloatMax-RandomFloatMin)
+	case sigdb.Bool:
+		return float64(rng.Intn(2))
+	case sigdb.Enum:
+		if typeChecked {
+			return float64(rng.Intn(int(sig.EnumMax) + 1))
+		}
+		max := (uint64(1) << uint(sig.BitLen)) - 1
+		return float64(rng.Uint64() % (max + 1))
+	default:
+		return 0
+	}
+}
+
+// BallistaValue draws one exceptional injection value. Floats draw from
+// the Ballista dictionary; for non-float data types the paper used
+// "random valid value injection ... due to the strong value checking
+// enforced on the HIL testbed", which RandomValue provides.
+func BallistaValue(rng *rand.Rand, sig *sigdb.Signal, typeChecked bool) float64 {
+	if sig.Kind == sigdb.Float {
+		dict := BallistaFloats()
+		return dict[rng.Intn(len(dict))]
+	}
+	return RandomValue(rng, sig, typeChecked)
+}
+
+// FlipBits returns value with n distinct random bits of its on-the-wire
+// encoding flipped. Flipping happens in the signal's raw bit field, so
+// float targets can turn into NaNs or denormals naturally, a boolean
+// flip toggles it, and an enum flip may leave the declared range.
+func FlipBits(rng *rand.Rand, sig *sigdb.Signal, value float64, n int) float64 {
+	if n <= 0 || n > sig.BitLen {
+		n = sig.BitLen
+	}
+	raw := sig.Encode(value)
+	perm := rng.Perm(sig.BitLen)
+	for _, bit := range perm[:n] {
+		raw ^= uint64(1) << uint(bit)
+	}
+	return sig.Decode(raw)
+}

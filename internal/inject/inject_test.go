@@ -1,0 +1,227 @@
+package inject
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cpsmon/internal/sigdb"
+)
+
+func sigOf(t *testing.T, name string) *sigdb.Signal {
+	t.Helper()
+	s, ok := sigdb.Vehicle().Signal(name)
+	if !ok {
+		t.Fatalf("missing signal %q", name)
+	}
+	return s
+}
+
+func TestMethodString(t *testing.T) {
+	tests := []struct {
+		m    Method
+		want string
+	}{
+		{Random, "Random"}, {Ballista, "Ballista"}, {BitFlip, "Bitflips"},
+		{Method(9), "Method(9)"},
+	}
+	for _, tt := range tests {
+		if got := tt.m.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", int(tt.m), got, tt.want)
+		}
+	}
+}
+
+func TestBallistaFloatsMatchPaperDictionary(t *testing.T) {
+	dict := BallistaFloats()
+	if len(dict) != 22 {
+		t.Fatalf("dictionary has %d entries, want 22", len(dict))
+	}
+	if !math.IsNaN(dict[0]) {
+		t.Error("first entry not NaN")
+	}
+	if !math.IsInf(dict[1], 1) || !math.IsInf(dict[2], -1) {
+		t.Error("infinities missing")
+	}
+	if dict[3] != 0 || !math.Signbit(dict[4]) {
+		t.Error("signed zeros wrong")
+	}
+	// The 2^32 boundary values and the denormals are verbatim from the
+	// paper.
+	if dict[18] != 4294967296.000001 || dict[19] != 4294967295.9999995 {
+		t.Error("2^32 boundary values wrong")
+	}
+	if dict[20] != 4.9406564584124654e-324 || dict[21] != -4.9406564584124654e-324 {
+		t.Error("denormals wrong")
+	}
+}
+
+func TestRandomValueFloatRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sig := sigOf(t, sigdb.SigVelocity)
+	nominal := 0
+	for i := 0; i < 2000; i++ {
+		v := RandomValue(rng, sig, true)
+		if v < RandomFloatMin || v > RandomFloatMax {
+			t.Fatalf("draw %v outside ±2000", v)
+		}
+		if v >= 0 && v <= 40 {
+			nominal++
+		}
+	}
+	// About a quarter of the draws land in the nominal band (plus the
+	// sliver of wide draws that land there by chance).
+	if nominal < 300 || nominal > 800 {
+		t.Errorf("nominal-band draws = %d of 2000, want roughly a quarter", nominal)
+	}
+}
+
+func TestRandomValueBool(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sig := sigOf(t, sigdb.SigVehicleAhead)
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		v := RandomValue(rng, sig, true)
+		if v != 0 && v != 1 {
+			t.Fatalf("bool draw %v", v)
+		}
+		seen[v] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Error("bool draws not mixed")
+	}
+}
+
+func TestRandomValueEnumTypeChecked(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	sig := sigOf(t, sigdb.SigSelHeadway)
+	for i := 0; i < 200; i++ {
+		v := RandomValue(rng, sig, true)
+		if v < 0 || v > float64(sig.EnumMax) || v != math.Trunc(v) {
+			t.Fatalf("type-checked enum draw %v outside 0..%d", v, sig.EnumMax)
+		}
+	}
+}
+
+func TestRandomValueEnumUnchecked(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sig := sigOf(t, sigdb.SigSelHeadway)
+	outOfRange := false
+	for i := 0; i < 500; i++ {
+		v := RandomValue(rng, sig, false)
+		if v < 0 || v > 255 {
+			t.Fatalf("unchecked enum draw %v outside field range", v)
+		}
+		if v > float64(sig.EnumMax) {
+			outOfRange = true
+		}
+	}
+	if !outOfRange {
+		t.Error("unchecked enum draws never left the declared range")
+	}
+}
+
+func TestBallistaValueFloatsFromDictionary(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sig := sigOf(t, sigdb.SigTargetRange)
+	dict := BallistaFloats()
+	inDict := func(v float64) bool {
+		for _, d := range dict {
+			if v == d || (math.IsNaN(v) && math.IsNaN(d)) {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < 100; i++ {
+		if v := BallistaValue(rng, sig, true); !inDict(v) {
+			t.Fatalf("Ballista float draw %v not in dictionary", v)
+		}
+	}
+}
+
+func TestBallistaValueNonFloatUsesRandomValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	sig := sigOf(t, sigdb.SigSelHeadway)
+	for i := 0; i < 100; i++ {
+		v := BallistaValue(rng, sig, true)
+		if v < 0 || v > float64(sig.EnumMax) {
+			t.Fatalf("Ballista enum draw %v invalid", v)
+		}
+	}
+}
+
+func TestFlipBitsBoolToggles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sig := sigOf(t, sigdb.SigVehicleAhead)
+	if got := FlipBits(rng, sig, 0, 1); got != 1 {
+		t.Errorf("flip of false = %v, want 1", got)
+	}
+	if got := FlipBits(rng, sig, 1, 1); got != 0 {
+		t.Errorf("flip of true = %v, want 0", got)
+	}
+}
+
+func TestFlipBitsFloatChangesValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sig := sigOf(t, sigdb.SigVelocity)
+	changed := 0
+	for i := 0; i < 100; i++ {
+		got := FlipBits(rng, sig, 24.0, 1)
+		if got != 24.0 {
+			changed++
+		}
+	}
+	// A single-bit flip of a non-zero float32 always changes the bits;
+	// only sign/NaN oddities could alias, so essentially all change.
+	if changed < 95 {
+		t.Errorf("only %d of 100 single-bit flips changed the value", changed)
+	}
+}
+
+func TestFlipBitsCountClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	sig := sigOf(t, sigdb.SigVehicleAhead)
+	// n greater than the field width clamps to flipping every bit.
+	if got := FlipBits(rng, sig, 1, 99); got != 0 {
+		t.Errorf("clamped flip = %v, want 0", got)
+	}
+}
+
+// TestFlipBitsInvolutionQuick property-tests that flipping is performed
+// in the encoded domain: flipping all bits twice with the same seed
+// returns the original wire value.
+func TestFlipBitsInvolutionQuick(t *testing.T) {
+	sig := sigOf(t, sigdb.SigTargetRange)
+	f := func(seed int64, v float32) bool {
+		val := float64(v)
+		a := FlipBits(rand.New(rand.NewSource(seed)), sig, val, sig.BitLen)
+		b := FlipBits(rand.New(rand.NewSource(seed)), sig, a, sig.BitLen)
+		want := sig.Decode(sig.Encode(val))
+		return b == want || (math.IsNaN(b) && math.IsNaN(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFlipBitsProducesExtremeFloats confirms that exponent-bit flips on
+// float targets naturally produce values wildly outside the plausible
+// physical range, the out-of-range fault class that drove most of the
+// paper's violations.
+func TestFlipBitsProducesExtremeFloats(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	sig := sigOf(t, sigdb.SigVelocity)
+	extreme := false
+	for i := 0; i < 2000; i++ {
+		got := FlipBits(rng, sig, 24.0, 4)
+		if math.Abs(got) > 1e6 {
+			extreme = true
+			break
+		}
+	}
+	if !extreme {
+		t.Error("no extreme values from 2000 4-bit flips of 24.0")
+	}
+}

@@ -1,0 +1,438 @@
+package rules
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"cpsmon/internal/core"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+	"cpsmon/internal/trace"
+)
+
+func TestStrictCompiles(t *testing.T) {
+	rs, err := Strict()
+	if err != nil {
+		t.Fatalf("Strict: %v", err)
+	}
+	if got := len(rs.Rules()); got != 7 {
+		t.Fatalf("strict set has %d rules, want 7", got)
+	}
+	for _, name := range Names() {
+		if _, ok := rs.Rule(name); !ok {
+			t.Errorf("strict set missing %s", name)
+		}
+	}
+}
+
+func TestRelaxedCompiles(t *testing.T) {
+	rs, err := Relaxed()
+	if err != nil {
+		t.Fatalf("Relaxed: %v", err)
+	}
+	if got := len(rs.Rules()); got != 7 {
+		t.Fatalf("relaxed set has %d rules, want 7", got)
+	}
+	for _, name := range Names() {
+		if _, ok := rs.Rule(name); !ok {
+			t.Errorf("relaxed set missing %s", name)
+		}
+	}
+}
+
+func TestShippedRuleSourcesRoundTripThroughFormatter(t *testing.T) {
+	for name, src := range map[string]string{"strict": StrictSource, "relaxed": RelaxedSource} {
+		f, err := speclang.Parse(src)
+		if err != nil {
+			t.Fatalf("%s: Parse: %v", name, err)
+		}
+		printed := speclang.Format(f)
+		f2, err := speclang.Parse(printed)
+		if err != nil {
+			t.Fatalf("%s: reparse of formatted source: %v", name, err)
+		}
+		if _, err := speclang.Compile(f2, sigdb.Vehicle().SignalNames()); err != nil {
+			t.Fatalf("%s: recompile of formatted source: %v", name, err)
+		}
+	}
+}
+
+func TestShippedSpecFilesMatchConstants(t *testing.T) {
+	// The specs/ directory ships the rule sets as plain files for the
+	// monitorctl -rules flag; they must stay in sync with the compiled
+	// constants.
+	for file, want := range map[string]string{
+		"../../specs/strict.spec":  StrictSource,
+		"../../specs/relaxed.spec": RelaxedSource,
+	} {
+		got, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("read %s: %v", file, err)
+		}
+		if string(got) != want {
+			t.Errorf("%s out of sync with the compiled rule source", file)
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("Names has %d entries, want 7", len(names))
+	}
+	if names[0] != "Rule0" || names[6] != "Rule6" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestMonitorsConstruct(t *testing.T) {
+	if _, err := NewStrictMonitor(); err != nil {
+		t.Errorf("NewStrictMonitor: %v", err)
+	}
+	if _, err := NewRelaxedMonitor(); err != nil {
+		t.Errorf("NewRelaxedMonitor: %v", err)
+	}
+}
+
+// mkTrace builds a trace with every vehicle signal present; fill sets
+// per-signal constant values, and override tweaks individual samples.
+func mkTrace(t *testing.T, steps int, fill map[string]float64, override func(tr *trace.Trace)) *trace.Trace {
+	t.Helper()
+	tr := trace.New()
+	for _, name := range sigdb.Vehicle().SignalNames() {
+		s := tr.Ensure(name)
+		v := fill[name]
+		for i := 0; i < steps; i++ {
+			if err := s.Append(time.Duration(i)*sigdb.FastPeriod, v); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+	}
+	if override != nil {
+		override(tr)
+	}
+	return tr
+}
+
+// steady returns nominal cruising values for all signals.
+func steady() map[string]float64 {
+	return map[string]float64{
+		sigdb.SigVelocity:        24,
+		sigdb.SigACCSetSpeed:     25,
+		sigdb.SigSelHeadway:      2,
+		sigdb.SigVehicleAhead:    1,
+		sigdb.SigTargetRange:     40,
+		sigdb.SigTargetRelVel:    0,
+		sigdb.SigACCEnabled:      1,
+		sigdb.SigTorqueRequested: 1,
+		sigdb.SigRequestedTorque: 20,
+	}
+}
+
+func checkStrict(t *testing.T, tr *trace.Trace) *core.Report {
+	t.Helper()
+	mon, err := NewStrictMonitor()
+	if err != nil {
+		t.Fatalf("NewStrictMonitor: %v", err)
+	}
+	rep, err := mon.CheckTrace(tr)
+	if err != nil {
+		t.Fatalf("CheckTrace: %v", err)
+	}
+	return rep
+}
+
+func verdictOf(t *testing.T, rep *core.Report, rule string) core.Verdict {
+	t.Helper()
+	rr, ok := rep.Rule(rule)
+	if !ok {
+		t.Fatalf("missing rule %s", rule)
+	}
+	return rr.Verdict
+}
+
+func TestSteadyCruiseSatisfiesAllRules(t *testing.T) {
+	rep := checkStrict(t, mkTrace(t, 200, steady(), nil))
+	for _, name := range Names() {
+		if v := verdictOf(t, rep, name); v != core.Satisfied {
+			rr, _ := rep.Rule(name)
+			t.Errorf("%s = %v on steady cruise: %+v", name, v, rr.Result.Violations)
+		}
+	}
+}
+
+func TestRule0Violation(t *testing.T) {
+	fill := steady()
+	fill[sigdb.SigServiceACC] = 1 // with ACCEnabled still 1
+	rep := checkStrict(t, mkTrace(t, 100, fill, nil))
+	if verdictOf(t, rep, "Rule0") != core.Violated {
+		t.Error("Rule0 not violated when ServiceACC and ACCEnabled are both true")
+	}
+}
+
+func TestRule1HeadwayNotRecovered(t *testing.T) {
+	fill := steady()
+	fill[sigdb.SigTargetRange] = 18 // 18 m at 24 m/s = 0.75 s headway, held forever
+	rep := checkStrict(t, mkTrace(t, 800, fill, nil))
+	if verdictOf(t, rep, "Rule1") != core.Violated {
+		t.Error("Rule1 not violated by a sustained sub-second headway")
+	}
+}
+
+func TestRule1RecoveredInTime(t *testing.T) {
+	// Headway dips below 1.0 s for two seconds, then recovers.
+	tr := mkTrace(t, 800, steady(), func(tr *trace.Trace) {
+		s, _ := tr.Series(sigdb.SigTargetRange)
+		for i := 100; i < 300; i++ {
+			s.Samples[i].V = 18
+		}
+	})
+	rep := checkStrict(t, tr)
+	if verdictOf(t, rep, "Rule1") != core.Satisfied {
+		t.Error("Rule1 violated despite recovery within 5s")
+	}
+}
+
+func TestRule2TorqueRampWhileTooClose(t *testing.T) {
+	// Range far inside half the desired headway (0.5*1.5*24 = 18 m)
+	// while torque ramps.
+	tr := mkTrace(t, 300, steady(), func(tr *trace.Trace) {
+		rng, _ := tr.Series(sigdb.SigTargetRange)
+		tq, _ := tr.Series(sigdb.SigRequestedTorque)
+		for i := 50; i < 300; i++ {
+			rng.Samples[i].V = 10
+			tq.Samples[i].V = 20 + 2*float64(i-50)
+		}
+	})
+	rep := checkStrict(t, tr)
+	rr, _ := rep.Rule("Rule2")
+	if rr.Verdict != core.Violated {
+		t.Fatal("Rule2 not violated by a torque ramp inside half headway")
+	}
+	if !rr.RealViolations() {
+		t.Error("sustained 200 N·m/s ramp not classified real")
+	}
+}
+
+func TestRule3TorqueCrossingAboveSetSpeed(t *testing.T) {
+	fill := steady()
+	fill[sigdb.SigVelocity] = 26 // above set speed
+	tr := mkTrace(t, 300, fill, func(tr *trace.Trace) {
+		tq, _ := tr.Series(sigdb.SigRequestedTorque)
+		for i := 0; i < 300; i++ {
+			tq.Samples[i].V = -10
+		}
+		for i := 150; i < 300; i++ {
+			tq.Samples[i].V = 30 // abrupt crossing to positive
+		}
+	})
+	rep := checkStrict(t, tr)
+	rr, _ := rep.Rule("Rule3")
+	if rr.Verdict != core.Violated {
+		t.Fatal("Rule3 not violated by a negative-to-positive torque step above set speed")
+	}
+	if !rr.RealViolations() {
+		t.Error("40 N·m crossing not classified real")
+	}
+}
+
+func TestRule3NegligibleCrossing(t *testing.T) {
+	fill := steady()
+	fill[sigdb.SigVelocity] = 26
+	tr := mkTrace(t, 300, fill, func(tr *trace.Trace) {
+		tq, _ := tr.Series(sigdb.SigRequestedTorque)
+		// Slow creep from -1 to +1 at 0.01 N·m per step.
+		for i := 0; i < 300; i++ {
+			tq.Samples[i].V = -1 + 0.01*float64(i)
+		}
+	})
+	rep := checkStrict(t, tr)
+	rr, _ := rep.Rule("Rule3")
+	if rr.Verdict != core.Violated {
+		t.Fatal("Rule3 not violated by the slow crossing")
+	}
+	if rr.RealViolations() {
+		t.Error("negligible creep crossing classified real")
+	}
+}
+
+func TestRule4SustainedRampAboveSetSpeed(t *testing.T) {
+	fill := steady()
+	fill[sigdb.SigVelocity] = 26
+	tr := mkTrace(t, 300, fill, func(tr *trace.Trace) {
+		tq, _ := tr.Series(sigdb.SigRequestedTorque)
+		for i := 0; i < 300; i++ {
+			tq.Samples[i].V = 2 * float64(i) // monotone ramp throughout
+		}
+	})
+	rep := checkStrict(t, tr)
+	if verdictOf(t, rep, "Rule4") != core.Violated {
+		t.Error("Rule4 not violated by a sustained ramp above set speed")
+	}
+}
+
+func TestRule4RampStopsInTime(t *testing.T) {
+	fill := steady()
+	fill[sigdb.SigVelocity] = 26
+	tr := mkTrace(t, 400, fill, func(tr *trace.Trace) {
+		tq, _ := tr.Series(sigdb.SigRequestedTorque)
+		// Ramp for 300 ms, then plateau: a non-increase occurs within
+		// every 400 ms window.
+		for i := 0; i < 400; i++ {
+			if i%40 < 30 {
+				tq.Samples[i].V = float64(i)
+			} else {
+				tq.Samples[i].V = tq.Samples[i-1].V
+			}
+		}
+	})
+	rep := checkStrict(t, tr)
+	if verdictOf(t, rep, "Rule4") != core.Satisfied {
+		rr, _ := rep.Rule("Rule4")
+		t.Errorf("Rule4 violated despite periodic plateaus: %+v", rr.Result.Violations)
+	}
+}
+
+func TestRule5PositiveDecel(t *testing.T) {
+	fill := steady()
+	fill[sigdb.SigTorqueRequested] = 0
+	fill[sigdb.SigBrakeRequested] = 1
+	fill[sigdb.SigRequestedDecel] = 0.3
+	rep := checkStrict(t, mkTrace(t, 100, fill, nil))
+	if verdictOf(t, rep, "Rule5") != core.Violated {
+		t.Error("Rule5 not violated by a positive RequestedDecel while braking")
+	}
+}
+
+func TestRule5SingleCycleBlipIsTransient(t *testing.T) {
+	fill := steady()
+	fill[sigdb.SigTorqueRequested] = 0
+	fill[sigdb.SigBrakeRequested] = 1
+	fill[sigdb.SigRequestedDecel] = -1.5
+	tr := mkTrace(t, 300, fill, func(tr *trace.Trace) {
+		d, _ := tr.Series(sigdb.SigRequestedDecel)
+		d.Samples[150].V = 0.12 // one-cycle release overshoot
+	})
+	rep := checkStrict(t, tr)
+	rr, _ := rep.Rule("Rule5")
+	if rr.Verdict != core.Violated {
+		t.Fatal("Rule5 missed the single-cycle blip")
+	}
+	if rr.Count(core.ClassTransient) != 1 || rr.RealViolations() {
+		t.Errorf("blip classes = %v, want one transient", rr.Classes)
+	}
+}
+
+func TestRule5NaNDecelIsReal(t *testing.T) {
+	fill := steady()
+	fill[sigdb.SigTorqueRequested] = 0
+	fill[sigdb.SigBrakeRequested] = 1
+	tr := mkTrace(t, 300, fill, func(tr *trace.Trace) {
+		d, _ := tr.Series(sigdb.SigRequestedDecel)
+		nan := 0.0
+		nan /= nan
+		for i := 100; i < 250; i++ {
+			d.Samples[i].V = nan
+		}
+	})
+	rep := checkStrict(t, tr)
+	rr, _ := rep.Rule("Rule5")
+	if !rr.RealViolations() {
+		t.Error("sustained NaN RequestedDecel not classified real")
+	}
+}
+
+func TestRule6NearCollision(t *testing.T) {
+	fill := steady()
+	fill[sigdb.SigTargetRange] = 0.5
+	fill[sigdb.SigRequestedTorque] = 50
+	rep := checkStrict(t, mkTrace(t, 100, fill, nil))
+	if verdictOf(t, rep, "Rule6") != core.Violated {
+		t.Error("Rule6 not violated by positive torque at 0.5 m range")
+	}
+}
+
+func TestRule6NegativeTorqueOK(t *testing.T) {
+	fill := steady()
+	fill[sigdb.SigTargetRange] = 0.5
+	fill[sigdb.SigRequestedTorque] = -5
+	rep := checkStrict(t, mkTrace(t, 100, fill, nil))
+	if verdictOf(t, rep, "Rule6") != core.Satisfied {
+		t.Error("Rule6 violated despite negative torque request")
+	}
+}
+
+func TestRelaxedRule2IgnoresCutInWarmup(t *testing.T) {
+	// VehicleAhead rises mid-trace with a close target while torque
+	// ramps briefly: strict flags it, relaxed's acquisition warm-up
+	// does not.
+	fill := steady()
+	fill[sigdb.SigVehicleAhead] = 0
+	fill[sigdb.SigTargetRange] = 0
+	tr := mkTrace(t, 300, fill, func(tr *trace.Trace) {
+		ahead, _ := tr.Series(sigdb.SigVehicleAhead)
+		rng, _ := tr.Series(sigdb.SigTargetRange)
+		tq, _ := tr.Series(sigdb.SigRequestedTorque)
+		for i := 150; i < 300; i++ {
+			ahead.Samples[i].V = 1
+			rng.Samples[i].V = 10
+		}
+		// Torque ramps around the acquisition, settling shortly after.
+		for i := 140; i < 160; i++ {
+			tq.Samples[i].V = 20 + 2*float64(i-140)
+		}
+		for i := 160; i < 300; i++ {
+			tq.Samples[i].V = tq.Samples[159].V
+		}
+	})
+	strictMon, _ := NewStrictMonitor()
+	relaxedMon, _ := NewRelaxedMonitor()
+	srep, err := strictMon.CheckTrace(tr)
+	if err != nil {
+		t.Fatalf("strict: %v", err)
+	}
+	rrep, err := relaxedMon.CheckTrace(tr)
+	if err != nil {
+		t.Fatalf("relaxed: %v", err)
+	}
+	if v, _ := srep.Rule("Rule2"); v.Verdict != core.Violated {
+		t.Error("strict Rule2 did not flag the cut-in ramp")
+	}
+	if v, _ := rrep.Rule("Rule2"); v.Verdict != core.Satisfied {
+		t.Error("relaxed Rule2 still flags the cut-in ramp")
+	}
+}
+
+func TestRelaxedRule5ToleratesBlip(t *testing.T) {
+	fill := steady()
+	fill[sigdb.SigTorqueRequested] = 0
+	fill[sigdb.SigBrakeRequested] = 1
+	fill[sigdb.SigRequestedDecel] = -1.5
+	tr := mkTrace(t, 300, fill, func(tr *trace.Trace) {
+		d, _ := tr.Series(sigdb.SigRequestedDecel)
+		d.Samples[150].V = 0.12
+	})
+	relaxedMon, _ := NewRelaxedMonitor()
+	rep, err := relaxedMon.CheckTrace(tr)
+	if err != nil {
+		t.Fatalf("relaxed: %v", err)
+	}
+	if v, _ := rep.Rule("Rule5"); v.Verdict != core.Satisfied {
+		t.Error("relaxed Rule5 still flags the single-cycle blip")
+	}
+}
+
+func TestDefaultTriageCoversExpectedRules(t *testing.T) {
+	tri := DefaultTriage()
+	for _, name := range []string{"Rule2", "Rule3", "Rule4", "Rule5"} {
+		if _, ok := tri[name]; !ok {
+			t.Errorf("DefaultTriage missing %s", name)
+		}
+	}
+	for _, name := range []string{"Rule0", "Rule1", "Rule6"} {
+		if _, ok := tri[name]; ok {
+			t.Errorf("DefaultTriage should leave %s fully real", name)
+		}
+	}
+}

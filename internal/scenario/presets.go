@@ -1,0 +1,241 @@
+package scenario
+
+import (
+	"math"
+	"time"
+
+	"cpsmon/internal/hil"
+	"cpsmon/internal/vehicle"
+)
+
+// sec converts seconds to a Duration.
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// Rolling returns a grade profile of gentle rolling hills: amplitude
+// radians of grade with the given wavelength in metres.
+func Rolling(amplitude, wavelength float64) vehicle.GradeProfile {
+	return func(pos float64) float64 {
+		return amplitude * math.Sin(2*math.Pi*pos/wavelength)
+	}
+}
+
+// Follow returns the standard robustness-campaign bench: the ego vehicle
+// engages FSRACC at 25 m/s behind a lead vehicle whose speed cycles
+// between highway pace and a near-stop crawl, so injection windows land
+// in approach, steady-follow, braking and stop-and-go contexts.
+//
+// The returned configuration is deterministic for a given seed and has
+// type checking on (it is the HIL bench).
+func Follow(seed int64, duration time.Duration) hil.Config {
+	ego := vehicle.NewEgo(vehicle.DefaultEgoConfig(), 23)
+
+	// Lead speed cycles with a 120 s period through the full speed
+	// range FSRACC covers: highway cruise slightly below the ego set
+	// speed, a moderate-speed section, and a stop-and-go crawl. Faults
+	// injected at different offsets therefore land in approach, steady
+	// follow, braking, low-speed follow and recovery contexts.
+	var knots vehicle.SpeedProfile
+	for t := 0.0; t <= duration.Seconds()+120; t += 120 {
+		knots = append(knots,
+			vehicle.SpeedKnot{T: sec(t), Speed: 23},
+			vehicle.SpeedKnot{T: sec(t + 30), Speed: 23},
+			vehicle.SpeedKnot{T: sec(t + 42), Speed: 12},
+			vehicle.SpeedKnot{T: sec(t + 68), Speed: 12},
+			vehicle.SpeedKnot{T: sec(t + 78), Speed: 5},
+			vehicle.SpeedKnot{T: sec(t + 92), Speed: 5},
+			vehicle.SpeedKnot{T: sec(t + 107), Speed: 23},
+		)
+	}
+	traffic, err := NewTraffic(ego, []LeadEvent{{
+		From:     0,
+		To:       1<<62 - 1,
+		StartGap: 60,
+		Profile:  knots,
+	}})
+	if err != nil {
+		// Static preset; an error is a programming mistake.
+		panic(err)
+	}
+
+	return hil.Config{
+		Seed:         seed,
+		TypeChecking: true,
+		Ego:          ego,
+		Traffic:      traffic,
+		Driver: ConstantDriver(hil.DriverCommands{
+			ACCSetSpeed: 25,
+			SelHeadway:  2,
+		}),
+	}
+}
+
+// Baseline returns the non-faulted HIL scenario used to confirm that
+// monitoring "indicated a lack of problems in non-faulted operation":
+// the same bench as Follow, run without any injection.
+func Baseline(seed int64, duration time.Duration) hil.Config {
+	return Follow(seed, duration)
+}
+
+// CutIn returns a bench exercising the overtaking/cut-in dynamics that
+// produce Rule #2's false positives: the ego vehicle cruises on free
+// road, accelerating back to set speed, when another car cuts in close
+// (just under one second of headway) and then leaves again.
+func CutIn(seed int64) hil.Config {
+	ego := vehicle.NewEgo(vehicle.DefaultEgoConfig(), 21)
+	traffic, err := NewTraffic(ego, []LeadEvent{
+		// A slower car being followed initially, which changes lanes
+		// away (the ego "overtakes") at t=40s...
+		{From: 0, To: sec(40), StartGap: 55, Profile: vehicle.SpeedProfile{{T: 0, Speed: 22}}},
+		// ...the ego accelerates back toward set speed, and at t=60s a
+		// car cuts in at ≈0.9s headway going slightly faster.
+		{From: sec(60), To: sec(110), StartGap: 22, Profile: vehicle.SpeedProfile{{T: 0, Speed: 26}}},
+		// A second, tighter cut-in while the ego is pulling again.
+		{From: sec(130), To: sec(170), StartGap: 20, Profile: vehicle.SpeedProfile{{T: 0, Speed: 25}}},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return hil.Config{
+		Seed:         seed,
+		TypeChecking: true,
+		Ego:          ego,
+		Driver: ConstantDriver(hil.DriverCommands{
+			ACCSetSpeed: 25,
+			SelHeadway:  3,
+		}),
+		Traffic: traffic,
+	}
+}
+
+// Approach returns a bench in which a slower vehicle starts beyond the
+// radar's detection range and the ego vehicle closes on it at the set
+// speed: the target is acquired mid-approach with a genuinely negative
+// relative velocity while TargetRange discretely jumps from zero to the
+// true distance. This is the Section V.C.2 warm-up case.
+func Approach(seed int64) hil.Config {
+	ego := vehicle.NewEgo(vehicle.DefaultEgoConfig(), 25)
+	traffic, err := NewTraffic(ego, []LeadEvent{{
+		From:     0,
+		To:       1<<62 - 1,
+		StartGap: 220, // beyond the 150 m radar range
+		Profile:  vehicle.SpeedProfile{{T: 0, Speed: 18}},
+	}})
+	if err != nil {
+		panic(err)
+	}
+	return hil.Config{
+		Seed:         seed,
+		TypeChecking: true,
+		Ego:          ego,
+		Traffic:      traffic,
+		Driver: ConstantDriver(hil.DriverCommands{
+			ACCSetSpeed: 25,
+			SelHeadway:  2,
+		}),
+	}
+}
+
+// LeadBrake returns a bench in which the lead vehicle brakes hard from
+// highway speed to a standstill and holds it before pulling away — the
+// full-speed-range stress case for the gap controller. On the
+// non-faulted bench the feature must keep the vehicles apart and the
+// safety rules clean; scenario tests assert both.
+func LeadBrake(seed int64) hil.Config {
+	ego := vehicle.NewEgo(vehicle.DefaultEgoConfig(), 24)
+	traffic, err := NewTraffic(ego, []LeadEvent{{
+		From:     0,
+		To:       1<<62 - 1,
+		StartGap: 45,
+		Profile: vehicle.SpeedProfile{
+			{T: 0, Speed: 24},
+			{T: sec(20), Speed: 24},
+			{T: sec(26), Speed: 0}, // 4 m/s² stop
+			{T: sec(50), Speed: 0},
+			{T: sec(65), Speed: 24},
+		},
+		AccelLimit: 4,
+	}})
+	if err != nil {
+		panic(err)
+	}
+	return hil.Config{
+		Seed:         seed,
+		TypeChecking: true,
+		Ego:          ego,
+		Traffic:      traffic,
+		Driver: ConstantDriver(hil.DriverCommands{
+			ACCSetSpeed: 25,
+			SelHeadway:  2,
+		}),
+	}
+}
+
+// DriveCycleDuration is the length of one real-vehicle drive cycle.
+const DriveCycleDuration = 10 * time.Minute
+
+// DriveCycle returns one "real prototype vehicle" recording bench:
+// rolling hills, sensor noise, frame jitter, cut-ins, overtakes,
+// stop-and-go traffic and driver interventions — and, crucially, no
+// injection-interface type checking, because a vehicle network has
+// none. Several cycles with different seeds stand in for the paper's
+// "couple hours of representative driving".
+func DriveCycle(seed int64) hil.Config {
+	ego := vehicle.NewEgo(vehicle.DefaultEgoConfig(), 20)
+
+	radarCfg := vehicle.DefaultRadarConfig()
+	radarCfg.RangeNoise = 0.25
+	radarCfg.RelVelNoise = 0.05
+
+	traffic, err := NewTraffic(ego, []LeadEvent{
+		// Catch up to slower traffic and follow it.
+		{From: 0, To: sec(90), StartGap: 90, Profile: vehicle.SpeedProfile{{T: 0, Speed: 23}}},
+		// Cut-in slightly under one second of headway, a bit faster,
+		// gone again after forty seconds.
+		{From: sec(100), To: sec(140), StartGap: 22, Profile: vehicle.SpeedProfile{{T: 0, Speed: 26}}},
+		// Stop-and-go wave: traffic brakes to a crawl and recovers.
+		{From: sec(150), To: sec(280), StartGap: 45, Profile: vehicle.SpeedProfile{
+			{T: sec(150), Speed: 22},
+			{T: sec(185), Speed: 22},
+			{T: sec(200), Speed: 3},
+			{T: sec(225), Speed: 3},
+			{T: sec(245), Speed: 22},
+		}},
+		// Follow through the early hills.
+		{From: sec(290), To: sec(425), StartGap: 60, Profile: vehicle.SpeedProfile{{T: 0, Speed: 24}}},
+		// A tight cut-in (≈0.85 s headway, slightly faster) while the
+		// ego is pulling back to the raised set speed on the long-
+		// headway setting: the Rule #2 overtaking/cut-in transient.
+		{From: sec(437), To: sec(470), StartGap: 21, Profile: vehicle.SpeedProfile{{T: 0, Speed: 26.5}}},
+		// Free road over the rolling hills for the rest of the cycle:
+		// the speed oscillation around the set speed that produces the
+		// Rule #3/#4 "negligible increase" violations.
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	driver := DriverScript{
+		// Engage at 25 m/s.
+		{Until: sec(230), Cmd: hil.DriverCommands{ACCSetSpeed: 25, SelHeadway: 2}},
+		// Driver taps the brake in the stop-and-go wave (cancels), then
+		// re-engages.
+		{Until: sec(234), Cmd: hil.DriverCommands{ACCSetSpeed: 25, SelHeadway: 2, BrakePedPres: 12}},
+		{Until: sec(244), Cmd: hil.DriverCommands{}},
+		{Until: sec(430), Cmd: hil.DriverCommands{ACCSetSpeed: 25, SelHeadway: 2}},
+		// Driver selects a longer headway and a higher set speed for
+		// the hills section.
+		{Until: sec(600), Cmd: hil.DriverCommands{ACCSetSpeed: 27, SelHeadway: 3}},
+	}
+
+	return hil.Config{
+		Seed:          seed,
+		TypeChecking:  false,
+		JitterProb:    0.08,
+		VelocityNoise: 0.03,
+		Ego:           ego,
+		RadarCfg:      &radarCfg,
+		Traffic:       traffic,
+		Driver:        driver,
+		Grade:         Rolling(0.035, 900),
+	}
+}

@@ -1,0 +1,112 @@
+// Package scenario provides the driving scenarios used throughout the
+// evaluation: scripted drivers, scripted traffic (lead vehicles that
+// appear, brake, cut in and cut out), and preset benches for the
+// robustness campaign and the "real vehicle" drive cycles.
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"cpsmon/internal/hil"
+	"cpsmon/internal/vehicle"
+)
+
+// DriverPhase is one phase of a scripted driver: the commands that hold
+// until the given scenario time.
+type DriverPhase struct {
+	// Until is the exclusive end of the phase; the last phase's Until
+	// is ignored and holds forever.
+	Until time.Duration
+	// Cmd is the driver command during the phase.
+	Cmd hil.DriverCommands
+}
+
+// DriverScript is a piecewise-constant driver model.
+type DriverScript []DriverPhase
+
+var _ hil.DriverModel = DriverScript(nil)
+
+// Commands implements hil.DriverModel.
+func (s DriverScript) Commands(t time.Duration) hil.DriverCommands {
+	for _, p := range s {
+		if t < p.Until {
+			return p.Cmd
+		}
+	}
+	if len(s) == 0 {
+		return hil.DriverCommands{}
+	}
+	return s[len(s)-1].Cmd
+}
+
+// ConstantDriver returns a driver holding one command forever.
+func ConstantDriver(cmd hil.DriverCommands) DriverScript {
+	return DriverScript{{Until: 1<<62 - 1, Cmd: cmd}}
+}
+
+// LeadEvent scripts one lead vehicle: present from From to To, spawning
+// StartGap metres ahead of the ego vehicle, following Profile (indexed
+// by scenario time) with the given acceleration limit.
+type LeadEvent struct {
+	From, To   time.Duration
+	StartGap   float64
+	Profile    vehicle.SpeedProfile
+	AccelLimit float64
+}
+
+// Traffic replays a sequence of non-overlapping lead events relative to
+// a shared ego vehicle.
+type Traffic struct {
+	ego    *vehicle.Ego
+	events []LeadEvent
+	idx    int
+	cur    *vehicle.Lead
+}
+
+var _ hil.TrafficModel = (*Traffic)(nil)
+
+// NewTraffic builds a traffic model over the given (shared) ego vehicle.
+// Events must not overlap; they are replayed in start order.
+func NewTraffic(ego *vehicle.Ego, events []LeadEvent) (*Traffic, error) {
+	sorted := make([]LeadEvent, len(events))
+	copy(sorted, events)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].From < sorted[j].From })
+	for i, e := range sorted {
+		if e.To <= e.From {
+			return nil, fmt.Errorf("scenario: lead event %d has To %v <= From %v", i, e.To, e.From)
+		}
+		if i > 0 && e.From < sorted[i-1].To {
+			return nil, fmt.Errorf("scenario: lead events %d and %d overlap", i-1, i)
+		}
+	}
+	return &Traffic{ego: ego, events: sorted}, nil
+}
+
+// Step implements hil.TrafficModel.
+func (tr *Traffic) Step(dt float64, t time.Duration) {
+	if tr.cur != nil && t >= tr.events[tr.idx].To {
+		// Cut-out: the lead leaves the lane.
+		tr.cur = nil
+		tr.idx++
+	}
+	if tr.cur == nil && tr.idx < len(tr.events) {
+		e := tr.events[tr.idx]
+		if t >= e.From {
+			// Spawn (a vehicle ahead at scenario start, or a cut-in).
+			tr.cur = vehicle.NewLead(tr.ego.Position()+e.StartGap, e.Profile.At(t), e.Profile, e.AccelLimit)
+		}
+	}
+	if tr.cur != nil {
+		tr.cur.Step(dt, t)
+	}
+}
+
+// Lead implements hil.TrafficModel.
+func (tr *Traffic) Lead() (bool, float64, float64) {
+	if tr.cur == nil {
+		return false, 0, 0
+	}
+	return true, tr.cur.Position(), tr.cur.Speed()
+}

@@ -1,0 +1,249 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"cpsmon/internal/fsracc"
+	"cpsmon/internal/hil"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/vehicle"
+)
+
+func TestDriverScriptPhases(t *testing.T) {
+	s := DriverScript{
+		{Until: 10 * time.Second, Cmd: hil.DriverCommands{ACCSetSpeed: 25}},
+		{Until: 20 * time.Second, Cmd: hil.DriverCommands{BrakePedPres: 10}},
+		{Until: 30 * time.Second, Cmd: hil.DriverCommands{ACCSetSpeed: 30}},
+	}
+	tests := []struct {
+		at   time.Duration
+		want hil.DriverCommands
+	}{
+		{0, hil.DriverCommands{ACCSetSpeed: 25}},
+		{9 * time.Second, hil.DriverCommands{ACCSetSpeed: 25}},
+		{10 * time.Second, hil.DriverCommands{BrakePedPres: 10}},
+		{25 * time.Second, hil.DriverCommands{ACCSetSpeed: 30}},
+		{99 * time.Second, hil.DriverCommands{ACCSetSpeed: 30}}, // last holds
+	}
+	for _, tt := range tests {
+		if got := s.Commands(tt.at); got != tt.want {
+			t.Errorf("Commands(%v) = %+v, want %+v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestEmptyDriverScript(t *testing.T) {
+	var s DriverScript
+	if got := s.Commands(time.Second); got != (hil.DriverCommands{}) {
+		t.Errorf("empty script Commands = %+v, want zero", got)
+	}
+}
+
+func TestConstantDriver(t *testing.T) {
+	cmd := hil.DriverCommands{ACCSetSpeed: 25, SelHeadway: 2}
+	s := ConstantDriver(cmd)
+	if got := s.Commands(0); got != cmd {
+		t.Errorf("Commands(0) = %+v", got)
+	}
+	if got := s.Commands(100 * time.Hour); got != cmd {
+		t.Errorf("Commands(100h) = %+v", got)
+	}
+}
+
+func TestNewTrafficRejectsOverlap(t *testing.T) {
+	ego := vehicle.NewEgo(vehicle.DefaultEgoConfig(), 20)
+	_, err := NewTraffic(ego, []LeadEvent{
+		{From: 0, To: 10 * time.Second, StartGap: 50, Profile: vehicle.SpeedProfile{{T: 0, Speed: 20}}},
+		{From: 5 * time.Second, To: 15 * time.Second, StartGap: 50, Profile: vehicle.SpeedProfile{{T: 0, Speed: 20}}},
+	})
+	if err == nil {
+		t.Fatal("overlapping events accepted")
+	}
+}
+
+func TestNewTrafficRejectsEmptyWindow(t *testing.T) {
+	ego := vehicle.NewEgo(vehicle.DefaultEgoConfig(), 20)
+	_, err := NewTraffic(ego, []LeadEvent{
+		{From: 10 * time.Second, To: 10 * time.Second, StartGap: 50},
+	})
+	if err == nil {
+		t.Fatal("empty event window accepted")
+	}
+}
+
+func TestTrafficSpawnAndCutOut(t *testing.T) {
+	ego := vehicle.NewEgo(vehicle.DefaultEgoConfig(), 0)
+	tr, err := NewTraffic(ego, []LeadEvent{
+		{From: time.Second, To: 3 * time.Second, StartGap: 30, Profile: vehicle.SpeedProfile{{T: 0, Speed: 10}}},
+		{From: 5 * time.Second, To: 7 * time.Second, StartGap: 20, Profile: vehicle.SpeedProfile{{T: 0, Speed: 15}}},
+	})
+	if err != nil {
+		t.Fatalf("NewTraffic: %v", err)
+	}
+	step := func(at time.Duration) (bool, float64, float64) {
+		tr.Step(0.01, at)
+		return tr.Lead()
+	}
+	if present, _, _ := step(0); present {
+		t.Error("lead present before first event")
+	}
+	present, pos, vel := step(time.Second)
+	if !present {
+		t.Fatal("lead missing during first event")
+	}
+	if math.Abs(pos-30) > 0.5 || vel != 10 {
+		t.Errorf("first lead pos=%v vel=%v, want ≈30, 10", pos, vel)
+	}
+	if present, _, _ = step(4 * time.Second); present {
+		t.Error("lead present between events (cut-out failed)")
+	}
+	present, _, vel = step(5 * time.Second)
+	if !present || vel != 15 {
+		t.Errorf("second lead present=%v vel=%v, want true, 15", present, vel)
+	}
+	if present, _, _ = step(8 * time.Second); present {
+		t.Error("lead present after last event")
+	}
+}
+
+func TestTrafficCutInRelativeToEgo(t *testing.T) {
+	ego := vehicle.NewEgo(vehicle.DefaultEgoConfig(), 25)
+	tr, err := NewTraffic(ego, []LeadEvent{
+		{From: 10 * time.Second, To: 20 * time.Second, StartGap: 22, Profile: vehicle.SpeedProfile{{T: 0, Speed: 26}}},
+	})
+	if err != nil {
+		t.Fatalf("NewTraffic: %v", err)
+	}
+	// Drive the ego forward so its position is far from zero when the
+	// cut-in spawns.
+	for i := 0; i < 1000; i++ {
+		ego.Step(0.01, 150, 0, 0)
+		tr.Step(0.01, time.Duration(i)*10*time.Millisecond)
+	}
+	tr.Step(0.01, 10*time.Second)
+	present, pos, _ := tr.Lead()
+	if !present {
+		t.Fatal("cut-in lead missing")
+	}
+	gap := pos - ego.Position()
+	if gap < 20 || gap > 24 {
+		t.Errorf("cut-in gap = %v, want ≈22 ahead of ego", gap)
+	}
+}
+
+func TestRollingGrade(t *testing.T) {
+	g := Rolling(0.03, 1000)
+	if got := g(0); got != 0 {
+		t.Errorf("Rolling at 0 = %v, want 0", got)
+	}
+	if got := g(250); math.Abs(got-0.03) > 1e-12 {
+		t.Errorf("Rolling at quarter wave = %v, want 0.03", got)
+	}
+	if got := g(750); math.Abs(got+0.03) > 1e-12 {
+		t.Errorf("Rolling at three-quarter wave = %v, want -0.03", got)
+	}
+}
+
+func TestFollowPresetRunsAndFollows(t *testing.T) {
+	cfg := Follow(1, 2*time.Minute)
+	b, err := hil.New(cfg)
+	if err != nil {
+		t.Fatalf("hil.New: %v", err)
+	}
+	if err := b.Run(60*time.Second, nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if b.Feature().Mode() != fsracc.ModeActive {
+		t.Fatalf("mode = %v, want active", b.Feature().Mode())
+	}
+	ahead, err := b.BusValue(sigdb.SigVehicleAhead)
+	if err != nil {
+		t.Fatalf("BusValue: %v", err)
+	}
+	if ahead != 1 {
+		t.Error("no target tracked after 60s of the follow preset")
+	}
+	rng, _ := b.BusValue(sigdb.SigTargetRange)
+	if rng < 10 || rng > 70 {
+		t.Errorf("target range = %v, want a plausible following gap", rng)
+	}
+}
+
+func TestFollowPresetStopAndGoPhase(t *testing.T) {
+	cfg := Follow(1, 3*time.Minute)
+	b, err := hil.New(cfg)
+	if err != nil {
+		t.Fatalf("hil.New: %v", err)
+	}
+	var minSpeed = math.Inf(1)
+	if err := b.Run(2*time.Minute, func(time.Duration, *hil.Bench) error {
+		if v := b.Ego().Speed(); v < minSpeed {
+			minSpeed = v
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if minSpeed > 10 {
+		t.Errorf("min ego speed = %v, want a crawl phase below 10 m/s", minSpeed)
+	}
+	if b.Ego().Speed() < 15 {
+		t.Errorf("ego speed = %v at 2min, want recovered", b.Ego().Speed())
+	}
+}
+
+func TestLeadBrakePresetStopsWithoutCollision(t *testing.T) {
+	cfg := LeadBrake(4)
+	b, err := hil.New(cfg)
+	if err != nil {
+		t.Fatalf("hil.New: %v", err)
+	}
+	minRange := math.Inf(1)
+	reachedStandstill := false
+	if err := b.Run(90*time.Second, func(now time.Duration, bench *hil.Bench) error {
+		ahead, _ := bench.BusValue(sigdb.SigVehicleAhead)
+		if ahead == 1 {
+			if rng, _ := bench.BusValue(sigdb.SigTargetRange); rng < minRange {
+				minRange = rng
+			}
+		}
+		if bench.Ego().Speed() < 0.3 {
+			reachedStandstill = true
+		}
+		return nil
+	}); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if minRange < 2 {
+		t.Errorf("min range = %.2f m: the feature nearly collided in the non-faulted stop", minRange)
+	}
+	if !reachedStandstill {
+		t.Error("ego never reached standstill behind the stopped lead (not full speed range)")
+	}
+	if v := b.Ego().Speed(); v < 15 {
+		t.Errorf("ego speed = %.1f at 90s, want recovered behind the departing lead", v)
+	}
+}
+
+func TestDriveCyclePresetRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	cfg := DriveCycle(7)
+	b, err := hil.New(cfg)
+	if err != nil {
+		t.Fatalf("hil.New: %v", err)
+	}
+	if err := b.Run(DriveCycleDuration, nil); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if v := b.Ego().Speed(); math.IsNaN(v) || v < 0 {
+		t.Fatalf("ego speed corrupted: %v", v)
+	}
+	// The cycle must exercise a stop-and-go phase and hills.
+	if b.Ego().Position() < 5000 {
+		t.Errorf("ego travelled only %v m in 10 min", b.Ego().Position())
+	}
+}

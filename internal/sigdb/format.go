@@ -1,0 +1,251 @@
+package sigdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file implements a textual database format, playing the role a
+// DBC file plays for a production CAN tool: it lets the bolt-on monitor
+// be pointed at any broadcast network by describing its frames and
+// signals in a short text file, without recompiling anything.
+//
+//	# comment
+//	frame 0x100 VehicleDyn period=10ms
+//	    signal Velocity float bits=0:32 unit="m/s" comment="forward speed"
+//	    signal ThrotPos float bits=32:32 unit="%"
+//	frame 0x121 ACCStatus period=10ms
+//	    signal ACCEnabled bool bits=0:1
+//	frame 0x110 ACCCommand period=40ms
+//	    signal SelHeadway enum bits=32:8 max=3
+//
+// Signal lines belong to the most recent frame line. bits=START:LEN is
+// the little-endian bit field within the 8-byte payload; floats must be
+// 32 bits wide and enums declare their maximum ordinal with max=N.
+
+// WriteFormat serializes the database in the textual format.
+func WriteFormat(w io.Writer, db *DB) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range db.Frames() {
+		fmt.Fprintf(bw, "frame 0x%X %s period=%s\n", f.ID, f.Name, formatPeriod(f.Period))
+		for _, s := range f.Signals {
+			fmt.Fprintf(bw, "    signal %s %s bits=%d:%d", s.Name, s.Kind, s.StartBit, s.BitLen)
+			if s.Kind == Enum {
+				fmt.Fprintf(bw, " max=%d", s.EnumMax)
+			}
+			if s.Unit != "" {
+				fmt.Fprintf(bw, " unit=%s", strconv.Quote(s.Unit))
+			}
+			if s.Comment != "" {
+				fmt.Fprintf(bw, " comment=%s", strconv.Quote(s.Comment))
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}
+
+func formatPeriod(d time.Duration) string {
+	if d%time.Millisecond == 0 {
+		return strconv.FormatInt(int64(d/time.Millisecond), 10) + "ms"
+	}
+	return d.String()
+}
+
+// ReadFormat parses a textual database.
+func ReadFormat(r io.Reader) (*DB, error) {
+	db := New()
+	sc := bufio.NewScanner(r)
+	var cur *FrameDef
+	line := 0
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		if err := db.AddFrame(cur); err != nil {
+			return err
+		}
+		cur = nil
+		return nil
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields, err := splitQuoted(text)
+		if err != nil {
+			return nil, fmt.Errorf("sigdb: line %d: %w", line, err)
+		}
+		switch fields[0] {
+		case "frame":
+			if err := flush(); err != nil {
+				return nil, fmt.Errorf("sigdb: line %d: %w", line, err)
+			}
+			f, err := parseFrameLine(fields)
+			if err != nil {
+				return nil, fmt.Errorf("sigdb: line %d: %w", line, err)
+			}
+			cur = f
+		case "signal":
+			if cur == nil {
+				return nil, fmt.Errorf("sigdb: line %d: signal before any frame", line)
+			}
+			s, err := parseSignalLine(fields, cur.ID)
+			if err != nil {
+				return nil, fmt.Errorf("sigdb: line %d: %w", line, err)
+			}
+			cur.Signals = append(cur.Signals, s)
+		default:
+			return nil, fmt.Errorf("sigdb: line %d: expected 'frame' or 'signal', got %q", line, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sigdb: read: %w", err)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(db.Frames()) == 0 {
+		return nil, fmt.Errorf("sigdb: empty database")
+	}
+	return db, nil
+}
+
+// splitQuoted splits on spaces, keeping key="quoted value" tokens whole.
+func splitQuoted(s string) ([]string, error) {
+	var out []string
+	var sb strings.Builder
+	inQuote := false
+	escaped := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case escaped:
+			sb.WriteByte(c)
+			escaped = false
+		case c == '\\' && inQuote:
+			sb.WriteByte(c)
+			escaped = true
+		case c == '"':
+			sb.WriteByte(c)
+			inQuote = !inQuote
+		case (c == ' ' || c == '\t') && !inQuote:
+			if sb.Len() > 0 {
+				out = append(out, sb.String())
+				sb.Reset()
+			}
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote")
+	}
+	if sb.Len() > 0 {
+		out = append(out, sb.String())
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty line")
+	}
+	return out, nil
+}
+
+func parseFrameLine(fields []string) (*FrameDef, error) {
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("frame line needs: frame <id> <name> period=<dur>")
+	}
+	id, err := strconv.ParseUint(strings.TrimPrefix(fields[1], "0x"), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("bad frame ID %q: %v", fields[1], err)
+	}
+	f := &FrameDef{ID: uint32(id), Name: fields[2]}
+	for _, kv := range fields[3:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad attribute %q", kv)
+		}
+		switch key {
+		case "period":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad period %q: %v", val, err)
+			}
+			f.Period = d
+		default:
+			return nil, fmt.Errorf("unknown frame attribute %q", key)
+		}
+	}
+	if f.Period == 0 {
+		return nil, fmt.Errorf("frame %s missing period", f.Name)
+	}
+	return f, nil
+}
+
+func parseSignalLine(fields []string, frameID uint32) (*Signal, error) {
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("signal line needs: signal <name> <kind> bits=<start>:<len> [max=N] [unit=\"..\"] [comment=\"..\"]")
+	}
+	s := &Signal{Name: fields[1], FrameID: frameID}
+	switch fields[2] {
+	case "float":
+		s.Kind = Float
+	case "bool":
+		s.Kind = Bool
+	case "enum":
+		s.Kind = Enum
+	default:
+		return nil, fmt.Errorf("unknown signal kind %q", fields[2])
+	}
+	for _, kv := range fields[3:] {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad attribute %q", kv)
+		}
+		switch key {
+		case "bits":
+			startStr, lenStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return nil, fmt.Errorf("bad bits %q, want start:len", val)
+			}
+			start, err := strconv.Atoi(startStr)
+			if err != nil {
+				return nil, fmt.Errorf("bad bit start %q", startStr)
+			}
+			length, err := strconv.Atoi(lenStr)
+			if err != nil {
+				return nil, fmt.Errorf("bad bit length %q", lenStr)
+			}
+			s.StartBit, s.BitLen = start, length
+		case "max":
+			m, err := strconv.ParseUint(val, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad max %q", val)
+			}
+			s.EnumMax = uint32(m)
+		case "unit":
+			u, err := strconv.Unquote(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad unit %q: %v", val, err)
+			}
+			s.Unit = u
+		case "comment":
+			c, err := strconv.Unquote(val)
+			if err != nil {
+				return nil, fmt.Errorf("bad comment %q: %v", val, err)
+			}
+			s.Comment = c
+		default:
+			return nil, fmt.Errorf("unknown signal attribute %q", key)
+		}
+	}
+	if s.BitLen == 0 {
+		return nil, fmt.Errorf("signal %s missing bits", s.Name)
+	}
+	return s, nil
+}

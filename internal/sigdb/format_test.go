@@ -1,0 +1,122 @@
+package sigdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadFormatRoundTrip(t *testing.T) {
+	orig := Vehicle()
+	var buf bytes.Buffer
+	if err := WriteFormat(&buf, orig); err != nil {
+		t.Fatalf("WriteFormat: %v", err)
+	}
+	back, err := ReadFormat(&buf)
+	if err != nil {
+		t.Fatalf("ReadFormat: %v", err)
+	}
+	origFrames := orig.Frames()
+	backFrames := back.Frames()
+	if len(backFrames) != len(origFrames) {
+		t.Fatalf("frames = %d, want %d", len(backFrames), len(origFrames))
+	}
+	for i, of := range origFrames {
+		bf := backFrames[i]
+		if bf.ID != of.ID || bf.Name != of.Name || bf.Period != of.Period {
+			t.Errorf("frame %d = %+v, want %+v", i, bf, of)
+		}
+		if len(bf.Signals) != len(of.Signals) {
+			t.Fatalf("frame %s has %d signals, want %d", bf.Name, len(bf.Signals), len(of.Signals))
+		}
+		for j, os := range of.Signals {
+			bs := bf.Signals[j]
+			if *bs != *os {
+				t.Errorf("signal %s = %+v, want %+v", os.Name, *bs, *os)
+			}
+		}
+	}
+}
+
+func TestReadFormatMinimal(t *testing.T) {
+	src := `
+# a custom two-node network
+frame 0x42 Sensors period=20ms
+    signal Pressure float bits=0:32 unit="bar" comment="tank pressure"
+    signal ValveOpen bool bits=32:1
+frame 0x43 Command period=40ms
+    signal Mode enum bits=0:4 max=5
+`
+	db, err := ReadFormat(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadFormat: %v", err)
+	}
+	p, ok := db.Signal("Pressure")
+	if !ok || p.Kind != Float || p.Unit != "bar" || p.Comment != "tank pressure" {
+		t.Errorf("Pressure = %+v", p)
+	}
+	m, ok := db.Signal("Mode")
+	if !ok || m.Kind != Enum || m.EnumMax != 5 || m.BitLen != 4 {
+		t.Errorf("Mode = %+v", m)
+	}
+	f, ok := db.Frame(0x43)
+	if !ok || f.Period.Milliseconds() != 40 {
+		t.Errorf("frame 0x43 = %+v", f)
+	}
+	// The parsed database must be usable for pack/unpack.
+	data, err := db.Pack(0x42, map[string]float64{"Pressure": 2.5, "ValveOpen": 1})
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	vals, err := db.Unpack(0x42, data)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if vals["Pressure"] != 2.5 || vals["ValveOpen"] != 1 {
+		t.Errorf("unpacked %v", vals)
+	}
+}
+
+func TestReadFormatErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		src  string
+	}{
+		{"empty", ""},
+		{"signal before frame", "signal X float bits=0:32"},
+		{"garbage line", "banana 0x1"},
+		{"bad id", "frame zz Name period=10ms"},
+		{"missing period", "frame 0x1 Name"},
+		{"bad period", "frame 0x1 Name period=ten"},
+		{"unknown frame attr", "frame 0x1 Name period=10ms color=red"},
+		{"bad kind", "frame 0x1 N period=10ms\nsignal X blob bits=0:8"},
+		{"missing bits", "frame 0x1 N period=10ms\nsignal X bool max=1"},
+		{"bad bits", "frame 0x1 N period=10ms\nsignal X bool bits=zero:1"},
+		{"bits no colon", "frame 0x1 N period=10ms\nsignal X bool bits=5"},
+		{"unknown signal attr", "frame 0x1 N period=10ms\nsignal X bool bits=0:1 shiny=yes"},
+		{"enum without max", "frame 0x1 N period=10ms\nsignal X enum bits=0:8"},
+		{"overlap", "frame 0x1 N period=10ms\nsignal A float bits=0:32\nsignal B float bits=16:32"},
+		{"unterminated quote", `frame 0x1 N period=10ms
+signal X bool bits=0:1 unit="bar`},
+		{"float not 32", "frame 0x1 N period=10ms\nsignal X float bits=0:16"},
+		{"bad attr form", "frame 0x1 N period=10ms\nsignal X bool bits=0:1 unit"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadFormat(strings.NewReader(tt.src)); err == nil {
+				t.Errorf("ReadFormat accepted %q", tt.src)
+			}
+		})
+	}
+}
+
+func TestReadFormatIgnoresCommentsAndBlank(t *testing.T) {
+	src := "# header\n\nframe 0x1 N period=10ms\n  # indented comment\n  signal X bool bits=0:1\n"
+	db, err := ReadFormat(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadFormat: %v", err)
+	}
+	if _, ok := db.Signal("X"); !ok {
+		t.Error("missing signal X")
+	}
+}

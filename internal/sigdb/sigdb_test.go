@@ -1,0 +1,381 @@
+package sigdb
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{Float, "float"},
+		{Bool, "bool"},
+		{Enum, "enum"},
+		{Kind(99), "Kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(tt.kind), got, tt.want)
+		}
+	}
+}
+
+func TestFloatEncodeDecodeRoundTrip(t *testing.T) {
+	s := &Signal{Name: "f", Kind: Float, BitLen: 32}
+	tests := []float64{0, 1, -1, 3.5, -2000, 2000, math.Pi, math.Inf(1), math.Inf(-1)}
+	for _, v := range tests {
+		got := s.Decode(s.Encode(v))
+		want := float64(float32(v))
+		if got != want {
+			t.Errorf("float round trip of %v = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestFloatEncodePreservesNaN(t *testing.T) {
+	s := &Signal{Name: "f", Kind: Float, BitLen: 32}
+	if got := s.Decode(s.Encode(math.NaN())); !math.IsNaN(got) {
+		t.Errorf("NaN round trip = %v, want NaN", got)
+	}
+}
+
+func TestFloatEncodePreservesSignedZero(t *testing.T) {
+	s := &Signal{Name: "f", Kind: Float, BitLen: 32}
+	got := s.Decode(s.Encode(math.Copysign(0, -1)))
+	if got != 0 || !math.Signbit(got) {
+		t.Errorf("-0.0 round trip = %v (signbit %v), want -0.0", got, math.Signbit(got))
+	}
+}
+
+func TestBoolEncodeDecode(t *testing.T) {
+	s := &Signal{Name: "b", Kind: Bool, BitLen: 1}
+	tests := []struct {
+		in   float64
+		want float64
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 1}, // any non-zero encodes as true
+		{-0.5, 1},
+	}
+	for _, tt := range tests {
+		if got := s.Decode(s.Encode(tt.in)); got != tt.want {
+			t.Errorf("bool round trip of %v = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestEnumEncodeDecode(t *testing.T) {
+	s := &Signal{Name: "e", Kind: Enum, BitLen: 8, EnumMax: 3}
+	tests := []struct {
+		in   float64
+		want float64
+	}{
+		{0, 0},
+		{3, 3},
+		{255, 255},
+		{256, 255}, // saturates at field width
+		{-4, 0},    // negative clamps to zero
+		{math.NaN(), 0},
+	}
+	for _, tt := range tests {
+		if got := s.Decode(s.Encode(tt.in)); got != tt.want {
+			t.Errorf("enum round trip of %v = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCheckValueFloatAcceptsExceptional(t *testing.T) {
+	s := &Signal{Name: "f", Kind: Float, BitLen: 32}
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -2000} {
+		if err := s.CheckValue(v); err != nil {
+			t.Errorf("CheckValue(%v) on float = %v, want nil", v, err)
+		}
+	}
+}
+
+func TestCheckValueBool(t *testing.T) {
+	s := &Signal{Name: "b", Kind: Bool, BitLen: 1}
+	if err := s.CheckValue(0); err != nil {
+		t.Errorf("CheckValue(0) = %v, want nil", err)
+	}
+	if err := s.CheckValue(1); err != nil {
+		t.Errorf("CheckValue(1) = %v, want nil", err)
+	}
+	for _, v := range []float64{2, -1, 0.5, math.NaN()} {
+		if err := s.CheckValue(v); err == nil {
+			t.Errorf("CheckValue(%v) on bool = nil, want error", v)
+		}
+	}
+}
+
+func TestCheckValueEnum(t *testing.T) {
+	s := &Signal{Name: "e", Kind: Enum, BitLen: 8, EnumMax: 3}
+	for _, v := range []float64{0, 1, 2, 3} {
+		if err := s.CheckValue(v); err != nil {
+			t.Errorf("CheckValue(%v) = %v, want nil", v, err)
+		}
+	}
+	for _, v := range []float64{4, -1, 1.5, math.NaN(), math.Inf(1)} {
+		if err := s.CheckValue(v); err == nil {
+			t.Errorf("CheckValue(%v) on enum = nil, want error", v)
+		}
+	}
+}
+
+func TestAddFrameRejectsOverlap(t *testing.T) {
+	db := New()
+	err := db.AddFrame(&FrameDef{
+		ID: 1, Name: "f", Period: time.Millisecond,
+		Signals: []*Signal{
+			{Name: "a", FrameID: 1, StartBit: 0, BitLen: 32, Kind: Float},
+			{Name: "b", FrameID: 1, StartBit: 16, BitLen: 32, Kind: Float},
+		},
+	})
+	if err == nil {
+		t.Fatal("AddFrame with overlapping fields succeeded, want error")
+	}
+}
+
+func TestAddFrameRejectsDuplicateID(t *testing.T) {
+	db := New()
+	mk := func() *FrameDef {
+		return &FrameDef{ID: 1, Name: "f", Period: time.Millisecond,
+			Signals: []*Signal{{Name: "a", FrameID: 1, StartBit: 0, BitLen: 32, Kind: Float}}}
+	}
+	if err := db.AddFrame(mk()); err != nil {
+		t.Fatalf("first AddFrame: %v", err)
+	}
+	f := mk()
+	f.Signals[0].Name = "b"
+	if err := db.AddFrame(f); err == nil {
+		t.Fatal("duplicate frame ID accepted, want error")
+	}
+}
+
+func TestAddFrameRejectsDuplicateSignalName(t *testing.T) {
+	db := New()
+	if err := db.AddFrame(&FrameDef{ID: 1, Name: "f1", Period: time.Millisecond,
+		Signals: []*Signal{{Name: "a", FrameID: 1, StartBit: 0, BitLen: 32, Kind: Float}}}); err != nil {
+		t.Fatalf("first AddFrame: %v", err)
+	}
+	if err := db.AddFrame(&FrameDef{ID: 2, Name: "f2", Period: time.Millisecond,
+		Signals: []*Signal{{Name: "a", FrameID: 2, StartBit: 0, BitLen: 32, Kind: Float}}}); err == nil {
+		t.Fatal("duplicate signal name accepted, want error")
+	}
+}
+
+func TestAddFrameRejectsBadPeriod(t *testing.T) {
+	db := New()
+	if err := db.AddFrame(&FrameDef{ID: 1, Name: "f", Period: 0}); err == nil {
+		t.Fatal("zero period accepted, want error")
+	}
+}
+
+func TestValidateSignalErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		sig  *Signal
+	}{
+		{"empty name", &Signal{Kind: Float, BitLen: 32}},
+		{"negative start", &Signal{Name: "s", StartBit: -1, BitLen: 32, Kind: Float}},
+		{"field past 64", &Signal{Name: "s", StartBit: 40, BitLen: 32, Kind: Float}},
+		{"float not 32 bits", &Signal{Name: "s", BitLen: 16, Kind: Float}},
+		{"bool not 1 bit", &Signal{Name: "s", BitLen: 2, Kind: Bool}},
+		{"enum too wide", &Signal{Name: "s", BitLen: 33, Kind: Enum, EnumMax: 1}},
+		{"enum without max", &Signal{Name: "s", BitLen: 8, Kind: Enum}},
+		{"enum max too large", &Signal{Name: "s", BitLen: 2, Kind: Enum, EnumMax: 7}},
+		{"unknown kind", &Signal{Name: "s", BitLen: 8, Kind: Kind(42)}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := validateSignal(tt.sig); err == nil {
+				t.Errorf("validateSignal accepted %+v, want error", tt.sig)
+			}
+		})
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	db := Vehicle()
+	in := map[string]float64{
+		SigTargetRange:  float64(float32(37.25)),
+		SigTargetRelVel: float64(float32(-4.5)),
+	}
+	data, err := db.Pack(FrameRadar, in)
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	out, err := db.Unpack(FrameRadar, data)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	for name, want := range in {
+		if got := out[name]; got != want {
+			t.Errorf("%s = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestPackUnknownFrame(t *testing.T) {
+	db := Vehicle()
+	if _, err := db.Pack(0xDEAD, nil); err == nil {
+		t.Fatal("Pack of unknown frame succeeded, want error")
+	}
+	if _, err := db.Unpack(0xDEAD, [8]byte{}); err == nil {
+		t.Fatal("Unpack of unknown frame succeeded, want error")
+	}
+}
+
+func TestPackMissingSignalIsZero(t *testing.T) {
+	db := Vehicle()
+	data, err := db.Pack(FrameRadar, nil)
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	out, err := db.Unpack(FrameRadar, data)
+	if err != nil {
+		t.Fatalf("Unpack: %v", err)
+	}
+	if out[SigTargetRange] != 0 || out[SigTargetRelVel] != 0 {
+		t.Errorf("missing signals decoded as %v, want zeros", out)
+	}
+}
+
+// TestPackUnpackQuick property-tests that any float32-representable
+// values survive a pack/unpack trip through the radar frame.
+func TestPackUnpackQuick(t *testing.T) {
+	db := Vehicle()
+	f := func(rng, relvel float32) bool {
+		in := map[string]float64{
+			SigTargetRange:  float64(rng),
+			SigTargetRelVel: float64(relvel),
+		}
+		data, err := db.Pack(FrameRadar, in)
+		if err != nil {
+			return false
+		}
+		out, err := db.Unpack(FrameRadar, data)
+		if err != nil {
+			return false
+		}
+		eq := func(a, b float64) bool {
+			return a == b || (math.IsNaN(a) && math.IsNaN(b))
+		}
+		return eq(out[SigTargetRange], in[SigTargetRange]) &&
+			eq(out[SigTargetRelVel], in[SigTargetRelVel])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatusBitsIndependent property-tests that the four 1-bit status
+// signals pack without interfering with one another.
+func TestStatusBitsIndependent(t *testing.T) {
+	db := Vehicle()
+	f := func(enabled, brake, torque, service bool) bool {
+		b2f := func(b bool) float64 {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		in := map[string]float64{
+			SigACCEnabled:      b2f(enabled),
+			SigBrakeRequested:  b2f(brake),
+			SigTorqueRequested: b2f(torque),
+			SigServiceACC:      b2f(service),
+		}
+		data, err := db.Pack(FrameACCStatus, in)
+		if err != nil {
+			return false
+		}
+		out, err := db.Unpack(FrameACCStatus, data)
+		if err != nil {
+			return false
+		}
+		for name, want := range in {
+			if out[name] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVehicleDatabaseShape(t *testing.T) {
+	db := Vehicle()
+	if got := len(db.Frames()); got != 7 {
+		t.Errorf("Vehicle() has %d frames, want 7", got)
+	}
+	wantSignals := append(FSRACCInputs(), FSRACCOutputs()...)
+	for _, name := range wantSignals {
+		if _, ok := db.Signal(name); !ok {
+			t.Errorf("Vehicle() missing signal %q", name)
+		}
+	}
+	if got, want := len(db.SignalNames()), len(wantSignals); got != want {
+		t.Errorf("Vehicle() has %d signals, want %d", got, want)
+	}
+}
+
+func TestVehiclePeriods(t *testing.T) {
+	db := Vehicle()
+	slow, ok := db.Frame(FrameACCCommand)
+	if !ok {
+		t.Fatal("missing ACCCommand frame")
+	}
+	fast, ok := db.Frame(FrameRadar)
+	if !ok {
+		t.Fatal("missing Radar frame")
+	}
+	if slow.Period != 4*fast.Period {
+		t.Errorf("slow period %v is not 4x fast period %v", slow.Period, fast.Period)
+	}
+}
+
+func TestFigure1Inventory(t *testing.T) {
+	// The paper's Figure 1 lists 9 inputs and 6 outputs with these types.
+	db := Vehicle()
+	wantKinds := map[string]Kind{
+		SigVelocity:        Float,
+		SigAccelPedPos:     Float,
+		SigBrakePedPres:    Float,
+		SigACCSetSpeed:     Float,
+		SigThrotPos:        Float,
+		SigVehicleAhead:    Bool,
+		SigTargetRange:     Float,
+		SigTargetRelVel:    Float,
+		SigSelHeadway:      Enum,
+		SigACCEnabled:      Bool,
+		SigBrakeRequested:  Bool,
+		SigTorqueRequested: Bool,
+		SigRequestedTorque: Float,
+		SigRequestedDecel:  Float,
+		SigServiceACC:      Bool,
+	}
+	if len(FSRACCInputs()) != 9 {
+		t.Errorf("FSRACCInputs has %d entries, want 9", len(FSRACCInputs()))
+	}
+	if len(FSRACCOutputs()) != 6 {
+		t.Errorf("FSRACCOutputs has %d entries, want 6", len(FSRACCOutputs()))
+	}
+	for name, want := range wantKinds {
+		s, ok := db.Signal(name)
+		if !ok {
+			t.Errorf("missing signal %q", name)
+			continue
+		}
+		if s.Kind != want {
+			t.Errorf("signal %q kind = %v, want %v", name, s.Kind, want)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package sigdb
+
+import "time"
+
+// CAN identifiers for the prototype vehicle network. The layout mirrors a
+// typical production arrangement: chassis and radar data on fast frames,
+// driver-command data on a slower frame, and the feature's outputs on
+// fast frames of their own.
+const (
+	FrameVehicleDyn uint32 = 0x100 // vehicle dynamics (fast)
+	FramePedals     uint32 = 0x101 // pedal positions (fast)
+	FrameRadar      uint32 = 0x102 // radar target kinematics (fast)
+	FrameRadarState uint32 = 0x103 // radar target status (fast)
+	FrameACCCommand uint32 = 0x110 // driver ACC commands (slow, 4x period)
+	FrameACCOutput  uint32 = 0x120 // FSRACC continuous outputs (fast)
+	FrameACCStatus  uint32 = 0x121 // FSRACC discrete outputs (fast)
+)
+
+// Broadcast periods. The paper notes "two relevant message periods, with
+// some messages being updated four times slower than most others"; we use
+// 10 ms for the fast class and 40 ms for the slow class.
+const (
+	FastPeriod = 10 * time.Millisecond
+	SlowPeriod = 40 * time.Millisecond
+)
+
+// Signal names for the FSRACC module I/O contract (paper Figure 1).
+const (
+	SigVelocity        = "Velocity"
+	SigAccelPedPos     = "AccelPedPos"
+	SigBrakePedPres    = "BrakePedPres"
+	SigACCSetSpeed     = "ACCSetSpeed"
+	SigThrotPos        = "ThrotPos"
+	SigVehicleAhead    = "VehicleAhead"
+	SigTargetRange     = "TargetRange"
+	SigTargetRelVel    = "TargetRelVel"
+	SigSelHeadway      = "SelHeadway"
+	SigACCEnabled      = "ACCEnabled"
+	SigBrakeRequested  = "BrakeRequested"
+	SigTorqueRequested = "TorqueRequested"
+	SigRequestedTorque = "RequestedTorque"
+	SigRequestedDecel  = "RequestedDecel"
+	SigServiceACC      = "ServiceACC"
+)
+
+// FSRACCInputs lists the nine FSRACC input signals in Figure 1 order.
+// These are the robustness-testing injection targets.
+func FSRACCInputs() []string {
+	return []string{
+		SigVelocity,
+		SigAccelPedPos,
+		SigBrakePedPres,
+		SigACCSetSpeed,
+		SigThrotPos,
+		SigVehicleAhead,
+		SigTargetRange,
+		SigTargetRelVel,
+		SigSelHeadway,
+	}
+}
+
+// FSRACCOutputs lists the six FSRACC output signals in Figure 1 order.
+func FSRACCOutputs() []string {
+	return []string{
+		SigACCEnabled,
+		SigBrakeRequested,
+		SigTorqueRequested,
+		SigRequestedTorque,
+		SigRequestedDecel,
+		SigServiceACC,
+	}
+}
+
+// VehicleSlowOutputs constructs a variant of the vehicle database in
+// which the FSRACC continuous-output frame (RequestedTorque and
+// RequestedDecel) broadcasts at the slow period, four times slower than
+// the monitor's evaluation step. This is exactly the configuration the
+// paper describes hitting in Section V.C.1: "if the held value is used
+// in a monitor that updates four times between every RequestedTorque
+// update, the torque would appear to be constant for three samples out
+// of four". The multi-rate ablation compares naive and update-aware
+// difference semantics on this database.
+func VehicleSlowOutputs() *DB {
+	db := Vehicle()
+	f, ok := db.Frame(FrameACCOutput)
+	if !ok {
+		panic("sigdb: vehicle database missing ACCOutput frame")
+	}
+	f.Period = SlowPeriod
+	return db
+}
+
+// Vehicle constructs the prototype vehicle's signal database: every
+// FSRACC input and output from the paper's Figure 1, mapped onto periodic
+// broadcast frames.
+func Vehicle() *DB {
+	db := New()
+	frames := []*FrameDef{
+		{
+			ID: FrameVehicleDyn, Name: "VehicleDyn", Period: FastPeriod,
+			Signals: []*Signal{
+				{Name: SigVelocity, FrameID: FrameVehicleDyn, StartBit: 0, BitLen: 32, Kind: Float, Unit: "m/s", Comment: "forward speed of the vehicle"},
+				{Name: SigThrotPos, FrameID: FrameVehicleDyn, StartBit: 32, BitLen: 32, Kind: Float, Unit: "%", Comment: "throttle opening"},
+			},
+		},
+		{
+			ID: FramePedals, Name: "Pedals", Period: FastPeriod,
+			Signals: []*Signal{
+				{Name: SigAccelPedPos, FrameID: FramePedals, StartBit: 0, BitLen: 32, Kind: Float, Unit: "%", Comment: "accelerator pedal position, 0 released to 100 depressed"},
+				{Name: SigBrakePedPres, FrameID: FramePedals, StartBit: 32, BitLen: 32, Kind: Float, Unit: "bar", Comment: "brake pedal pressure"},
+			},
+		},
+		{
+			ID: FrameRadar, Name: "Radar", Period: FastPeriod,
+			Signals: []*Signal{
+				{Name: SigTargetRange, FrameID: FrameRadar, StartBit: 0, BitLen: 32, Kind: Float, Unit: "m", Comment: "distance to the vehicle ahead, 0 when none tracked"},
+				{Name: SigTargetRelVel, FrameID: FrameRadar, StartBit: 32, BitLen: 32, Kind: Float, Unit: "m/s", Comment: "relative velocity to the vehicle ahead"},
+			},
+		},
+		{
+			ID: FrameRadarState, Name: "RadarState", Period: FastPeriod,
+			Signals: []*Signal{
+				{Name: SigVehicleAhead, FrameID: FrameRadarState, StartBit: 0, BitLen: 1, Kind: Bool, Comment: "a vehicle is detected ahead in the lane"},
+			},
+		},
+		{
+			ID: FrameACCCommand, Name: "ACCCommand", Period: SlowPeriod,
+			Signals: []*Signal{
+				{Name: SigACCSetSpeed, FrameID: FrameACCCommand, StartBit: 0, BitLen: 32, Kind: Float, Unit: "m/s", Comment: "commanded cruising speed"},
+				{Name: SigSelHeadway, FrameID: FrameACCCommand, StartBit: 32, BitLen: 8, Kind: Enum, EnumMax: 3, Comment: "selected headway distance (1 near, 2 medium, 3 far)"},
+			},
+		},
+		{
+			ID: FrameACCOutput, Name: "ACCOutput", Period: FastPeriod,
+			Signals: []*Signal{
+				{Name: SigRequestedTorque, FrameID: FrameACCOutput, StartBit: 0, BitLen: 32, Kind: Float, Unit: "N*m", Comment: "additional engine torque requested when TorqueRequested"},
+				{Name: SigRequestedDecel, FrameID: FrameACCOutput, StartBit: 32, BitLen: 32, Kind: Float, Unit: "m/s^2", Comment: "deceleration requested from the brake controller when BrakeRequested"},
+			},
+		},
+		{
+			ID: FrameACCStatus, Name: "ACCStatus", Period: FastPeriod,
+			Signals: []*Signal{
+				{Name: SigACCEnabled, FrameID: FrameACCStatus, StartBit: 0, BitLen: 1, Kind: Bool, Comment: "ACC believes it is in control of the vehicle"},
+				{Name: SigBrakeRequested, FrameID: FrameACCStatus, StartBit: 1, BitLen: 1, Kind: Bool, Comment: "ACC is requesting a deceleration"},
+				{Name: SigTorqueRequested, FrameID: FrameACCStatus, StartBit: 2, BitLen: 1, Kind: Bool, Comment: "ACC is requesting additional engine torque"},
+				{Name: SigServiceACC, FrameID: FrameACCStatus, StartBit: 3, BitLen: 1, Kind: Bool, Comment: "ACC has detected an internal error"},
+			},
+		},
+	}
+	for _, f := range frames {
+		if err := db.AddFrame(f); err != nil {
+			// The vehicle database is a compile-time constant of this
+			// repository; a failure here is a programming error.
+			panic(err)
+		}
+	}
+	return db
+}

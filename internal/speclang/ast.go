@@ -1,0 +1,182 @@
+package speclang
+
+import "time"
+
+// Expr is a specification expression node.
+type Expr interface {
+	exprNode()
+	// Pos returns the source position for error messages.
+	Pos() (line, col int)
+}
+
+type pos struct{ line, col int }
+
+func (p pos) Pos() (int, int) { return p.line, p.col }
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	pos
+	Value float64
+}
+
+// BoolLit is a boolean literal (true/false).
+type BoolLit struct {
+	pos
+	Value bool
+}
+
+// Ident references a signal, a let binding, or a constant.
+type Ident struct {
+	pos
+	Name string
+}
+
+// Unary is !x or -x.
+type Unary struct {
+	pos
+	Op tokenKind // tokNot or tokMinus
+	X  Expr
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	pos
+	Op   tokenKind
+	L, R Expr
+}
+
+// Call is a builtin function call such as delta(x) or cond(c, a, b).
+type Call struct {
+	pos
+	Func string
+	Args []Expr
+}
+
+// Temporal is a bounded temporal operator with the window expressed in
+// time relative to the current step: always[lo:hi](x) and
+// eventually[lo:hi](x) look forward over [t+lo, t+hi]; once[lo:hi](x)
+// and historically[lo:hi](x) look backward over [t-hi, t-lo].
+type Temporal struct {
+	pos
+	Op     string // "always", "eventually", "once" or "historically"
+	Lo, Hi time.Duration
+	X      Expr
+}
+
+// Past reports whether the operator looks backward in time.
+func (t *Temporal) Past() bool {
+	return t.Op == "once" || t.Op == "historically"
+}
+
+func (*NumberLit) exprNode() {}
+func (*BoolLit) exprNode()   {}
+func (*Ident) exprNode()     {}
+func (*Unary) exprNode()     {}
+func (*Binary) exprNode()    {}
+func (*Call) exprNode()      {}
+func (*Temporal) exprNode()  {}
+
+// Let is a named intermediate expression.
+type Let struct {
+	Name string
+	X    Expr
+	pos
+}
+
+// Warmup suppresses violations for Window after the trigger: the trace
+// start when On is nil, otherwise every step where On rises to true.
+// This is the uniform "warming up" mechanism the paper calls for in
+// Section V.C.2.
+type Warmup struct {
+	Window time.Duration
+	On     Expr // nil means "after trace start"
+	pos
+}
+
+// Spec is a per-step assertion rule.
+type Spec struct {
+	Name        string
+	Description string
+	Lets        []Let
+	Warmups     []Warmup
+	// Severity, when non-nil, is evaluated at violating steps and its
+	// absolute peak recorded per violation, for triage.
+	Severity Expr
+	// Asserts must all hold at every non-suppressed step.
+	Asserts []Expr
+	pos
+}
+
+// TransKind distinguishes transition triggers.
+type TransKind int
+
+const (
+	// TransWhen fires when the guard expression is true.
+	TransWhen TransKind = iota + 1
+	// TransAfter fires when the dwell time in the state reaches the
+	// deadline.
+	TransAfter
+)
+
+// Transition is one state-machine transition.
+type Transition struct {
+	Kind TransKind
+	// Guard is the condition for TransWhen.
+	Guard Expr
+	// Deadline is the dwell time for TransAfter.
+	Deadline time.Duration
+	// Violate reports a violation when the transition fires.
+	Violate bool
+	// Msg is the violation message.
+	Msg string
+	// Target is the destination state; empty means stay in the current
+	// state (only meaningful for violating transitions).
+	Target string
+	pos
+}
+
+// State is one state of a monitor state machine.
+type State struct {
+	Name        string
+	Initial     bool
+	Transitions []Transition
+	pos
+}
+
+// Monitor is a state-machine rule.
+type Monitor struct {
+	Name        string
+	Description string
+	Lets        []Let
+	Warmups     []Warmup
+	Severity    Expr
+	States      []State
+	pos
+}
+
+// Const is a named numeric constant.
+type Const struct {
+	Name  string
+	Value float64
+	pos
+}
+
+// File is a parsed specification file.
+type File struct {
+	Consts   []Const
+	Specs    []Spec
+	Monitors []Monitor
+}
+
+// RuleNames returns the names of all rules (specs and monitors) in
+// declaration order.
+func (f *File) RuleNames() []string {
+	var names []string
+	for _, s := range f.Specs {
+		names = append(names, s.Name)
+	}
+	for _, m := range f.Monitors {
+		names = append(names, m.Name)
+	}
+	return names
+}

@@ -1,0 +1,440 @@
+package speclang
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// builtins maps builtin function names to their arity.
+var builtins = map[string]int{
+	"prev":    1, // value at the previous step (or previous update)
+	"delta":   1, // x - prev(x)
+	"rate":    1, // delta(x) per second
+	"changed": 1, // delta(x) != 0
+	"rise":    1, // x is true now and was false at the previous step
+	"fall":    1, // x is false now and was true at the previous step
+	"updated": 1, // a fresh sample of the signal arrived this step
+	"valid":   1, // x is finite (not NaN, not infinite)
+	"abs":     1,
+	"min":     2,
+	"max":     2,
+	"cond":    3, // cond(c, a, b): a when c is true, else b
+}
+
+// RuleKind distinguishes assertion rules from state machines.
+type RuleKind int
+
+const (
+	// KindSpec is a per-step assertion rule.
+	KindSpec RuleKind = iota + 1
+	// KindMonitor is a state-machine rule.
+	KindMonitor
+)
+
+// Rule is one compiled, executable rule.
+type Rule struct {
+	// Name is the rule name.
+	Name string
+	// Description is the optional doc string.
+	Description string
+	// Kind reports whether this is a spec or a monitor.
+	Kind RuleKind
+
+	consts  map[string]float64
+	spec    *Spec
+	monitor *Monitor
+	initial int // initial state index for monitors
+}
+
+// Horizon returns the rule's temporal lookahead: how far past a step
+// the trace must extend before that step's verdict is decidable. It is
+// the online monitor's worst-case decision latency for the rule — zero
+// for propositional and past-time rules, and the (nested) sum of
+// future-window upper bounds otherwise.
+func (r *Rule) Horizon(period time.Duration) time.Duration {
+	var lets []Let
+	var severity Expr
+	if r.Kind == KindSpec {
+		lets, severity = r.spec.Lets, r.spec.Severity
+	} else {
+		lets, severity = r.monitor.Lets, r.monitor.Severity
+	}
+	letMap := make(map[string]Expr, len(lets))
+	for _, l := range lets {
+		letMap[l.Name] = l.X
+	}
+	h := func(e Expr) int { return exprHorizon(e, period, letMap) }
+
+	steps := 0
+	if r.Kind == KindSpec {
+		for _, a := range r.spec.Asserts {
+			if v := h(a); v > steps {
+				steps = v
+			}
+		}
+	} else {
+		for i := range r.monitor.States {
+			for j := range r.monitor.States[i].Transitions {
+				tr := &r.monitor.States[i].Transitions[j]
+				if tr.Kind != TransWhen {
+					continue
+				}
+				if v := h(tr.Guard); v > steps {
+					steps = v
+				}
+			}
+		}
+	}
+	if severity != nil {
+		if v := h(severity); v > steps {
+			steps = v
+		}
+	}
+	return time.Duration(steps) * period
+}
+
+// exprHorizon returns the lookahead of an expression in steps, inlining
+// let references exactly as the stream compiler does.
+func exprHorizon(e Expr, period time.Duration, lets map[string]Expr) int {
+	switch x := e.(type) {
+	case *Ident:
+		if le, ok := lets[x.Name]; ok {
+			return exprHorizon(le, period, lets)
+		}
+		return 0
+	case *Unary:
+		return exprHorizon(x.X, period, lets)
+	case *Binary:
+		l := exprHorizon(x.L, period, lets)
+		if r := exprHorizon(x.R, period, lets); r > l {
+			l = r
+		}
+		return l
+	case *Call:
+		max := 0
+		for _, a := range x.Args {
+			if h := exprHorizon(a, period, lets); h > max {
+				max = h
+			}
+		}
+		return max
+	case *Temporal:
+		h := exprHorizon(x.X, period, lets)
+		if !x.Past() {
+			h += int(x.Hi / period)
+		}
+		return h
+	default:
+		return 0
+	}
+}
+
+// Signals returns the names of the trace signals the rule references
+// (through lets, warmups, severity, asserts and guards), sorted. This
+// is what a violation explanation needs to know which series to show.
+func (r *Rule) Signals(universe map[string]bool) []string {
+	found := make(map[string]bool)
+	var lets []Let
+	var warmups []Warmup
+	var severity Expr
+	var exprs []Expr
+	if r.Kind == KindSpec {
+		lets, warmups, severity = r.spec.Lets, r.spec.Warmups, r.spec.Severity
+		exprs = append(exprs, r.spec.Asserts...)
+	} else {
+		lets, warmups, severity = r.monitor.Lets, r.monitor.Warmups, r.monitor.Severity
+		for i := range r.monitor.States {
+			for j := range r.monitor.States[i].Transitions {
+				if g := r.monitor.States[i].Transitions[j].Guard; g != nil {
+					exprs = append(exprs, g)
+				}
+			}
+		}
+	}
+	for _, l := range lets {
+		exprs = append(exprs, l.X)
+	}
+	for _, w := range warmups {
+		if w.On != nil {
+			exprs = append(exprs, w.On)
+		}
+	}
+	if severity != nil {
+		exprs = append(exprs, severity)
+	}
+	for _, e := range exprs {
+		collectSignals(e, universe, found)
+	}
+	out := make([]string, 0, len(found))
+	for name := range found {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectSignals(e Expr, universe, found map[string]bool) {
+	switch x := e.(type) {
+	case *Ident:
+		if universe[x.Name] {
+			found[x.Name] = true
+		}
+	case *Unary:
+		collectSignals(x.X, universe, found)
+	case *Binary:
+		collectSignals(x.L, universe, found)
+		collectSignals(x.R, universe, found)
+	case *Call:
+		for _, a := range x.Args {
+			collectSignals(a, universe, found)
+		}
+	case *Temporal:
+		collectSignals(x.X, universe, found)
+	}
+}
+
+// SignalUniverse returns the signal set the rule set was compiled
+// against, for use with Rule.Signals.
+func (rs *RuleSet) SignalUniverse() map[string]bool {
+	out := make(map[string]bool, len(rs.signals))
+	for name := range rs.signals {
+		out[name] = true
+	}
+	return out
+}
+
+// RuleSet is a compiled specification file bound to a signal universe.
+type RuleSet struct {
+	rules   []*Rule
+	signals map[string]bool
+}
+
+// Rules returns the compiled rules in declaration order.
+func (rs *RuleSet) Rules() []*Rule {
+	out := make([]*Rule, len(rs.rules))
+	copy(out, rs.rules)
+	return out
+}
+
+// Rule returns the compiled rule with the given name.
+func (rs *RuleSet) Rule(name string) (*Rule, bool) {
+	for _, r := range rs.rules {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Compile validates the parsed file against the given signal universe
+// (the names the monitor can observe) and returns an executable rule
+// set. Compilation catches unknown identifiers, duplicate names, bad
+// builtin arity and malformed state machines.
+func Compile(f *File, signals []string) (*RuleSet, error) {
+	rs := &RuleSet{signals: make(map[string]bool, len(signals))}
+	for _, s := range signals {
+		rs.signals[s] = true
+	}
+
+	consts := make(map[string]float64, len(f.Consts))
+	for _, c := range f.Consts {
+		if _, dup := consts[c.Name]; dup {
+			line, col := c.Pos()
+			return nil, errAt(line, col, "duplicate const %q", c.Name)
+		}
+		if rs.signals[c.Name] {
+			line, col := c.Pos()
+			return nil, errAt(line, col, "const %q shadows a signal", c.Name)
+		}
+		consts[c.Name] = c.Value
+	}
+
+	seen := make(map[string]bool)
+	addRule := func(name string, line, col int) error {
+		if seen[name] {
+			return errAt(line, col, "duplicate rule name %q", name)
+		}
+		seen[name] = true
+		return nil
+	}
+
+	for i := range f.Specs {
+		s := &f.Specs[i]
+		line, col := s.Pos()
+		if err := addRule(s.Name, line, col); err != nil {
+			return nil, err
+		}
+		if err := rs.checkCommon(consts, s.Lets, s.Warmups, s.Severity); err != nil {
+			return nil, err
+		}
+		env := rs.letEnv(consts, s.Lets)
+		for _, a := range s.Asserts {
+			if err := rs.checkExpr(a, env); err != nil {
+				return nil, err
+			}
+		}
+		rs.rules = append(rs.rules, &Rule{
+			Name: s.Name, Description: s.Description, Kind: KindSpec,
+			consts: consts, spec: s,
+		})
+	}
+
+	for i := range f.Monitors {
+		m := &f.Monitors[i]
+		line, col := m.Pos()
+		if err := addRule(m.Name, line, col); err != nil {
+			return nil, err
+		}
+		if err := rs.checkCommon(consts, m.Lets, m.Warmups, m.Severity); err != nil {
+			return nil, err
+		}
+		initial, err := rs.checkMonitor(consts, m)
+		if err != nil {
+			return nil, err
+		}
+		rs.rules = append(rs.rules, &Rule{
+			Name: m.Name, Description: m.Description, Kind: KindMonitor,
+			consts: consts, monitor: m, initial: initial,
+		})
+	}
+	return rs, nil
+}
+
+// letEnv returns the set of names visible to expressions in a rule with
+// the given lets: signals, constants, and all lets (checked for order
+// separately).
+func (rs *RuleSet) letEnv(consts map[string]float64, lets []Let) map[string]bool {
+	env := make(map[string]bool, len(consts)+len(lets))
+	for name := range consts {
+		env[name] = true
+	}
+	for _, l := range lets {
+		env[l.Name] = true
+	}
+	return env
+}
+
+func (rs *RuleSet) checkCommon(consts map[string]float64, lets []Let, warmups []Warmup, severity Expr) error {
+	partial := make(map[string]bool, len(consts))
+	for name := range consts {
+		partial[name] = true
+	}
+	for _, l := range lets {
+		line, col := l.Pos()
+		if rs.signals[l.Name] {
+			return errAt(line, col, "let %q shadows a signal", l.Name)
+		}
+		if partial[l.Name] {
+			return errAt(line, col, "duplicate binding %q", l.Name)
+		}
+		if err := rs.checkExpr(l.X, partial); err != nil {
+			return err
+		}
+		partial[l.Name] = true
+	}
+	env := rs.letEnv(consts, lets)
+	for _, w := range warmups {
+		line, col := w.Pos()
+		if w.Window <= 0 {
+			return errAt(line, col, "warmup window must be positive")
+		}
+		if w.On != nil {
+			if err := rs.checkExpr(w.On, env); err != nil {
+				return err
+			}
+		}
+	}
+	if severity != nil {
+		if err := rs.checkExpr(severity, env); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (rs *RuleSet) checkMonitor(consts map[string]float64, m *Monitor) (int, error) {
+	env := rs.letEnv(consts, m.Lets)
+	names := make(map[string]bool, len(m.States))
+	initial := -1
+	for i, st := range m.States {
+		line, col := st.Pos()
+		if names[st.Name] {
+			return 0, errAt(line, col, "duplicate state %q", st.Name)
+		}
+		names[st.Name] = true
+		if st.Initial {
+			if initial >= 0 {
+				return 0, errAt(line, col, "multiple initial states")
+			}
+			initial = i
+		}
+	}
+	if initial < 0 {
+		initial = 0
+	}
+	for _, st := range m.States {
+		for _, tr := range st.Transitions {
+			line, col := tr.Pos()
+			if tr.Kind == TransWhen {
+				if err := rs.checkExpr(tr.Guard, env); err != nil {
+					return 0, err
+				}
+			}
+			if tr.Target != "" && !names[tr.Target] {
+				return 0, errAt(line, col, "unknown target state %q", tr.Target)
+			}
+			if !tr.Violate && tr.Target == "" {
+				return 0, errAt(line, col, "non-violating transition needs a target state")
+			}
+		}
+	}
+	return initial, nil
+}
+
+// checkExpr resolves identifiers and validates builtin usage. env holds
+// the non-signal names visible at this point.
+func (rs *RuleSet) checkExpr(e Expr, env map[string]bool) error {
+	switch x := e.(type) {
+	case *NumberLit, *BoolLit:
+		return nil
+	case *Ident:
+		if rs.signals[x.Name] || env[x.Name] {
+			return nil
+		}
+		line, col := x.Pos()
+		return errAt(line, col, "unknown identifier %q", x.Name)
+	case *Unary:
+		return rs.checkExpr(x.X, env)
+	case *Binary:
+		if err := rs.checkExpr(x.L, env); err != nil {
+			return err
+		}
+		return rs.checkExpr(x.R, env)
+	case *Call:
+		arity, ok := builtins[x.Func]
+		line, col := x.Pos()
+		if !ok {
+			return errAt(line, col, "unknown function %q", x.Func)
+		}
+		if len(x.Args) != arity {
+			return errAt(line, col, "%s takes %d argument(s), got %d", x.Func, arity, len(x.Args))
+		}
+		if x.Func == "updated" {
+			id, ok := x.Args[0].(*Ident)
+			if !ok || !rs.signals[id.Name] {
+				return errAt(line, col, "updated() requires a signal name argument")
+			}
+		}
+		for _, a := range x.Args {
+			if err := rs.checkExpr(a, env); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *Temporal:
+		return rs.checkExpr(x.X, env)
+	default:
+		return fmt.Errorf("speclang: internal error: unknown expression node %T", e)
+	}
+}

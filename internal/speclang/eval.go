@@ -1,0 +1,717 @@
+package speclang
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Source provides the aligned, zero-order-hold view of a recorded trace
+// that rules are evaluated over. trace.Grid satisfies it via a thin
+// adapter in the monitor engine.
+type Source interface {
+	// NumSteps returns the number of evaluation steps.
+	NumSteps() int
+	// StepPeriod returns the step size.
+	StepPeriod() time.Duration
+	// Values returns the held value vector for a signal.
+	Values(name string) ([]float64, bool)
+	// Updated returns the per-step freshness vector for a signal.
+	Updated(name string) ([]bool, bool)
+}
+
+// DeltaMode selects the semantics of prev/delta/rate/changed over
+// multi-rate data.
+type DeltaMode int
+
+const (
+	// DeltaUpdateAware computes differences between consecutive signal
+	// *updates*, so a slow signal's trend is visible at every step.
+	// This is the paper's fix for the Section V.C.1 sampling trap and
+	// the default.
+	DeltaUpdateAware DeltaMode = iota
+	// DeltaNaive computes differences between consecutive grid steps.
+	// Held values of slow signals then look constant for most steps:
+	// increases are missed, exactly the failure mode the paper
+	// describes. Kept for the ablation experiment.
+	DeltaNaive
+)
+
+// EvalOptions tunes rule evaluation.
+type EvalOptions struct {
+	// DeltaMode selects multi-rate difference semantics.
+	DeltaMode DeltaMode
+}
+
+// Violation is one contiguous interval of rule violation.
+type Violation struct {
+	// StartStep and EndStep delimit the violating steps [start, end).
+	StartStep, EndStep int
+	// Start and End are the corresponding times.
+	Start, End time.Duration
+	// Peak is the maximum absolute severity over the interval, when the
+	// rule declares a severity expression (0 otherwise).
+	Peak float64
+	// Msg describes the violated clause.
+	Msg string
+}
+
+// Steps returns the number of violating steps in the interval.
+func (v Violation) Steps() int { return v.EndStep - v.StartStep }
+
+// Duration returns the violation duration.
+func (v Violation) Duration() time.Duration { return v.End - v.Start }
+
+// RuleResult is the verdict of one rule over one trace.
+type RuleResult struct {
+	// Name and Description identify the rule.
+	Name        string
+	Description string
+	// Violations lists the violation intervals, in time order.
+	Violations []Violation
+	// StepsChecked is the number of evaluated steps.
+	StepsChecked int
+	// StepsSuppressed is the number of steps masked by warmup windows.
+	StepsSuppressed int
+	// ActivationSteps counts the steps at which the rule was actually
+	// exercised: for a spec, some assert's top-level antecedent held
+	// (an assert without an implication counts every step); for a
+	// monitor, the machine was outside its initial state. A satisfied
+	// rule with zero activation is *vacuously* satisfied — the trace
+	// never tested it — which is weaker oracle evidence, a distinction
+	// that matters when test results feed a safety case.
+	ActivationSteps int
+}
+
+// Vacuous reports whether the rule was satisfied without ever being
+// exercised.
+func (r RuleResult) Vacuous() bool {
+	return !r.Violated() && r.ActivationSteps == 0
+}
+
+// ActivationRatio returns the fraction of checked steps at which the
+// rule was exercised.
+func (r RuleResult) ActivationRatio() float64 {
+	if r.StepsChecked == 0 {
+		return 0
+	}
+	return float64(r.ActivationSteps) / float64(r.StepsChecked)
+}
+
+// Violated reports whether the rule was violated anywhere ("V" in the
+// paper's Table I; otherwise "S").
+func (r RuleResult) Violated() bool { return len(r.Violations) > 0 }
+
+// Eval runs every rule in the set over the source.
+func (rs *RuleSet) Eval(src Source, opts EvalOptions) ([]RuleResult, error) {
+	out := make([]RuleResult, 0, len(rs.rules))
+	for _, r := range rs.rules {
+		res, err := r.Eval(src, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Eval runs one rule over the source.
+func (r *Rule) Eval(src Source, opts EvalOptions) (RuleResult, error) {
+	ev := &evaluator{
+		src:    src,
+		n:      src.NumSteps(),
+		period: src.StepPeriod(),
+		mode:   opts.DeltaMode,
+		consts: r.consts,
+		lets:   make(map[string]*series),
+	}
+	res := RuleResult{Name: r.Name, Description: r.Description, StepsChecked: ev.n}
+
+	var lets []Let
+	var warmups []Warmup
+	var severity Expr
+	if r.Kind == KindSpec {
+		lets, warmups, severity = r.spec.Lets, r.spec.Warmups, r.spec.Severity
+	} else {
+		lets, warmups, severity = r.monitor.Lets, r.monitor.Warmups, r.monitor.Severity
+	}
+	for _, l := range lets {
+		s, err := ev.eval(l.X)
+		if err != nil {
+			return res, err
+		}
+		ev.lets[l.Name] = s
+	}
+	suppressed, err := ev.warmupMask(warmups)
+	if err != nil {
+		return res, err
+	}
+	for _, s := range suppressed {
+		if s {
+			res.StepsSuppressed++
+		}
+	}
+	var sev []float64
+	if severity != nil {
+		s, err := ev.eval(severity)
+		if err != nil {
+			return res, err
+		}
+		sev = s.vals
+	}
+
+	var violating []string // per step: violation message, "" if none
+	var active []bool      // per step: the rule was exercised
+	if r.Kind == KindSpec {
+		violating, active, err = ev.evalSpec(r.spec)
+	} else {
+		violating, active, err = ev.evalMonitor(r.monitor, r.initial)
+	}
+	if err != nil {
+		return res, err
+	}
+	for _, a := range active {
+		if a {
+			res.ActivationSteps++
+		}
+	}
+	res.Violations = mergeViolations(violating, suppressed, sev, ev.period)
+	return res, nil
+}
+
+// evalSpec marks every step where some assert clause is false, and
+// every step where some assert was exercised (its top-level antecedent
+// held; an assert that is not an implication exercises every step).
+func (ev *evaluator) evalSpec(s *Spec) ([]string, []bool, error) {
+	marks := make([]string, ev.n)
+	active := make([]bool, ev.n)
+	for i, a := range s.Asserts {
+		vals, err := ev.eval(a)
+		if err != nil {
+			return nil, nil, err
+		}
+		line, _ := a.Pos()
+		msg := fmt.Sprintf("assert #%d (line %d) failed", i+1, line)
+		for t := 0; t < ev.n; t++ {
+			if marks[t] == "" && !truthy(vals.vals[t]) {
+				marks[t] = msg
+			}
+		}
+		if impl, ok := a.(*Binary); ok && impl.Op == tokArrow {
+			ante, err := ev.eval(impl.L)
+			if err != nil {
+				return nil, nil, err
+			}
+			for t := 0; t < ev.n; t++ {
+				if truthy(ante.vals[t]) {
+					active[t] = true
+				}
+			}
+		} else {
+			for t := range active {
+				active[t] = true
+			}
+		}
+	}
+	return marks, active, nil
+}
+
+// evalMonitor runs the state machine sequentially over the trace. A
+// step is "active" when the machine is outside its initial state.
+func (ev *evaluator) evalMonitor(m *Monitor, initial int) ([]string, []bool, error) {
+	marks := make([]string, ev.n)
+	active := make([]bool, ev.n)
+	states := make(map[string]int, len(m.States))
+	for i, st := range m.States {
+		states[st.Name] = i
+	}
+	// Pre-evaluate every guard.
+	type compiledTrans struct {
+		tr    *Transition
+		guard *series // nil for after-transitions
+	}
+	compiled := make([][]compiledTrans, len(m.States))
+	for i := range m.States {
+		st := &m.States[i]
+		for j := range st.Transitions {
+			tr := &st.Transitions[j]
+			ct := compiledTrans{tr: tr}
+			if tr.Kind == TransWhen {
+				g, err := ev.eval(tr.Guard)
+				if err != nil {
+					return nil, nil, err
+				}
+				ct.guard = g
+			}
+			compiled[i] = append(compiled[i], ct)
+		}
+	}
+
+	cur := initial
+	entered := 0
+	for t := 0; t < ev.n; t++ {
+		active[t] = cur != initial
+		for _, ct := range compiled[cur] {
+			fire := false
+			switch ct.tr.Kind {
+			case TransWhen:
+				fire = truthy(ct.guard.vals[t])
+			case TransAfter:
+				dwell := time.Duration(t-entered) * ev.period
+				fire = dwell >= ct.tr.Deadline
+			}
+			if !fire {
+				continue
+			}
+			if ct.tr.Violate {
+				msg := ct.tr.Msg
+				if msg == "" {
+					msg = fmt.Sprintf("violation in state %s", m.States[cur].Name)
+				}
+				marks[t] = msg
+			}
+			if ct.tr.Target != "" {
+				next := states[ct.tr.Target]
+				if next != cur {
+					cur = next
+					entered = t + 1 // dwell counts from the next step
+				}
+			}
+			break // first firing transition per step wins
+		}
+		if cur != initial {
+			active[t] = true
+		}
+	}
+	return marks, active, nil
+}
+
+// warmupMask computes the suppressed-step mask from warmup clauses.
+func (ev *evaluator) warmupMask(ws []Warmup) ([]bool, error) {
+	mask := make([]bool, ev.n)
+	for _, w := range ws {
+		steps := int(w.Window / ev.period)
+		if steps < 1 {
+			steps = 1
+		}
+		if w.On == nil {
+			for t := 0; t < steps && t < ev.n; t++ {
+				mask[t] = true
+			}
+			continue
+		}
+		on, err := ev.eval(w.On)
+		if err != nil {
+			return nil, err
+		}
+		prev := false
+		for t := 0; t < ev.n; t++ {
+			cur := truthy(on.vals[t])
+			if cur && !prev {
+				for k := t; k < t+steps && k < ev.n; k++ {
+					mask[k] = true
+				}
+			}
+			prev = cur
+		}
+	}
+	return mask, nil
+}
+
+// mergeViolations groups consecutive violating (and unsuppressed) steps
+// into intervals and attaches peak severity.
+func mergeViolations(marks []string, suppressed []bool, sev []float64, period time.Duration) []Violation {
+	var out []Violation
+	openIdx := -1
+	var peak float64
+	var msg string
+	flush := func(end int) {
+		if openIdx < 0 {
+			return
+		}
+		out = append(out, Violation{
+			StartStep: openIdx,
+			EndStep:   end,
+			Start:     time.Duration(openIdx) * period,
+			End:       time.Duration(end) * period,
+			Peak:      peak,
+			Msg:       msg,
+		})
+		openIdx = -1
+		peak = 0
+		msg = ""
+	}
+	for t := range marks {
+		bad := marks[t] != "" && !suppressed[t]
+		if !bad {
+			flush(t)
+			continue
+		}
+		if openIdx < 0 {
+			openIdx = t
+			msg = marks[t]
+		}
+		if sev != nil {
+			a := math.Abs(sev[t])
+			if math.IsNaN(a) {
+				// An unverifiable severity is maximally suspicious:
+				// never let triage call it negligible.
+				a = math.Inf(1)
+			}
+			if a > peak {
+				peak = a
+			}
+		}
+	}
+	flush(len(marks))
+	return out
+}
+
+// series is an evaluated expression: a value per step plus the per-step
+// freshness (whether any constituent signal updated at that step).
+type series struct {
+	vals []float64
+	upd  []bool
+}
+
+type evaluator struct {
+	src    Source
+	n      int
+	period time.Duration
+	mode   DeltaMode
+	consts map[string]float64
+	lets   map[string]*series
+}
+
+func truthy(v float64) bool {
+	return v != 0 && !math.IsNaN(v)
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (ev *evaluator) constant(v float64) *series {
+	vals := make([]float64, ev.n)
+	for i := range vals {
+		vals[i] = v
+	}
+	return &series{vals: vals, upd: make([]bool, ev.n)}
+}
+
+func orBits(a, b []bool) []bool {
+	out := make([]bool, len(a))
+	for i := range a {
+		out[i] = a[i] || b[i]
+	}
+	return out
+}
+
+// eval evaluates an expression into a per-step series.
+func (ev *evaluator) eval(e Expr) (*series, error) {
+	switch x := e.(type) {
+	case *NumberLit:
+		return ev.constant(x.Value), nil
+	case *BoolLit:
+		return ev.constant(b2f(x.Value)), nil
+	case *Ident:
+		if s, ok := ev.lets[x.Name]; ok {
+			return s, nil
+		}
+		if v, ok := ev.consts[x.Name]; ok {
+			return ev.constant(v), nil
+		}
+		vals, ok := ev.src.Values(x.Name)
+		if !ok {
+			line, col := x.Pos()
+			return nil, errAt(line, col, "signal %q is not present in the trace", x.Name)
+		}
+		upd, _ := ev.src.Updated(x.Name)
+		return &series{vals: vals, upd: upd}, nil
+	case *Unary:
+		s, err := ev.eval(x.X)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, ev.n)
+		if x.Op == tokNot {
+			for i, v := range s.vals {
+				out[i] = b2f(!truthy(v))
+			}
+		} else {
+			for i, v := range s.vals {
+				out[i] = -v
+			}
+		}
+		return &series{vals: out, upd: s.upd}, nil
+	case *Binary:
+		return ev.evalBinary(x)
+	case *Call:
+		return ev.evalCall(x)
+	case *Temporal:
+		return ev.evalTemporal(x)
+	default:
+		return nil, fmt.Errorf("speclang: internal error: unknown expression node %T", e)
+	}
+}
+
+func (ev *evaluator) evalBinary(x *Binary) (*series, error) {
+	l, err := ev.eval(x.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := ev.eval(x.R)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, ev.n)
+	lv, rv := l.vals, r.vals
+	switch x.Op {
+	case tokPlus:
+		for i := range out {
+			out[i] = lv[i] + rv[i]
+		}
+	case tokMinus:
+		for i := range out {
+			out[i] = lv[i] - rv[i]
+		}
+	case tokStar:
+		for i := range out {
+			out[i] = lv[i] * rv[i]
+		}
+	case tokSlash:
+		for i := range out {
+			out[i] = lv[i] / rv[i]
+		}
+	case tokAnd:
+		for i := range out {
+			out[i] = b2f(truthy(lv[i]) && truthy(rv[i]))
+		}
+	case tokOr:
+		for i := range out {
+			out[i] = b2f(truthy(lv[i]) || truthy(rv[i]))
+		}
+	case tokArrow:
+		for i := range out {
+			out[i] = b2f(!truthy(lv[i]) || truthy(rv[i]))
+		}
+	case tokLT, tokLE, tokGT, tokGE, tokEQ, tokNE:
+		for i := range out {
+			a, b := lv[i], rv[i]
+			if math.IsNaN(a) || math.IsNaN(b) {
+				// Comparisons involving NaN are false: an unverifiable
+				// claim does not hold.
+				out[i] = 0
+				continue
+			}
+			var ok bool
+			switch x.Op {
+			case tokLT:
+				ok = a < b
+			case tokLE:
+				ok = a <= b
+			case tokGT:
+				ok = a > b
+			case tokGE:
+				ok = a >= b
+			case tokEQ:
+				ok = a == b
+			case tokNE:
+				ok = a != b
+			}
+			out[i] = b2f(ok)
+		}
+	default:
+		return nil, fmt.Errorf("speclang: internal error: unknown binary op %v", x.Op)
+	}
+	return &series{vals: out, upd: orBits(l.upd, r.upd)}, nil
+}
+
+func (ev *evaluator) evalCall(x *Call) (*series, error) {
+	args := make([]*series, len(x.Args))
+	for i, a := range x.Args {
+		s, err := ev.eval(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = s
+	}
+	out := make([]float64, ev.n)
+	switch x.Func {
+	case "prev":
+		prevVals, _ := ev.prevOf(args[0])
+		return &series{vals: prevVals, upd: args[0].upd}, nil
+	case "delta":
+		prevVals, _ := ev.prevOf(args[0])
+		for i := range out {
+			out[i] = args[0].vals[i] - prevVals[i]
+		}
+	case "rate":
+		prevVals, gaps := ev.prevOf(args[0])
+		for i := range out {
+			out[i] = (args[0].vals[i] - prevVals[i]) / gaps[i]
+		}
+	case "changed":
+		prevVals, _ := ev.prevOf(args[0])
+		for i := range out {
+			d := args[0].vals[i] - prevVals[i]
+			out[i] = b2f(!math.IsNaN(d) && d != 0)
+		}
+	case "rise":
+		for i := range out {
+			cur := truthy(args[0].vals[i])
+			was := i > 0 && truthy(args[0].vals[i-1])
+			out[i] = b2f(cur && !was)
+		}
+	case "fall":
+		for i := range out {
+			cur := truthy(args[0].vals[i])
+			was := i > 0 && truthy(args[0].vals[i-1])
+			out[i] = b2f(!cur && was)
+		}
+	case "updated":
+		for i := range out {
+			out[i] = b2f(args[0].upd[i])
+		}
+	case "valid":
+		for i, v := range args[0].vals {
+			out[i] = b2f(!math.IsNaN(v) && !math.IsInf(v, 0))
+		}
+	case "abs":
+		for i, v := range args[0].vals {
+			out[i] = math.Abs(v)
+		}
+	case "min":
+		for i := range out {
+			out[i] = math.Min(args[0].vals[i], args[1].vals[i])
+		}
+	case "max":
+		for i := range out {
+			out[i] = math.Max(args[0].vals[i], args[1].vals[i])
+		}
+	case "cond":
+		for i := range out {
+			if truthy(args[0].vals[i]) {
+				out[i] = args[1].vals[i]
+			} else {
+				out[i] = args[2].vals[i]
+			}
+		}
+	default:
+		return nil, fmt.Errorf("speclang: internal error: unknown builtin %q", x.Func)
+	}
+	upd := args[0].upd
+	for _, a := range args[1:] {
+		upd = orBits(upd, a.upd)
+	}
+	return &series{vals: out, upd: upd}, nil
+}
+
+// prevOf returns, per step, the previous value of the series and the
+// elapsed time (in seconds) between that value and the current one,
+// according to the configured delta mode.
+//
+// Under DeltaNaive the previous value is simply the prior step's value.
+// Under DeltaUpdateAware it is the value at the update *before* the one
+// currently held — so during held steps of a slow signal, prev keeps
+// pointing one update back and delta exposes the inter-update trend
+// instead of reading as zero.
+func (ev *evaluator) prevOf(s *series) (prevVals, gapSeconds []float64) {
+	prevVals = make([]float64, ev.n)
+	gapSeconds = make([]float64, ev.n)
+	period := ev.period.Seconds()
+	if ev.mode == DeltaNaive {
+		for i := range prevVals {
+			if i == 0 {
+				prevVals[i] = math.NaN()
+			} else {
+				prevVals[i] = s.vals[i-1]
+			}
+			gapSeconds[i] = period
+		}
+		return prevVals, gapSeconds
+	}
+	prevUpd := math.NaN()
+	prevStep := -1
+	curVal := math.NaN()
+	curStep := -1
+	for i := 0; i < ev.n; i++ {
+		if s.upd[i] {
+			prevUpd, prevStep = curVal, curStep
+			curVal, curStep = s.vals[i], i
+		}
+		prevVals[i] = prevUpd
+		if prevStep >= 0 && curStep > prevStep {
+			gapSeconds[i] = float64(curStep-prevStep) * period
+		} else {
+			gapSeconds[i] = period
+		}
+	}
+	return prevVals, gapSeconds
+}
+
+// evalTemporal evaluates a bounded temporal window. The future
+// operators (always/eventually) scan [t+lo, t+hi]; the past operators
+// (historically/once) scan [t-hi, t-lo].
+//
+// Truncation policy: when the window extends past the end of the trace
+// (future) or before its start (past), missing evidence is treated as
+// benign — the existential operators do not report a violation they
+// cannot confirm, and the universal ones fail only on a witnessed
+// falsification. This matches the partial-oracle philosophy: only
+// confirmed violations count.
+func (ev *evaluator) evalTemporal(x *Temporal) (*series, error) {
+	s, err := ev.eval(x.X)
+	if err != nil {
+		return nil, err
+	}
+	lo := int(x.Lo / ev.period)
+	hi := int(x.Hi / ev.period)
+	// Prefix sums of truthiness for O(1) window queries.
+	pref := make([]int, ev.n+1)
+	for i := 0; i < ev.n; i++ {
+		pref[i+1] = pref[i]
+		if truthy(s.vals[i]) {
+			pref[i+1]++
+		}
+	}
+	exists := x.Op == "eventually" || x.Op == "once"
+	out := make([]float64, ev.n)
+	for t := 0; t < ev.n; t++ {
+		var a, b int
+		var truncated bool
+		if x.Past() {
+			a, b = t-hi, t-lo
+			if a < 0 {
+				a = 0
+				truncated = true
+			}
+		} else {
+			a, b = t+lo, t+hi
+			if b > ev.n-1 {
+				b = ev.n - 1
+				truncated = true
+			}
+		}
+		if a > b {
+			// Window entirely outside the trace: no evidence.
+			out[t] = 1
+			continue
+		}
+		count := pref[b+1] - pref[a]
+		window := b - a + 1
+		if exists {
+			if count > 0 || truncated {
+				out[t] = 1
+			}
+		} else {
+			if count == window {
+				out[t] = 1
+			}
+		}
+	}
+	return &series{vals: out, upd: s.upd}, nil
+}

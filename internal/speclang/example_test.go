@@ -1,0 +1,118 @@
+package speclang_test
+
+import (
+	"fmt"
+	"time"
+
+	"cpsmon/internal/speclang"
+)
+
+// exampleSource is a small aligned data source for the examples.
+type exampleSource struct {
+	vals map[string][]float64
+	n    int
+}
+
+func (s *exampleSource) NumSteps() int             { return s.n }
+func (s *exampleSource) StepPeriod() time.Duration { return 10 * time.Millisecond }
+func (s *exampleSource) Values(name string) ([]float64, bool) {
+	v, ok := s.vals[name]
+	return v, ok
+}
+func (s *exampleSource) Updated(name string) ([]bool, bool) {
+	v, ok := s.vals[name]
+	if !ok {
+		return nil, false
+	}
+	upd := make([]bool, len(v))
+	for i := range upd {
+		upd[i] = true
+	}
+	return upd, true
+}
+
+// Example_offline shows the whole offline pipeline: parse a rule,
+// compile it against a signal universe, and evaluate it over a trace.
+func Example_offline() {
+	file, err := speclang.Parse(`
+spec DecelIsNegative "a requested deceleration decelerates" {
+    assert BrakeRequested -> RequestedDecel <= 0.0
+}`)
+	if err != nil {
+		panic(err)
+	}
+	rules, err := speclang.Compile(file, []string{"BrakeRequested", "RequestedDecel"})
+	if err != nil {
+		panic(err)
+	}
+	src := &exampleSource{
+		n: 5,
+		vals: map[string][]float64{
+			"BrakeRequested": {0, 1, 1, 1, 0},
+			"RequestedDecel": {0, -1.5, 0.3, -1.5, 0},
+		},
+	}
+	results, err := rules.Eval(src, speclang.EvalOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, res := range results {
+		fmt.Printf("%s: violated=%v violations=%d\n", res.Name, res.Violated(), len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Printf("  at %v for %v\n", v.Start, v.Duration())
+		}
+	}
+	// Output:
+	// DecelIsNegative: violated=true violations=1
+	//   at 20ms for 10ms
+}
+
+// Example_online shows the streaming path: the same rule evaluated one
+// step at a time, with events delivered as they become decidable.
+func Example_online() {
+	file, err := speclang.Parse(`spec Spike { assert x <= 1.0 }`)
+	if err != nil {
+		panic(err)
+	}
+	rules, err := speclang.Compile(file, []string{"x"})
+	if err != nil {
+		panic(err)
+	}
+	checker, err := rules.NewStreamChecker([]string{"x"}, 10*time.Millisecond, speclang.EvalOptions{})
+	if err != nil {
+		panic(err)
+	}
+	for _, v := range []float64{0, 2, 2, 0} {
+		events, err := checker.Step([]float64{v}, []bool{true})
+		if err != nil {
+			panic(err)
+		}
+		for _, e := range events {
+			switch e.Kind {
+			case speclang.ViolationBegin:
+				fmt.Printf("begin at %v\n", e.Time)
+			case speclang.ViolationEnd:
+				fmt.Printf("end at %v (%v)\n", e.Time, e.Violation.Duration())
+			}
+		}
+	}
+	if _, err := checker.Finish(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// begin at 10ms
+	// end at 30ms (20ms)
+}
+
+// ExampleFormat shows the canonical formatter.
+func ExampleFormat() {
+	file, err := speclang.Parse(`spec R{assert (a&&b)->eventually[0:400ms](x<=0)}`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(speclang.Format(file))
+	// Output:
+	// spec R {
+	//     assert a && b -> eventually[0s:400ms](x <= 0)
+	// }
+}

@@ -1,0 +1,53 @@
+package speclang
+
+import (
+	"testing"
+)
+
+// FuzzParse exercises the lexer and parser with arbitrary input: they
+// must return an error or a File, never panic, and anything that parses
+// must survive a format/reparse round trip. The seed corpus covers
+// every syntactic construct; `go test` runs the seeds, and
+// `go test -fuzz=FuzzParse ./internal/speclang` explores further.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"spec R { assert x }",
+		`const k = -1.5
+spec R "d" {
+    let d = delta(x)
+    warmup 100ms on rise(b)
+    severity abs(d)
+    assert (b -> d <= k) && eventually[0:400ms](d <= 0)
+}`,
+		`monitor M {
+    initial state A { when always[0:30ms](x) => violate "m" then B }
+    state B { after 5s => A }
+}`,
+		"spec P { assert once[20ms:60ms](x) || historically[0:10ms](x) }",
+		"spec Q { assert cond(a, min(x, y), max(x, y)) != 0 / 0 }",
+		"spec Bad { assert ",
+		"monitor Bad { state A {",
+		"spec S { assert 1e309 > 4.9e-324 }",
+		"spec U { assert updated(x) && valid(x) }",
+		"// just a comment",
+		"spec R { assert \"string where expr expected\" }",
+		"spec R { assert x } spec R { assert x }",
+		"const a = 1 const a = 2",
+		"spec W { warmup 0ms assert x }",
+		"spec N { assert !!!x == --x }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		printed := Format(file)
+		if _, err := Parse(printed); err != nil {
+			t.Fatalf("formatted output does not reparse: %v\n--- input ---\n%q\n--- output ---\n%s", err, src, printed)
+		}
+	})
+}

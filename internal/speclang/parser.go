@@ -1,0 +1,612 @@
+package speclang
+
+import (
+	"time"
+)
+
+// Parse parses a specification source file.
+func Parse(src string) (*File, error) {
+	p := &parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseFile()
+}
+
+type parser struct {
+	lx  *lexer
+	cur token
+}
+
+func (p *parser) advance() error {
+	tk, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.cur = tk
+	return nil
+}
+
+func (p *parser) errHere(format string, args ...any) error {
+	return errAt(p.cur.line, p.cur.col, format, args...)
+}
+
+// expect consumes a token of the given kind or fails.
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.cur.kind != kind {
+		return token{}, p.errHere("expected %v, found %v", kind, p.describeCur())
+	}
+	tk := p.cur
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return tk, nil
+}
+
+func (p *parser) describeCur() string {
+	if p.cur.kind == tokIdent {
+		return "'" + p.cur.text + "'"
+	}
+	return p.cur.kind.String()
+}
+
+// atKeyword reports whether the current token is the given keyword.
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur.kind == tokIdent && p.cur.text == kw
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errHere("expected '%s', found %v", kw, p.describeCur())
+	}
+	return p.advance()
+}
+
+func (p *parser) parseFile() (*File, error) {
+	f := &File{}
+	for p.cur.kind != tokEOF {
+		switch {
+		case p.atKeyword("const"):
+			c, err := p.parseConst()
+			if err != nil {
+				return nil, err
+			}
+			f.Consts = append(f.Consts, c)
+		case p.atKeyword("spec"):
+			s, err := p.parseSpec()
+			if err != nil {
+				return nil, err
+			}
+			f.Specs = append(f.Specs, s)
+		case p.atKeyword("monitor"):
+			m, err := p.parseMonitor()
+			if err != nil {
+				return nil, err
+			}
+			f.Monitors = append(f.Monitors, m)
+		default:
+			return nil, p.errHere("expected 'const', 'spec' or 'monitor', found %v", p.describeCur())
+		}
+	}
+	return f, nil
+}
+
+func (p *parser) parseConst() (Const, error) {
+	c := Const{pos: pos{p.cur.line, p.cur.col}}
+	if err := p.advance(); err != nil { // const
+		return c, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return c, err
+	}
+	c.Name = name.text
+	if _, err := p.expect(tokAssign); err != nil {
+		return c, err
+	}
+	neg := false
+	if p.cur.kind == tokMinus {
+		neg = true
+		if err := p.advance(); err != nil {
+			return c, err
+		}
+	}
+	num, err := p.expect(tokNumber)
+	if err != nil {
+		return c, err
+	}
+	c.Value = num.num
+	if neg {
+		c.Value = -c.Value
+	}
+	return c, nil
+}
+
+// parseHeader parses `<name> <optional description string> {`.
+func (p *parser) parseHeader() (name, desc string, err error) {
+	tk, err := p.expect(tokIdent)
+	if err != nil {
+		return "", "", err
+	}
+	name = tk.text
+	if p.cur.kind == tokString {
+		desc = p.cur.text
+		if err := p.advance(); err != nil {
+			return "", "", err
+		}
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return "", "", err
+	}
+	return name, desc, nil
+}
+
+func (p *parser) parseSpec() (Spec, error) {
+	s := Spec{pos: pos{p.cur.line, p.cur.col}}
+	if err := p.advance(); err != nil { // spec
+		return s, err
+	}
+	var err error
+	s.Name, s.Description, err = p.parseHeader()
+	if err != nil {
+		return s, err
+	}
+	for p.cur.kind != tokRBrace {
+		switch {
+		case p.atKeyword("let"):
+			l, err := p.parseLet()
+			if err != nil {
+				return s, err
+			}
+			s.Lets = append(s.Lets, l)
+		case p.atKeyword("warmup"):
+			w, err := p.parseWarmup()
+			if err != nil {
+				return s, err
+			}
+			s.Warmups = append(s.Warmups, w)
+		case p.atKeyword("severity"):
+			if s.Severity != nil {
+				return s, p.errHere("duplicate severity clause")
+			}
+			if err := p.advance(); err != nil {
+				return s, err
+			}
+			s.Severity, err = p.parseExpr()
+			if err != nil {
+				return s, err
+			}
+		case p.atKeyword("assert"):
+			if err := p.advance(); err != nil {
+				return s, err
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return s, err
+			}
+			s.Asserts = append(s.Asserts, e)
+		default:
+			return s, p.errHere("expected 'let', 'warmup', 'severity' or 'assert', found %v", p.describeCur())
+		}
+	}
+	if err := p.advance(); err != nil { // }
+		return s, err
+	}
+	if len(s.Asserts) == 0 {
+		line, col := s.Pos()
+		return s, errAt(line, col, "spec %q has no assert clause", s.Name)
+	}
+	return s, nil
+}
+
+func (p *parser) parseLet() (Let, error) {
+	l := Let{pos: pos{p.cur.line, p.cur.col}}
+	if err := p.advance(); err != nil { // let
+		return l, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return l, err
+	}
+	l.Name = name.text
+	if _, err := p.expect(tokAssign); err != nil {
+		return l, err
+	}
+	l.X, err = p.parseExpr()
+	return l, err
+}
+
+func (p *parser) parseWarmup() (Warmup, error) {
+	w := Warmup{pos: pos{p.cur.line, p.cur.col}}
+	if err := p.advance(); err != nil { // warmup
+		return w, err
+	}
+	d, err := p.expect(tokDuration)
+	if err != nil {
+		return w, err
+	}
+	w.Window = d.dur
+	if p.atKeyword("on") {
+		if err := p.advance(); err != nil {
+			return w, err
+		}
+		w.On, err = p.parseExpr()
+		if err != nil {
+			return w, err
+		}
+	}
+	return w, nil
+}
+
+func (p *parser) parseMonitor() (Monitor, error) {
+	m := Monitor{pos: pos{p.cur.line, p.cur.col}}
+	if err := p.advance(); err != nil { // monitor
+		return m, err
+	}
+	var err error
+	m.Name, m.Description, err = p.parseHeader()
+	if err != nil {
+		return m, err
+	}
+	for p.cur.kind != tokRBrace {
+		switch {
+		case p.atKeyword("let"):
+			l, err := p.parseLet()
+			if err != nil {
+				return m, err
+			}
+			m.Lets = append(m.Lets, l)
+		case p.atKeyword("warmup"):
+			w, err := p.parseWarmup()
+			if err != nil {
+				return m, err
+			}
+			m.Warmups = append(m.Warmups, w)
+		case p.atKeyword("severity"):
+			if m.Severity != nil {
+				return m, p.errHere("duplicate severity clause")
+			}
+			if err := p.advance(); err != nil {
+				return m, err
+			}
+			m.Severity, err = p.parseExpr()
+			if err != nil {
+				return m, err
+			}
+		case p.atKeyword("initial"), p.atKeyword("state"):
+			st, err := p.parseState()
+			if err != nil {
+				return m, err
+			}
+			m.States = append(m.States, st)
+		default:
+			return m, p.errHere("expected 'let', 'warmup', 'severity' or 'state', found %v", p.describeCur())
+		}
+	}
+	if err := p.advance(); err != nil { // }
+		return m, err
+	}
+	if len(m.States) == 0 {
+		line, col := m.Pos()
+		return m, errAt(line, col, "monitor %q has no states", m.Name)
+	}
+	return m, nil
+}
+
+func (p *parser) parseState() (State, error) {
+	st := State{pos: pos{p.cur.line, p.cur.col}}
+	if p.atKeyword("initial") {
+		st.Initial = true
+		if err := p.advance(); err != nil {
+			return st, err
+		}
+	}
+	if err := p.expectKeyword("state"); err != nil {
+		return st, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return st, err
+	}
+	st.Name = name.text
+	if _, err := p.expect(tokLBrace); err != nil {
+		return st, err
+	}
+	for p.cur.kind != tokRBrace {
+		tr, err := p.parseTransition()
+		if err != nil {
+			return st, err
+		}
+		st.Transitions = append(st.Transitions, tr)
+	}
+	return st, p.advance() // }
+}
+
+func (p *parser) parseTransition() (Transition, error) {
+	tr := Transition{pos: pos{p.cur.line, p.cur.col}}
+	switch {
+	case p.atKeyword("when"):
+		tr.Kind = TransWhen
+		if err := p.advance(); err != nil {
+			return tr, err
+		}
+		var err error
+		tr.Guard, err = p.parseExpr()
+		if err != nil {
+			return tr, err
+		}
+	case p.atKeyword("after"):
+		tr.Kind = TransAfter
+		if err := p.advance(); err != nil {
+			return tr, err
+		}
+		d, err := p.expect(tokDuration)
+		if err != nil {
+			return tr, err
+		}
+		if d.dur <= 0 {
+			return tr, errAt(d.line, d.col, "'after' deadline must be positive")
+		}
+		tr.Deadline = d.dur
+	default:
+		return tr, p.errHere("expected 'when' or 'after', found %v", p.describeCur())
+	}
+	if _, err := p.expect(tokFatArrow); err != nil {
+		return tr, err
+	}
+	if p.atKeyword("violate") {
+		tr.Violate = true
+		if err := p.advance(); err != nil {
+			return tr, err
+		}
+		if p.cur.kind == tokString {
+			tr.Msg = p.cur.text
+			if err := p.advance(); err != nil {
+				return tr, err
+			}
+		}
+		if p.atKeyword("then") {
+			if err := p.advance(); err != nil {
+				return tr, err
+			}
+			tgt, err := p.expect(tokIdent)
+			if err != nil {
+				return tr, err
+			}
+			tr.Target = tgt.text
+		}
+		return tr, nil
+	}
+	tgt, err := p.expect(tokIdent)
+	if err != nil {
+		return tr, err
+	}
+	tr.Target = tgt.text
+	return tr, nil
+}
+
+// Expression grammar, loosest to tightest:
+//
+//	expr   := or ('->' expr)?          (implication, right associative)
+//	or     := and ('||' and)*
+//	and    := cmp ('&&' cmp)*
+//	cmp    := add (('<'|'<='|'>'|'>='|'=='|'!=') add)?
+//	add    := mul (('+'|'-') mul)*
+//	mul    := unary (('*'|'/') unary)*
+//	unary  := ('!'|'-') unary | primary
+//	primary:= NUMBER | 'true' | 'false' | IDENT | IDENT '(' args ')'
+//	       | ('always'|'eventually') '[' DUR ':' DUR ']' '(' expr ')'
+//	       | '(' expr ')'
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur.kind == tokArrow {
+		at := pos{p.cur.line, p.cur.col}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{pos: at, Op: tokArrow, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseBinaryChain(sub func() (Expr, error), ops ...tokenKind) (Expr, error) {
+	l, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.cur.kind == op {
+				at := pos{p.cur.line, p.cur.col}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				r, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				l = &Binary{pos: at, Op: op, L: l, R: r}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	return p.parseBinaryChain(p.parseAnd, tokOr)
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	return p.parseBinaryChain(p.parseCmp, tokAnd)
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur.kind {
+	case tokLT, tokLE, tokGT, tokGE, tokEQ, tokNE:
+		op := p.cur.kind
+		at := pos{p.cur.line, p.cur.col}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return &Binary{pos: at, Op: op, L: l, R: r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	return p.parseBinaryChain(p.parseMul, tokPlus, tokMinus)
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	return p.parseBinaryChain(p.parseUnary, tokStar, tokSlash)
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.cur.kind == tokNot || p.cur.kind == tokMinus {
+		op := p.cur.kind
+		at := pos{p.cur.line, p.cur.col}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{pos: at, Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.cur.kind {
+	case tokNumber:
+		e := &NumberLit{pos: pos{p.cur.line, p.cur.col}, Value: p.cur.num}
+		return e, p.advance()
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		_, err = p.expect(tokRParen)
+		return e, err
+	case tokIdent:
+		switch p.cur.text {
+		case "true", "false":
+			e := &BoolLit{pos: pos{p.cur.line, p.cur.col}, Value: p.cur.text == "true"}
+			return e, p.advance()
+		case "always", "eventually", "once", "historically":
+			return p.parseTemporal()
+		}
+		name := p.cur.text
+		at := pos{p.cur.line, p.cur.col}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.cur.kind != tokLParen {
+			return &Ident{pos: at, Name: name}, nil
+		}
+		if err := p.advance(); err != nil { // (
+			return nil, err
+		}
+		call := &Call{pos: at, Func: name}
+		if p.cur.kind != tokRParen {
+			for {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if p.cur.kind != tokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		_, err := p.expect(tokRParen)
+		return call, err
+	default:
+		return nil, p.errHere("expected an expression, found %v", p.describeCur())
+	}
+}
+
+func (p *parser) parseTemporal() (Expr, error) {
+	t := &Temporal{pos: pos{p.cur.line, p.cur.col}, Op: p.cur.text}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if p.cur.kind != tokLBracket {
+		return nil, p.errHere("temporal operator '%s' requires a bound, e.g. %s[0ms:400ms](...)", t.Op, t.Op)
+	}
+	if err := p.advance(); err != nil { // [
+		return nil, err
+	}
+	lo, err := p.expectBound()
+	if err != nil {
+		return nil, err
+	}
+	t.Lo = lo
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	hi, err := p.expectBound()
+	if err != nil {
+		return nil, err
+	}
+	t.Hi = hi
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	if t.Lo < 0 || t.Hi < t.Lo {
+		line, col := t.Pos()
+		return nil, errAt(line, col, "invalid temporal bounds [%v:%v]", t.Lo, t.Hi)
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	t.X, err = p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	_, err = p.expect(tokRParen)
+	return t, err
+}
+
+// expectBound accepts a duration token, or the bare number 0.
+func (p *parser) expectBound() (time.Duration, error) {
+	if p.cur.kind == tokNumber && p.cur.num == 0 {
+		if err := p.advance(); err != nil {
+			return 0, err
+		}
+		return 0, nil
+	}
+	d, err := p.expect(tokDuration)
+	if err != nil {
+		return 0, err
+	}
+	return d.dur, nil
+}

@@ -1,0 +1,174 @@
+package speclang
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestParsePastOperators(t *testing.T) {
+	f, err := Parse(`spec R { assert once[0:100ms](x) && historically[20ms:50ms](x) }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	top, ok := f.Specs[0].Asserts[0].(*Binary)
+	if !ok {
+		t.Fatalf("top = %T", f.Specs[0].Asserts[0])
+	}
+	l, ok := top.L.(*Temporal)
+	if !ok || l.Op != "once" || !l.Past() {
+		t.Errorf("lhs = %+v", top.L)
+	}
+	r, ok := top.R.(*Temporal)
+	if !ok || r.Op != "historically" || !r.Past() {
+		t.Errorf("rhs = %+v", top.R)
+	}
+	fut, err := Parse(`spec R { assert always[0:1s](x) }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if a := fut.Specs[0].Asserts[0].(*Temporal); a.Past() {
+		t.Error("always classified as past")
+	}
+}
+
+func TestParsePastRequiresBounds(t *testing.T) {
+	if _, err := Parse(`spec R { assert once(x) }`); err == nil {
+		t.Fatal("unbounded once accepted")
+	}
+}
+
+func TestEvalOnce(t *testing.T) {
+	rs := compileOne(t, `spec R { assert once[0:30ms](x > 0) }`, "x")
+	src := newMemSource(10*time.Millisecond).add("x", 0, 0, 0, 0, 1, 0, 0, 0, 0, 0)
+	res := evalOne(t, rs, src)
+	// x>0 only at step 4. Steps 0..2 are start-truncated (benign);
+	// step 3's window [0,3] is complete and witness-free (violation);
+	// the witness covers steps 4..7; steps 8..9 violate again.
+	if len(res.Violations) != 2 {
+		t.Fatalf("violations = %+v", res.Violations)
+	}
+	if res.Violations[0].StartStep != 3 || res.Violations[0].EndStep != 4 {
+		t.Errorf("first interval [%d,%d), want [3,4)", res.Violations[0].StartStep, res.Violations[0].EndStep)
+	}
+	if res.Violations[1].StartStep != 8 || res.Violations[1].EndStep != 10 {
+		t.Errorf("second interval [%d,%d), want [8,10)", res.Violations[1].StartStep, res.Violations[1].EndStep)
+	}
+}
+
+func TestEvalHistorically(t *testing.T) {
+	// Debounce: flag only when the condition has held for 30ms.
+	rs := compileOne(t, `spec R { assert !(historically[0:20ms](x > 0)) }`, "x")
+	src := newMemSource(10*time.Millisecond).add("x", 0, 1, 1, 0, 1, 1, 1, 1, 0)
+	res := evalOne(t, rs, src)
+	// historically needs x>0 at steps t-2..t: true at t=6,7 only
+	// (steps 4,5,6 and 5,6,7). Steps 1,2 are start-truncated but all
+	// available entries are true -> historically true -> violation?
+	// Step 1: window [0,1] truncated to... lo=0,hi=2: [max(0,-1), 1] =
+	// [0,1]: x = 0,1 -> not all true -> no violation at 1. Step 2:
+	// [0,2] = 0,1,1 -> false. So violations exactly at 6 and 7.
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %+v", res.Violations)
+	}
+	if res.Violations[0].StartStep != 6 || res.Violations[0].EndStep != 8 {
+		t.Errorf("interval [%d,%d), want [6,8)", res.Violations[0].StartStep, res.Violations[0].EndStep)
+	}
+}
+
+func TestEvalHistoricallyStartTruncation(t *testing.T) {
+	// All-true prefix: start-truncated windows are satisfied by their
+	// available entries, so a rule requiring historically is satisfied
+	// from step 0.
+	rs := compileOne(t, `spec R { assert historically[0:50ms](x > 0) }`, "x")
+	src := newMemSource(10*time.Millisecond).add("x", 1, 1, 1, 1, 1, 1, 1, 1)
+	res := evalOne(t, rs, src)
+	if res.Violated() {
+		t.Fatalf("violations = %+v", res.Violations)
+	}
+}
+
+func TestEvalOnceWithLowBound(t *testing.T) {
+	// once[20ms:40ms]: the witness must be 2..4 steps in the past.
+	rs := compileOne(t, `spec R { assert once[20ms:40ms](x > 0) }`, "x")
+	src := newMemSource(10*time.Millisecond).add("x", 0, 1, 0, 0, 0, 0, 0, 0)
+	res := evalOne(t, rs, src)
+	// Witness at step 1 covers t in {3,4,5}. t in {0,1} has an empty
+	// window (benign); t=2 is truncated ([0,0]: x=0, truncated -> 1).
+	// t=6: window [2,4] no witness -> violation; t=7: [3,5] -> violation.
+	if len(res.Violations) != 1 || res.Violations[0].StartStep != 6 || res.Violations[0].EndStep != 8 {
+		t.Fatalf("violations = %+v", res.Violations)
+	}
+}
+
+func TestStreamPastEquivalence(t *testing.T) {
+	src := newMemSource(10*time.Millisecond).
+		add("x", 0, 1, 0, 0, 1, 1, 0, 0, 0, 1, 0, 0, 0, 0)
+	requireEquivalent(t, `spec R { assert once[0:30ms](x > 0) }`, src, EvalOptions{}, "x")
+	requireEquivalent(t, `spec R { assert once[20ms:40ms](x > 0) }`, src, EvalOptions{}, "x")
+	requireEquivalent(t, `spec R { assert historically[0:20ms](x > 0) -> once[0:50ms](x <= 0) }`, src, EvalOptions{}, "x")
+}
+
+func TestStreamPastZeroLatency(t *testing.T) {
+	// A past-only rule has no horizon: violations are decidable on the
+	// step they occur.
+	rs := compileOne(t, `spec R { assert once[0:30ms](x > 0) }`, "x")
+	sc, err := rs.NewStreamChecker([]string{"x"}, 10*time.Millisecond, EvalOptions{})
+	if err != nil {
+		t.Fatalf("NewStreamChecker: %v", err)
+	}
+	beginAt := -1
+	vals := []float64{1, 0, 0, 0, 0, 0, 0}
+	for step, v := range vals {
+		events, err := sc.Step([]float64{v}, []bool{true})
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		for _, e := range events {
+			if e.Kind == ViolationBegin && beginAt < 0 {
+				beginAt = step
+			}
+		}
+	}
+	if _, err := sc.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	// Witness at step 0 covers steps 0..3; step 4's window [1,4] has
+	// no witness and is complete -> violation begins at step 4, and it
+	// must be delivered at step 4.
+	if beginAt != 4 {
+		t.Errorf("begin delivered at step %d, want 4", beginAt)
+	}
+}
+
+func TestStreamPastRandomizedEquivalence(t *testing.T) {
+	ruleSrcs := []string{
+		`spec P1 { assert once[0:40ms](x > 0.5) }`,
+		`spec P2 { assert historically[10ms:30ms](x < 0.9) }`,
+		`spec P3 { assert rise(a) -> once[0:60ms](x > 0.3) }`,
+		`spec P4 { severity x assert historically[0:20ms](a) -> x <= 0.7 }`,
+		`monitor PM {
+			initial state N { when historically[0:30ms](x > 0.6) => violate "held high" then C }
+			state C { when x <= 0.6 => N }
+		}`,
+	}
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		n := 3 + rng.Intn(100)
+		src := newMemSource(10 * time.Millisecond)
+		xv := make([]float64, n)
+		av := make([]float64, n)
+		xu := make([]bool, n)
+		for i := 0; i < n; i++ {
+			xv[i] = rng.Float64()
+			if rng.Float64() < 0.5 {
+				av[i] = 1
+			}
+			xu[i] = true
+		}
+		src.addWithUpd("x", xv, xu)
+		src.addWithUpd("a", av, append([]bool(nil), xu...))
+		for _, ruleSrc := range ruleSrcs {
+			requireEquivalent(t, ruleSrc, src, EvalOptions{}, "x", "a")
+		}
+	}
+}

@@ -1,0 +1,271 @@
+package speclang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Format renders a parsed file back to canonical specification source.
+// Parsing the output yields an equivalent file (the round trip is
+// property-tested), which makes the printer usable for normalizing
+// rule files and for embedding generated rules in reports.
+func Format(f *File) string {
+	var sb strings.Builder
+	for i, c := range f.Consts {
+		if i > 0 {
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(&sb, "const %s = %s\n", c.Name, formatNumber(c.Value))
+	}
+	for i := range f.Specs {
+		if sb.Len() > 0 {
+			sb.WriteByte('\n')
+		}
+		formatSpec(&sb, &f.Specs[i])
+	}
+	for i := range f.Monitors {
+		if sb.Len() > 0 {
+			sb.WriteByte('\n')
+		}
+		formatMonitor(&sb, &f.Monitors[i])
+	}
+	return sb.String()
+}
+
+func formatSpec(sb *strings.Builder, s *Spec) {
+	writeHeader(sb, "spec", s.Name, s.Description)
+	writeCommon(sb, s.Lets, s.Warmups, s.Severity)
+	for _, a := range s.Asserts {
+		fmt.Fprintf(sb, "    assert %s\n", FormatExpr(a))
+	}
+	sb.WriteString("}\n")
+}
+
+func formatMonitor(sb *strings.Builder, m *Monitor) {
+	writeHeader(sb, "monitor", m.Name, m.Description)
+	writeCommon(sb, m.Lets, m.Warmups, m.Severity)
+	for i := range m.States {
+		st := &m.States[i]
+		prefix := "    "
+		if st.Initial {
+			fmt.Fprintf(sb, "%sinitial state %s {\n", prefix, st.Name)
+		} else {
+			fmt.Fprintf(sb, "%sstate %s {\n", prefix, st.Name)
+		}
+		for j := range st.Transitions {
+			tr := &st.Transitions[j]
+			sb.WriteString("        ")
+			if tr.Kind == TransWhen {
+				fmt.Fprintf(sb, "when %s => ", FormatExpr(tr.Guard))
+			} else {
+				fmt.Fprintf(sb, "after %s => ", formatDuration(tr.Deadline))
+			}
+			if tr.Violate {
+				sb.WriteString("violate")
+				if tr.Msg != "" {
+					fmt.Fprintf(sb, " %s", strconv.Quote(tr.Msg))
+				}
+				if tr.Target != "" {
+					fmt.Fprintf(sb, " then %s", tr.Target)
+				}
+			} else {
+				sb.WriteString(tr.Target)
+			}
+			sb.WriteByte('\n')
+		}
+		fmt.Fprintf(sb, "%s}\n", prefix)
+	}
+	sb.WriteString("}\n")
+}
+
+func writeHeader(sb *strings.Builder, kind, name, desc string) {
+	fmt.Fprintf(sb, "%s %s", kind, name)
+	if desc != "" {
+		fmt.Fprintf(sb, " %s", strconv.Quote(desc))
+	}
+	sb.WriteString(" {\n")
+}
+
+func writeCommon(sb *strings.Builder, lets []Let, warmups []Warmup, severity Expr) {
+	for _, l := range lets {
+		fmt.Fprintf(sb, "    let %s = %s\n", l.Name, FormatExpr(l.X))
+	}
+	for _, w := range warmups {
+		if w.On == nil {
+			fmt.Fprintf(sb, "    warmup %s\n", formatDuration(w.Window))
+		} else {
+			fmt.Fprintf(sb, "    warmup %s on %s\n", formatDuration(w.Window), FormatExpr(w.On))
+		}
+	}
+	if severity != nil {
+		fmt.Fprintf(sb, "    severity %s\n", FormatExpr(severity))
+	}
+}
+
+// FormatExpr renders an expression with minimal parentheses: children
+// are parenthesized only when their operator binds more loosely than
+// their parent requires.
+func FormatExpr(e Expr) string {
+	var sb strings.Builder
+	writeExpr(&sb, e, 0)
+	return sb.String()
+}
+
+// Precedence levels, loosest to tightest. A child is wrapped when its
+// level is lower than the minimum its context requires.
+const (
+	precImply = iota + 1
+	precOr
+	precAnd
+	precCmp
+	precAdd
+	precMul
+	precUnary
+	precPrimary
+)
+
+func precOf(e Expr) int {
+	switch x := e.(type) {
+	case *Binary:
+		switch x.Op {
+		case tokArrow:
+			return precImply
+		case tokOr:
+			return precOr
+		case tokAnd:
+			return precAnd
+		case tokLT, tokLE, tokGT, tokGE, tokEQ, tokNE:
+			return precCmp
+		case tokPlus, tokMinus:
+			return precAdd
+		default:
+			return precMul
+		}
+	case *Unary:
+		return precUnary
+	case *NumberLit:
+		// Negative literals print with a leading minus: unary level.
+		if x.Value < 0 {
+			return precUnary
+		}
+		return precPrimary
+	default:
+		return precPrimary
+	}
+}
+
+func writeExpr(sb *strings.Builder, e Expr, min int) {
+	if precOf(e) < min {
+		sb.WriteByte('(')
+		writeExprInner(sb, e)
+		sb.WriteByte(')')
+		return
+	}
+	writeExprInner(sb, e)
+}
+
+func writeExprInner(sb *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *NumberLit:
+		sb.WriteString(formatNumber(x.Value))
+	case *BoolLit:
+		if x.Value {
+			sb.WriteString("true")
+		} else {
+			sb.WriteString("false")
+		}
+	case *Ident:
+		sb.WriteString(x.Name)
+	case *Unary:
+		if x.Op == tokNot {
+			sb.WriteByte('!')
+		} else {
+			sb.WriteByte('-')
+		}
+		writeExpr(sb, x.X, precUnary)
+	case *Binary:
+		p := precOf(x)
+		var op string
+		switch x.Op {
+		case tokArrow:
+			op = "->"
+		case tokOr:
+			op = "||"
+		case tokAnd:
+			op = "&&"
+		case tokLT:
+			op = "<"
+		case tokLE:
+			op = "<="
+		case tokGT:
+			op = ">"
+		case tokGE:
+			op = ">="
+		case tokEQ:
+			op = "=="
+		case tokNE:
+			op = "!="
+		case tokPlus:
+			op = "+"
+		case tokMinus:
+			op = "-"
+		case tokStar:
+			op = "*"
+		case tokSlash:
+			op = "/"
+		}
+		switch x.Op {
+		case tokArrow:
+			// Right associative: the left side must bind tighter.
+			writeExpr(sb, x.L, p+1)
+			fmt.Fprintf(sb, " %s ", op)
+			writeExpr(sb, x.R, p)
+		case tokLT, tokLE, tokGT, tokGE, tokEQ, tokNE:
+			// Non-associative: both sides must bind tighter.
+			writeExpr(sb, x.L, p+1)
+			fmt.Fprintf(sb, " %s ", op)
+			writeExpr(sb, x.R, p+1)
+		default:
+			// Left associative chains.
+			writeExpr(sb, x.L, p)
+			fmt.Fprintf(sb, " %s ", op)
+			writeExpr(sb, x.R, p+1)
+		}
+	case *Call:
+		sb.WriteString(x.Func)
+		sb.WriteByte('(')
+		for i, a := range x.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			writeExpr(sb, a, 0)
+		}
+		sb.WriteByte(')')
+	case *Temporal:
+		fmt.Fprintf(sb, "%s[%s:%s](", x.Op, formatDuration(x.Lo), formatDuration(x.Hi))
+		writeExpr(sb, x.X, 0)
+		sb.WriteByte(')')
+	}
+}
+
+func formatNumber(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatDuration(d time.Duration) string {
+	if d == 0 {
+		// "0s" rather than a bare "0": every duration position accepts
+		// it, including warmup clauses which require a duration token.
+		return "0s"
+	}
+	if d%time.Second == 0 {
+		return strconv.FormatInt(int64(d/time.Second), 10) + "s"
+	}
+	if d%time.Millisecond == 0 {
+		return strconv.FormatInt(int64(d/time.Millisecond), 10) + "ms"
+	}
+	// Sub-millisecond bounds round trip through fractional ms.
+	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'g', -1, 64) + "ms"
+}

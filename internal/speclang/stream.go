@@ -1,0 +1,576 @@
+package speclang
+
+import (
+	"math"
+	"time"
+)
+
+// This file implements incremental (online) rule evaluation. The paper
+// monitored offline "due to time and complexity constraints of the
+// experiments" but notes that "there is no fundamental reason the
+// monitoring could not be done at runtime"; this evaluator is that
+// runtime path. It consumes aligned steps one at a time, keeps only
+// bounded per-node state (ring buffers no longer than the temporal
+// horizon), and produces exactly the same violations as the offline
+// evaluator — a property the test suite checks exhaustively.
+//
+// Every expression node becomes a stream: per input step it emits one
+// output, delayed by the node's temporal lookahead. A bounded
+// eventually[lo:hi] can only decide step s once step s+hi has been
+// seen, so its output delay is hi steps (plus its child's); parents
+// align children of different delays with small FIFO queues. After the
+// final input step, Finish drains the pipelines using the same
+// truncated-window semantics as the offline evaluator.
+
+// streamOut is one aligned output of a stream node: the value plus the
+// freshness bit (whether any constituent signal updated that step).
+type streamOut struct {
+	val float64
+	upd bool
+}
+
+// stream is an incremental expression evaluator.
+type stream interface {
+	// delay returns the output delay in steps: output i is produced
+	// while consuming input step i+delay().
+	delay() int
+	// step consumes one input step and returns the next output, with
+	// ok=false while the pipeline is still filling.
+	step(ctx *stepCtx) (streamOut, bool)
+	// drain returns the outputs still in flight after the last input
+	// step, applying end-of-trace truncation semantics.
+	drain() []streamOut
+}
+
+// stepCtx carries the raw values of the current step, indexed by the
+// checker's signal order.
+type stepCtx struct {
+	vals []float64
+	upd  []bool
+}
+
+// ---------- leaves ----------
+
+type signalStream struct {
+	idx int
+}
+
+func (s *signalStream) delay() int { return 0 }
+func (s *signalStream) step(ctx *stepCtx) (streamOut, bool) {
+	return streamOut{val: ctx.vals[s.idx], upd: ctx.upd[s.idx]}, true
+}
+func (s *signalStream) drain() []streamOut { return nil }
+
+type constStream struct {
+	v float64
+}
+
+func (s *constStream) delay() int { return 0 }
+func (s *constStream) step(*stepCtx) (streamOut, bool) {
+	return streamOut{val: s.v}, true
+}
+func (s *constStream) drain() []streamOut { return nil }
+
+// ---------- unary ----------
+
+type unaryStream struct {
+	op    tokenKind
+	child stream
+}
+
+func (s *unaryStream) delay() int { return s.child.delay() }
+func (s *unaryStream) apply(o streamOut) streamOut {
+	if s.op == tokNot {
+		o.val = b2f(!truthy(o.val))
+	} else {
+		o.val = -o.val
+	}
+	return o
+}
+func (s *unaryStream) step(ctx *stepCtx) (streamOut, bool) {
+	o, ok := s.child.step(ctx)
+	if !ok {
+		return streamOut{}, false
+	}
+	return s.apply(o), true
+}
+func (s *unaryStream) drain() []streamOut {
+	rest := s.child.drain()
+	out := make([]streamOut, len(rest))
+	for i, o := range rest {
+		out[i] = s.apply(o)
+	}
+	return out
+}
+
+// ---------- binary ----------
+
+type binaryStream struct {
+	op   tokenKind
+	l, r stream
+	// lq and rq align children of different delays.
+	lq, rq []streamOut
+	d      int
+}
+
+func newBinaryStream(op tokenKind, l, r stream) *binaryStream {
+	d := l.delay()
+	if r.delay() > d {
+		d = r.delay()
+	}
+	return &binaryStream{op: op, l: l, r: r, d: d}
+}
+
+func (s *binaryStream) delay() int { return s.d }
+
+func (s *binaryStream) combine(a, b streamOut) streamOut {
+	out := streamOut{upd: a.upd || b.upd}
+	lv, rv := a.val, b.val
+	switch s.op {
+	case tokPlus:
+		out.val = lv + rv
+	case tokMinus:
+		out.val = lv - rv
+	case tokStar:
+		out.val = lv * rv
+	case tokSlash:
+		out.val = lv / rv
+	case tokAnd:
+		out.val = b2f(truthy(lv) && truthy(rv))
+	case tokOr:
+		out.val = b2f(truthy(lv) || truthy(rv))
+	case tokArrow:
+		out.val = b2f(!truthy(lv) || truthy(rv))
+	default: // comparisons
+		if math.IsNaN(lv) || math.IsNaN(rv) {
+			out.val = 0
+			return out
+		}
+		var ok bool
+		switch s.op {
+		case tokLT:
+			ok = lv < rv
+		case tokLE:
+			ok = lv <= rv
+		case tokGT:
+			ok = lv > rv
+		case tokGE:
+			ok = lv >= rv
+		case tokEQ:
+			ok = lv == rv
+		case tokNE:
+			ok = lv != rv
+		}
+		out.val = b2f(ok)
+	}
+	return out
+}
+
+func (s *binaryStream) emit() (streamOut, bool) {
+	if len(s.lq) == 0 || len(s.rq) == 0 {
+		return streamOut{}, false
+	}
+	a, b := s.lq[0], s.rq[0]
+	s.lq = s.lq[1:]
+	s.rq = s.rq[1:]
+	return s.combine(a, b), true
+}
+
+func (s *binaryStream) step(ctx *stepCtx) (streamOut, bool) {
+	if o, ok := s.l.step(ctx); ok {
+		s.lq = append(s.lq, o)
+	}
+	if o, ok := s.r.step(ctx); ok {
+		s.rq = append(s.rq, o)
+	}
+	return s.emit()
+}
+
+func (s *binaryStream) drain() []streamOut {
+	s.lq = append(s.lq, s.l.drain()...)
+	s.rq = append(s.rq, s.r.drain()...)
+	var out []streamOut
+	for {
+		o, ok := s.emit()
+		if !ok {
+			return out
+		}
+		out = append(out, o)
+	}
+}
+
+// ---------- history builtins (prev/delta/rate/changed) ----------
+
+// histKind selects which derived quantity a history stream emits.
+type histKind int
+
+const (
+	histPrev histKind = iota + 1
+	histDelta
+	histRate
+	histChanged
+)
+
+// histStream implements prev/delta/rate/changed over its child with
+// either naive or update-aware semantics, mirroring prevOf in eval.go.
+type histStream struct {
+	kind   histKind
+	mode   DeltaMode
+	period float64 // seconds
+	child  stream
+
+	// naive state
+	started bool
+	last    streamOut
+	// update-aware state
+	prevUpd, curVal   float64
+	prevStep, curStep int
+	n                 int
+}
+
+func newHistStream(kind histKind, mode DeltaMode, period time.Duration, child stream) *histStream {
+	return &histStream{
+		kind: kind, mode: mode, period: period.Seconds(), child: child,
+		prevUpd: math.NaN(), curVal: math.NaN(), prevStep: -1, curStep: -1,
+	}
+}
+
+func (s *histStream) delay() int { return s.child.delay() }
+
+func (s *histStream) apply(o streamOut) streamOut {
+	var prev, gap float64
+	if s.mode == DeltaNaive {
+		if !s.started {
+			prev = math.NaN()
+		} else {
+			prev = s.last.val
+		}
+		gap = s.period
+		s.started = true
+		s.last = o
+	} else {
+		if o.upd {
+			s.prevUpd, s.prevStep = s.curVal, s.curStep
+			s.curVal, s.curStep = o.val, s.n
+		}
+		prev = s.prevUpd
+		if s.prevStep >= 0 && s.curStep > s.prevStep {
+			gap = float64(s.curStep-s.prevStep) * s.period
+		} else {
+			gap = s.period
+		}
+		s.n++
+	}
+	out := streamOut{upd: o.upd}
+	switch s.kind {
+	case histPrev:
+		out.val = prev
+	case histDelta:
+		out.val = o.val - prev
+	case histRate:
+		out.val = (o.val - prev) / gap
+	case histChanged:
+		d := o.val - prev
+		out.val = b2f(!math.IsNaN(d) && d != 0)
+	}
+	return out
+}
+
+func (s *histStream) step(ctx *stepCtx) (streamOut, bool) {
+	o, ok := s.child.step(ctx)
+	if !ok {
+		return streamOut{}, false
+	}
+	return s.apply(o), true
+}
+
+func (s *histStream) drain() []streamOut {
+	rest := s.child.drain()
+	out := make([]streamOut, len(rest))
+	for i, o := range rest {
+		out[i] = s.apply(o)
+	}
+	return out
+}
+
+// ---------- edge builtins (rise/fall) ----------
+
+type edgeStream struct {
+	rise  bool
+	child stream
+	was   bool
+}
+
+func (s *edgeStream) delay() int { return s.child.delay() }
+func (s *edgeStream) apply(o streamOut) streamOut {
+	cur := truthy(o.val)
+	var v bool
+	if s.rise {
+		v = cur && !s.was
+	} else {
+		v = !cur && s.was
+	}
+	s.was = cur
+	return streamOut{val: b2f(v), upd: o.upd}
+}
+func (s *edgeStream) step(ctx *stepCtx) (streamOut, bool) {
+	o, ok := s.child.step(ctx)
+	if !ok {
+		return streamOut{}, false
+	}
+	return s.apply(o), true
+}
+func (s *edgeStream) drain() []streamOut {
+	rest := s.child.drain()
+	out := make([]streamOut, len(rest))
+	for i, o := range rest {
+		out[i] = s.apply(o)
+	}
+	return out
+}
+
+// ---------- simple function builtins ----------
+
+// mapStream applies a stateless function to aligned child outputs.
+type mapStream struct {
+	fn       func(vals []float64) float64
+	children []stream
+	queues   [][]streamOut
+	d        int
+}
+
+func newMapStream(fn func([]float64) float64, children ...stream) *mapStream {
+	d := 0
+	for _, c := range children {
+		if c.delay() > d {
+			d = c.delay()
+		}
+	}
+	return &mapStream{fn: fn, children: children, queues: make([][]streamOut, len(children)), d: d}
+}
+
+func (s *mapStream) delay() int { return s.d }
+
+func (s *mapStream) emit() (streamOut, bool) {
+	for _, q := range s.queues {
+		if len(q) == 0 {
+			return streamOut{}, false
+		}
+	}
+	vals := make([]float64, len(s.queues))
+	out := streamOut{}
+	for i := range s.queues {
+		o := s.queues[i][0]
+		s.queues[i] = s.queues[i][1:]
+		vals[i] = o.val
+		out.upd = out.upd || o.upd
+	}
+	out.val = s.fn(vals)
+	return out, true
+}
+
+func (s *mapStream) step(ctx *stepCtx) (streamOut, bool) {
+	for i, c := range s.children {
+		if o, ok := c.step(ctx); ok {
+			s.queues[i] = append(s.queues[i], o)
+		}
+	}
+	return s.emit()
+}
+
+func (s *mapStream) drain() []streamOut {
+	for i, c := range s.children {
+		s.queues[i] = append(s.queues[i], c.drain()...)
+	}
+	var out []streamOut
+	for {
+		o, ok := s.emit()
+		if !ok {
+			return out
+		}
+		out = append(out, o)
+	}
+}
+
+// ---------- bounded temporal operators ----------
+
+// temporalStream implements always[lo:hi] / eventually[lo:hi]. Output
+// for step s is decided once the child output for step s+hi is
+// available, so the node adds hi steps of delay. The window buffer
+// holds at most hi-lo+1 child outputs.
+type temporalStream struct {
+	eventually bool
+	lo, hi     int
+	child      stream
+
+	window []bool // truthiness of child outputs for steps [s+lo .. s+hi]
+	count  int    // truthy entries in window
+	seen   int    // child outputs consumed
+	// updq delays the child's upd bits by hi steps so the output's
+	// freshness aligns with the output step, matching eval.go (which
+	// propagates the operand's upd vector unchanged).
+	updq []bool
+}
+
+func newTemporalStream(eventually bool, lo, hi int, child stream) *temporalStream {
+	return &temporalStream{eventually: eventually, lo: lo, hi: hi, child: child}
+}
+
+func (s *temporalStream) delay() int { return s.child.delay() + s.hi }
+
+// consume feeds one child output; truncated marks end-of-trace
+// shrink-window evaluation.
+func (s *temporalStream) consume(o streamOut, truncated bool) (streamOut, bool) {
+	if !truncated {
+		s.updq = append(s.updq, o.upd)
+		// Child output s.seen corresponds to step u = s.seen. It
+		// belongs to the windows of output steps u-hi .. u-lo.
+		s.window = append(s.window, truthy(o.val))
+		if truthy(o.val) {
+			s.count++
+		}
+		s.seen++
+		// Window for output step s0 = u-hi is [s0+lo, s0+hi]; it is
+		// complete once u >= hi, and must contain exactly the child
+		// outputs for steps [u-hi+lo, u].
+		if len(s.window) > s.hi-s.lo+1 {
+			if s.window[0] {
+				s.count--
+			}
+			s.window = s.window[1:]
+		}
+		if s.seen <= s.hi {
+			return streamOut{}, false
+		}
+	}
+	var v float64
+	if s.eventually {
+		// Truncated windows with no witness are benign (cannot
+		// confirm); complete windows need a witness.
+		if s.count > 0 || truncated {
+			v = 1
+		}
+	} else {
+		// always: false only on a witnessed falsification.
+		if s.count == len(s.window) {
+			v = 1
+		}
+	}
+	var upd bool
+	if len(s.updq) > 0 {
+		upd = s.updq[0]
+		s.updq = s.updq[1:]
+	}
+	return streamOut{val: v, upd: upd}, true
+}
+
+func (s *temporalStream) step(ctx *stepCtx) (streamOut, bool) {
+	o, ok := s.child.step(ctx)
+	if !ok {
+		return streamOut{}, false
+	}
+	return s.consume(o, false)
+}
+
+// pastStream implements once[lo:hi] / historically[lo:hi]. Past windows
+// need no lookahead, so the node adds no delay: the verdict for step t
+// is available the moment step t is.
+type pastStream struct {
+	exists bool // once
+	lo, hi int
+	child  stream
+
+	pending []bool // child truthiness younger than lo steps
+	window  []bool // truthiness of steps [t-hi, t-lo]
+	count   int
+	n       int
+}
+
+func newPastStream(exists bool, lo, hi int, child stream) *pastStream {
+	return &pastStream{exists: exists, lo: lo, hi: hi, child: child}
+}
+
+func (s *pastStream) delay() int { return s.child.delay() }
+
+func (s *pastStream) apply(o streamOut) streamOut {
+	t := s.n
+	s.n++
+	s.pending = append(s.pending, truthy(o.val))
+	if len(s.pending) > s.lo {
+		v := s.pending[0]
+		s.pending = s.pending[1:]
+		s.window = append(s.window, v)
+		if v {
+			s.count++
+		}
+		if len(s.window) > s.hi-s.lo+1 {
+			if s.window[0] {
+				s.count--
+			}
+			s.window = s.window[1:]
+		}
+	}
+	out := streamOut{upd: o.upd}
+	switch {
+	case t < s.lo:
+		// The window [t-hi, t-lo] lies entirely before the trace.
+		out.val = 1
+	case s.exists:
+		if s.count > 0 || t < s.hi {
+			out.val = 1 // a witness, or a truncated window (no evidence)
+		}
+	default:
+		if s.count == len(s.window) {
+			out.val = 1
+		}
+	}
+	return out
+}
+
+func (s *pastStream) step(ctx *stepCtx) (streamOut, bool) {
+	o, ok := s.child.step(ctx)
+	if !ok {
+		return streamOut{}, false
+	}
+	return s.apply(o), true
+}
+
+func (s *pastStream) drain() []streamOut {
+	rest := s.child.drain()
+	out := make([]streamOut, len(rest))
+	for i, o := range rest {
+		out[i] = s.apply(o)
+	}
+	return out
+}
+
+func (s *temporalStream) drain() []streamOut {
+	var out []streamOut
+	for _, o := range s.child.drain() {
+		if r, ok := s.consume(o, false); ok {
+			out = append(out, r)
+		}
+	}
+	// Emit the trailing output steps whose windows extend past the end
+	// of the trace: steps max(0, n-hi) .. n-1, where n is the number of
+	// child steps. For output step t the (truncated) window is
+	// [t+lo, n-1]; the buffer's head is trimmed until it starts at
+	// t+lo, and an empty window means "no evidence" (benign for both
+	// operators), matching the offline evaluator.
+	n := s.seen
+	start := n - s.hi
+	if start < 0 {
+		start = 0
+	}
+	for t := start; t < n; t++ {
+		for len(s.window) > 0 && n-len(s.window) < t+s.lo {
+			if s.window[0] {
+				s.count--
+			}
+			s.window = s.window[1:]
+		}
+		r, _ := s.consume(streamOut{}, true)
+		out = append(out, r)
+	}
+	return out
+}

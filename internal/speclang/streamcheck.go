@@ -1,0 +1,370 @@
+package speclang
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// updatedStream exposes the child's freshness bit as its value.
+type updatedStream struct {
+	child stream
+}
+
+func (s *updatedStream) delay() int { return s.child.delay() }
+func (s *updatedStream) step(ctx *stepCtx) (streamOut, bool) {
+	o, ok := s.child.step(ctx)
+	if !ok {
+		return streamOut{}, false
+	}
+	return streamOut{val: b2f(o.upd), upd: o.upd}, true
+}
+func (s *updatedStream) drain() []streamOut {
+	rest := s.child.drain()
+	out := make([]streamOut, len(rest))
+	for i, o := range rest {
+		out[i] = streamOut{val: b2f(o.upd), upd: o.upd}
+	}
+	return out
+}
+
+// streamBuilder compiles expressions to incremental evaluators.
+type streamBuilder struct {
+	signals map[string]int // name -> ctx index
+	consts  map[string]float64
+	lets    map[string]Expr
+	mode    DeltaMode
+	period  time.Duration
+}
+
+func (b *streamBuilder) build(e Expr) (stream, error) {
+	switch x := e.(type) {
+	case *NumberLit:
+		return &constStream{v: x.Value}, nil
+	case *BoolLit:
+		return &constStream{v: b2f(x.Value)}, nil
+	case *Ident:
+		if le, ok := b.lets[x.Name]; ok {
+			// Lets are inlined: each reference gets its own (identical)
+			// pipeline state.
+			return b.build(le)
+		}
+		if v, ok := b.consts[x.Name]; ok {
+			return &constStream{v: v}, nil
+		}
+		idx, ok := b.signals[x.Name]
+		if !ok {
+			line, col := x.Pos()
+			return nil, errAt(line, col, "signal %q is not present in the stream", x.Name)
+		}
+		return &signalStream{idx: idx}, nil
+	case *Unary:
+		c, err := b.build(x.X)
+		if err != nil {
+			return nil, err
+		}
+		return &unaryStream{op: x.Op, child: c}, nil
+	case *Binary:
+		l, err := b.build(x.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.build(x.R)
+		if err != nil {
+			return nil, err
+		}
+		return newBinaryStream(x.Op, l, r), nil
+	case *Call:
+		return b.buildCall(x)
+	case *Temporal:
+		c, err := b.build(x.X)
+		if err != nil {
+			return nil, err
+		}
+		lo := int(x.Lo / b.period)
+		hi := int(x.Hi / b.period)
+		if x.Past() {
+			return newPastStream(x.Op == "once", lo, hi, c), nil
+		}
+		return newTemporalStream(x.Op == "eventually", lo, hi, c), nil
+	default:
+		return nil, fmt.Errorf("speclang: internal error: unknown expression node %T", e)
+	}
+}
+
+func (b *streamBuilder) buildCall(x *Call) (stream, error) {
+	args := make([]stream, len(x.Args))
+	for i, a := range x.Args {
+		s, err := b.build(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = s
+	}
+	switch x.Func {
+	case "prev":
+		return newHistStream(histPrev, b.mode, b.period, args[0]), nil
+	case "delta":
+		return newHistStream(histDelta, b.mode, b.period, args[0]), nil
+	case "rate":
+		return newHistStream(histRate, b.mode, b.period, args[0]), nil
+	case "changed":
+		return newHistStream(histChanged, b.mode, b.period, args[0]), nil
+	case "rise":
+		return &edgeStream{rise: true, child: args[0]}, nil
+	case "fall":
+		return &edgeStream{rise: false, child: args[0]}, nil
+	case "updated":
+		return &updatedStream{child: args[0]}, nil
+	case "valid":
+		return newMapStream(func(v []float64) float64 {
+			return b2f(!math.IsNaN(v[0]) && !math.IsInf(v[0], 0))
+		}, args[0]), nil
+	case "abs":
+		return newMapStream(func(v []float64) float64 { return math.Abs(v[0]) }, args[0]), nil
+	case "min":
+		return newMapStream(func(v []float64) float64 { return math.Min(v[0], v[1]) }, args[0], args[1]), nil
+	case "max":
+		return newMapStream(func(v []float64) float64 { return math.Max(v[0], v[1]) }, args[0], args[1]), nil
+	case "cond":
+		return newMapStream(func(v []float64) float64 {
+			if truthy(v[0]) {
+				return v[1]
+			}
+			return v[2]
+		}, args[0], args[1], args[2]), nil
+	default:
+		return nil, fmt.Errorf("speclang: internal error: unknown builtin %q", x.Func)
+	}
+}
+
+// EventKind distinguishes streaming events.
+type EventKind int
+
+const (
+	// ViolationBegin reports a violation interval opening.
+	ViolationBegin EventKind = iota + 1
+	// ViolationEnd reports a closed violation interval, carrying the
+	// complete Violation record.
+	ViolationEnd
+)
+
+// Event is one incremental monitoring notification.
+type Event struct {
+	// Rule is the reporting rule.
+	Rule string
+	// Kind is ViolationBegin or ViolationEnd.
+	Kind EventKind
+	// Time is the step time the event refers to (the violation start
+	// for Begin, the exclusive end for End). Events are delivered a
+	// bounded number of steps after Time — the rule's temporal horizon.
+	Time time.Duration
+	// Violation is the full record, set on ViolationEnd.
+	Violation Violation
+}
+
+// ruleStream evaluates one compiled rule incrementally.
+type ruleStream struct {
+	rule   *Rule
+	period time.Duration
+
+	// Specs: one stream and message per assert clause, with an
+	// alignment queue each.
+	asserts  []stream
+	msgs     []string
+	assertQs [][]float64
+
+	// Monitors: the state machine produces marks directly.
+	machine *machineStream
+	markQ   []string
+
+	severity stream
+	sevQ     []float64
+
+	warmups []*warmupStream
+
+	outStep int // next rule-output step to assemble
+
+	// open violation state
+	open      bool
+	openStart int
+	openMsg   string
+	peak      float64
+}
+
+// warmupStream tracks one warmup clause incrementally.
+type warmupStream struct {
+	window int
+	on     stream // nil = from trace start
+	onQ    []float64
+	was    bool
+	// suppressedUntil is the exclusive end of the current suppression
+	// window, in steps.
+	suppressedUntil int
+	n               int
+}
+
+// ready reports whether the warmup can decide the next step.
+func (w *warmupStream) ready() bool {
+	return w.on == nil || len(w.onQ) > 0
+}
+
+// maskNext consumes one step and reports whether it is suppressed.
+func (w *warmupStream) maskNext() bool {
+	step := w.n
+	w.n++
+	if w.on == nil {
+		return step < w.window
+	}
+	cur := truthy(w.onQ[0])
+	w.onQ = w.onQ[1:]
+	if cur && !w.was {
+		w.suppressedUntil = step + w.window
+	}
+	w.was = cur
+	return step < w.suppressedUntil
+}
+
+// machineStream runs a monitor state machine over delayed guard
+// streams.
+type machineStream struct {
+	m      *Monitor
+	states map[string]int
+	guards [][]stream // per state, per transition (nil for after)
+	queues [][][]float64
+	delay  int
+
+	cur     int
+	entered int
+	n       int
+	period  time.Duration
+}
+
+func newMachineStream(b *streamBuilder, m *Monitor, initial int, period time.Duration) (*machineStream, error) {
+	ms := &machineStream{
+		m:      m,
+		states: make(map[string]int, len(m.States)),
+		cur:    initial,
+		period: period,
+	}
+	for i, st := range m.States {
+		ms.states[st.Name] = i
+	}
+	ms.guards = make([][]stream, len(m.States))
+	ms.queues = make([][][]float64, len(m.States))
+	for i := range m.States {
+		st := &m.States[i]
+		ms.guards[i] = make([]stream, len(st.Transitions))
+		ms.queues[i] = make([][]float64, len(st.Transitions))
+		for j := range st.Transitions {
+			tr := &st.Transitions[j]
+			if tr.Kind != TransWhen {
+				continue
+			}
+			g, err := b.build(tr.Guard)
+			if err != nil {
+				return nil, err
+			}
+			ms.guards[i][j] = g
+			if g.delay() > ms.delay {
+				ms.delay = g.delay()
+			}
+		}
+	}
+	return ms, nil
+}
+
+// push feeds one input step to every guard and, when all guards have an
+// output for the machine's next step, executes one transition round.
+// Returns the violation mark ("" when none) and ok.
+func (ms *machineStream) push(ctx *stepCtx) (string, bool) {
+	for i := range ms.guards {
+		for j, g := range ms.guards[i] {
+			if g == nil {
+				continue
+			}
+			if o, ok := g.step(ctx); ok {
+				ms.queues[i][j] = append(ms.queues[i][j], o.val)
+			}
+		}
+	}
+	return ms.tryStep()
+}
+
+// tryStep executes one machine step if every guard queue has a value.
+func (ms *machineStream) tryStep() (string, bool) {
+	for i := range ms.queues {
+		for j := range ms.queues[i] {
+			if ms.guards[i][j] != nil && len(ms.queues[i][j]) == 0 {
+				return "", false
+			}
+		}
+	}
+	t := ms.n
+	ms.n++
+	// Pop one value from every guard queue; only the current state's
+	// guards are consulted, but all streams advance in lockstep.
+	vals := make([][]float64, len(ms.queues))
+	for i := range ms.queues {
+		vals[i] = make([]float64, len(ms.queues[i]))
+		for j := range ms.queues[i] {
+			if ms.guards[i][j] == nil {
+				continue
+			}
+			vals[i][j] = ms.queues[i][j][0]
+			ms.queues[i][j] = ms.queues[i][j][1:]
+		}
+	}
+	mark := ""
+	for j := range ms.m.States[ms.cur].Transitions {
+		tr := &ms.m.States[ms.cur].Transitions[j]
+		fire := false
+		switch tr.Kind {
+		case TransWhen:
+			fire = truthy(vals[ms.cur][j])
+		case TransAfter:
+			dwell := time.Duration(t-ms.entered) * ms.period
+			fire = dwell >= tr.Deadline
+		}
+		if !fire {
+			continue
+		}
+		if tr.Violate {
+			mark = tr.Msg
+			if mark == "" {
+				mark = fmt.Sprintf("violation in state %s", ms.m.States[ms.cur].Name)
+			}
+		}
+		if tr.Target != "" {
+			next := ms.states[tr.Target]
+			if next != ms.cur {
+				ms.cur = next
+				ms.entered = t + 1
+			}
+		}
+		break
+	}
+	return mark, true
+}
+
+// drainAll flushes every guard and runs the machine to completion.
+func (ms *machineStream) drainAll() []string {
+	for i := range ms.guards {
+		for j, g := range ms.guards[i] {
+			if g == nil {
+				continue
+			}
+			for _, o := range g.drain() {
+				ms.queues[i][j] = append(ms.queues[i][j], o.val)
+			}
+		}
+	}
+	var marks []string
+	for {
+		mark, ok := ms.tryStep()
+		if !ok {
+			return marks
+		}
+		marks = append(marks, mark)
+	}
+}

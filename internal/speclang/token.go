@@ -1,0 +1,353 @@
+// Package speclang implements the monitor specification language: a
+// simplified bounded temporal logic combined with state machines, in the
+// style the paper describes (boolean connectives, arithmetic
+// comparisons, bounded always/eventually, and state machines used to
+// encode mode-based behaviour instead of nested temporal operators).
+//
+// A specification file contains constant declarations, "spec" blocks
+// (per-step assertions over signal expressions) and "monitor" blocks
+// (state machines with guarded and timed transitions):
+//
+//	const near = 1.0
+//
+//	spec Rule5 "a requested deceleration decelerates" {
+//	    severity RequestedDecel
+//	    assert BrakeRequested -> RequestedDecel <= 0.0
+//	}
+//
+//	monitor Rule1 "headway recovery" {
+//	    let headway = TargetRange / Velocity
+//	    initial state Normal {
+//	        when VehicleAhead && headway < near => Low
+//	    }
+//	    state Low {
+//	        when !VehicleAhead || headway >= near => Normal
+//	        after 5s => violate "headway not recovered within 5s"
+//	    }
+//	}
+//
+// Values are numeric (float64). In boolean contexts a value is true when
+// it is non-zero and not NaN; comparisons involving NaN are false. This
+// makes rules fail-safe under exceptional values: "RequestedDecel <= 0"
+// does not hold for NaN, so an unverifiable consequent is a violation.
+package speclang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber   // 3.5, 1e-3
+	tokDuration // 400ms, 5s
+	tokString   // "..."
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokLBracket
+	tokRBracket
+	tokColon
+	tokComma
+	tokAssign   // =
+	tokArrow    // ->
+	tokFatArrow // =>
+	tokOr       // ||
+	tokAnd      // &&
+	tokNot      // !
+	tokLT
+	tokLE
+	tokGT
+	tokGE
+	tokEQ
+	tokNE
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+)
+
+func (k tokenKind) String() string {
+	names := map[tokenKind]string{
+		tokEOF: "end of input", tokIdent: "identifier", tokNumber: "number",
+		tokDuration: "duration", tokString: "string", tokLBrace: "'{'",
+		tokRBrace: "'}'", tokLParen: "'('", tokRParen: "')'",
+		tokLBracket: "'['", tokRBracket: "']'", tokColon: "':'",
+		tokComma: "','", tokAssign: "'='", tokArrow: "'->'",
+		tokFatArrow: "'=>'", tokOr: "'||'", tokAnd: "'&&'", tokNot: "'!'",
+		tokLT: "'<'", tokLE: "'<='", tokGT: "'>'", tokGE: "'>='",
+		tokEQ: "'=='", tokNE: "'!='", tokPlus: "'+'", tokMinus: "'-'",
+		tokStar: "'*'", tokSlash: "'/'",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexical token with its source position.
+type token struct {
+	kind tokenKind
+	text string        // identifier or string contents
+	num  float64       // number value
+	dur  time.Duration // duration value
+	line int
+	col  int
+}
+
+// Error is a compilation error with source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("speclang: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// lexer turns source text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) peekByteAt(off int) byte {
+	if l.pos+off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peekByteAt(1) == '/':
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	tk := token{line: l.line, col: l.col}
+	if l.pos >= len(l.src) {
+		tk.kind = tokEOF
+		return tk, nil
+	}
+	c := l.peekByte()
+	switch {
+	case unicode.IsLetter(rune(c)) || c == '_':
+		return l.lexIdent(tk)
+	case unicode.IsDigit(rune(c)), c == '.' && unicode.IsDigit(rune(l.peekByteAt(1))):
+		return l.lexNumber(tk)
+	case c == '"':
+		return l.lexString(tk)
+	}
+	l.advance()
+	two := func(second byte, with, without tokenKind) token {
+		if l.peekByte() == second {
+			l.advance()
+			tk.kind = with
+		} else {
+			tk.kind = without
+		}
+		return tk
+	}
+	switch c {
+	case '{':
+		tk.kind = tokLBrace
+	case '}':
+		tk.kind = tokRBrace
+	case '(':
+		tk.kind = tokLParen
+	case ')':
+		tk.kind = tokRParen
+	case '[':
+		tk.kind = tokLBracket
+	case ']':
+		tk.kind = tokRBracket
+	case ':':
+		tk.kind = tokColon
+	case ',':
+		tk.kind = tokComma
+	case '+':
+		tk.kind = tokPlus
+	case '*':
+		tk.kind = tokStar
+	case '/':
+		tk.kind = tokSlash
+	case '-':
+		return two('>', tokArrow, tokMinus), nil
+	case '=':
+		if l.peekByte() == '=' {
+			l.advance()
+			tk.kind = tokEQ
+		} else if l.peekByte() == '>' {
+			l.advance()
+			tk.kind = tokFatArrow
+		} else {
+			tk.kind = tokAssign
+		}
+	case '!':
+		return two('=', tokNE, tokNot), nil
+	case '<':
+		return two('=', tokLE, tokLT), nil
+	case '>':
+		return two('=', tokGE, tokGT), nil
+	case '|':
+		if l.peekByte() != '|' {
+			return tk, errAt(tk.line, tk.col, "unexpected '|' (did you mean '||'?)")
+		}
+		l.advance()
+		tk.kind = tokOr
+	case '&':
+		if l.peekByte() != '&' {
+			return tk, errAt(tk.line, tk.col, "unexpected '&' (did you mean '&&'?)")
+		}
+		l.advance()
+		tk.kind = tokAnd
+	default:
+		return tk, errAt(tk.line, tk.col, "unexpected character %q", c)
+	}
+	return tk, nil
+}
+
+func (l *lexer) lexIdent(tk token) (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := rune(l.peekByte())
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			break
+		}
+		l.advance()
+	}
+	tk.kind = tokIdent
+	tk.text = l.src[start:l.pos]
+	return tk, nil
+}
+
+func (l *lexer) lexNumber(tk token) (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		if unicode.IsDigit(rune(c)) || c == '.' {
+			l.advance()
+			continue
+		}
+		if (c == 'e' || c == 'E') && (unicode.IsDigit(rune(l.peekByteAt(1))) ||
+			((l.peekByteAt(1) == '+' || l.peekByteAt(1) == '-') && unicode.IsDigit(rune(l.peekByteAt(2))))) {
+			l.advance() // e
+			l.advance() // sign or digit
+			continue
+		}
+		break
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return tk, errAt(tk.line, tk.col, "malformed number %q", text)
+	}
+	// Duration suffix: "ms" or "s" immediately following the number.
+	if strings.HasPrefix(l.src[l.pos:], "ms") {
+		l.advance()
+		l.advance()
+		tk.kind = tokDuration
+		tk.dur = time.Duration(v * float64(time.Millisecond))
+		return tk, nil
+	}
+	if l.peekByte() == 's' && !isIdentByte(l.peekByteAt(1)) {
+		l.advance()
+		tk.kind = tokDuration
+		tk.dur = time.Duration(v * float64(time.Second))
+		return tk, nil
+	}
+	tk.kind = tokNumber
+	tk.num = v
+	return tk, nil
+}
+
+func isIdentByte(c byte) bool {
+	return unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) || c == '_'
+}
+
+func (l *lexer) lexString(tk token) (token, error) {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return tk, errAt(tk.line, tk.col, "unterminated string")
+		}
+		c := l.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\n' {
+			return tk, errAt(tk.line, tk.col, "newline in string")
+		}
+		if c == '\\' {
+			if l.pos >= len(l.src) {
+				return tk, errAt(tk.line, tk.col, "unterminated escape")
+			}
+			e := l.advance()
+			switch e {
+			case '"', '\\':
+				sb.WriteByte(e)
+			case 'n':
+				sb.WriteByte('\n')
+			default:
+				return tk, errAt(tk.line, tk.col, "unknown escape \\%c", e)
+			}
+			continue
+		}
+		sb.WriteByte(c)
+	}
+	tk.kind = tokString
+	tk.text = sb.String()
+	return tk, nil
+}

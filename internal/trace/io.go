@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// WriteCSV serializes the trace in "long" form: one row per update with
+// columns time_ns, signal, value. Long form preserves the multi-rate
+// structure of the recording exactly; NaN and infinities are written in
+// Go's %g notation.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"time_ns", "signal", "value"}); err != nil {
+		return err
+	}
+	type row struct {
+		t    time.Duration
+		name string
+		v    float64
+		seq  int
+	}
+	var rows []row
+	seq := 0
+	for _, name := range tr.Names() {
+		s := tr.series[name]
+		for _, smp := range s.Samples {
+			rows = append(rows, row{t: smp.T, name: name, v: smp.V, seq: seq})
+			seq++
+		}
+	}
+	// Global time order, stable within a timestamp by original order.
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].t < rows[j].t })
+	for _, r := range rows {
+		rec := []string{
+			strconv.FormatInt(int64(r.t), 10),
+			r.name,
+			formatValue(r.v),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "NaN":
+		return math.NaN(), nil
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	default:
+		return strconv.ParseFloat(s, 64)
+	}
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = 3
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read CSV header: %w", err)
+	}
+	if header[0] != "time_ns" || header[1] != "signal" || header[2] != "value" {
+		return nil, fmt.Errorf("trace: unexpected CSV header %v", header)
+	}
+	tr := New()
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: read CSV: %w", err)
+		}
+		line++
+		ns, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad time %q: %w", line, rec[0], err)
+		}
+		v, err := parseValue(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad value %q: %w", line, rec[2], err)
+		}
+		if err := tr.Ensure(rec[1]).Append(time.Duration(ns), v); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+	}
+}

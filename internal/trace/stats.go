@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Clip returns a new trace containing only the samples with T in
+// [from, to), with timestamps rebased so the clip starts at zero.
+// Clipping is how an analyst extracts the neighbourhood of a violation
+// from a long capture for closer inspection.
+func (tr *Trace) Clip(from, to time.Duration) (*Trace, error) {
+	if to <= from {
+		return nil, fmt.Errorf("trace: empty clip window [%v, %v)", from, to)
+	}
+	out := New()
+	for _, name := range tr.Names() {
+		src := tr.series[name]
+		dst := out.Ensure(name)
+		for _, smp := range src.Samples {
+			if smp.T < from || smp.T >= to {
+				continue
+			}
+			if err := dst.Append(smp.T-from, smp.V); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// SeriesStats summarizes one signal over a trace.
+type SeriesStats struct {
+	// Samples is the number of updates.
+	Samples int
+	// Min, Max and Mean cover the finite samples only.
+	Min, Max, Mean float64
+	// NonFinite counts NaN and infinite samples — the exceptional
+	// values robustness testing cares about.
+	NonFinite int
+	// MedianInterval is the median time between consecutive updates,
+	// which recovers a signal's broadcast period from a capture.
+	MedianInterval time.Duration
+}
+
+// Stats summarizes a series. An empty series yields the zero value.
+func (s *Series) Stats() SeriesStats {
+	st := SeriesStats{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	finite := 0
+	for _, smp := range s.Samples {
+		st.Samples++
+		if math.IsNaN(smp.V) || math.IsInf(smp.V, 0) {
+			st.NonFinite++
+			continue
+		}
+		finite++
+		sum += smp.V
+		if smp.V < st.Min {
+			st.Min = smp.V
+		}
+		if smp.V > st.Max {
+			st.Max = smp.V
+		}
+	}
+	if finite > 0 {
+		st.Mean = sum / float64(finite)
+	} else {
+		st.Min, st.Max = 0, 0
+	}
+	if len(s.Samples) > 1 {
+		gaps := make([]time.Duration, 0, len(s.Samples)-1)
+		for i := 1; i < len(s.Samples); i++ {
+			gaps = append(gaps, s.Samples[i].T-s.Samples[i-1].T)
+		}
+		sort.Slice(gaps, func(i, j int) bool { return gaps[i] < gaps[j] })
+		st.MedianInterval = gaps[len(gaps)/2]
+	}
+	return st
+}

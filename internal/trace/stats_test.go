@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestClip(t *testing.T) {
+	tr := New()
+	s := tr.Ensure("x")
+	for i := 0; i < 10; i++ {
+		_ = s.Append(ms(10*i), float64(i))
+	}
+	clip, err := tr.Clip(ms(30), ms(70))
+	if err != nil {
+		t.Fatalf("Clip: %v", err)
+	}
+	cs, ok := clip.Series("x")
+	if !ok {
+		t.Fatal("missing series in clip")
+	}
+	if len(cs.Samples) != 4 {
+		t.Fatalf("clip has %d samples, want 4 (30,40,50,60)", len(cs.Samples))
+	}
+	if cs.Samples[0].T != 0 || cs.Samples[0].V != 3 {
+		t.Errorf("first sample = %+v, want rebased t=0 v=3", cs.Samples[0])
+	}
+	if cs.Samples[3].T != ms(30) || cs.Samples[3].V != 6 {
+		t.Errorf("last sample = %+v", cs.Samples[3])
+	}
+}
+
+func TestClipEmptyWindow(t *testing.T) {
+	if _, err := New().Clip(ms(10), ms(10)); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	if _, err := New().Clip(ms(20), ms(10)); err == nil {
+		t.Fatal("inverted window accepted")
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	vals := []float64{3, 1, 4, 1, 5, math.NaN(), math.Inf(1), 9}
+	for i, v := range vals {
+		_ = s.Append(ms(10*i), v)
+	}
+	st := s.Stats()
+	if st.Samples != 8 || st.NonFinite != 2 {
+		t.Errorf("samples=%d nonfinite=%d", st.Samples, st.NonFinite)
+	}
+	if st.Min != 1 || st.Max != 9 {
+		t.Errorf("min=%v max=%v", st.Min, st.Max)
+	}
+	if want := (3.0 + 1 + 4 + 1 + 5 + 9) / 6; math.Abs(st.Mean-want) > 1e-12 {
+		t.Errorf("mean=%v want %v", st.Mean, want)
+	}
+	if st.MedianInterval != ms(10) {
+		t.Errorf("median interval = %v, want 10ms", st.MedianInterval)
+	}
+}
+
+func TestSeriesStatsRecoverPeriodWithJitter(t *testing.T) {
+	var s Series
+	at := time.Duration(0)
+	for i := 0; i < 100; i++ {
+		gap := ms(40)
+		if i%10 == 3 {
+			gap = ms(50) // occasional slip
+		}
+		at += gap
+		_ = s.Append(at, 1)
+	}
+	if got := s.Stats().MedianInterval; got != ms(40) {
+		t.Errorf("median interval = %v, want the 40ms nominal period", got)
+	}
+}
+
+func TestSeriesStatsEmptyAndAllNaN(t *testing.T) {
+	var s Series
+	st := s.Stats()
+	if st.Samples != 0 || st.Min != 0 || st.Max != 0 || st.MedianInterval != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+	nan := math.NaN()
+	_ = s.Append(0, nan)
+	_ = s.Append(ms(10), nan)
+	st = s.Stats()
+	if st.NonFinite != 2 || st.Min != 0 || st.Max != 0 || st.Mean != 0 {
+		t.Errorf("all-NaN stats = %+v", st)
+	}
+}

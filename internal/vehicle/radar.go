@@ -1,0 +1,112 @@
+package vehicle
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// RadarConfig parameterizes the forward radar model.
+type RadarConfig struct {
+	// MaxRange is the detection range in m.
+	MaxRange float64
+	// AcquireDelay is the time a candidate target must stay in range
+	// before it is reported (track confirmation).
+	AcquireDelay time.Duration
+	// RangeNoise is the standard deviation of additive range noise in m.
+	// Zero on the HIL bench; non-zero on the real vehicle.
+	RangeNoise float64
+	// RelVelNoise is the standard deviation of additive relative-velocity
+	// noise in m/s.
+	RelVelNoise float64
+	// DropoutProb is the per-step probability of a momentary track
+	// dropout (real-vehicle sensor imperfection).
+	DropoutProb float64
+}
+
+// DefaultRadarConfig returns a noiseless HIL-grade radar.
+func DefaultRadarConfig() RadarConfig {
+	return RadarConfig{
+		MaxRange:     150,
+		AcquireDelay: 200 * time.Millisecond,
+	}
+}
+
+// Observation is what the radar broadcasts each step. When no target is
+// tracked, Range and RelVel are zero — the discrete activation jump the
+// paper discusses in Section V.C.2 is therefore inherent to the
+// interface, not an artifact of this model.
+type Observation struct {
+	// Ahead reports whether a target is tracked.
+	Ahead bool
+	// Range is the distance to the target in m (0 when none).
+	Range float64
+	// RelVel is the target velocity minus ego velocity in m/s (0 when
+	// no target; negative means closing).
+	RelVel float64
+}
+
+// Radar tracks at most one lead target with confirmation delay, optional
+// noise, and optional dropouts.
+type Radar struct {
+	cfg        RadarConfig
+	rng        *rand.Rand
+	inRangeFor time.Duration
+}
+
+// NewRadar creates a radar. rng may be nil when the configuration is
+// deterministic (no noise, no dropouts).
+func NewRadar(cfg RadarConfig, rng *rand.Rand) *Radar {
+	return &Radar{cfg: cfg, rng: rng}
+}
+
+// Observe produces one radar measurement for the given true geometry.
+// present reports whether a physical lead vehicle exists at all (e.g.
+// it may have changed lanes away). dt is the step size.
+func (r *Radar) Observe(dt time.Duration, egoPos, egoVel float64, leadPresent bool, leadPos, leadVel float64) Observation {
+	dist := leadPos - egoPos
+	visible := leadPresent && dist > 0 && dist <= r.cfg.MaxRange
+	if !visible {
+		r.inRangeFor = 0
+		return Observation{}
+	}
+	r.inRangeFor += dt
+	if r.inRangeFor < r.cfg.AcquireDelay {
+		return Observation{}
+	}
+	if r.cfg.DropoutProb > 0 && r.rng != nil && r.rng.Float64() < r.cfg.DropoutProb {
+		// A dropout loses the measurement for one step but keeps the
+		// track confirmed.
+		return Observation{}
+	}
+	obs := Observation{
+		Ahead:  true,
+		Range:  dist,
+		RelVel: leadVel - egoVel,
+	}
+	if r.rng != nil {
+		if r.cfg.RangeNoise > 0 {
+			obs.Range += r.rng.NormFloat64() * r.cfg.RangeNoise
+			if obs.Range < 0.1 {
+				obs.Range = 0.1
+			}
+		}
+		if r.cfg.RelVelNoise > 0 {
+			obs.RelVel += r.rng.NormFloat64() * r.cfg.RelVelNoise
+		}
+	}
+	return obs
+}
+
+// Reset clears the track confirmation state.
+func (r *Radar) Reset() { r.inRangeFor = 0 }
+
+// ClosingHeadwayTime returns the actual headway time in seconds for a
+// given range and ego speed: range divided by ego speed. It returns +Inf
+// when the ego vehicle is (near) stationary.
+func ClosingHeadwayTime(rng, egoVel float64) float64 {
+	if egoVel < 0.1 {
+		return math.Inf(1)
+	}
+	return rng / egoVel
+}

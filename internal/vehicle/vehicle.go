@@ -1,0 +1,231 @@
+// Package vehicle provides the longitudinal plant the HIL bench
+// simulates: an ego vehicle driven by engine torque and brake
+// deceleration, scripted lead vehicles, a forward radar model, and road
+// grade profiles.
+//
+// It stands in for the commercial vehicle/environment simulator (CARSIM)
+// used in the paper. The monitored safety rules are purely longitudinal —
+// speed, range, relative velocity, torque and deceleration — so a
+// longitudinal point-mass plant exercises every signal path the monitor
+// observes.
+package vehicle
+
+import (
+	"math"
+	"time"
+)
+
+// Gravity is the standard gravitational acceleration in m/s².
+const Gravity = 9.81
+
+// EgoConfig holds the physical parameters of the ego vehicle.
+type EgoConfig struct {
+	// Mass is the vehicle mass in kg.
+	Mass float64
+	// DragArea is the product Cd·A in m².
+	DragArea float64
+	// AirDensity is the ambient air density in kg/m³.
+	AirDensity float64
+	// RollCoeff is the rolling-resistance coefficient.
+	RollCoeff float64
+	// WheelRadius is the driven wheel radius in m.
+	WheelRadius float64
+	// DriveRatio is the effective overall drive ratio from engine to
+	// wheel (a single-speed abstraction of the transmission).
+	DriveRatio float64
+	// MaxEngineTorque is the engine torque ceiling in N·m.
+	MaxEngineTorque float64
+	// MaxBrakeDecel is the service-brake deceleration ceiling in m/s².
+	MaxBrakeDecel float64
+}
+
+// DefaultEgoConfig returns parameters representative of a mid-size
+// passenger sedan.
+func DefaultEgoConfig() EgoConfig {
+	return EgoConfig{
+		Mass:            1600,
+		DragArea:        0.70,
+		AirDensity:      1.20,
+		RollCoeff:       0.012,
+		WheelRadius:     0.33,
+		DriveRatio:      6.0,
+		MaxEngineTorque: 320,
+		MaxBrakeDecel:   9.0,
+	}
+}
+
+// Ego is the longitudinal state of the ego vehicle.
+type Ego struct {
+	cfg EgoConfig
+	pos float64
+	vel float64
+}
+
+// NewEgo creates an ego vehicle at position zero with the given initial
+// speed in m/s.
+func NewEgo(cfg EgoConfig, initialSpeed float64) *Ego {
+	return &Ego{cfg: cfg, vel: math.Max(0, initialSpeed)}
+}
+
+// Position returns the travelled distance in m.
+func (e *Ego) Position() float64 { return e.pos }
+
+// Speed returns the forward speed in m/s.
+func (e *Ego) Speed() float64 { return e.vel }
+
+// Config returns the vehicle parameters.
+func (e *Ego) Config() EgoConfig { return e.cfg }
+
+// Step advances the vehicle by dt seconds under the given engine torque
+// request (N·m), brake deceleration request (m/s², non-negative) and
+// road grade (radians, positive uphill).
+//
+// Requests are saturated to the physical plant limits, and non-finite
+// requests are treated as zero: the engine and brake controllers on the
+// real vehicle network sanitize their own actuation commands even though
+// the feature under test does not sanitize its inputs.
+func (e *Ego) Step(dt float64, engineTorque, brakeDecel, grade float64) {
+	if dt <= 0 {
+		return
+	}
+	if !isFinite(engineTorque) {
+		engineTorque = 0
+	}
+	if !isFinite(brakeDecel) {
+		brakeDecel = 0
+	}
+	engineTorque = clamp(engineTorque, 0, e.cfg.MaxEngineTorque)
+	brakeDecel = clamp(brakeDecel, 0, e.cfg.MaxBrakeDecel)
+
+	drive := engineTorque * e.cfg.DriveRatio / e.cfg.WheelRadius
+	drag := 0.5 * e.cfg.AirDensity * e.cfg.DragArea * e.vel * e.vel
+	roll := 0.0
+	if e.vel > 0.01 {
+		roll = e.cfg.RollCoeff * e.cfg.Mass * Gravity
+	}
+	gravityForce := e.cfg.Mass * Gravity * math.Sin(grade)
+
+	accel := (drive-drag-roll-gravityForce)/e.cfg.Mass - brakeDecel
+	e.vel += accel * dt
+	if e.vel < 0 {
+		e.vel = 0
+	}
+	e.pos += e.vel * dt
+}
+
+// TorqueForAccel returns the engine torque that would produce the given
+// acceleration on a flat road at the current speed. The FSRACC feature
+// uses the same inverse model (a plausible design for a feature tuned on
+// the same plant).
+func (e *Ego) TorqueForAccel(accel float64) float64 {
+	drag := 0.5 * e.cfg.AirDensity * e.cfg.DragArea * e.vel * e.vel
+	roll := e.cfg.RollCoeff * e.cfg.Mass * Gravity
+	force := e.cfg.Mass*accel + drag + roll
+	return force * e.cfg.WheelRadius / e.cfg.DriveRatio
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// SpeedKnot is one point of a piecewise-linear speed profile.
+type SpeedKnot struct {
+	// T is the profile time.
+	T time.Duration
+	// Speed is the target speed at T in m/s.
+	Speed float64
+}
+
+// SpeedProfile is a piecewise-linear speed-versus-time command. Before
+// the first knot the first speed holds; after the last, the last.
+type SpeedProfile []SpeedKnot
+
+// At returns the profile speed at time t.
+func (p SpeedProfile) At(t time.Duration) float64 {
+	if len(p) == 0 {
+		return 0
+	}
+	if t <= p[0].T {
+		return p[0].Speed
+	}
+	for i := 1; i < len(p); i++ {
+		if t <= p[i].T {
+			span := p[i].T - p[i-1].T
+			if span <= 0 {
+				return p[i].Speed
+			}
+			frac := float64(t-p[i-1].T) / float64(span)
+			return p[i-1].Speed + frac*(p[i].Speed-p[i-1].Speed)
+		}
+	}
+	return p[len(p)-1].Speed
+}
+
+// Lead is a scripted lead vehicle following a speed profile with a
+// bounded acceleration.
+type Lead struct {
+	pos        float64
+	vel        float64
+	profile    SpeedProfile
+	accelLimit float64
+}
+
+// NewLead creates a lead vehicle at the given initial position and
+// speed, tracking profile with at most accelLimit m/s² of acceleration
+// or deceleration.
+func NewLead(initialPos, initialSpeed float64, profile SpeedProfile, accelLimit float64) *Lead {
+	if accelLimit <= 0 {
+		accelLimit = 3.0
+	}
+	return &Lead{pos: initialPos, vel: math.Max(0, initialSpeed), profile: profile, accelLimit: accelLimit}
+}
+
+// Position returns the lead vehicle position in m.
+func (l *Lead) Position() float64 { return l.pos }
+
+// Speed returns the lead vehicle speed in m/s.
+func (l *Lead) Speed() float64 { return l.vel }
+
+// Step advances the lead vehicle by dt seconds at profile time t.
+func (l *Lead) Step(dt float64, t time.Duration) {
+	target := l.profile.At(t)
+	diff := target - l.vel
+	maxStep := l.accelLimit * dt
+	if diff > maxStep {
+		diff = maxStep
+	} else if diff < -maxStep {
+		diff = -maxStep
+	}
+	l.vel += diff
+	if l.vel < 0 {
+		l.vel = 0
+	}
+	l.pos += l.vel * dt
+}
+
+// GradeProfile maps travelled distance (m) to road grade (radians).
+type GradeProfile func(pos float64) float64
+
+// FlatRoad is a zero-grade profile.
+func FlatRoad(float64) float64 { return 0 }
+
+// Hill returns a grade profile with a single hill: grade radians between
+// start and start+length metres, flat elsewhere.
+func Hill(start, length, grade float64) GradeProfile {
+	return func(pos float64) float64 {
+		if pos >= start && pos < start+length {
+			return grade
+		}
+		return 0
+	}
+}

@@ -1,0 +1,357 @@
+package vehicle
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEgoAcceleratesUnderTorque(t *testing.T) {
+	e := NewEgo(DefaultEgoConfig(), 20)
+	v0 := e.Speed()
+	for i := 0; i < 100; i++ {
+		e.Step(0.01, 200, 0, 0)
+	}
+	if e.Speed() <= v0 {
+		t.Errorf("speed %v did not increase from %v under 200 N*m", e.Speed(), v0)
+	}
+	if e.Position() <= 0 {
+		t.Errorf("position %v did not advance", e.Position())
+	}
+}
+
+func TestEgoDeceleratesUnderBraking(t *testing.T) {
+	e := NewEgo(DefaultEgoConfig(), 30)
+	for i := 0; i < 100; i++ {
+		e.Step(0.01, 0, 3, 0)
+	}
+	if e.Speed() >= 30 {
+		t.Errorf("speed %v did not decrease under braking", e.Speed())
+	}
+}
+
+func TestEgoSpeedNeverNegative(t *testing.T) {
+	e := NewEgo(DefaultEgoConfig(), 1)
+	for i := 0; i < 500; i++ {
+		e.Step(0.01, 0, 9, 0)
+	}
+	if e.Speed() != 0 {
+		t.Errorf("speed = %v, want 0 after hard sustained braking", e.Speed())
+	}
+}
+
+func TestEgoCoastdownFromDrag(t *testing.T) {
+	e := NewEgo(DefaultEgoConfig(), 35)
+	for i := 0; i < 100; i++ {
+		e.Step(0.01, 0, 0, 0)
+	}
+	if e.Speed() >= 35 {
+		t.Errorf("speed %v did not decay while coasting", e.Speed())
+	}
+	if e.Speed() < 30 {
+		t.Errorf("speed %v decayed implausibly fast while coasting", e.Speed())
+	}
+}
+
+func TestEgoHillSlowsVehicle(t *testing.T) {
+	flat := NewEgo(DefaultEgoConfig(), 25)
+	hill := NewEgo(DefaultEgoConfig(), 25)
+	for i := 0; i < 200; i++ {
+		flat.Step(0.01, 100, 0, 0)
+		hill.Step(0.01, 100, 0, 0.05)
+	}
+	if hill.Speed() >= flat.Speed() {
+		t.Errorf("uphill speed %v >= flat speed %v", hill.Speed(), flat.Speed())
+	}
+}
+
+func TestEgoSanitizesNonFiniteRequests(t *testing.T) {
+	e := NewEgo(DefaultEgoConfig(), 20)
+	e.Step(0.01, math.NaN(), math.Inf(1), 0)
+	if math.IsNaN(e.Speed()) || math.IsInf(e.Speed(), 0) {
+		t.Fatalf("speed corrupted to %v by non-finite requests", e.Speed())
+	}
+}
+
+func TestEgoSaturatesTorque(t *testing.T) {
+	cfg := DefaultEgoConfig()
+	bounded := NewEgo(cfg, 20)
+	extreme := NewEgo(cfg, 20)
+	for i := 0; i < 100; i++ {
+		bounded.Step(0.01, cfg.MaxEngineTorque, 0, 0)
+		extreme.Step(0.01, 1e12, 0, 0)
+	}
+	if bounded.Speed() != extreme.Speed() {
+		t.Errorf("torque saturation broken: %v vs %v", bounded.Speed(), extreme.Speed())
+	}
+}
+
+func TestEgoIgnoresNonPositiveDt(t *testing.T) {
+	e := NewEgo(DefaultEgoConfig(), 20)
+	e.Step(0, 100, 0, 0)
+	e.Step(-1, 100, 0, 0)
+	if e.Speed() != 20 || e.Position() != 0 {
+		t.Errorf("state changed on non-positive dt: v=%v pos=%v", e.Speed(), e.Position())
+	}
+}
+
+func TestTorqueForAccelInverseConsistency(t *testing.T) {
+	e := NewEgo(DefaultEgoConfig(), 25)
+	for _, want := range []float64{0.5, 1.0, 2.0} {
+		torque := e.TorqueForAccel(want)
+		// Apply the torque for a single small step and measure accel.
+		probe := NewEgo(DefaultEgoConfig(), 25)
+		probe.Step(0.001, torque, 0, 0)
+		got := (probe.Speed() - 25) / 0.001
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("TorqueForAccel(%v): measured accel %v", want, got)
+		}
+	}
+}
+
+func TestSpeedProfileAt(t *testing.T) {
+	p := SpeedProfile{
+		{T: 0, Speed: 10},
+		{T: 10 * time.Second, Speed: 20},
+		{T: 10 * time.Second, Speed: 30}, // step change
+		{T: 20 * time.Second, Speed: 30},
+	}
+	tests := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{-time.Second, 10},
+		{0, 10},
+		{5 * time.Second, 15},
+		{10 * time.Second, 20},
+		{15 * time.Second, 30},
+		{30 * time.Second, 30},
+	}
+	for _, tt := range tests {
+		if got := p.At(tt.at); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestSpeedProfileEmpty(t *testing.T) {
+	var p SpeedProfile
+	if got := p.At(time.Second); got != 0 {
+		t.Errorf("empty profile At = %v, want 0", got)
+	}
+}
+
+func TestLeadTracksProfileWithAccelLimit(t *testing.T) {
+	l := NewLead(50, 10, SpeedProfile{{T: 0, Speed: 30}}, 2)
+	l.Step(0.1, 0)
+	if got, want := l.Speed(), 10.2; math.Abs(got-want) > 1e-9 {
+		t.Errorf("speed after one step = %v, want %v (accel limited)", got, want)
+	}
+	for i := 0; i < 200; i++ {
+		l.Step(0.1, time.Duration(i)*100*time.Millisecond)
+	}
+	if math.Abs(l.Speed()-30) > 1e-6 {
+		t.Errorf("lead did not converge to profile: %v", l.Speed())
+	}
+	if l.Position() <= 50 {
+		t.Errorf("lead did not advance: %v", l.Position())
+	}
+}
+
+func TestLeadDefaultsAccelLimit(t *testing.T) {
+	l := NewLead(0, 0, SpeedProfile{{T: 0, Speed: 10}}, 0)
+	l.Step(1, 0)
+	if l.Speed() != 3 {
+		t.Errorf("default accel limit not applied: %v", l.Speed())
+	}
+}
+
+func TestLeadSpeedNeverNegative(t *testing.T) {
+	l := NewLead(0, 1, SpeedProfile{{T: 0, Speed: -5}}, 10)
+	for i := 0; i < 10; i++ {
+		l.Step(0.1, 0)
+	}
+	if l.Speed() != 0 {
+		t.Errorf("lead speed = %v, want 0", l.Speed())
+	}
+}
+
+func TestGradeProfiles(t *testing.T) {
+	if FlatRoad(123) != 0 {
+		t.Error("FlatRoad not flat")
+	}
+	h := Hill(100, 50, 0.04)
+	tests := []struct {
+		pos  float64
+		want float64
+	}{
+		{0, 0}, {99, 0}, {100, 0.04}, {149, 0.04}, {150, 0}, {1000, 0},
+	}
+	for _, tt := range tests {
+		if got := h(tt.pos); got != tt.want {
+			t.Errorf("Hill(%v) = %v, want %v", tt.pos, got, tt.want)
+		}
+	}
+}
+
+func TestRadarAcquireDelayAndJump(t *testing.T) {
+	r := NewRadar(DefaultRadarConfig(), nil)
+	dt := 10 * time.Millisecond
+	// Target at 60 m closing: first observations suppressed by the
+	// confirmation delay, then the range appears as a discrete jump.
+	var obs Observation
+	steps := 0
+	for !obs.Ahead && steps < 100 {
+		obs = r.Observe(dt, 0, 25, true, 60, 20)
+		steps++
+	}
+	if !obs.Ahead {
+		t.Fatal("target never acquired")
+	}
+	if steps < 2 {
+		t.Errorf("acquired after %d steps, want confirmation delay of at least 2", steps)
+	}
+	if obs.Range != 60 {
+		t.Errorf("range = %v, want 60 (discrete jump from 0)", obs.Range)
+	}
+	if obs.RelVel != -5 {
+		t.Errorf("relvel = %v, want -5", obs.RelVel)
+	}
+}
+
+func TestRadarLosesPassedTarget(t *testing.T) {
+	r := NewRadar(DefaultRadarConfig(), nil)
+	dt := 10 * time.Millisecond
+	for i := 0; i < 50; i++ {
+		r.Observe(dt, 0, 25, true, 30, 20)
+	}
+	// The simulated world does not check collisions; once the ego
+	// position passes the lead, the radar simply loses the target.
+	obs := r.Observe(dt, 100, 25, true, 30, 20)
+	if obs.Ahead || obs.Range != 0 || obs.RelVel != 0 {
+		t.Errorf("passed target still observed: %+v", obs)
+	}
+}
+
+func TestRadarMaxRange(t *testing.T) {
+	r := NewRadar(DefaultRadarConfig(), nil)
+	dt := 10 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		if obs := r.Observe(dt, 0, 25, true, 200, 20); obs.Ahead {
+			t.Fatal("target beyond max range acquired")
+		}
+	}
+}
+
+func TestRadarAbsentLead(t *testing.T) {
+	r := NewRadar(DefaultRadarConfig(), nil)
+	for i := 0; i < 100; i++ {
+		if obs := r.Observe(10*time.Millisecond, 0, 25, false, 50, 20); obs.Ahead {
+			t.Fatal("absent lead acquired")
+		}
+	}
+}
+
+func TestRadarDropout(t *testing.T) {
+	cfg := DefaultRadarConfig()
+	cfg.DropoutProb = 0.5
+	r := NewRadar(cfg, rand.New(rand.NewSource(11)))
+	dt := 10 * time.Millisecond
+	ahead, dropped := 0, 0
+	for i := 0; i < 500; i++ {
+		obs := r.Observe(dt, 0, 25, true, 60, 25)
+		if i < 30 {
+			continue // acquisition window
+		}
+		if obs.Ahead {
+			ahead++
+		} else {
+			dropped++
+		}
+	}
+	if ahead == 0 || dropped == 0 {
+		t.Errorf("dropouts not mixed: ahead=%d dropped=%d", ahead, dropped)
+	}
+}
+
+func TestRadarNoise(t *testing.T) {
+	cfg := DefaultRadarConfig()
+	cfg.RangeNoise = 0.5
+	cfg.RelVelNoise = 0.2
+	r := NewRadar(cfg, rand.New(rand.NewSource(5)))
+	dt := 10 * time.Millisecond
+	var minR, maxR = math.Inf(1), math.Inf(-1)
+	for i := 0; i < 500; i++ {
+		obs := r.Observe(dt, 0, 25, true, 60, 25)
+		if !obs.Ahead {
+			continue
+		}
+		minR = math.Min(minR, obs.Range)
+		maxR = math.Max(maxR, obs.Range)
+	}
+	if maxR-minR < 0.1 {
+		t.Errorf("range noise absent: spread %v", maxR-minR)
+	}
+	if minR < 55 || maxR > 65 {
+		t.Errorf("range noise implausible: [%v, %v]", minR, maxR)
+	}
+}
+
+func TestRadarReset(t *testing.T) {
+	r := NewRadar(DefaultRadarConfig(), nil)
+	dt := 100 * time.Millisecond
+	for i := 0; i < 10; i++ {
+		r.Observe(dt, 0, 25, true, 60, 20)
+	}
+	r.Reset()
+	if obs := r.Observe(dt, 0, 25, true, 60, 20); obs.Ahead {
+		t.Error("radar acquired immediately after Reset")
+	}
+}
+
+func TestClosingHeadwayTime(t *testing.T) {
+	if got := ClosingHeadwayTime(30, 30); got != 1 {
+		t.Errorf("headway(30,30) = %v, want 1", got)
+	}
+	if got := ClosingHeadwayTime(30, 0); !math.IsInf(got, 1) {
+		t.Errorf("headway at standstill = %v, want +Inf", got)
+	}
+}
+
+// TestEgoEnergyQuick property-tests that with zero torque and zero
+// braking on flat ground the ego vehicle never speeds up.
+func TestEgoEnergyQuick(t *testing.T) {
+	f := func(v0 uint8, steps uint8) bool {
+		e := NewEgo(DefaultEgoConfig(), float64(v0%50))
+		prev := e.Speed()
+		for i := 0; i < int(steps); i++ {
+			e.Step(0.01, 0, 0, 0)
+			if e.Speed() > prev+1e-12 {
+				return false
+			}
+			prev = e.Speed()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLeadConvergesQuick property-tests that a lead vehicle always
+// converges to a constant profile speed.
+func TestLeadConvergesQuick(t *testing.T) {
+	f := func(v0, target uint8) bool {
+		tgt := float64(target % 40)
+		l := NewLead(0, float64(v0%40), SpeedProfile{{T: 0, Speed: tgt}}, 2)
+		for i := 0; i < 5000; i++ {
+			l.Step(0.01, time.Duration(i)*10*time.Millisecond)
+		}
+		return math.Abs(l.Speed()-tgt) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
