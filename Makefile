@@ -1,0 +1,32 @@
+# Developer entry points. Everything here is plain `go` tooling; the
+# targets just record the invocations the project expects to stay green.
+
+GO ?= go
+
+.PHONY: all test race short bench fuzz vet
+
+all: test
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# The fleet server, HIL benches and campaigns are concurrent; the suite
+# must stay race-clean. `-short` skips the campaign-scale tests so the
+# race run stays quick enough to use before every push.
+race:
+	$(GO) test -race -short ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Brief fuzz passes over the parser/formatter and the wire codec.
+fuzz:
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/speclang
+
+vet:
+	$(GO) vet ./...

@@ -58,6 +58,70 @@ func TestMonitorPassivity(t *testing.T) {
 	}
 }
 
+// cpsmonImports lists every cpsmon-internal import path appearing in
+// the non-test sources of pkg.
+func cpsmonImports(t *testing.T, pkg string) map[string][]string {
+	t.Helper()
+	found := make(map[string][]string) // import path -> importing files
+	entries, err := os.ReadDir(pkg)
+	if err != nil {
+		t.Fatalf("read %s: %v", pkg, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(pkg, name)
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		for _, imp := range f.Imports {
+			ipath, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("%s: bad import literal %s", path, imp.Path.Value)
+			}
+			if strings.HasPrefix(ipath, "cpsmon/") {
+				found[ipath] = append(found[ipath], path)
+			}
+		}
+	}
+	return found
+}
+
+// TestWireProtocolStaysDependencyLight pins the wire codec's dependency
+// surface: it may know about CAN frames (the payload it carries) and
+// nothing else of the repository. A vehicle-side encoder must be able to
+// link the codec without dragging in the monitor engine.
+func TestWireProtocolStaysDependencyLight(t *testing.T) {
+	allowed := map[string]bool{"cpsmon/internal/can": true}
+	for ipath, files := range cpsmonImports(t, "internal/wire") {
+		if !allowed[ipath] {
+			t.Errorf("%v import %s: the wire codec may depend only on internal/can", files, ipath)
+		}
+	}
+}
+
+// TestFleetDependencySurface bounds the fleet server's reach: transport
+// (wire), the monitor engine and its inputs. Like the monitor itself it
+// must never see the system under test.
+func TestFleetDependencySurface(t *testing.T) {
+	allowed := map[string]bool{
+		"cpsmon/internal/wire":     true,
+		"cpsmon/internal/core":     true,
+		"cpsmon/internal/can":      true,
+		"cpsmon/internal/sigdb":    true,
+		"cpsmon/internal/speclang": true,
+	}
+	for ipath, files := range cpsmonImports(t, "internal/fleet") {
+		if !allowed[ipath] {
+			t.Errorf("%v import %s: fleet may depend only on wire, core, can, sigdb, speclang", files, ipath)
+		}
+	}
+}
+
 // TestSystemUnderTestDoesNotImportMonitor checks the other direction of
 // the isolation boundary: the simulated system (plant, feature, bench)
 // has no knowledge of the monitor, mirroring a deployment where the

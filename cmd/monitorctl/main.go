@@ -8,6 +8,8 @@
 //	monitorctl -trace drive.csv -rules relaxed
 //	monitorctl -trace capture.canlog -rules specs/strict.spec -delta naive
 //	monitorctl -trace capture.canlog -online     # streaming replay
+//	monitorctl -trace capture.canlog -stream localhost:9320 -speed 1
+//	                                             # replay to a monitord
 //	monitorctl -trace capture.canlog -explain 2  # context strips per violation
 //	monitorctl -signals                          # print the Figure 1 inventory
 //	monitorctl -writedb my.netdb                 # export the network DB template
@@ -23,10 +25,12 @@ import (
 
 	"cpsmon/internal/can"
 	"cpsmon/internal/core"
+	"cpsmon/internal/fleet"
 	"cpsmon/internal/rules"
 	"cpsmon/internal/sigdb"
 	"cpsmon/internal/speclang"
 	"cpsmon/internal/trace"
+	"cpsmon/internal/wire"
 )
 
 func main() {
@@ -46,6 +50,9 @@ func run(args []string) error {
 		writeDB   = fs.String("writedb", "", "write the built-in vehicle database to this file as a template and exit")
 		signals   = fs.Bool("signals", false, "print the network's signal inventory (paper Figure 1 for the built-in vehicle) and exit")
 		online    = fs.Bool("online", false, "replay the capture through the streaming monitor, printing events as they become decidable (requires a .canlog trace)")
+		stream    = fs.String("stream", "", "replay the capture to a monitord fleet server at this address, printing its incremental verdicts (requires a .canlog trace)")
+		speed     = fs.Float64("speed", 0, "replay speed for -stream: 1 is real time, 2 double speed, 0 as fast as the server accepts")
+		vehicle   = fs.String("vehicle", "monitorctl", "vehicle identity announced to the fleet server with -stream")
 		explain   = fs.Int("explain", 0, "render signal context strips for up to N violations per rule")
 		margin    = fs.Duration("margin", 2*time.Second, "context margin around each explained violation")
 		verbose   = fs.Bool("v", false, "list every violation")
@@ -84,6 +91,9 @@ func run(args []string) error {
 	if *tracePath == "" {
 		fs.Usage()
 		return fmt.Errorf("-trace is required")
+	}
+	if *stream != "" {
+		return runStream(*stream, *tracePath, *ruleSpec, *vehicle, *speed)
 	}
 
 	rs, err := loadRules(*ruleSpec, db)
@@ -153,6 +163,80 @@ func run(args []string) error {
 	} else if rep.AnyViolated() {
 		fmt.Println("\nverdict: violated, but every violation triaged as overly-strict")
 	} else {
+		fmt.Println("\nverdict: satisfied")
+	}
+	return nil
+}
+
+// runStream replays a frame capture to a monitord fleet server over
+// the wire protocol, printing the server's incremental events as they
+// arrive and its end-of-stream verdict. The spec selection is passed
+// to the server verbatim ("strict", "relaxed", or empty for the
+// server's default rule set).
+func runStream(addr, path, spec, vehicle string, speed float64) error {
+	if strings.HasSuffix(path, ".csv") {
+		return fmt.Errorf("-stream replays CAN frame captures, not CSV traces")
+	}
+	if spec != "strict" && spec != "relaxed" {
+		// A path-based -rules selection is meaningless remotely: the
+		// server compiles its own specs. Fall back to its default.
+		spec = ""
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	log, err := can.ReadLog(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	c, err := fleet.Dial(addr, vehicle, spec, func(e wire.Event) {
+		switch e.Kind {
+		case wire.EventBegin:
+			fmt.Printf("[%8s] %-8s violation BEGINS at %v\n", e.Time, e.Rule, e.Time)
+		case wire.EventEnd:
+			fmt.Printf("[%8s] %-8s violation ENDS: %v..%v (%v) peak %.4g class %s: %s\n",
+				e.Time, e.Rule, e.Start, e.End, e.End-e.Start, e.Peak, core.Class(e.Class), e.Msg)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	fmt.Printf("streaming %s (%d frames, %v) to %s as %q (session %d)\n",
+		path, log.Len(), log.Duration(), addr, vehicle, c.Session())
+	v, err := c.Replay(log, speed)
+	if err != nil {
+		return err
+	}
+	if seen := v.FramesIngested + v.FramesDropped + v.FramesRejected; seen < uint64(log.Len()) {
+		fmt.Printf("\nnote: server ended the session early (shutdown drain); verdict covers the first %d of %d frames\n",
+			seen, log.Len())
+	}
+	fmt.Printf("\nverdict from %s (%d frames ingested, %d dropped, %d rejected):\n",
+		addr, v.FramesIngested, v.FramesDropped, v.FramesRejected)
+	anyViolated, anyReal := false, false
+	for _, rv := range v.Rules {
+		verdict := core.Satisfied
+		if rv.Violated {
+			verdict = core.Violated
+			anyViolated = true
+			anyReal = anyReal || rv.Real > 0
+		}
+		fmt.Printf("%-28s %s", rv.Rule, verdict)
+		if rv.Violated {
+			fmt.Printf("  (%d violations: %d real, %d transient, %d negligible)",
+				rv.Violations, rv.Real, rv.Transient, rv.Negligible)
+		}
+		fmt.Println()
+	}
+	switch {
+	case anyReal:
+		fmt.Println("\nverdict: VIOLATED (real violations present)")
+	case anyViolated:
+		fmt.Println("\nverdict: violated, but every violation triaged as overly-strict")
+	default:
 		fmt.Println("\nverdict: satisfied")
 	}
 	return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,7 +9,10 @@ import (
 	"time"
 
 	"cpsmon/internal/can"
+	"cpsmon/internal/fleet"
+	"cpsmon/internal/rules"
 	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
 )
 
 // writeTestLog records a short capture with a Rule #0 violation burst.
@@ -55,6 +59,52 @@ func TestRunOnlineMode(t *testing.T) {
 	path := writeTestLog(t)
 	if err := run([]string{"-trace", path, "-online"}); err != nil {
 		t.Fatalf("run -online: %v", err)
+	}
+}
+
+func TestRunStreamMode(t *testing.T) {
+	path := writeTestLog(t)
+	srv, err := fleet.NewServer(fleet.Config{
+		DB: sigdb.Vehicle(),
+		Resolve: func(name string) (*speclang.RuleSet, error) {
+			if name == "relaxed" {
+				return rules.Relaxed()
+			}
+			return rules.Strict()
+		},
+		Triage: rules.DefaultTriage(),
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	addr := srv.Addr().String()
+	if err := run([]string{"-trace", path, "-stream", addr}); err != nil {
+		t.Fatalf("run -stream: %v", err)
+	}
+	// A path-valued -rules selection falls back to the server default
+	// rather than leaking local paths to the daemon.
+	if err := run([]string{"-trace", path, "-stream", addr, "-rules", "/tmp/whatever.spec", "-speed", "100"}); err != nil {
+		t.Fatalf("run -stream with path rules: %v", err)
+	}
+	if st := srv.Stats(); st.SessionsClosed != 2 || st.FramesIngested == 0 {
+		t.Errorf("server stats after two replays: %+v", st)
+	}
+	// CSV traces cannot be streamed, and a dead address errors.
+	if err := run([]string{"-trace", path + ".csv", "-stream", addr}); err == nil {
+		t.Error("-stream accepted a CSV trace")
+	}
+	if err := run([]string{"-trace", path, "-stream", "127.0.0.1:1"}); err == nil {
+		t.Error("-stream to a dead address succeeded")
 	}
 }
 

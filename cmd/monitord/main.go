@@ -1,0 +1,183 @@
+// Command monitord is the fleet ingest daemon: a long-running TCP
+// service that bolts the passive monitor onto many vehicles at once.
+// Each connected vehicle streams its live CAN capture over the binary
+// wire protocol and gets incremental violation events and an
+// end-of-stream verdict back — the runtime deployment the paper
+// sketches ("there is no fundamental reason the monitoring could not
+// be done at runtime"), scaled to a fleet.
+//
+// Usage:
+//
+//	monitord                                    # strict rules on :9320
+//	monitord -addr :9000 -rules relaxed
+//	monitord -rules specs/strict.spec -max-sessions 256
+//	monitord -db plant.netdb -rules plant.spec  # a different CPS entirely
+//	monitord -drop -queue 16                    # shed load instead of blocking
+//
+// Stream a recorded capture to it with:
+//
+//	monitorctl -trace capture.canlog -stream localhost:9320 -speed 1
+//
+// Clients select a rule set in their hello record: "strict", "relaxed"
+// or empty for the daemon's -rules default. The daemon drains every
+// session gracefully on SIGINT/SIGTERM: queued frames are evaluated,
+// verdicts delivered, and the final ingest statistics printed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cpsmon/internal/fleet"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "monitord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("monitord", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":9320", "TCP listen address")
+		ruleSpec    = fs.String("rules", "strict", "default rule set: strict, relaxed, or a path to a .spec file")
+		dbPath      = fs.String("db", "", "custom network database file; default is the paper's vehicle network")
+		maxSessions = fs.Int("max-sessions", 0, "refuse connections over this many concurrent sessions (0 = unlimited)")
+		queueDepth  = fs.Int("queue", 0, "per-session ingest queue depth in batches (0 = default)")
+		drop        = fs.Bool("drop", false, "shed frames when a session queue is full instead of applying backpressure")
+		deltaMode   = fs.String("delta", "aware", "multi-rate difference semantics: aware or naive")
+		statsEvery  = fs.Duration("stats", 0, "print ingest statistics at this interval (0 = only at shutdown)")
+		drainGrace  = fs.Duration("drain", 10*time.Second, "how long shutdown waits for sessions to drain")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	db := sigdb.Vehicle()
+	if *dbPath != "" {
+		f, err := os.Open(*dbPath)
+		if err != nil {
+			return err
+		}
+		loaded, err := sigdb.ReadFormat(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		db = loaded
+	}
+
+	mode := speclang.DeltaUpdateAware
+	switch *deltaMode {
+	case "aware":
+	case "naive":
+		mode = speclang.DeltaNaive
+	default:
+		return fmt.Errorf("unknown -delta %q (want aware or naive)", *deltaMode)
+	}
+
+	resolve, err := newResolver(*ruleSpec, db)
+	if err != nil {
+		return err
+	}
+	srv, err := fleet.NewServer(fleet.Config{
+		DB:           db,
+		Resolve:      resolve,
+		DeltaMode:    mode,
+		Triage:       rules.DefaultTriage(),
+		MaxSessions:  *maxSessions,
+		QueueDepth:   *queueDepth,
+		DropWhenFull: *drop,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Listen(*addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "monitord: listening on %s (rules %s)\n", srv.Addr(), *ruleSpec)
+
+	if *statsEvery > 0 {
+		ticker := time.NewTicker(*statsEvery)
+		defer ticker.Stop()
+		for done := false; !done; {
+			select {
+			case <-ticker.C:
+				printStats(out, srv.Stats())
+			case <-ctx.Done():
+				done = true
+			}
+		}
+	} else {
+		<-ctx.Done()
+	}
+
+	fmt.Fprintln(out, "monitord: draining sessions")
+	sctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	err = srv.Shutdown(sctx)
+	printStats(out, srv.Stats())
+	return err
+}
+
+// newResolver builds the session spec resolver: clients may select the
+// built-in "strict" or "relaxed" sets, or the empty name for the
+// daemon's default — which may be a custom .spec file compiled at
+// startup. Arbitrary client-supplied paths are never opened.
+func newResolver(def string, db *sigdb.DB) (fleet.SpecResolver, error) {
+	defSet, err := loadRules(def, db)
+	if err != nil {
+		return nil, fmt.Errorf("rules %q: %w", def, err)
+	}
+	return func(name string) (*speclang.RuleSet, error) {
+		switch name {
+		case "", def:
+			return defSet, nil
+		case "strict":
+			return rules.Strict()
+		case "relaxed":
+			return rules.Relaxed()
+		default:
+			return nil, fmt.Errorf("unknown spec (want \"\", %q, \"strict\" or \"relaxed\")", def)
+		}
+	}, nil
+}
+
+func loadRules(spec string, db *sigdb.DB) (*speclang.RuleSet, error) {
+	switch spec {
+	case "strict":
+		return rules.Strict()
+	case "relaxed":
+		return rules.Relaxed()
+	}
+	src, err := os.ReadFile(spec)
+	if err != nil {
+		return nil, err
+	}
+	f, err := speclang.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	return speclang.Compile(f, db.SignalNames())
+}
+
+func printStats(out io.Writer, st fleet.Stats) {
+	fmt.Fprintf(out,
+		"monitord: sessions %d active / %d opened / %d closed / %d refused; frames %d ingested / %d dropped / %d rejected; violations %d; avg ingest latency %v\n",
+		st.SessionsActive, st.SessionsOpened, st.SessionsClosed, st.SessionsRefused,
+		st.FramesIngested, st.FramesDropped, st.FramesRejected,
+		st.ViolationsEmitted, st.AvgIngestLatency().Round(time.Microsecond))
+}

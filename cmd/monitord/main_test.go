@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/fleet"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/wire"
+)
+
+// syncBuffer lets the daemon goroutine and the test share an output
+// buffer safely.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startDaemon runs the daemon on an ephemeral port and returns its
+// address plus a shutdown function that asserts a clean exit.
+func startDaemon(t *testing.T, args ...string) (string, func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out)
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	var addr string
+	for addr == "" {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return addr, func() {
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("daemon shutdown: %v\n%s", err, out.String())
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("daemon did not exit:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "sessions") {
+			t.Errorf("no final stats printed:\n%s", out.String())
+		}
+	}
+}
+
+// testFrames synthesizes a short ordered capture with one violation
+// burst.
+func testFrames(t *testing.T) []can.Frame {
+	t.Helper()
+	db := sigdb.Vehicle()
+	sched, err := can.NewTxSchedule(db, sigdb.FastPeriod, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := can.NewBus(db, sched)
+	for tick := 0; tick < 120; tick++ {
+		on := 0.0
+		if tick >= 40 && tick < 80 {
+			on = 1
+		}
+		_ = bus.Set(sigdb.SigServiceACC, on)
+		_ = bus.Set(sigdb.SigACCEnabled, on)
+		if err := bus.Step(time.Duration(tick) * sigdb.FastPeriod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return bus.Log().Frames()
+}
+
+func TestDaemonServesSession(t *testing.T) {
+	addr, shutdown := startDaemon(t)
+	var events []wire.Event
+	c, err := fleet.Dial(addr, "veh-1", "", func(e wire.Event) { events = append(events, e) })
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Send(testFrames(t)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	v, err := c.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	violated := false
+	for _, rv := range v.Rules {
+		violated = violated || rv.Violated
+	}
+	if !violated || len(events) == 0 {
+		t.Errorf("expected a violation over the burst: verdict %+v, %d events", v, len(events))
+	}
+	shutdown()
+}
+
+func TestDaemonDrainsActiveSessionOnShutdown(t *testing.T) {
+	addr, shutdown := startDaemon(t)
+	c, err := fleet.Dial(addr, "veh-1", "strict", nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Send(testFrames(t)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	// No Finish: the daemon's drain must still verdict the session.
+	shutdown()
+	if _, err := c.Wait(); err != nil {
+		t.Fatalf("no verdict from drain: %v", err)
+	}
+}
+
+func TestDaemonFlagErrors(t *testing.T) {
+	ctx := context.Background()
+	for _, args := range [][]string{
+		{"-delta", "sideways"},
+		{"-rules", "/nonexistent.spec"},
+		{"-db", "/nonexistent.netdb"},
+		{"-queue", "-1"},
+	} {
+		if err := run(ctx, args, &syncBuffer{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestResolverRefusesArbitraryNames(t *testing.T) {
+	res, err := newResolver("strict", sigdb.Vehicle())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ok := range []string{"", "strict", "relaxed"} {
+		if _, err := res(ok); err != nil {
+			t.Errorf("resolve(%q): %v", ok, err)
+		}
+	}
+	if _, err := res("/etc/passwd"); err == nil {
+		t.Error("resolver accepted an arbitrary path")
+	}
+}

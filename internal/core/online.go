@@ -76,8 +76,14 @@ func (m *Monitor) Online(db *sigdb.DB) (*OnlineMonitor, error) {
 }
 
 // PushFrame feeds one captured frame. Frames must arrive in
-// non-decreasing time order; frames with IDs outside the database are
-// ignored, as a passive listener ignores foreign traffic.
+// non-decreasing time order: a frame whose timestamp equals the
+// previous frame's is accepted (broadcast buses deliver many frames in
+// the same capture instant), while a frame with a strictly earlier
+// timestamp is rejected with an error. A rejection leaves the monitor's
+// state untouched — no step is finalized and no signal latches — so the
+// caller may drop the offending frame and keep pushing; the session
+// remains valid. Frames with IDs outside the database are ignored, as a
+// passive listener ignores foreign traffic.
 func (o *OnlineMonitor) PushFrame(f can.Frame) ([]OnlineEvent, error) {
 	if o.closed {
 		return nil, fmt.Errorf("core: PushFrame after Close")

@@ -217,7 +217,12 @@ func TestOnlineEventLatency(t *testing.T) {
 	}
 }
 
-func TestOnlineRejectsOutOfOrderFrames(t *testing.T) {
+// TestOnlineTimestampContract pins PushFrame's documented ordering
+// contract: equal timestamps are accepted (many frames share a capture
+// instant on a broadcast bus), strictly decreasing ones are rejected,
+// and a rejection leaves the session intact — the caller can drop the
+// stale frame and keep streaming to an unchanged verdict.
+func TestOnlineTimestampContract(t *testing.T) {
 	m := testMonitor(t)
 	om, err := m.Online(sigdb.Vehicle())
 	if err != nil {
@@ -226,8 +231,92 @@ func TestOnlineRejectsOutOfOrderFrames(t *testing.T) {
 	if _, err := om.PushFrame(can.Frame{Time: 50 * time.Millisecond, ID: sigdb.FrameRadar}); err != nil {
 		t.Fatalf("PushFrame: %v", err)
 	}
-	if _, err := om.PushFrame(can.Frame{Time: 10 * time.Millisecond, ID: sigdb.FrameRadar}); err == nil {
-		t.Error("out-of-order frame accepted")
+	// Equal timestamp: fine, repeatedly.
+	for i := 0; i < 3; i++ {
+		if _, err := om.PushFrame(can.Frame{Time: 50 * time.Millisecond, ID: sigdb.FramePedals}); err != nil {
+			t.Fatalf("equal-timestamp frame %d rejected: %v", i, err)
+		}
+	}
+	// Strictly earlier: rejected, every time it is retried.
+	for i := 0; i < 2; i++ {
+		if _, err := om.PushFrame(can.Frame{Time: 10 * time.Millisecond, ID: sigdb.FrameRadar}); err == nil {
+			t.Fatal("out-of-order frame accepted")
+		}
+	}
+	// The rejection did not corrupt the session: later frames still
+	// stream, and equal-to-last remains acceptable after the error.
+	if _, err := om.PushFrame(can.Frame{Time: 50 * time.Millisecond, ID: sigdb.FrameVehicleDyn}); err != nil {
+		t.Fatalf("session unusable after rejection: %v", err)
+	}
+	if _, err := om.PushFrame(can.Frame{Time: 70 * time.Millisecond, ID: sigdb.FrameRadar}); err != nil {
+		t.Fatalf("session unusable after rejection: %v", err)
+	}
+	if _, err := om.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestOnlineRejectionMatchesDropAndContinue checks the "drop and keep
+// pushing" recovery the contract promises: a trace streamed with stale
+// frames interleaved (each rejected) yields byte-identical violations
+// to the same trace without them.
+func TestOnlineRejectionMatchesDropAndContinue(t *testing.T) {
+	log := buildLog(t, 300, func(tick int, bus *can.Bus) {
+		on := 0.0
+		if tick >= 100 && tick < 150 {
+			on = 1
+		}
+		_ = bus.Set(sigdb.SigServiceACC, on)
+		_ = bus.Set(sigdb.SigACCEnabled, on)
+	})
+	m := testMonitor(t)
+	om, err := m.Online(sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	got := make(map[string][]OnlineEvent)
+	collect := func(evs []OnlineEvent) {
+		for _, e := range evs {
+			if e.Kind == speclang.ViolationEnd {
+				got[e.Rule] = append(got[e.Rule], e)
+			}
+		}
+	}
+	for i, f := range log.Frames() {
+		if i > 0 && i%20 == 0 {
+			stale := f
+			stale.Time -= 30 * time.Millisecond
+			if _, err := om.PushFrame(stale); err == nil {
+				t.Fatal("stale frame accepted")
+			}
+		}
+		evs, err := om.PushFrame(f)
+		if err != nil {
+			t.Fatalf("PushFrame after drop: %v", err)
+		}
+		collect(evs)
+	}
+	evs, err := om.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	collect(evs)
+
+	clean := onlineViolations(t, m, log)
+	if len(clean) == 0 {
+		t.Fatal("synthetic burst produced no violations")
+	}
+	for rule, want := range clean {
+		g := got[rule]
+		if len(g) != len(want) {
+			t.Fatalf("rule %s: %d violations with rejections interleaved, %d clean", rule, len(g), len(want))
+		}
+		for i := range want {
+			a, b := g[i].Violation, want[i].Violation
+			if a.StartStep != b.StartStep || a.EndStep != b.EndStep || a.Msg != b.Msg || g[i].Class != want[i].Class {
+				t.Errorf("rule %s violation %d diverged after rejections: %+v vs %+v", rule, i, a, b)
+			}
+		}
 	}
 }
 

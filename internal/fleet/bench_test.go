@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/sigdb"
+)
+
+// benchLog synthesizes a bus capture directly (no plant simulation):
+// steady following traffic with a mid-trace fault burst, so every
+// session exercises both the clean path and violation emission.
+func benchLog(b *testing.B, ticks int) *can.Log {
+	b.Helper()
+	db := sigdb.Vehicle()
+	sched, err := can.NewTxSchedule(db, sigdb.FastPeriod, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bus := can.NewBus(db, sched)
+	for tick := 0; tick < ticks; tick++ {
+		_ = bus.Set(sigdb.SigVelocity, 24)
+		_ = bus.Set(sigdb.SigACCSetSpeed, 25)
+		_ = bus.Set(sigdb.SigVehicleAhead, 1)
+		_ = bus.Set(sigdb.SigTargetRange, 40)
+		if tick >= ticks/3 && tick < ticks/2 {
+			_ = bus.Set(sigdb.SigServiceACC, 1)
+			_ = bus.Set(sigdb.SigACCEnabled, 1)
+		} else {
+			_ = bus.Set(sigdb.SigServiceACC, 0)
+			_ = bus.Set(sigdb.SigACCEnabled, 0)
+		}
+		if err := bus.Step(time.Duration(tick) * sigdb.FastPeriod); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return bus.Log()
+}
+
+// BenchmarkFleetIngest measures end-to-end ingest throughput over
+// loopback TCP: N concurrent sessions replaying the same capture at
+// full speed through one server. It reports frames/sec and ns/frame so
+// the perf trajectory tracks ingest throughput across PRs.
+func BenchmarkFleetIngest(b *testing.B) {
+	log := benchLog(b, 3000)
+	for _, sessions := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			_, addr := startServer(b, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for s := 0; s < sessions; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						c, err := Dial(addr, fmt.Sprintf("bench-%03d", s), "strict", nil)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						defer c.Close()
+						if _, err := c.Replay(log, 0); err != nil {
+							b.Error(err)
+						}
+					}(s)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			frames := float64(b.N) * float64(sessions) * float64(log.Len())
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(frames/secs, "frames/sec")
+			}
+			if frames > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/frames, "ns/frame")
+			}
+		})
+	}
+}

@@ -1,0 +1,218 @@
+package fleet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/wire"
+)
+
+// maxBatchFrames caps one FrameBatch record so it stays far under the
+// wire protocol's record-size limit.
+const maxBatchFrames = 4096
+
+// replayWindow groups frames into batches spanning at most this much
+// capture time during a paced replay.
+const replayWindow = 100 * time.Millisecond
+
+// Client is the vehicle side of a fleet session: it uplinks captured
+// frames to a monitord and surfaces the incremental oracle events the
+// server pushes back.
+type Client struct {
+	conn    net.Conn
+	bw      *bufio.Writer
+	session uint64
+	onEvent func(wire.Event)
+
+	// done closes when the read loop ends; verdict and readErr are
+	// written before the close and may be read after it.
+	done    chan struct{}
+	verdict *wire.Verdict
+	readErr error
+}
+
+// Dial connects to a fleet server and performs the session handshake.
+// onEvent, when not nil, is invoked from the client's read goroutine
+// for every incremental event the server pushes; it must not block for
+// long or the event stream (and eventually the server's write path)
+// stalls.
+func Dial(addr, vehicle, spec string, onEvent func(wire.Event)) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	c := &Client{
+		conn:    conn,
+		bw:      bufio.NewWriterSize(conn, 64<<10),
+		onEvent: onEvent,
+		done:    make(chan struct{}),
+	}
+	if err := wire.Write(c.bw, wire.Hello{Version: wire.Version, Vehicle: vehicle, Spec: spec}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("fleet: hello: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("fleet: hello: %w", err)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	rec, err := wire.Read(br)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("fleet: hello ack: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	switch rec := rec.(type) {
+	case wire.HelloAck:
+		c.session = rec.Session
+	case wire.Error:
+		conn.Close()
+		return nil, rec.Err()
+	default:
+		conn.Close()
+		return nil, fmt.Errorf("fleet: hello ack: unexpected %T", rec)
+	}
+	go c.readLoop(br)
+	return c, nil
+}
+
+// Session returns the server-assigned session identifier.
+func (c *Client) Session() uint64 { return c.session }
+
+// readLoop receives events until the verdict (and the server's close)
+// or an error ends the session.
+func (c *Client) readLoop(br *bufio.Reader) {
+	defer close(c.done)
+	for {
+		rec, err := wire.Read(br)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && c.verdict == nil {
+				c.readErr = err
+			}
+			return
+		}
+		switch rec := rec.(type) {
+		case wire.Event:
+			if c.onEvent != nil {
+				c.onEvent(rec)
+			}
+		case wire.Verdict:
+			c.verdict = &rec
+		case wire.Error:
+			c.readErr = rec.Err()
+			return
+		default:
+			c.readErr = fmt.Errorf("fleet: unexpected %T from server", rec)
+			return
+		}
+	}
+}
+
+// Send uplinks a run of frames, splitting it into batch records as
+// needed. Frames must be in non-decreasing time order across all Send
+// calls; stale frames are rejected (and accounted) server-side.
+func (c *Client) Send(frames []can.Frame) error {
+	for len(frames) > 0 {
+		n := len(frames)
+		if n > maxBatchFrames {
+			n = maxBatchFrames
+		}
+		if err := wire.Write(c.bw, wire.FrameBatch{Frames: frames[:n]}); err != nil {
+			return fmt.Errorf("fleet: send: %w", err)
+		}
+		frames = frames[n:]
+	}
+	return c.bw.Flush()
+}
+
+// Finish declares end-of-stream and waits for the server's verdict.
+func (c *Client) Finish() (*wire.Verdict, error) {
+	if err := wire.Write(c.bw, wire.Finish{}); err != nil {
+		return c.sessionOutcome(fmt.Errorf("fleet: finish: %w", err))
+	}
+	if err := c.bw.Flush(); err != nil {
+		return c.sessionOutcome(fmt.Errorf("fleet: finish: %w", err))
+	}
+	return c.Wait()
+}
+
+// sessionOutcome resolves a mid-stream write failure. A write error
+// usually means the server already ended the session on purpose — a
+// graceful drain closes the connection right after delivering a
+// partial Verdict, and a protocol refusal after an Error record — so
+// whatever the read loop collected supersedes the local broken-pipe
+// noise. Only if the session ended with neither does the write error
+// itself surface.
+func (c *Client) sessionOutcome(writeErr error) (*wire.Verdict, error) {
+	select {
+	case <-c.done:
+	case <-time.After(handshakeTimeout):
+		return nil, writeErr
+	}
+	if c.verdict != nil {
+		return c.verdict, nil
+	}
+	if c.readErr != nil {
+		return nil, c.readErr
+	}
+	return nil, writeErr
+}
+
+// Wait blocks until the session ends and returns the verdict, if one
+// arrived. It is the right call after a drain-on-shutdown, where the
+// server verdicts the session without a client Finish.
+func (c *Client) Wait() (*wire.Verdict, error) {
+	<-c.done
+	if c.verdict != nil {
+		return c.verdict, nil
+	}
+	if c.readErr != nil {
+		return nil, c.readErr
+	}
+	return nil, errors.New("fleet: session closed without a verdict")
+}
+
+// Close tears the connection down. A session still streaming appears
+// to the server as an unclean disconnect.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+// Replay uplinks a recorded bus log and returns the verdict. speed
+// scales capture time to wall time: 1 replays in real time, 2 at
+// double speed, and 0 (or negative) streams as fast as the connection
+// and the server's backpressure allow. Frames are batched in capture
+// windows so a paced replay delivers them with their original rhythm.
+// If the server drains mid-replay (shutdown), Replay returns the
+// partial verdict it delivered; compare Verdict.FramesIngested with
+// the log length to detect the truncation.
+func (c *Client) Replay(log *can.Log, speed float64) (*wire.Verdict, error) {
+	frames := log.Frames()
+	start := time.Now()
+	for i := 0; i < len(frames); {
+		j := i + 1
+		window := frames[i].Time + replayWindow
+		for j < len(frames) && frames[j].Time < window && j-i < maxBatchFrames {
+			j++
+		}
+		if speed > 0 {
+			due := start.Add(time.Duration(float64(frames[i].Time) / speed))
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		if err := c.Send(frames[i:j]); err != nil {
+			return c.sessionOutcome(err)
+		}
+		i = j
+	}
+	return c.Finish()
+}

@@ -1,0 +1,352 @@
+// Package fleet is the networked ingest tier of the monitor: a TCP
+// server that runs one streaming oracle session per connected vehicle.
+//
+// The paper ran its monitor offline over recorded bus captures, noting
+// that "there is no fundamental reason the monitoring could not be done
+// at runtime". core.OnlineMonitor realizes the runtime path for a
+// single in-process trace; this package scales it out: fleets of
+// vehicles uplink their CAN captures over the wire protocol
+// (internal/wire) and each connection gets its own isolated monitor
+// session, a bounded ingest queue with explicit backpressure or drop
+// accounting, and incremental violation events pushed back as they
+// become decidable. The server produces byte-for-byte the same
+// violations as the offline CheckLog over the same frames.
+//
+// Session lifecycle (see DESIGN.md for the wire layouts):
+//
+//	accepted → awaiting-hello → streaming → draining → closed
+//
+// A session drains — evaluates everything queued, closes the monitor,
+// and reports a Verdict — on three paths: the client's Finish record,
+// the client's disconnect, or server shutdown.
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cpsmon/internal/core"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+	"cpsmon/internal/wire"
+)
+
+// SpecResolver maps a Hello record's spec selection to a compiled rule
+// set. The empty name selects the deployment's default rule set.
+type SpecResolver func(name string) (*speclang.RuleSet, error)
+
+// Config assembles a fleet ingest server.
+type Config struct {
+	// DB is the signal database every session decodes frames with;
+	// required. It must not be mutated while the server runs.
+	DB *sigdb.DB
+	// Resolve maps spec selections to rule sets; required. It is
+	// called at most once per distinct spec name (results are cached).
+	Resolve SpecResolver
+	// Period is the evaluation grid step; zero selects the core
+	// default (the network's fast frame period).
+	Period time.Duration
+	// DeltaMode selects multi-rate difference semantics.
+	DeltaMode speclang.DeltaMode
+	// Triage maps rule names to triage thresholds, as core.Config.
+	Triage map[string]core.Triage
+	// MaxSessions caps concurrently active sessions; connections over
+	// the cap are refused with a wire Error. Zero means unlimited.
+	MaxSessions int
+	// QueueDepth is the per-session frame-queue capacity in batches.
+	// Zero selects the default (64).
+	QueueDepth int
+	// DropWhenFull selects load-shedding: a batch arriving at a full
+	// queue is dropped (and accounted) instead of blocking the
+	// connection. Off by default: backpressure propagates to the
+	// client through TCP, preserving completeness.
+	DropWhenFull bool
+}
+
+const (
+	defaultQueueDepth = 64
+	handshakeTimeout  = 10 * time.Second
+	numShards         = 16
+)
+
+// shard is one slice of the session table. Sessions register on the
+// shard keyed by their ID so that registration, deregistration and the
+// shutdown sweep never contend on a single lock.
+type shard struct {
+	mu       sync.Mutex
+	sessions map[uint64]*session
+}
+
+// specEntry is a resolved spec: the shared immutable monitor plus the
+// rule order for verdict records.
+type specEntry struct {
+	mon   *core.Monitor
+	rules []string
+}
+
+// Server is the fleet ingest daemon: one monitor session per connected
+// vehicle.
+type Server struct {
+	cfg Config
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	ln     net.Listener
+	lnMu   sync.Mutex
+	closed atomic.Bool
+
+	wg     sync.WaitGroup // one per connection goroutine
+	nextID atomic.Uint64
+	active atomic.Int64
+
+	shards [numShards]shard
+
+	specMu sync.Mutex
+	specs  map[string]*specEntry
+
+	stats counters
+}
+
+// NewServer validates the configuration and builds a server. Call
+// Listen (or Serve with your own listener) to start accepting.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("fleet: config requires DB")
+	}
+	if cfg.Resolve == nil {
+		return nil, errors.New("fleet: config requires Resolve")
+	}
+	if cfg.QueueDepth < 0 {
+		return nil, fmt.Errorf("fleet: negative queue depth %d", cfg.QueueDepth)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{cfg: cfg, ctx: ctx, cancel: cancel, specs: make(map[string]*specEntry)}
+	for i := range s.shards {
+		s.shards[i].sessions = make(map[uint64]*session)
+	}
+	return s, nil
+}
+
+// Listen binds addr and starts serving in the background. Use Addr to
+// learn the bound address (handy with a ":0" port).
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return nil
+}
+
+// Serve accepts sessions on ln until the listener closes or the server
+// shuts down. It blocks; the returned error is nil on clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	s.acceptLoop(ln)
+	return nil
+}
+
+// Addr returns the listening address, or nil before Listen/Serve.
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Listener closed (shutdown) or fatal accept error.
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(conn)
+		}()
+	}
+}
+
+// Shutdown stops accepting, drains every active session — queued
+// frames are evaluated, monitors closed, verdicts delivered — and
+// waits for completion or ctx expiry, whichever is first. On expiry
+// the remaining connections are force-closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.closed.Swap(true) {
+		return errors.New("fleet: Shutdown called twice")
+	}
+	s.cancel()
+	s.lnMu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.lnMu.Unlock()
+	// Unblock readers parked in wire.Read so they notice the
+	// cancelled context and enter the drain path.
+	s.sweep(func(sess *session) { sess.conn.SetReadDeadline(time.Now()) })
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.sweep(func(sess *session) { sess.conn.Close() })
+		<-done
+		return fmt.Errorf("fleet: shutdown deadline exceeded, sessions force-closed: %w", ctx.Err())
+	}
+}
+
+// sweep applies fn to every registered session.
+func (s *Server) sweep(fn func(*session)) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for _, sess := range sh.sessions {
+			fn(sess)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+func (s *Server) register(sess *session) {
+	sh := &s.shards[sess.id%numShards]
+	sh.mu.Lock()
+	sh.sessions[sess.id] = sess
+	sh.mu.Unlock()
+}
+
+func (s *Server) unregister(sess *session) {
+	sh := &s.shards[sess.id%numShards]
+	sh.mu.Lock()
+	delete(sh.sessions, sess.id)
+	sh.mu.Unlock()
+}
+
+// spec resolves and caches one spec selection.
+func (s *Server) spec(name string) (*specEntry, error) {
+	s.specMu.Lock()
+	defer s.specMu.Unlock()
+	if e, ok := s.specs[name]; ok {
+		return e, nil
+	}
+	rs, err := s.cfg.Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	mon, err := core.New(core.Config{
+		Rules:     rs,
+		Period:    s.cfg.Period,
+		DeltaMode: s.cfg.DeltaMode,
+		Triage:    s.cfg.Triage,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &specEntry{mon: mon}
+	for _, r := range rs.Rules() {
+		e.rules = append(e.rules, r.Name)
+	}
+	s.specs[name] = e
+	return e, nil
+}
+
+// refuse answers a connection that never became a session.
+func (s *Server) refuse(conn net.Conn, msg string) {
+	s.stats.sessionsRefused.Add(1)
+	conn.SetWriteDeadline(time.Now().Add(handshakeTimeout))
+	wire.Write(conn, wire.Error{Msg: msg})
+	conn.Close()
+}
+
+// handleConn performs the handshake and, on success, runs the session
+// to completion.
+func (s *Server) handleConn(conn net.Conn) {
+	if n := s.active.Add(1); s.cfg.MaxSessions > 0 && n > int64(s.cfg.MaxSessions) {
+		s.active.Add(-1)
+		s.refuse(conn, fmt.Sprintf("session limit %d reached", s.cfg.MaxSessions))
+		return
+	}
+	defer s.active.Add(-1)
+
+	br := bufio.NewReaderSize(conn, 64<<10)
+
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	rec, err := wire.Read(br)
+	if err != nil {
+		s.refuse(conn, fmt.Sprintf("handshake: %v", err))
+		return
+	}
+	hello, ok := rec.(wire.Hello)
+	if !ok {
+		s.refuse(conn, fmt.Sprintf("handshake: expected hello, got %T", rec))
+		return
+	}
+	if hello.Version != wire.Version {
+		s.refuse(conn, fmt.Sprintf("protocol version %d unsupported (server speaks %d)", hello.Version, wire.Version))
+		return
+	}
+	entry, err := s.spec(hello.Spec)
+	if err != nil {
+		s.refuse(conn, fmt.Sprintf("spec %q: %v", hello.Spec, err))
+		return
+	}
+	om, err := entry.mon.Online(s.cfg.DB)
+	if err != nil {
+		s.refuse(conn, fmt.Sprintf("session setup: %v", err))
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	sess := &session{
+		id:         s.nextID.Add(1),
+		srv:        s,
+		conn:       conn,
+		br:         br,
+		bw:         bufio.NewWriterSize(conn, 64<<10),
+		queue:      make(chan batch, s.cfg.QueueDepth),
+		om:         om,
+		entry:      entry,
+		vehicle:    hello.Vehicle,
+		tally:      make(map[string]*ruleTally, len(entry.rules)),
+		workerDone: make(chan struct{}),
+	}
+	s.register(sess)
+	s.stats.sessionsOpened.Add(1)
+	defer func() {
+		s.unregister(sess)
+		s.stats.sessionsClosed.Add(1)
+	}()
+
+	if err := wire.Write(conn, wire.HelloAck{Session: sess.id}); err != nil {
+		conn.Close()
+		return
+	}
+	sess.run()
+}

@@ -1,0 +1,293 @@
+package fleet
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/core"
+	"cpsmon/internal/speclang"
+	"cpsmon/internal/wire"
+)
+
+// Session lifecycle states, advanced monotonically. The state is only
+// read for introspection; the lifecycle itself is driven by the
+// reader/worker handoff below.
+const (
+	stateStreaming int32 = iota + 1
+	stateDraining
+	stateClosed
+)
+
+// batch is one queued unit of ingest work: a run of frames plus the
+// moment it entered the queue, for latency accounting.
+type batch struct {
+	frames []can.Frame
+	enq    time.Time
+}
+
+// ruleTally accumulates a session's closed violations per rule for the
+// end-of-stream verdict.
+type ruleTally struct {
+	violations, real, transient, negligible uint32
+}
+
+// session is one connected vehicle: a reader goroutine that decodes
+// records off the socket into a bounded queue, and a worker goroutine
+// that feeds the monitor and writes events back. The reader owns the
+// connection's read half and its close; the worker owns all writes
+// after the hello acknowledgement, so no write lock is needed.
+type session struct {
+	id   uint64
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+	bw   *bufio.Writer
+
+	queue      chan batch
+	workerDone chan struct{}
+
+	om      *core.OnlineMonitor
+	entry   *specEntry
+	vehicle string
+
+	state atomic.Int32
+
+	// abort is set by the reader before closing the queue when the
+	// session ends abnormally (protocol error, unclean disconnect);
+	// nil abort after the queue closes means a clean Finish or a
+	// shutdown drain, and the worker owes a verdict. The queue close
+	// is the synchronization point, so the worker may read it after
+	// its range loop ends.
+	abort error
+
+	// Worker-local accounting, reported in the verdict.
+	tally    map[string]*ruleTally
+	ingested uint64
+	rejected uint64
+	lastTime time.Duration
+	sawFrame bool
+
+	// dropped is written by the reader (load shedding) and read by
+	// the worker (verdict), hence atomic.
+	dropped atomic.Uint64
+}
+
+// run executes the session to completion: spawns the worker, reads
+// until the stream ends, then joins the worker and closes the
+// connection.
+func (sess *session) run() {
+	sess.state.Store(stateStreaming)
+	if sess.srv.ctx.Err() != nil {
+		// Shutdown raced the handshake: this session registered after
+		// the deadline sweep, so apply the nudge it missed.
+		sess.conn.SetReadDeadline(time.Now())
+	}
+	go sess.work()
+	sess.read()
+	close(sess.queue)
+	<-sess.workerDone
+	sess.state.Store(stateClosed)
+	sess.conn.Close()
+}
+
+// read decodes records until Finish, disconnect, protocol error or
+// server shutdown. It never writes to the connection.
+func (sess *session) read() {
+	for {
+		rec, err := wire.Read(sess.br)
+		if err != nil {
+			if sess.srv.ctx.Err() != nil {
+				// Server shutdown: the deadline sweep unparked us.
+				// Drain what is queued and verdict the session.
+				sess.state.Store(stateDraining)
+				return
+			}
+			if errors.Is(err, io.EOF) {
+				// Disconnect without Finish: evaluate what arrived,
+				// but the client is gone — no verdict owed.
+				sess.abort = errors.New("client disconnected before finish")
+				return
+			}
+			sess.abort = err
+			return
+		}
+		switch rec := rec.(type) {
+		case wire.FrameBatch:
+			if len(rec.Frames) > 0 {
+				sess.enqueue(batch{frames: rec.Frames, enq: time.Now()})
+			}
+		case wire.Finish:
+			sess.state.Store(stateDraining)
+			return
+		default:
+			sess.abort = fmt.Errorf("unexpected %T record mid-stream", rec)
+			return
+		}
+	}
+}
+
+// enqueue hands a batch to the worker. A full queue either sheds the
+// batch (drop mode) or blocks — explicit backpressure through TCP —
+// until the worker catches up or the server shuts down. Both outcomes
+// are accounted.
+func (sess *session) enqueue(b batch) {
+	select {
+	case sess.queue <- b:
+		return
+	default:
+	}
+	n := uint64(len(b.frames))
+	if sess.srv.cfg.DropWhenFull {
+		sess.dropped.Add(n)
+		sess.srv.stats.framesDropped.Add(n)
+		return
+	}
+	sess.srv.stats.batchesBlocked.Add(1)
+	select {
+	case sess.queue <- b:
+	case <-sess.srv.ctx.Done():
+		sess.dropped.Add(n)
+		sess.srv.stats.framesDropped.Add(n)
+	}
+}
+
+// work drains the queue into the monitor, emitting events as they
+// become decidable, then settles the session: a verdict after Finish
+// or shutdown drain, an error record after a protocol failure.
+func (sess *session) work() {
+	defer close(sess.workerDone)
+	stats := &sess.srv.stats
+	for b := range sess.queue {
+		for _, f := range b.frames {
+			// The monitor requires non-decreasing time; a stale frame
+			// is rejected and the session continues, per the
+			// OnlineMonitor.PushFrame contract.
+			if sess.sawFrame && f.Time < sess.lastTime {
+				sess.rejected++
+				continue
+			}
+			evs, err := sess.om.PushFrame(f)
+			if err != nil {
+				sess.fail(fmt.Errorf("monitor: %w", err))
+				return
+			}
+			sess.sawFrame = true
+			sess.lastTime = f.Time
+			sess.ingested++
+			if len(evs) > 0 && !sess.emit(evs) {
+				return
+			}
+		}
+		stats.framesIngested.Add(uint64(len(b.frames)))
+		stats.ingestBatches.Add(1)
+		stats.ingestNanos.Add(uint64(time.Since(b.enq)))
+		if err := sess.bw.Flush(); err != nil {
+			sess.fail(err)
+			return
+		}
+	}
+	stats.framesRejected.Add(sess.rejected)
+
+	if sess.abort != nil {
+		// Reader-side failure: best-effort error record, no verdict.
+		wire.Write(sess.bw, wire.Error{Msg: sess.abort.Error()})
+		sess.bw.Flush()
+		return
+	}
+	evs, err := sess.om.Close()
+	if err != nil {
+		sess.fail(err)
+		return
+	}
+	if len(evs) > 0 && !sess.emit(evs) {
+		return
+	}
+	if err := wire.Write(sess.bw, sess.verdict()); err != nil {
+		return
+	}
+	sess.bw.Flush()
+}
+
+// fail abandons the session from the worker side: the queue is left to
+// the reader, a best-effort error record goes out, and the connection
+// close (by run) unblocks the reader.
+func (sess *session) fail(err error) {
+	wire.Write(sess.bw, wire.Error{Msg: err.Error()})
+	sess.bw.Flush()
+	sess.conn.Close()
+	// Drain remaining batches so the reader's enqueue never blocks
+	// against a worker that already gave up.
+	for range sess.queue {
+	}
+}
+
+// emit converts and writes monitor events, updating the verdict tally.
+// It reports false when the connection write failed (session over).
+func (sess *session) emit(evs []core.OnlineEvent) bool {
+	stats := &sess.srv.stats
+	for _, e := range evs {
+		w := wire.Event{Rule: e.Rule, Time: e.Time}
+		switch e.Kind {
+		case speclang.ViolationBegin:
+			w.Kind = wire.EventBegin
+		case speclang.ViolationEnd:
+			w.Kind = wire.EventEnd
+			v := e.Violation
+			w.StartStep = uint32(v.StartStep)
+			w.EndStep = uint32(v.EndStep)
+			w.Start = v.Start
+			w.End = v.End
+			w.Peak = v.Peak
+			w.Msg = v.Msg
+			w.Class = uint8(e.Class)
+
+			t := sess.tally[e.Rule]
+			if t == nil {
+				t = &ruleTally{}
+				sess.tally[e.Rule] = t
+			}
+			t.violations++
+			switch e.Class {
+			case core.ClassReal:
+				t.real++
+			case core.ClassTransient:
+				t.transient++
+			case core.ClassNegligible:
+				t.negligible++
+			}
+			stats.violationsEmitted.Add(1)
+		}
+		if err := wire.Write(sess.bw, w); err != nil {
+			return false
+		}
+		stats.eventsEmitted.Add(1)
+	}
+	return true
+}
+
+// verdict assembles the end-of-stream record in rule-set order.
+func (sess *session) verdict() wire.Verdict {
+	v := wire.Verdict{
+		FramesIngested: sess.ingested,
+		FramesDropped:  sess.dropped.Load(),
+		FramesRejected: sess.rejected,
+	}
+	for _, name := range sess.entry.rules {
+		rv := wire.RuleVerdict{Rule: name}
+		if t := sess.tally[name]; t != nil {
+			rv.Violated = t.violations > 0
+			rv.Violations = t.violations
+			rv.Real = t.real
+			rv.Transient = t.transient
+			rv.Negligible = t.negligible
+		}
+		v.Rules = append(v.Rules, rv)
+	}
+	return v
+}

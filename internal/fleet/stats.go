@@ -1,0 +1,89 @@
+package fleet
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// counters is the server's hot-path accounting. Every field is an
+// atomic so sessions update them without sharing a lock; Stats() takes
+// a coherent-enough snapshot for operational monitoring.
+type counters struct {
+	sessionsOpened  atomic.Uint64
+	sessionsClosed  atomic.Uint64
+	sessionsRefused atomic.Uint64
+
+	framesIngested atomic.Uint64
+	framesDropped  atomic.Uint64
+	framesRejected atomic.Uint64
+
+	batchesBlocked atomic.Uint64
+
+	violationsEmitted atomic.Uint64
+	eventsEmitted     atomic.Uint64
+
+	ingestBatches atomic.Uint64
+	ingestNanos   atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	// SessionsOpened and SessionsClosed count accepted sessions over
+	// the server's lifetime; SessionsActive is their difference.
+	SessionsOpened, SessionsClosed, SessionsActive uint64
+	// SessionsRefused counts connections turned away at the session
+	// cap or for a bad handshake.
+	SessionsRefused uint64
+
+	// FramesIngested counts frames fed to a monitor. FramesDropped
+	// counts frames shed because a session queue was full in drop
+	// mode. FramesRejected counts frames refused by the monitor for
+	// arriving out of time order.
+	FramesIngested, FramesDropped, FramesRejected uint64
+
+	// BatchesBlocked counts frame batches that found their session
+	// queue full in backpressure mode and had to wait — each is a
+	// moment the TCP stream stalled instead of shedding load.
+	BatchesBlocked uint64
+
+	// ViolationsEmitted counts closed violation intervals sent to
+	// clients; EventsEmitted counts all event records (begin + end).
+	ViolationsEmitted, EventsEmitted uint64
+
+	// IngestBatches and IngestNanos accumulate per-batch ingest
+	// latency: the time from a batch entering its session queue to the
+	// last of its frames being fully evaluated.
+	IngestBatches, IngestNanos uint64
+}
+
+// AvgIngestLatency returns the mean queue-to-evaluated latency of a
+// frame batch, or zero before any batch completed.
+func (s Stats) AvgIngestLatency() time.Duration {
+	if s.IngestBatches == 0 {
+		return 0
+	}
+	return time.Duration(s.IngestNanos / s.IngestBatches)
+}
+
+// Stats snapshots the server counters.
+func (s *Server) Stats() Stats {
+	opened := s.stats.sessionsOpened.Load()
+	closed := s.stats.sessionsClosed.Load()
+	st := Stats{
+		SessionsOpened:    opened,
+		SessionsClosed:    closed,
+		SessionsRefused:   s.stats.sessionsRefused.Load(),
+		FramesIngested:    s.stats.framesIngested.Load(),
+		FramesDropped:     s.stats.framesDropped.Load(),
+		FramesRejected:    s.stats.framesRejected.Load(),
+		BatchesBlocked:    s.stats.batchesBlocked.Load(),
+		ViolationsEmitted: s.stats.violationsEmitted.Load(),
+		EventsEmitted:     s.stats.eventsEmitted.Load(),
+		IngestBatches:     s.stats.ingestBatches.Load(),
+		IngestNanos:       s.stats.ingestNanos.Load(),
+	}
+	if opened > closed {
+		st.SessionsActive = opened - closed
+	}
+	return st
+}

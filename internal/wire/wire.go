@@ -1,0 +1,447 @@
+// Package wire is the fleet ingest wire protocol: a compact,
+// length-prefixed binary codec for streaming timestamped CAN frames and
+// session control records between a vehicle-side uplink and a monitord
+// ingest server.
+//
+// The protocol is deliberately dependency-light — its only repository
+// import is the CAN frame type — so that both ends of the wire (an
+// embedded uplink and the fleet server) can speak it without pulling in
+// the monitor engine.
+//
+// # Framing
+//
+// Every record on the wire is
+//
+//	uint32 LE length | uint8 type | payload
+//
+// where length covers the type byte plus the payload. Integers are
+// little-endian throughout, matching the repository's CAN log format.
+// Strings are a uint16 length followed by raw bytes. Record payloads
+// are fixed layouts per type (see each record's doc comment); decoding
+// is strict — trailing bytes, truncated fields and implausible counts
+// are errors, never panics.
+//
+// # Session flow
+//
+//	client                          server
+//	  Hello{version,vehicle,spec} →
+//	                              ← HelloAck{session}   (or Error)
+//	  FrameBatch{frames} →
+//	  FrameBatch{frames} →        ← Event...            (as decidable)
+//	  ...
+//	  Finish{} →
+//	                              ← Event...            (drained)
+//	                              ← Verdict{rules,...}
+//
+// The protocol is versioned via the Hello record: a server refuses a
+// hello whose version it does not speak with an Error record.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"cpsmon/internal/can"
+)
+
+// Version is the protocol version this package speaks. It is carried in
+// every Hello and bumped on any change to the record layouts below.
+const Version = 1
+
+// MaxRecordSize bounds a single record on the wire (length prefix
+// included), so a corrupt or hostile peer cannot make the decoder
+// allocate unboundedly. 1 MiB fits a frame batch of ~52k frames.
+const MaxRecordSize = 1 << 20
+
+// frameSize is the encoded size of one CAN frame: u64 time, u32 id,
+// 8 data bytes.
+const frameSize = 20
+
+// Record types, one per concrete Record implementation.
+const (
+	typeHello      = 0x01
+	typeHelloAck   = 0x02
+	typeFrameBatch = 0x03
+	typeFinish     = 0x04
+	typeEvent      = 0x05
+	typeVerdict    = 0x06
+	typeError      = 0x07
+)
+
+// EventKind distinguishes the two violation notifications.
+type EventKind uint8
+
+const (
+	// EventBegin reports a violation interval opening.
+	EventBegin EventKind = 1
+	// EventEnd reports a closed violation interval, carrying the full
+	// violation record and its triage class.
+	EventEnd EventKind = 2
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventBegin:
+		return "begin"
+	case EventEnd:
+		return "end"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Record is one protocol record. The concrete types are Hello,
+// HelloAck, FrameBatch, Finish, Event, Verdict and Error.
+type Record interface {
+	wireType() byte
+	appendPayload(buf []byte) []byte
+}
+
+// Hello opens a session: the client announces the protocol version it
+// speaks, the vehicle identity, and which server-side rule set (spec)
+// the session should be monitored against. An empty Spec selects the
+// server's default.
+type Hello struct {
+	Version uint16
+	Vehicle string
+	Spec    string
+}
+
+func (Hello) wireType() byte { return typeHello }
+
+func (h Hello) appendPayload(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, h.Version)
+	buf = appendString(buf, h.Vehicle)
+	return appendString(buf, h.Spec)
+}
+
+// HelloAck accepts a session and assigns its server-side identifier.
+type HelloAck struct {
+	Session uint64
+}
+
+func (HelloAck) wireType() byte { return typeHelloAck }
+
+func (a HelloAck) appendPayload(buf []byte) []byte {
+	return binary.LittleEndian.AppendUint64(buf, a.Session)
+}
+
+// FrameBatch carries a run of captured CAN frames in capture order.
+type FrameBatch struct {
+	Frames []can.Frame
+}
+
+func (FrameBatch) wireType() byte { return typeFrameBatch }
+
+func (b FrameBatch) appendPayload(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Frames)))
+	for _, f := range b.Frames {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Time))
+		buf = binary.LittleEndian.AppendUint32(buf, f.ID)
+		buf = append(buf, f.Data[:]...)
+	}
+	return buf
+}
+
+// Finish declares the end of the frame stream: the server drains the
+// monitor and answers with the remaining events and a Verdict.
+type Finish struct{}
+
+func (Finish) wireType() byte { return typeFinish }
+
+func (Finish) appendPayload(buf []byte) []byte { return buf }
+
+// Event is one incremental oracle notification. Begin events carry only
+// Rule and Time; End events additionally carry the closed violation
+// interval, its peak severity, message and triage class. The layout is
+// identical for both kinds (unused fields encode as zero) so that an
+// event stream has a single, pinned shape.
+type Event struct {
+	Kind EventKind
+	Rule string
+	// Time is the violation start (begin) or exclusive end (end).
+	Time time.Duration
+	// StartStep and EndStep delimit the violating grid steps [start, end).
+	StartStep, EndStep uint32
+	// Start and End are the corresponding times.
+	Start, End time.Duration
+	// Peak is the maximum absolute severity over the interval.
+	Peak float64
+	// Msg describes the violated clause.
+	Msg string
+	// Class is the triage class ordinal (server-defined; 0 when unset).
+	Class uint8
+}
+
+func (Event) wireType() byte { return typeEvent }
+
+func (e Event) appendPayload(buf []byte) []byte {
+	buf = append(buf, byte(e.Kind))
+	buf = appendString(buf, e.Rule)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Time))
+	buf = binary.LittleEndian.AppendUint32(buf, e.StartStep)
+	buf = binary.LittleEndian.AppendUint32(buf, e.EndStep)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Start))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.End))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(e.Peak))
+	buf = appendString(buf, e.Msg)
+	return append(buf, e.Class)
+}
+
+// RuleVerdict is the end-of-stream outcome of one rule.
+type RuleVerdict struct {
+	Rule string
+	// Violated reports whether any violation interval closed.
+	Violated bool
+	// Violations counts closed intervals; Real/Transient/Negligible
+	// split them by triage class.
+	Violations, Real, Transient, Negligible uint32
+}
+
+// Verdict closes a session: per-rule outcomes in rule-set order plus
+// the session's ingest accounting.
+type Verdict struct {
+	Rules []RuleVerdict
+	// FramesIngested counts frames fed to the monitor; FramesDropped
+	// counts frames shed under overload; FramesRejected counts frames
+	// refused for arriving out of time order.
+	FramesIngested, FramesDropped, FramesRejected uint64
+}
+
+func (Verdict) wireType() byte { return typeVerdict }
+
+func (v Verdict) appendPayload(buf []byte) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Rules)))
+	for _, r := range v.Rules {
+		buf = appendString(buf, r.Rule)
+		var b byte
+		if r.Violated {
+			b = 1
+		}
+		buf = append(buf, b)
+		buf = binary.LittleEndian.AppendUint32(buf, r.Violations)
+		buf = binary.LittleEndian.AppendUint32(buf, r.Real)
+		buf = binary.LittleEndian.AppendUint32(buf, r.Transient)
+		buf = binary.LittleEndian.AppendUint32(buf, r.Negligible)
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, v.FramesIngested)
+	buf = binary.LittleEndian.AppendUint64(buf, v.FramesDropped)
+	return binary.LittleEndian.AppendUint64(buf, v.FramesRejected)
+}
+
+// Error reports a protocol-level failure (bad hello, unknown spec,
+// server refusal). After an Error the sender closes the connection.
+type Error struct {
+	Msg string
+}
+
+func (Error) wireType() byte { return typeError }
+
+func (e Error) appendPayload(buf []byte) []byte { return appendString(buf, e.Msg) }
+
+// Err converts the record into a Go error.
+func (e Error) Err() error { return fmt.Errorf("wire: remote error: %s", e.Msg) }
+
+// Append encodes the record — length prefix, type byte, payload — onto
+// buf and returns the extended slice.
+func Append(buf []byte, rec Record) []byte {
+	at := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length placeholder
+	buf = append(buf, rec.wireType())
+	buf = rec.appendPayload(buf)
+	binary.LittleEndian.PutUint32(buf[at:at+4], uint32(len(buf)-at-4))
+	return buf
+}
+
+// Marshal encodes the record into a fresh buffer.
+func Marshal(rec Record) []byte { return Append(nil, rec) }
+
+// Write encodes the record onto w.
+func Write(w io.Writer, rec Record) error {
+	_, err := w.Write(Marshal(rec))
+	return err
+}
+
+// Read decodes the next record from r. It returns io.EOF only at a
+// clean record boundary; a stream truncated mid-record yields
+// io.ErrUnexpectedEOF.
+func Read(r io.Reader) (Record, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: read record length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n < 1 {
+		return nil, errors.New("wire: empty record")
+	}
+	if n > MaxRecordSize {
+		return nil, fmt.Errorf("wire: record of %d bytes exceeds limit %d", n, MaxRecordSize)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("wire: read record body: %w", err)
+	}
+	return Decode(body[0], body[1:])
+}
+
+// Decode decodes one record payload of the given type. The payload must
+// be exactly consumed; leftover bytes are an error.
+func Decode(typ byte, payload []byte) (Record, error) {
+	d := decoder{buf: payload}
+	var rec Record
+	switch typ {
+	case typeHello:
+		var h Hello
+		h.Version = d.u16()
+		h.Vehicle = d.str()
+		h.Spec = d.str()
+		rec = h
+	case typeHelloAck:
+		rec = HelloAck{Session: d.u64()}
+	case typeFrameBatch:
+		count := d.u32()
+		if uint64(count)*frameSize != uint64(len(d.buf)-d.at) && d.err == nil {
+			return nil, fmt.Errorf("wire: frame batch declares %d frames over %d payload bytes", count, len(d.buf)-d.at)
+		}
+		b := FrameBatch{}
+		if count > 0 && d.err == nil {
+			b.Frames = make([]can.Frame, count)
+			for i := range b.Frames {
+				b.Frames[i].Time = time.Duration(d.u64())
+				b.Frames[i].ID = d.u32()
+				copy(b.Frames[i].Data[:], d.bytes(8))
+			}
+		}
+		rec = b
+	case typeFinish:
+		rec = Finish{}
+	case typeEvent:
+		var e Event
+		e.Kind = EventKind(d.u8())
+		e.Rule = d.str()
+		e.Time = time.Duration(d.u64())
+		e.StartStep = d.u32()
+		e.EndStep = d.u32()
+		e.Start = time.Duration(d.u64())
+		e.End = time.Duration(d.u64())
+		e.Peak = math.Float64frombits(d.u64())
+		e.Msg = d.str()
+		e.Class = d.u8()
+		if e.Kind != EventBegin && e.Kind != EventEnd && d.err == nil {
+			return nil, fmt.Errorf("wire: unknown event kind %d", e.Kind)
+		}
+		rec = e
+	case typeVerdict:
+		count := d.u32()
+		// Each rule verdict is at least 19 bytes; reject counts the
+		// remaining payload cannot possibly hold.
+		if d.err == nil && uint64(count) > uint64(len(d.buf)-d.at)/19 {
+			return nil, fmt.Errorf("wire: verdict declares %d rules over %d payload bytes", count, len(d.buf)-d.at)
+		}
+		v := Verdict{}
+		if count > 0 && d.err == nil {
+			v.Rules = make([]RuleVerdict, count)
+			for i := range v.Rules {
+				v.Rules[i].Rule = d.str()
+				v.Rules[i].Violated = d.u8() != 0
+				v.Rules[i].Violations = d.u32()
+				v.Rules[i].Real = d.u32()
+				v.Rules[i].Transient = d.u32()
+				v.Rules[i].Negligible = d.u32()
+			}
+		}
+		v.FramesIngested = d.u64()
+		v.FramesDropped = d.u64()
+		v.FramesRejected = d.u64()
+		rec = v
+	case typeError:
+		rec = Error{Msg: d.str()}
+	default:
+		return nil, fmt.Errorf("wire: unknown record type 0x%02X", typ)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.at != len(d.buf) {
+		return nil, fmt.Errorf("wire: record type 0x%02X carries %d trailing bytes", typ, len(d.buf)-d.at)
+	}
+	return rec, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+// decoder is a bounds-checked cursor over one payload. The first
+// overrun latches err and every later read returns zero values, so
+// decode paths stay linear and check err once at the end.
+type decoder struct {
+	buf []byte
+	at  int
+	err error
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.at+n > len(d.buf) {
+		d.err = fmt.Errorf("wire: truncated record: want %d bytes at offset %d of %d", n, d.at, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.at : d.at+n]
+	d.at += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (d *decoder) str() string {
+	n := int(d.u16())
+	return string(d.bytes(n))
+}

@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"cpsmon/internal/can"
+)
+
+// sampleRecords returns one populated instance of every record type.
+func sampleRecords() []Record {
+	return []Record{
+		Hello{Version: Version, Vehicle: "veh-042", Spec: "strict"},
+		Hello{}, // all-zero
+		HelloAck{Session: 7},
+		FrameBatch{},
+		FrameBatch{Frames: []can.Frame{
+			{Time: 30 * time.Millisecond, ID: 0x101, Data: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}},
+			{Time: 60 * time.Millisecond, ID: 0x205, Data: [8]byte{0xFF}},
+		}},
+		Finish{},
+		Event{Kind: EventBegin, Rule: "Rule1", Time: 200 * time.Millisecond},
+		Event{
+			Kind: EventEnd, Rule: "Headway", Time: 48 * time.Second,
+			StartStep: 1220, EndStep: 1602,
+			Start: 36610 * time.Millisecond, End: 48 * time.Second,
+			Peak: 3.75, Msg: "not recovered", Class: 1,
+		},
+		Event{Kind: EventEnd, Rule: "NaNPeak", Peak: math.Inf(1)},
+		Verdict{},
+		Verdict{
+			Rules: []RuleVerdict{
+				{Rule: "Rule0", Violated: false},
+				{Rule: "Rule1", Violated: true, Violations: 3, Real: 1, Transient: 2},
+			},
+			FramesIngested: 100000, FramesDropped: 12, FramesRejected: 1,
+		},
+		Error{Msg: "unknown spec \"plant\""},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, rec := range sampleRecords() {
+		buf := Marshal(rec)
+		got, err := Read(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("%T: Read: %v", rec, err)
+		}
+		if !reflect.DeepEqual(got, rec) {
+			t.Errorf("%T round trip:\n got %+v\nwant %+v", rec, got, rec)
+		}
+	}
+}
+
+func TestRoundTripStream(t *testing.T) {
+	// All records back to back through one reader, as on a socket.
+	var buf []byte
+	recs := sampleRecords()
+	for _, rec := range recs {
+		buf = Append(buf, rec)
+	}
+	r := bytes.NewReader(buf)
+	for i, want := range recs {
+		got, err := Read(r)
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := Read(r); err != io.EOF {
+		t.Errorf("after last record: err = %v, want io.EOF", err)
+	}
+}
+
+// TestGoldenBytes pins the exact on-wire encoding of each record type.
+// If this test fails the wire format has drifted: either revert the
+// change or bump Version and update the pins deliberately.
+func TestGoldenBytes(t *testing.T) {
+	cases := []struct {
+		name string
+		rec  Record
+		hex  string
+	}{
+		{
+			"hello", Hello{Version: 1, Vehicle: "v1", Spec: "strict"},
+			"0f000000" + "01" + "0100" + "02007631" + "0600737472696374",
+		},
+		{
+			"helloack", HelloAck{Session: 0x0102030405060708},
+			"09000000" + "02" + "0807060504030201",
+		},
+		{
+			"framebatch",
+			FrameBatch{Frames: []can.Frame{{Time: 0x1122334455, ID: 0x305, Data: [8]byte{0xAA, 0, 0, 0, 0, 0, 0, 0xBB}}}},
+			"19000000" + "03" + "01000000" + "5544332211000000" + "05030000" + "aa000000000000bb",
+		},
+		{
+			"finish", Finish{},
+			"01000000" + "04",
+		},
+		{
+			"event-begin", Event{Kind: EventBegin, Rule: "R", Time: time.Millisecond},
+			"30000000" + "05" + "01" + "010052" + "40420f0000000000" +
+				"00000000" + "00000000" + "0000000000000000" + "0000000000000000" +
+				"0000000000000000" + "0000" + "00",
+		},
+		{
+			"event-end",
+			Event{Kind: EventEnd, Rule: "R", Time: 2 * time.Millisecond, StartStep: 1, EndStep: 2,
+				Start: time.Millisecond, End: 2 * time.Millisecond, Peak: 1.5, Msg: "m", Class: 3},
+			"31000000" + "05" + "02" + "010052" + "80841e0000000000" +
+				"01000000" + "02000000" + "40420f0000000000" + "80841e0000000000" +
+				"000000000000f83f" + "01006d" + "03",
+		},
+		{
+			"verdict",
+			Verdict{Rules: []RuleVerdict{{Rule: "R", Violated: true, Violations: 2, Real: 1, Transient: 1}},
+				FramesIngested: 5, FramesDropped: 1, FramesRejected: 2},
+			"31000000" + "06" + "01000000" +
+				"010052" + "01" + "02000000" + "01000000" + "01000000" + "00000000" +
+				"0500000000000000" + "0100000000000000" + "0200000000000000",
+		},
+		{
+			"error", Error{Msg: "no"},
+			"05000000" + "07" + "02006e6f",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := hex.EncodeToString(Marshal(c.rec))
+			if got != c.hex {
+				t.Errorf("encoding drifted:\n got %s\nwant %s", got, c.hex)
+			}
+		})
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		buf  []byte
+	}{
+		{"empty record", []byte{0, 0, 0, 0}},
+		{"oversized record", []byte{0xFF, 0xFF, 0xFF, 0xFF, typeFinish}},
+		{"truncated header", []byte{5, 0}},
+		{"truncated body", []byte{10, 0, 0, 0, typeHello, 1}},
+		{"unknown type", Marshal(recRaw{0x7E, nil})},
+		{"hello truncated", Marshal(recRaw{typeHello, []byte{1}})},
+		{"hello trailing", Marshal(recRaw{typeHello, []byte{1, 0, 0, 0, 0, 0, 0xAA}})},
+		{"batch count mismatch", Marshal(recRaw{typeFrameBatch, []byte{2, 0, 0, 0, 1, 2, 3}})},
+		{"batch absurd count", Marshal(recRaw{typeFrameBatch, []byte{0xFF, 0xFF, 0xFF, 0xFF}})},
+		{"event bad kind", Marshal(recRaw{typeEvent, append([]byte{9, 0, 0}, make([]byte, 43)...)})},
+		{"verdict absurd count", Marshal(recRaw{typeVerdict, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}})},
+		{"finish trailing", Marshal(recRaw{typeFinish, []byte{1}})},
+		{"string overruns", Marshal(recRaw{typeError, []byte{0xFF, 0xFF, 'x'}})},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if rec, err := Read(bytes.NewReader(c.buf)); err == nil {
+				t.Errorf("decoded %+v, want error", rec)
+			}
+		})
+	}
+}
+
+// recRaw emits an arbitrary (type, payload) pair for error-path tests.
+type recRaw struct {
+	typ     byte
+	payload []byte
+}
+
+func (r recRaw) wireType() byte                  { return r.typ }
+func (r recRaw) appendPayload(buf []byte) []byte { return append(buf, r.payload...) }
+
+func TestStringTruncation(t *testing.T) {
+	long := strings.Repeat("x", math.MaxUint16+5)
+	rec, err := Read(bytes.NewReader(Marshal(Error{Msg: long})))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got := rec.(Error).Msg; len(got) != math.MaxUint16 {
+		t.Errorf("oversized string encoded to %d bytes, want %d", len(got), math.MaxUint16)
+	}
+}
+
+func TestErrorErr(t *testing.T) {
+	if err := (Error{Msg: "boom"}).Err(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Err() = %v", err)
+	}
+}
