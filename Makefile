@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test race short bench fuzz vet
+.PHONY: all test race short bench fuzz chaos vet
 
 all: test
 
@@ -13,9 +13,17 @@ test:
 
 # The fleet server, HIL benches and campaigns are concurrent; the suite
 # must stay race-clean. `-short` skips the campaign-scale tests so the
-# race run stays quick enough to use before every push.
-race:
+# race run stays quick enough to use before every push. The chaos sweep
+# rides along: transport resilience bugs are concurrency bugs.
+race: chaos
 	$(GO) test -race -short ./...
+
+# The seeded transport-chaos suite (fault-injected connections, resume,
+# drain) under the race detector, plus a short wire-decoder fuzz smoke —
+# the robustness gate for the fleet path.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestDrain|TestQuarantine|TestErrorBudget' -count=1 ./internal/fleet
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
 
 short:
 	$(GO) test -short ./...

@@ -122,6 +122,16 @@ func TestFleetDependencySurface(t *testing.T) {
 	}
 }
 
+// TestFaultnetStaysStandardLibraryOnly keeps the fault-injecting conn
+// wrapper a leaf: it wraps any net.Conn for any test in the repository,
+// so it may import nothing of cpsmon — standard library only. That is
+// what lets wire, fleet, or a future transport use it without cycles.
+func TestFaultnetStaysStandardLibraryOnly(t *testing.T) {
+	for ipath, files := range cpsmonImports(t, "internal/faultnet") {
+		t.Errorf("%v import %s: faultnet must stay standard-library-only", files, ipath)
+	}
+}
+
 // TestSystemUnderTestDoesNotImportMonitor checks the other direction of
 // the isolation boundary: the simulated system (plant, feature, bench)
 // has no knowledge of the monitor, mirroring a deployment where the

@@ -53,6 +53,8 @@ func run(args []string) error {
 		stream    = fs.String("stream", "", "replay the capture to a monitord fleet server at this address, printing its incremental verdicts (requires a .canlog trace)")
 		speed     = fs.Float64("speed", 0, "replay speed for -stream: 1 is real time, 2 double speed, 0 as fast as the server accepts")
 		vehicle   = fs.String("vehicle", "monitorctl", "vehicle identity announced to the fleet server with -stream")
+		retry     = fs.Duration("retry", 50*time.Millisecond, "initial reconnect backoff for -stream, doubled with jitter per failed attempt")
+		maxRetry  = fs.Int("max-retries", 5, "reconnect attempts per outage for -stream before the replay fails; 0 disables reconnection")
 		explain   = fs.Int("explain", 0, "render signal context strips for up to N violations per rule")
 		margin    = fs.Duration("margin", 2*time.Second, "context margin around each explained violation")
 		verbose   = fs.Bool("v", false, "list every violation")
@@ -93,7 +95,7 @@ func run(args []string) error {
 		return fmt.Errorf("-trace is required")
 	}
 	if *stream != "" {
-		return runStream(*stream, *tracePath, *ruleSpec, *vehicle, *speed)
+		return runStream(*stream, *tracePath, *ruleSpec, *vehicle, *speed, *retry, *maxRetry)
 	}
 
 	rs, err := loadRules(*ruleSpec, db)
@@ -172,8 +174,10 @@ func run(args []string) error {
 // the wire protocol, printing the server's incremental events as they
 // arrive and its end-of-stream verdict. The spec selection is passed
 // to the server verbatim ("strict", "relaxed", or empty for the
-// server's default rule set).
-func runStream(addr, path, spec, vehicle string, speed float64) error {
+// server's default rule set). A connection lost mid-replay is retried
+// up to maxRetry times per outage, starting at the retry backoff, and
+// the session resumes from the server's last acknowledged batch.
+func runStream(addr, path, spec, vehicle string, speed float64, retry time.Duration, maxRetry int) error {
 	if strings.HasSuffix(path, ".csv") {
 		return fmt.Errorf("-stream replays CAN frame captures, not CSV traces")
 	}
@@ -191,14 +195,25 @@ func runStream(addr, path, spec, vehicle string, speed float64) error {
 	if err != nil {
 		return err
 	}
-	c, err := fleet.Dial(addr, vehicle, spec, func(e wire.Event) {
-		switch e.Kind {
-		case wire.EventBegin:
-			fmt.Printf("[%8s] %-8s violation BEGINS at %v\n", e.Time, e.Rule, e.Time)
-		case wire.EventEnd:
-			fmt.Printf("[%8s] %-8s violation ENDS: %v..%v (%v) peak %.4g class %s: %s\n",
-				e.Time, e.Rule, e.Start, e.End, e.End-e.Start, e.Peak, core.Class(e.Class), e.Msg)
-		}
+	if maxRetry <= 0 {
+		maxRetry = -1 // a zero Options.MaxRetries would select the default
+	}
+	c, err := fleet.DialOptions(addr, fleet.Options{
+		Vehicle:    vehicle,
+		Spec:       spec,
+		Backoff:    retry,
+		MaxRetries: maxRetry,
+		OnEvent: func(e wire.Event) {
+			switch e.Kind {
+			case wire.EventBegin:
+				fmt.Printf("[%8s] %-8s violation BEGINS at %v\n", e.Time, e.Rule, e.Time)
+			case wire.EventEnd:
+				fmt.Printf("[%8s] %-8s violation ENDS: %v..%v (%v) peak %.4g class %s: %s\n",
+					e.Time, e.Rule, e.Start, e.End, e.End-e.Start, e.Peak, core.Class(e.Class), e.Msg)
+			case wire.EventGap:
+				fmt.Printf("[%8s] stream gap: %s\n", e.Time, e.Msg)
+			}
+		},
 	})
 	if err != nil {
 		return err

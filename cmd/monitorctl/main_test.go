@@ -2,9 +2,12 @@ package main
 
 import (
 	"context"
+	"io"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -105,6 +108,90 @@ func TestRunStreamMode(t *testing.T) {
 	}
 	if err := run([]string{"-trace", path, "-stream", "127.0.0.1:1"}); err == nil {
 		t.Error("-stream to a dead address succeeded")
+	}
+}
+
+// TestRunStreamRetriesDroppedConnection streams through a relay that
+// cuts the first connection mid-replay: the -retry/-max-retries flags
+// must carry the session through a reconnect-and-resume to a complete
+// verdict.
+func TestRunStreamRetriesDroppedConnection(t *testing.T) {
+	path := writeTestLog(t)
+	srv, err := fleet.NewServer(fleet.Config{
+		DB:      sigdb.Vehicle(),
+		Resolve: func(string) (*speclang.RuleSet, error) { return rules.Strict() },
+		Triage:  rules.DefaultTriage(),
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	upstream := srv.Addr().String()
+
+	// The relay forwards the handshake in both directions, then drops
+	// the first connection after 2 KiB of uplink; every later
+	// connection passes through untouched.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("relay listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var first atomic.Bool
+	first.Store(true)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			cut := first.Swap(false)
+			go func() {
+				defer c.Close()
+				up, err := net.Dial("tcp", upstream)
+				if err != nil {
+					return
+				}
+				defer up.Close()
+				go func() { _, _ = io.Copy(c, up) }()
+				if cut {
+					_, _ = io.CopyN(up, c, 2048)
+					return
+				}
+				_, _ = io.Copy(up, c)
+			}()
+		}
+	}()
+
+	err = run([]string{"-trace", path, "-stream", ln.Addr().String(),
+		"-retry", "10ms", "-max-retries", "8"})
+	if err != nil {
+		t.Fatalf("run -stream through flaky relay: %v", err)
+	}
+	st := srv.Stats()
+	if st.SessionsResumed == 0 {
+		t.Errorf("first connection was never cut; stats %+v", st)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	log, err := can.ReadLog(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if st.FramesIngested != uint64(log.Len()) || st.FramesDropped != 0 {
+		t.Errorf("ingested %d/%d frames, dropped %d; stats %+v",
+			st.FramesIngested, log.Len(), st.FramesDropped, st)
 	}
 }
 

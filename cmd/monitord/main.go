@@ -13,6 +13,8 @@
 //	monitord -rules specs/strict.spec -max-sessions 256
 //	monitord -db plant.netdb -rules plant.spec  # a different CPS entirely
 //	monitord -drop -queue 16                    # shed load instead of blocking
+//	monitord -idle-timeout 30s -resume-grace 2m -silence-gap 500ms
+//	                                            # field-network hardening knobs
 //
 // Stream a recorded capture to it with:
 //
@@ -61,6 +63,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		deltaMode   = fs.String("delta", "aware", "multi-rate difference semantics: aware or naive")
 		statsEvery  = fs.Duration("stats", 0, "print ingest statistics at this interval (0 = only at shutdown)")
 		drainGrace  = fs.Duration("drain", 10*time.Second, "how long shutdown waits for sessions to drain")
+		idleTimeout = fs.Duration("idle-timeout", 0, "cut connections silent for this long; resumable sessions park for -resume-grace (0 = never)")
+		resumeGrace = fs.Duration("resume-grace", 0, "how long a disconnected session's monitor state awaits a resume (0 = default 30s)")
+		silenceGap  = fs.Duration("silence-gap", 0, "emit a gap event when consecutive frame timestamps are further apart than this (0 = off)")
+		errorBudget = fs.Int("error-budget", 0, "malformed records tolerated per connection before it is cut (0 = default 16)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -101,6 +107,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MaxSessions:  *maxSessions,
 		QueueDepth:   *queueDepth,
 		DropWhenFull: *drop,
+		IdleTimeout:  *idleTimeout,
+		ResumeGrace:  *resumeGrace,
+		SilenceGap:   *silenceGap,
+		ErrorBudget:  *errorBudget,
 	})
 	if err != nil {
 		return err
@@ -180,4 +190,9 @@ func printStats(out io.Writer, st fleet.Stats) {
 		st.SessionsActive, st.SessionsOpened, st.SessionsClosed, st.SessionsRefused,
 		st.FramesIngested, st.FramesDropped, st.FramesRejected,
 		st.ViolationsEmitted, st.AvgIngestLatency().Round(time.Microsecond))
+	if st.SessionsResumed+st.SessionsReaped+st.RecordsQuarantined+st.DupBatchesDropped+st.GapEvents > 0 {
+		fmt.Fprintf(out,
+			"monitord: resilience: %d resumed / %d reaped sessions; %d records quarantined; %d duplicate batches dropped; %d gap events\n",
+			st.SessionsResumed, st.SessionsReaped, st.RecordsQuarantined, st.DupBatchesDropped, st.GapEvents)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"regexp"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -37,8 +38,9 @@ func (b *syncBuffer) String() string {
 var listenRE = regexp.MustCompile(`listening on (\S+)`)
 
 // startDaemon runs the daemon on an ephemeral port and returns its
-// address plus a shutdown function that asserts a clean exit.
-func startDaemon(t *testing.T, args ...string) (string, func()) {
+// address, its output buffer, and a shutdown function that asserts a
+// clean exit.
+func startDaemon(t *testing.T, args ...string) (string, *syncBuffer, func()) {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	out := &syncBuffer{}
@@ -63,7 +65,7 @@ func startDaemon(t *testing.T, args ...string) (string, func()) {
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
-	return addr, func() {
+	return addr, out, func() {
 		cancel()
 		select {
 		case err := <-errc:
@@ -104,7 +106,7 @@ func testFrames(t *testing.T) []can.Frame {
 }
 
 func TestDaemonServesSession(t *testing.T) {
-	addr, shutdown := startDaemon(t)
+	addr, _, shutdown := startDaemon(t)
 	var events []wire.Event
 	c, err := fleet.Dial(addr, "veh-1", "", func(e wire.Event) { events = append(events, e) })
 	if err != nil {
@@ -129,7 +131,7 @@ func TestDaemonServesSession(t *testing.T) {
 }
 
 func TestDaemonDrainsActiveSessionOnShutdown(t *testing.T) {
-	addr, shutdown := startDaemon(t)
+	addr, _, shutdown := startDaemon(t)
 	c, err := fleet.Dial(addr, "veh-1", "strict", nil)
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
@@ -142,6 +144,51 @@ func TestDaemonDrainsActiveSessionOnShutdown(t *testing.T) {
 	shutdown()
 	if _, err := c.Wait(); err != nil {
 		t.Fatalf("no verdict from drain: %v", err)
+	}
+}
+
+// TestDaemonGapFlagsAndResilienceStats runs the daemon with the
+// field-network hardening flags and streams a capture with a hole in
+// it: the session must receive a gap event and the shutdown stats must
+// include the resilience line.
+func TestDaemonGapFlagsAndResilienceStats(t *testing.T) {
+	addr, out, shutdown := startDaemon(t,
+		"-silence-gap", (5 * sigdb.FastPeriod).String(),
+		"-idle-timeout", "1m", "-resume-grace", "30s", "-error-budget", "4")
+	var gaps atomic.Int32
+	c, err := fleet.Dial(addr, "veh-gap", "", func(e wire.Event) {
+		if e.Kind == wire.EventGap {
+			gaps.Add(1)
+		}
+	})
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	// Two bursts of ticks with a 50-tick silence between them.
+	db := sigdb.Vehicle()
+	sched, err := can.NewTxSchedule(db, sigdb.FastPeriod, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := can.NewBus(db, sched)
+	for _, tick := range []int{0, 1, 2, 3, 4, 55, 56, 57, 58, 59} {
+		if err := bus.Step(time.Duration(tick) * sigdb.FastPeriod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Send(bus.Log().Frames()); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := c.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if gaps.Load() == 0 {
+		t.Error("no gap event for a 50-tick bus silence")
+	}
+	shutdown()
+	if !strings.Contains(out.String(), "resilience:") {
+		t.Errorf("no resilience stats line:\n%s", out.String())
 	}
 }
 

@@ -1,0 +1,469 @@
+// Package faultnet is a deterministic fault injector for byte streams:
+// it wraps a net.Conn and applies a declarative, offset-addressed fault
+// schedule to the bytes flowing through it — dropping, duplicating,
+// reordering, corrupting, truncating, stalling or disconnecting — so
+// tests can subject any protocol in the repository to the transport
+// chaos a real vehicle uplink suffers, reproducibly.
+//
+// The design follows internal/inject: faults are plain data, schedules
+// are derived from a seed, and the same schedule always produces the
+// same mangled stream for the same pristine input. Offsets address the
+// pristine stream (the bytes the wrapped side wrote or the peer sent),
+// so a schedule's effect is independent of how the stream is chunked
+// into Write and Read calls.
+//
+// Wrap mangles a single connection; Dialer hands out one schedule per
+// dial attempt and clean connections once the schedules run out, which
+// gives retrying clients the eventual-delivery guarantee chaos tests
+// rely on.
+package faultnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Op enumerates the stream faults.
+type Op uint8
+
+const (
+	// Drop deletes the faulted span from the stream.
+	Drop Op = iota + 1
+	// Duplicate emits every byte of the faulted span twice.
+	Duplicate
+	// Reorder holds the faulted span back and releases it after the
+	// same number of following bytes has passed (a span-for-span swap).
+	Reorder
+	// Corrupt XORs the faulted span with Mask.
+	Corrupt
+	// Truncate discards the stream from Offset onward and then closes
+	// the connection: the tail is silently lost.
+	Truncate
+	// Stall pauses the stream for Wait when it reaches Offset.
+	Stall
+	// Disconnect closes the connection when the stream reaches Offset.
+	Disconnect
+)
+
+// String names the op.
+func (op Op) String() string {
+	switch op {
+	case Drop:
+		return "drop"
+	case Duplicate:
+		return "duplicate"
+	case Reorder:
+		return "reorder"
+	case Corrupt:
+		return "corrupt"
+	case Truncate:
+		return "truncate"
+	case Stall:
+		return "stall"
+	case Disconnect:
+		return "disconnect"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+}
+
+// Dir selects which half of the connection a fault applies to, from the
+// wrapped side's point of view.
+type Dir uint8
+
+const (
+	// Send faults the bytes written through the wrapper.
+	Send Dir = iota + 1
+	// Recv faults the bytes read through the wrapper.
+	Recv
+)
+
+// String names the direction.
+func (d Dir) String() string {
+	switch d {
+	case Send:
+		return "send"
+	case Recv:
+		return "recv"
+	default:
+		return fmt.Sprintf("dir(%d)", uint8(d))
+	}
+}
+
+// Fault is one scheduled fault: at byte Offset of the pristine stream
+// in direction Dir, apply Op to the next Len bytes (span ops) or to the
+// stream position itself (Truncate, Stall, Disconnect).
+type Fault struct {
+	Op     Op
+	Dir    Dir
+	Offset int64
+	// Len is the span length for Drop, Duplicate, Reorder and Corrupt;
+	// ignored by the point ops.
+	Len int
+	// Mask is the Corrupt XOR pattern; zero selects 0xA5 so a Corrupt
+	// fault never degenerates into a no-op.
+	Mask byte
+	// Wait is the Stall pause.
+	Wait time.Duration
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%s/%s@%d+%d", f.Dir, f.Op, f.Offset, f.Len)
+}
+
+// span reports whether the op covers a byte range (as opposed to a
+// point event).
+func (f Fault) span() bool {
+	switch f.Op {
+	case Drop, Duplicate, Reorder, Corrupt:
+		return true
+	}
+	return false
+}
+
+// Conn is a net.Conn with a fault schedule applied to both directions.
+type Conn struct {
+	net.Conn
+	send, recv lane
+	closed     atomic.Bool
+	applied    atomic.Int64
+}
+
+// lane is one direction's fault state. pos counts pristine bytes
+// consumed, which is the coordinate system fault offsets use; held
+// carries a reordered span until its release point passes.
+type lane struct {
+	mu      sync.Mutex
+	faults  []Fault // sorted by Offset, not overlapping
+	pos     int64
+	held    []byte
+	release int64
+	kill    bool   // truncate hit: discard everything onward, then close
+	pending []byte // recv only: transformed bytes not yet delivered
+}
+
+// Wrap applies a fault schedule to conn. Faults must not overlap within
+// a direction; they are sorted by offset here so schedules can be
+// written in any order.
+func Wrap(conn net.Conn, faults []Fault) *Conn {
+	c := &Conn{Conn: conn}
+	for _, f := range faults {
+		switch f.Dir {
+		case Recv:
+			c.recv.faults = append(c.recv.faults, f)
+		default:
+			c.send.faults = append(c.send.faults, f)
+		}
+	}
+	sortFaults(c.send.faults)
+	sortFaults(c.recv.faults)
+	return c
+}
+
+func sortFaults(fs []Fault) {
+	for i := 1; i < len(fs); i++ {
+		for j := i; j > 0 && fs[j].Offset < fs[j-1].Offset; j-- {
+			fs[j], fs[j-1] = fs[j-1], fs[j]
+		}
+	}
+}
+
+// Applied reports how many faults have triggered so far, so tests can
+// assert a schedule actually exercised the stream.
+func (c *Conn) Applied() int { return int(c.applied.Load()) }
+
+// Write mangles p per the send schedule and forwards the result. It
+// reports the full length as written even when bytes were dropped: from
+// the caller's perspective the transport accepted them.
+func (c *Conn) Write(p []byte) (int, error) {
+	if c.closed.Load() {
+		return 0, net.ErrClosed
+	}
+	out, closeAfter := c.send.transform(c, p)
+	if len(out) > 0 {
+		if _, err := c.Conn.Write(out); err != nil {
+			return 0, err
+		}
+	}
+	if closeAfter {
+		c.close()
+		return len(p), nil
+	}
+	return len(p), nil
+}
+
+// Read delivers the mangled inbound stream.
+func (c *Conn) Read(p []byte) (int, error) {
+	for {
+		c.recv.mu.Lock()
+		if len(c.recv.pending) > 0 {
+			n := copy(p, c.recv.pending)
+			c.recv.pending = c.recv.pending[n:]
+			c.recv.mu.Unlock()
+			return n, nil
+		}
+		c.recv.mu.Unlock()
+
+		buf := make([]byte, 32<<10)
+		n, err := c.Conn.Read(buf)
+		if n > 0 {
+			out, closeAfter := c.recv.transform(c, buf[:n])
+			c.recv.mu.Lock()
+			c.recv.pending = append(c.recv.pending, out...)
+			c.recv.mu.Unlock()
+			if closeAfter {
+				c.close()
+			}
+		}
+		if err != nil {
+			// Flush a reorder hold so a stream that ends mid-swap still
+			// delivers the held bytes before the error.
+			c.recv.mu.Lock()
+			c.recv.flushHeldLocked()
+			has := len(c.recv.pending) > 0
+			c.recv.mu.Unlock()
+			if has {
+				continue
+			}
+			return 0, err
+		}
+	}
+}
+
+// Close flushes any held reorder span on the send side and closes the
+// underlying connection.
+func (c *Conn) Close() error {
+	c.send.mu.Lock()
+	held := c.send.held
+	c.send.held = nil
+	kill := c.send.kill
+	c.send.mu.Unlock()
+	if len(held) > 0 && !kill && !c.closed.Load() {
+		c.Conn.Write(held)
+	}
+	return c.close()
+}
+
+func (c *Conn) close() error {
+	if c.closed.Swap(true) {
+		return nil
+	}
+	return c.Conn.Close()
+}
+
+// flushHeldLocked moves a held reorder span into pending (recv lane).
+func (l *lane) flushHeldLocked() {
+	if len(l.held) > 0 {
+		l.pending = append(l.pending, l.held...)
+		l.held = nil
+	}
+}
+
+// transform applies the lane's schedule to the pristine bytes p and
+// returns the mangled output plus whether the connection must close
+// afterwards (Truncate/Disconnect).
+func (l *lane) transform(c *Conn, p []byte) (out []byte, closeAfter bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(p) > 0 {
+		if l.kill {
+			l.pos += int64(len(p))
+			return out, true
+		}
+		// Release a reordered span once its swap window has passed.
+		if l.held != nil && l.pos >= l.release {
+			out = append(out, l.held...)
+			l.held = nil
+		}
+		if len(l.faults) == 0 {
+			// Clean tail; clamp to a pending reorder release point so
+			// the top-of-loop flush fires at the exact byte regardless
+			// of write chunking.
+			n := len(p)
+			if l.held != nil && l.pos+int64(n) > l.release {
+				n = int(l.release - l.pos)
+			}
+			out = append(out, p[:n]...)
+			l.pos += int64(n)
+			p = p[n:]
+			continue
+		}
+		f := l.faults[0]
+		if l.pos < f.Offset {
+			// Clean run up to the next fault (or reorder release).
+			n := min(len(p), int(f.Offset-l.pos))
+			if l.held != nil && l.pos+int64(n) > l.release {
+				n = int(l.release - l.pos)
+			}
+			out = append(out, p[:n]...)
+			l.pos += int64(n)
+			p = p[n:]
+			continue
+		}
+		if !f.span() {
+			c.applied.Add(1)
+			l.faults = l.faults[1:]
+			switch f.Op {
+			case Stall:
+				// Pause with the lock held: the stream is a single
+				// sequence and must not advance during the stall.
+				time.Sleep(f.Wait)
+			case Disconnect:
+				l.kill = true
+			case Truncate:
+				l.kill = true
+			}
+			continue
+		}
+		// Inside a span fault.
+		end := f.Offset + int64(f.Len)
+		n := min(len(p), int(end-l.pos))
+		seg := p[:n]
+		switch f.Op {
+		case Drop:
+			// omitted
+		case Duplicate:
+			// Byte-wise doubling keeps the output independent of how
+			// the span is split across Write calls.
+			for _, b := range seg {
+				out = append(out, b, b)
+			}
+		case Corrupt:
+			mask := f.Mask
+			if mask == 0 {
+				mask = 0xA5
+			}
+			for _, b := range seg {
+				out = append(out, b^mask)
+			}
+		case Reorder:
+			l.held = append(l.held, seg...)
+			l.release = end + int64(f.Len)
+		}
+		l.pos += int64(n)
+		p = p[n:]
+		if l.pos >= end {
+			c.applied.Add(1)
+			l.faults = l.faults[1:]
+		}
+	}
+	if l.held != nil && l.pos >= l.release {
+		out = append(out, l.held...)
+		l.held = nil
+	}
+	return out, l.kill
+}
+
+// Dialer hands out faulty connections per dial attempt: the i-th dial
+// is wrapped with Schedules[i], and dials past the end of the schedule
+// are clean. A retrying client therefore always reaches a clean link
+// eventually — the chaos tests' eventual-delivery precondition.
+type Dialer struct {
+	// Schedules holds one fault schedule per dial, in dial order.
+	Schedules [][]Fault
+	// Base opens the underlying connection; net.Dial("tcp", addr) when
+	// nil.
+	Base func(addr string) (net.Conn, error)
+
+	mu    sync.Mutex
+	dials int
+	conns []*Conn
+}
+
+// Dial opens the next connection in the schedule.
+func (d *Dialer) Dial(addr string) (net.Conn, error) {
+	base := d.Base
+	if base == nil {
+		base = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	conn, err := base(addr)
+	if err != nil {
+		d.mu.Lock()
+		d.dials++
+		d.mu.Unlock()
+		return nil, err
+	}
+	d.mu.Lock()
+	i := d.dials
+	d.dials++
+	var faults []Fault
+	if i < len(d.Schedules) {
+		faults = d.Schedules[i]
+	}
+	fc := Wrap(conn, faults)
+	d.conns = append(d.conns, fc)
+	d.mu.Unlock()
+	return fc, nil
+}
+
+// Dials reports how many connections were requested.
+func (d *Dialer) Dials() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dials
+}
+
+// Applied sums the faults triggered across every connection.
+func (d *Dialer) Applied() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, c := range d.conns {
+		n += c.Applied()
+	}
+	return n
+}
+
+// Plan derives a deterministic per-dial fault schedule from seed:
+// attempts faulty connections, each carrying one to three faults with
+// offsets inside window bytes, followed by clean dials forever. Every
+// op and both directions are drawn from the seeded generator, so a
+// sweep over seeds covers the whole fault space.
+func Plan(seed int64, attempts int, window int64) [][]Fault {
+	rng := rand.New(rand.NewSource(seed))
+	ops := []Op{Drop, Duplicate, Reorder, Corrupt, Truncate, Stall, Disconnect}
+	plan := make([][]Fault, attempts)
+	for i := range plan {
+		n := 1 + rng.Intn(3)
+		var cursor int64
+		for j := 0; j < n; j++ {
+			// March offsets forward so faults within one connection
+			// never overlap.
+			cursor += 1 + rng.Int63n(max64(window/int64(n), 16))
+			f := Fault{
+				Op:     ops[rng.Intn(len(ops))],
+				Dir:    Dir(1 + rng.Intn(2)),
+				Offset: cursor,
+				Len:    1 + rng.Intn(64),
+				Mask:   byte(rng.Intn(256)),
+				Wait:   time.Duration(rng.Intn(10)) * time.Millisecond,
+			}
+			plan[i] = append(plan[i], f)
+			cursor += int64(f.Len)
+			// Truncate and Disconnect end the connection; later faults
+			// on this dial would never fire.
+			if f.Op == Truncate || f.Op == Disconnect {
+				break
+			}
+		}
+	}
+	return plan
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -5,14 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cpsmon/internal/can"
 	"cpsmon/internal/wire"
 )
 
-// maxBatchFrames caps one FrameBatch record so it stays far under the
+// maxBatchFrames caps one frame batch record so it stays far under the
 // wire protocol's record-size limit.
 const maxBatchFrames = 4096
 
@@ -20,104 +23,563 @@ const maxBatchFrames = 4096
 // capture time during a paced replay.
 const replayWindow = 100 * time.Millisecond
 
-// Client is the vehicle side of a fleet session: it uplinks captured
-// frames to a monitord and surfaces the incremental oracle events the
-// server pushes back.
-type Client struct {
-	conn    net.Conn
-	bw      *bufio.Writer
-	session uint64
-	onEvent func(wire.Event)
+// Client defaults, overridable through Options.
+const (
+	defaultMaxRetries   = 5
+	defaultBackoff      = 50 * time.Millisecond
+	defaultMaxBackoff   = 2 * time.Second
+	defaultReplayBuffer = 256
+)
 
-	// done closes when the read loop ends; verdict and readErr are
-	// written before the close and may be read after it.
-	done    chan struct{}
-	verdict *wire.Verdict
-	readErr error
+// Options configures a fleet client beyond the basic Dial arguments.
+type Options struct {
+	// Vehicle and Spec select the session identity and rule set, as
+	// the Hello record.
+	Vehicle, Spec string
+	// OnEvent, when not nil, is invoked from the client's read
+	// goroutine for every incremental event the server pushes
+	// (violations and, on protocol 2, gap events); it must not block
+	// for long or the event stream stalls. Across reconnects each
+	// event is delivered exactly once, in order.
+	OnEvent func(wire.Event)
+	// Dial opens the transport; net.Dial("tcp", addr) when nil. Tests
+	// substitute fault-injecting dialers here.
+	Dial func(addr string) (net.Conn, error)
+	// Protocol selects the wire protocol version: 0 means the newest
+	// (resumable, sequence-numbered), 1 forces the legacy
+	// single-connection protocol.
+	Protocol uint16
+	// MaxRetries bounds reconnect attempts per recovery episode; the
+	// default is 5. Negative disables reconnection entirely.
+	MaxRetries int
+	// Backoff is the initial reconnect delay (default 50ms), doubled
+	// per failed attempt with jitter, capped at MaxBackoff (default
+	// 2s).
+	Backoff, MaxBackoff time.Duration
+	// ReplayBuffer bounds unacknowledged batches held for replay
+	// (default 256). Send blocks when the buffer is full, turning the
+	// server's ack pace into end-to-end backpressure.
+	ReplayBuffer int
+	// Seed fixes the backoff jitter for deterministic tests; 0 draws
+	// from the wall clock.
+	Seed int64
+	// StallTimeout, when positive, bounds how long the read loop waits
+	// for the next server record before treating the stream as wedged
+	// and reconnecting. A corrupted length prefix can leave either
+	// side blocked mid-record forever; this (with the server's
+	// IdleTimeout) restores liveness. Off by default — an idle client
+	// legitimately hears nothing between uplink bursts.
+	StallTimeout time.Duration
 }
 
-// Dial connects to a fleet server and performs the session handshake.
-// onEvent, when not nil, is invoked from the client's read goroutine
-// for every incremental event the server pushes; it must not block for
-// long or the event stream (and eventually the server's write path)
-// stalls.
+// ClientStats counts a client's transport recovery activity.
+type ClientStats struct {
+	// Reconnects counts successful reattachments after a transport
+	// failure; DialAttempts counts every dial, successful or not.
+	Reconnects, DialAttempts uint64
+	// DupEventsDropped counts replayed events discarded by sequence
+	// dedup — deliveries that would have been duplicates.
+	DupEventsDropped uint64
+	// RecordsQuarantined counts malformed records skipped on the
+	// event stream; the losses they hide are recovered by resume.
+	RecordsQuarantined uint64
+	// GapEvents counts gap-kind events received from the server.
+	GapEvents uint64
+}
+
+type clientCounters struct {
+	reconnects, dialAttempts, dupEvents, quarantined, gaps atomic.Uint64
+}
+
+// errClientClosed reports an operation on a closed client.
+var errClientClosed = errors.New("fleet: client closed")
+
+// Client is the vehicle side of a fleet session: it uplinks captured
+// frames to a monitord and surfaces the incremental oracle events the
+// server pushes back. On protocol 2 the client is chaos-hardened: it
+// buffers unacknowledged batches, survives disconnects by resuming the
+// server-side session with exponential backoff, and dedups both
+// directions by sequence number, so every frame and every event counts
+// exactly once end to end.
+type Client struct {
+	opts Options
+	addr string
+
+	// mu guards the connection/sequencing state below; cond signals
+	// replay-buffer space and settlement. wmu serializes record writes
+	// (never held together with mu).
+	mu   sync.Mutex
+	cond *sync.Cond
+	wmu  sync.Mutex
+
+	conn       net.Conn
+	bw         *bufio.Writer
+	readDone   chan struct{} // closed when the attachment's read loop exits
+	gen        int           // attachment generation; bumped per successful (re)connect
+	recovering bool
+	closed     bool
+
+	session      uint64
+	token        uint64
+	nextSeq      uint64          // last batch sequence assigned
+	acked        uint64          // highest cumulative ack from the server
+	unacked      []wire.SeqBatch // [acked+1 .. nextSeq], pending replay
+	lastEventSeq uint64
+	finSent      bool
+	finSeq       uint64
+
+	rng *rand.Rand // recovery-goroutine only (single-flight)
+
+	// done closes when the session settles; verdict and readErr are
+	// written before the close and may be read after it.
+	done    chan struct{}
+	settled sync.Once
+	verdict *wire.Verdict
+	readErr error
+
+	stats clientCounters
+}
+
+// Dial connects to a fleet server with default options and performs
+// the session handshake. onEvent, when not nil, is invoked from the
+// client's read goroutine for every incremental event.
 func Dial(addr, vehicle, spec string, onEvent func(wire.Event)) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("fleet: %w", err)
+	return DialOptions(addr, Options{Vehicle: vehicle, Spec: spec, OnEvent: onEvent})
+}
+
+// DialOptions connects with explicit options.
+func DialOptions(addr string, o Options) (*Client, error) {
+	if o.Dial == nil {
+		o.Dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	if o.Protocol == 0 {
+		o.Protocol = wire.Version
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = defaultMaxRetries
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = defaultBackoff
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = defaultMaxBackoff
+	}
+	if o.ReplayBuffer <= 0 {
+		o.ReplayBuffer = defaultReplayBuffer
+	}
+	seed := o.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
 	}
 	c := &Client{
-		conn:    conn,
-		bw:      bufio.NewWriterSize(conn, 64<<10),
-		onEvent: onEvent,
-		done:    make(chan struct{}),
+		opts: o,
+		addr: addr,
+		rng:  rand.New(rand.NewSource(seed)),
+		done: make(chan struct{}),
 	}
-	if err := wire.Write(c.bw, wire.Hello{Version: wire.Version, Vehicle: vehicle, Spec: spec}); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("fleet: hello: %w", err)
-	}
-	if err := c.bw.Flush(); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("fleet: hello: %w", err)
-	}
-	br := bufio.NewReaderSize(conn, 64<<10)
-	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
-	rec, err := wire.Read(br)
+	c.cond = sync.NewCond(&c.mu)
+	conn, br, err := c.handshake()
 	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("fleet: hello ack: %w", err)
+		return nil, err
 	}
-	conn.SetReadDeadline(time.Time{})
-	switch rec := rec.(type) {
-	case wire.HelloAck:
-		c.session = rec.Session
-	case wire.Error:
-		conn.Close()
-		return nil, rec.Err()
-	default:
-		conn.Close()
-		return nil, fmt.Errorf("fleet: hello ack: unexpected %T", rec)
-	}
-	go c.readLoop(br)
+	c.conn = conn
+	c.bw = bufio.NewWriterSize(conn, 64<<10)
+	c.gen = 1
+	c.readDone = make(chan struct{})
+	go c.readLoop(conn, br, 1, c.readDone)
 	return c, nil
 }
 
 // Session returns the server-assigned session identifier.
 func (c *Client) Session() uint64 { return c.session }
 
-// readLoop receives events until the verdict (and the server's close)
-// or an error ends the session.
-func (c *Client) readLoop(br *bufio.Reader) {
-	defer close(c.done)
+// Stats snapshots the client's recovery counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Reconnects:         c.stats.reconnects.Load(),
+		DialAttempts:       c.stats.dialAttempts.Load(),
+		DupEventsDropped:   c.stats.dupEvents.Load(),
+		RecordsQuarantined: c.stats.quarantined.Load(),
+		GapEvents:          c.stats.gaps.Load(),
+	}
+}
+
+// handshake dials and performs the Hello (first connection) or Resume
+// (reconnection) exchange. On success the server's cumulative ack is
+// already folded into the replay buffer.
+func (c *Client) handshake() (net.Conn, *bufio.Reader, error) {
+	c.stats.dialAttempts.Add(1)
+	conn, err := c.opts.Dial(c.addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fleet: %w", err)
+	}
+	var open wire.Record
+	c.mu.Lock()
+	if c.opts.Protocol >= 2 && c.token != 0 {
+		open = wire.Resume{Version: c.opts.Protocol, Token: c.token, LastEventSeq: c.lastEventSeq}
+	} else {
+		open = wire.Hello{Version: c.opts.Protocol, Vehicle: c.opts.Vehicle, Spec: c.opts.Spec}
+	}
+	c.mu.Unlock()
+	if err := wire.Write(conn, open); err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("fleet: hello: %w", err)
+	}
+	br := bufio.NewReaderSize(conn, 64<<10)
+	conn.SetReadDeadline(time.Now().Add(handshakeTimeout))
+	rec, err := wire.Read(br)
+	if err != nil {
+		conn.Close()
+		return nil, nil, fmt.Errorf("fleet: hello ack: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	switch rec := rec.(type) {
+	case wire.HelloAck:
+		if c.opts.Protocol >= 2 {
+			conn.Close()
+			return nil, nil, errors.New("fleet: hello ack: server answered v2 hello with v1 ack")
+		}
+		c.session = rec.Session
+	case wire.SessionGrant:
+		c.mu.Lock()
+		c.session = rec.Session
+		c.token = rec.Token
+		c.advanceAck(rec.AckSeq)
+		c.mu.Unlock()
+	case wire.Error:
+		conn.Close()
+		return nil, nil, rec.Err()
+	default:
+		conn.Close()
+		return nil, nil, fmt.Errorf("fleet: hello ack: unexpected %T", rec)
+	}
+	return conn, br, nil
+}
+
+// terminal reports whether a connect/handshake error is a server
+// refusal (an Error record) rather than a transport failure worth
+// retrying.
+func terminal(err error) bool { return errors.Is(err, wire.ErrRemote) }
+
+// advanceAck folds a cumulative server ack into the replay buffer.
+// Caller holds mu.
+func (c *Client) advanceAck(seq uint64) {
+	if seq <= c.acked {
+		return
+	}
+	i := 0
+	for i < len(c.unacked) && c.unacked[i].Seq <= seq {
+		i++
+	}
+	c.unacked = append(c.unacked[:0], c.unacked[i:]...)
+	c.acked = seq
+	c.cond.Broadcast()
+}
+
+// settle resolves the session exactly once.
+func (c *Client) settle(v *wire.Verdict, err error) {
+	c.settled.Do(func() {
+		c.mu.Lock()
+		c.verdict = v
+		c.readErr = err
+		c.mu.Unlock()
+		close(c.done)
+		c.cond.Broadcast()
+	})
+}
+
+func (c *Client) isDone() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// readLoop receives server records for one attachment generation. It
+// ends by settling the session (verdict, server error) or by kicking
+// off a recovery after a transport failure.
+func (c *Client) readLoop(conn net.Conn, br *bufio.Reader, gen int, rd chan struct{}) {
+	defer close(rd)
 	for {
+		if c.opts.StallTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(c.opts.StallTimeout))
+		}
 		rec, err := wire.Read(br)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && c.verdict == nil {
-				c.readErr = err
+			var mal *wire.MalformedError
+			if errors.As(err, &mal) {
+				// The record boundary held: skip the corrupt record.
+				// Any event it carried is recovered via the sequence
+				// hole it leaves.
+				c.stats.quarantined.Add(1)
+				continue
 			}
+			if c.isDone() {
+				return
+			}
+			if c.opts.Protocol < 2 {
+				if errors.Is(err, io.EOF) {
+					c.settle(nil, nil)
+				} else {
+					c.settle(nil, err)
+				}
+				return
+			}
+			go c.recover(gen)
 			return
 		}
 		switch rec := rec.(type) {
+		case wire.SeqEvent:
+			c.mu.Lock()
+			if rec.Seq <= c.lastEventSeq {
+				c.mu.Unlock()
+				c.stats.dupEvents.Add(1)
+				continue
+			}
+			if rec.Seq != c.lastEventSeq+1 {
+				// An event was lost (quarantined); resume to replay it.
+				c.mu.Unlock()
+				go c.recover(gen)
+				return
+			}
+			c.lastEventSeq = rec.Seq
+			c.mu.Unlock()
+			if rec.Event.Kind == wire.EventGap {
+				c.stats.gaps.Add(1)
+			}
+			if c.opts.OnEvent != nil {
+				c.opts.OnEvent(rec.Event)
+			}
+		case wire.Ack:
+			c.mu.Lock()
+			c.advanceAck(rec.Seq)
+			c.mu.Unlock()
+		case wire.VerdictSeq:
+			c.mu.Lock()
+			complete := rec.EventSeq == c.lastEventSeq
+			bw := c.bw
+			c.mu.Unlock()
+			if !complete {
+				// Events are still missing; resume to fetch them, then
+				// the server re-serves the verdict.
+				go c.recover(gen)
+				return
+			}
+			// Echo an ack so a draining server knows the verdict landed:
+			// its own write succeeding proves nothing, since a dead TCP
+			// peer still accepts one last segment. Best-effort — if this
+			// write is lost the server parks us for the grace window,
+			// which costs it patience, not correctness.
+			c.wmu.Lock()
+			if wire.Write(bw, wire.Ack{Seq: rec.EventSeq}) == nil {
+				bw.Flush()
+			}
+			c.wmu.Unlock()
+			v := rec.Verdict
+			c.settle(&v, nil)
+			return
 		case wire.Event:
-			if c.onEvent != nil {
-				c.onEvent(rec)
+			if c.opts.OnEvent != nil {
+				c.opts.OnEvent(rec)
 			}
 		case wire.Verdict:
-			c.verdict = &rec
+			v := rec
+			c.settle(&v, nil)
+			return
 		case wire.Error:
-			c.readErr = rec.Err()
+			c.settle(nil, rec.Err())
 			return
 		default:
-			c.readErr = fmt.Errorf("fleet: unexpected %T from server", rec)
+			if c.opts.Protocol >= 2 {
+				c.stats.quarantined.Add(1)
+				continue
+			}
+			c.settle(nil, fmt.Errorf("fleet: unexpected %T from server", rec))
 			return
 		}
 	}
 }
 
+// recover re-establishes the session after a transport failure:
+// exponential backoff with jitter around redials, Resume handshake,
+// then replay of every unacknowledged batch (the server dedups). It is
+// single-flight per failure; stale generations return immediately.
+func (c *Client) recover(gen int) {
+	c.mu.Lock()
+	if c.closed || c.recovering || gen != c.gen || c.isDone() {
+		c.mu.Unlock()
+		return
+	}
+	c.recovering = true
+	conn := c.conn
+	rd := c.readDone
+	c.mu.Unlock()
+	// Let the old read loop drain whatever the server managed to send
+	// before the connection broke — a drained server delivers its
+	// verdict right before closing, and closing our side first would
+	// discard it. Then close and wait it out, so exactly one read loop
+	// exists at a time.
+	select {
+	case <-rd:
+	case <-time.After(100 * time.Millisecond):
+	}
+	conn.Close()
+	<-rd
+	if c.isDone() || c.clientClosed() {
+		c.clearRecovering()
+		return
+	}
+
+	backoff := c.opts.Backoff
+	var lastErr error = errors.New("no attempts made")
+	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
+		if c.isDone() || c.clientClosed() {
+			c.clearRecovering()
+			return
+		}
+		if attempt > 0 {
+			// Full jitter: sleep a uniformly random fraction of the
+			// doubling backoff, so a fleet of clients desynchronizes.
+			d := backoff/2 + time.Duration(c.rng.Int63n(int64(backoff/2)+1))
+			time.Sleep(d)
+			backoff *= 2
+			if backoff > c.opts.MaxBackoff {
+				backoff = c.opts.MaxBackoff
+			}
+		}
+		newConn, br, err := c.handshake()
+		if err != nil {
+			if terminal(err) {
+				c.clearRecovering()
+				c.settle(nil, err)
+				return
+			}
+			lastErr = err
+			continue
+		}
+		// Install the new attachment. wmu is taken before recovering
+		// clears so no Send can write to the new connection until the
+		// replay below has restored sequence order.
+		c.wmu.Lock()
+		c.mu.Lock()
+		c.gen++
+		newGen := c.gen
+		c.conn = newConn
+		c.bw = bufio.NewWriterSize(newConn, 64<<10)
+		newRd := make(chan struct{})
+		c.readDone = newRd
+		replay := append([]wire.SeqBatch(nil), c.unacked...)
+		finSent, finSeq := c.finSent, c.finSeq
+		c.recovering = false
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		c.stats.reconnects.Add(1)
+		go c.readLoop(newConn, br, newGen, newRd)
+
+		ok := true
+		for _, b := range replay {
+			if wire.Write(c.bw, b) != nil {
+				ok = false
+				break
+			}
+		}
+		if ok && finSent {
+			ok = wire.Write(c.bw, wire.FinishSeq{Seq: finSeq}) == nil
+		}
+		if ok {
+			ok = c.bw.Flush() == nil
+		}
+		c.wmu.Unlock()
+		if !ok {
+			// The fresh connection died mid-replay; its read loop (or
+			// the next Send) observes the failure and recovers again.
+			go c.recover(newGen)
+		}
+		return
+	}
+	c.clearRecovering()
+	c.settle(nil, fmt.Errorf("fleet: reconnect failed after %d attempts: %w", c.opts.MaxRetries+1, lastErr))
+}
+
+func (c *Client) clearRecovering() {
+	c.mu.Lock()
+	c.recovering = false
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *Client) clientClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
 // Send uplinks a run of frames, splitting it into batch records as
 // needed. Frames must be in non-decreasing time order across all Send
 // calls; stale frames are rejected (and accounted) server-side.
+//
+// On protocol 2, Send succeeds once the batch is buffered for replay:
+// transport failures are recovered in the background and the batch is
+// retransmitted, deduplicated server-side. Send blocks while the
+// replay buffer is full (backpressure) and only errors when the
+// session has ended.
 func (c *Client) Send(frames []can.Frame) error {
+	if c.opts.Protocol < 2 {
+		return c.sendLegacy(frames)
+	}
+	for len(frames) > 0 {
+		n := len(frames)
+		if n > maxBatchFrames {
+			n = maxBatchFrames
+		}
+		c.mu.Lock()
+		for len(c.unacked) >= c.opts.ReplayBuffer && !c.closed && !c.isDone() {
+			c.cond.Wait()
+		}
+		if c.closed || c.isDone() {
+			c.mu.Unlock()
+			return c.endError()
+		}
+		c.nextSeq++
+		b := wire.SeqBatch{Seq: c.nextSeq, Frames: frames[:n]}
+		c.unacked = append(c.unacked, b)
+		gen, bw, recovering := c.gen, c.bw, c.recovering
+		c.mu.Unlock()
+		frames = frames[n:]
+		if recovering {
+			// The recovery's replay pass will transmit this batch.
+			continue
+		}
+		c.wmu.Lock()
+		err := wire.Write(bw, b)
+		if err == nil {
+			err = bw.Flush()
+		}
+		c.wmu.Unlock()
+		if err != nil {
+			go c.recover(gen)
+		}
+	}
+	return nil
+}
+
+// endError reports why the session can take no more input.
+func (c *Client) endError() error {
+	if c.isDone() {
+		if c.readErr != nil {
+			return c.readErr
+		}
+		return errors.New("fleet: session already ended")
+	}
+	return errClientClosed
+}
+
+// sendLegacy is the protocol-1 Send: a write error is terminal.
+func (c *Client) sendLegacy(frames []can.Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
 	for len(frames) > 0 {
 		n := len(frames)
 		if n > maxBatchFrames {
@@ -133,11 +595,34 @@ func (c *Client) Send(frames []can.Frame) error {
 
 // Finish declares end-of-stream and waits for the server's verdict.
 func (c *Client) Finish() (*wire.Verdict, error) {
-	if err := wire.Write(c.bw, wire.Finish{}); err != nil {
-		return c.sessionOutcome(fmt.Errorf("fleet: finish: %w", err))
+	if c.opts.Protocol < 2 {
+		c.wmu.Lock()
+		err := wire.Write(c.bw, wire.Finish{})
+		if err == nil {
+			err = c.bw.Flush()
+		}
+		c.wmu.Unlock()
+		if err != nil {
+			return c.sessionOutcome(fmt.Errorf("fleet: finish: %w", err))
+		}
+		return c.Wait()
 	}
-	if err := c.bw.Flush(); err != nil {
-		return c.sessionOutcome(fmt.Errorf("fleet: finish: %w", err))
+	c.mu.Lock()
+	c.finSent = true
+	c.finSeq = c.nextSeq
+	fin := wire.FinishSeq{Seq: c.finSeq}
+	gen, bw, recovering := c.gen, c.bw, c.recovering
+	c.mu.Unlock()
+	if !recovering {
+		c.wmu.Lock()
+		err := wire.Write(bw, fin)
+		if err == nil {
+			err = bw.Flush()
+		}
+		c.wmu.Unlock()
+		if err != nil {
+			go c.recover(gen)
+		}
 	}
 	return c.Wait()
 }
@@ -178,12 +663,29 @@ func (c *Client) Wait() (*wire.Verdict, error) {
 	return nil, errors.New("fleet: session closed without a verdict")
 }
 
-// Close tears the connection down. A session still streaming appears
-// to the server as an unclean disconnect.
+// Close tears the connection down and stops any reconnection. A
+// session still streaming appears to the server as an unclean
+// disconnect (which, on protocol 2, parks it for the resume grace
+// window before it is reaped).
 func (c *Client) Close() error {
-	err := c.conn.Close()
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	err := conn.Close()
+	c.settle(c.verdictSnapshot(), nil)
 	<-c.done
 	return err
+}
+
+// verdictSnapshot returns the settled verdict if one already arrived
+// (settle keeps the first outcome, so this only matters when Close
+// races an unsettled session).
+func (c *Client) verdictSnapshot() *wire.Verdict {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.verdict
 }
 
 // Replay uplinks a recorded bus log and returns the verdict. speed

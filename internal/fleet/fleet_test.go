@@ -40,6 +40,9 @@ func startServer(t testing.TB, mutate func(*Config)) (*Server, string) {
 		DB:      sigdb.Vehicle(),
 		Resolve: testResolver,
 		Triage:  rules.DefaultTriage(),
+		// Keep the teardown Shutdown fast when a test abandons a v2
+		// session mid-stream; resume tests override this.
+		ResumeGrace: 250 * time.Millisecond,
 	}
 	if mutate != nil {
 		mutate(&cfg)
@@ -374,7 +377,10 @@ func TestUnknownSpecRefused(t *testing.T) {
 
 func TestProtocolErrorMidStream(t *testing.T) {
 	_, addr := startServer(t, nil)
-	c, err := Dial(addr, "veh-1", "", nil)
+	// Version 1 is the strict protocol: any unexpected record is
+	// terminal (a v2 session would quarantine it instead, see
+	// TestQuarantineUnexpectedRecords).
+	c, err := DialOptions(addr, Options{Vehicle: "veh-1", Protocol: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,8 +430,8 @@ func TestDropModeSheds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess := &session{srv: s, queue: make(chan batch, 1)}
-	b := batch{frames: make([]can.Frame, 7), enq: time.Now()}
+	sess := &session{srv: s, queue: make(chan item, 1)}
+	b := item{frames: make([]can.Frame, 7), enq: time.Now()}
 	sess.enqueue(b) // fills the queue
 	sess.enqueue(b) // must shed, not block
 	if got := sess.dropped.Load(); got != 7 {
@@ -441,8 +447,8 @@ func TestBackpressureBlocks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sess := &session{srv: s, queue: make(chan batch, 1)}
-	b := batch{frames: make([]can.Frame, 3), enq: time.Now()}
+	sess := &session{srv: s, queue: make(chan item, 1)}
+	b := item{frames: make([]can.Frame, 3), enq: time.Now()}
 	sess.enqueue(b) // fills the queue
 
 	done := make(chan struct{})

@@ -14,16 +14,28 @@
 //
 // Session lifecycle (see DESIGN.md for the wire layouts):
 //
-//	accepted → awaiting-hello → streaming → draining → closed
+//	accepted → awaiting-hello → streaming ⇄ parked → draining → closed
+//
+// A version-1 session lives and dies with its TCP connection, exactly
+// as before. A version-2 session survives it: frames arrive as
+// sequence-numbered, checksummed batches which the server acknowledges
+// cumulatively; a lost connection parks the session — monitor state
+// intact, keyed by a resume token — for a grace window, and a Resume
+// handshake reattaches it, replaying unseen events and telling the
+// client where to retransmit from. Malformed records are quarantined
+// against a per-session error budget instead of killing the session,
+// and load shedding or bus silence surfaces as explicit gap events.
 //
 // A session drains — evaluates everything queued, closes the monitor,
 // and reports a Verdict — on three paths: the client's Finish record,
-// the client's disconnect, or server shutdown.
+// the client's disconnect (v1), or server shutdown.
 package fleet
 
 import (
 	"bufio"
 	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -67,12 +79,32 @@ type Config struct {
 	// connection. Off by default: backpressure propagates to the
 	// client through TCP, preserving completeness.
 	DropWhenFull bool
+	// ErrorBudget bounds malformed records quarantined per attachment
+	// before the connection is cut (v2 resumes; v1 dies). Zero selects
+	// the default (16).
+	ErrorBudget int
+	// ResumeGrace is how long a detached v2 session's monitor state is
+	// retained awaiting a Resume before it is reaped. Zero selects the
+	// default (30s).
+	ResumeGrace time.Duration
+	// IdleTimeout cuts a connection that produced no record for this
+	// long; a v2 session then parks for resume, a v1 session dies.
+	// Zero disables the timeout.
+	IdleTimeout time.Duration
+	// SilenceGap, when positive, makes v2 sessions emit a gap event
+	// whenever consecutive frame timestamps are further apart than
+	// this — the bus went quiet or the capture has a hole.
+	SilenceGap time.Duration
 }
 
 const (
-	defaultQueueDepth = 64
-	handshakeTimeout  = 10 * time.Second
-	numShards         = 16
+	defaultQueueDepth  = 64
+	defaultErrorBudget = 16
+	defaultResumeGrace = 30 * time.Second
+	handshakeTimeout   = 10 * time.Second
+	claimTimeout       = 3 * time.Second
+	verdictAckTimeout  = 2 * time.Second
+	numShards          = 16
 )
 
 // shard is one slice of the session table. Sessions register on the
@@ -88,6 +120,13 @@ type shard struct {
 type specEntry struct {
 	mon   *core.Monitor
 	rules []string
+}
+
+// parked is one detached v2 session awaiting resume, with the grace
+// timer that reaps it.
+type parked struct {
+	sess  *session
+	timer *time.Timer
 }
 
 // Server is the fleet ingest daemon: one monitor session per connected
@@ -107,6 +146,13 @@ type Server struct {
 	active atomic.Int64
 
 	shards [numShards]shard
+
+	// parkMu guards the v2 resume tables: attached sessions by token
+	// (for force-detach on a racing resume) and parked sessions by
+	// token (for claim and reap).
+	parkMu   sync.Mutex
+	attached map[uint64]*session
+	parkedBy map[uint64]*parked
 
 	specMu sync.Mutex
 	specs  map[string]*specEntry
@@ -129,8 +175,18 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = defaultQueueDepth
 	}
+	if cfg.ResumeGrace == 0 {
+		cfg.ResumeGrace = defaultResumeGrace
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	s := &Server{cfg: cfg, ctx: ctx, cancel: cancel, specs: make(map[string]*specEntry)}
+	s := &Server{
+		cfg:      cfg,
+		ctx:      ctx,
+		cancel:   cancel,
+		specs:    make(map[string]*specEntry),
+		attached: make(map[uint64]*session),
+		parkedBy: make(map[uint64]*parked),
+	}
 	for i := range s.shards {
 		s.shards[i].sessions = make(map[uint64]*session)
 	}
@@ -190,23 +246,41 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// Shutdown stops accepting, drains every active session — queued
-// frames are evaluated, monitors closed, verdicts delivered — and
-// waits for completion or ctx expiry, whichever is first. On expiry
-// the remaining connections are force-closed.
+// Shutdown stops accepting new sessions and drains: attached sessions
+// evaluate what is queued, close their monitors and deliver verdicts;
+// parked sessions get the remainder of the drain window to resume (the
+// listener stays open for Resume handshakes) and drain in turn. It
+// waits for completion or ctx expiry, whichever is first; on expiry
+// remaining connections are force-closed and parked sessions reaped.
 func (s *Server) Shutdown(ctx context.Context) error {
 	if s.closed.Swap(true) {
 		return errors.New("fleet: Shutdown called twice")
 	}
 	s.cancel()
+	// Unblock readers parked in wire.Read so they notice the cancelled
+	// context and enter the drain path. Repeated below for sessions
+	// that resume mid-drain. Only streaming readers are nudged: once a
+	// session drains, its connection belongs to the verdict-ack wait,
+	// which sets its own deadline.
+	s.sweep(nudgeStreaming)
+
+	var err error
+	for s.active.Load() != 0 || s.awaitedParked() != 0 {
+		if ctx.Err() != nil {
+			s.sweep(func(sess *session) { sess.conn.Close() })
+			err = fmt.Errorf("fleet: shutdown deadline exceeded, sessions force-closed: %w", ctx.Err())
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+		s.sweep(nudgeStreaming)
+	}
+
 	s.lnMu.Lock()
 	if s.ln != nil {
 		s.ln.Close()
 	}
 	s.lnMu.Unlock()
-	// Unblock readers parked in wire.Read so they notice the
-	// cancelled context and enter the drain path.
-	s.sweep(func(sess *session) { sess.conn.SetReadDeadline(time.Now()) })
+	s.reapAll()
 
 	done := make(chan struct{})
 	go func() {
@@ -215,15 +289,38 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
-	case <-ctx.Done():
+	case <-time.After(100 * time.Millisecond):
 		s.sweep(func(sess *session) { sess.conn.Close() })
 		<-done
-		return fmt.Errorf("fleet: shutdown deadline exceeded, sessions force-closed: %w", ctx.Err())
+	}
+	return err
+}
+
+// awaitedParked counts parked sessions the drain must wait for: those
+// still owed a verdict, and those whose verdict never reached the
+// client (the resume fetches it). Their grace timers keep running, so
+// the wait is bounded by the resume grace even if the client is gone.
+func (s *Server) awaitedParked() int {
+	s.parkMu.Lock()
+	defer s.parkMu.Unlock()
+	n := 0
+	for _, p := range s.parkedBy {
+		if !p.sess.finalized || !p.sess.delivered {
+			n++
+		}
+	}
+	return n
+}
+
+// nudgeStreaming expires a streaming reader's blocking Read so it
+// notices the cancelled context.
+func nudgeStreaming(sess *session) {
+	if sess.state.Load() == stateStreaming {
+		sess.conn.SetReadDeadline(time.Now())
 	}
 }
 
-// sweep applies fn to every registered session.
+// sweep applies fn to every attached session.
 func (s *Server) sweep(fn func(*session)) {
 	for i := range s.shards {
 		sh := &s.shards[i]
@@ -240,13 +337,106 @@ func (s *Server) register(sess *session) {
 	sh.mu.Lock()
 	sh.sessions[sess.id] = sess
 	sh.mu.Unlock()
+	if sess.proto >= 2 {
+		s.parkMu.Lock()
+		s.attached[sess.token] = sess
+		s.parkMu.Unlock()
+	}
 }
 
-func (s *Server) unregister(sess *session) {
+// unregister detaches the session from the live tables and, when park
+// is true, parks it for resume in the same critical section (so a
+// racing claim never finds the token in neither table).
+func (s *Server) unregister(sess *session, park bool) {
 	sh := &s.shards[sess.id%numShards]
 	sh.mu.Lock()
 	delete(sh.sessions, sess.id)
 	sh.mu.Unlock()
+	if sess.proto < 2 {
+		return
+	}
+	s.parkMu.Lock()
+	delete(s.attached, sess.token)
+	// During a drain only sessions owed a verdict delivery may park;
+	// run() applies the same rule, this re-check closes the race with a
+	// Shutdown that started in between.
+	if park && (!s.closed.Load() || !sess.finalized || !sess.delivered) {
+		p := &parked{sess: sess}
+		p.timer = time.AfterFunc(s.cfg.ResumeGrace, func() { s.reap(sess.token) })
+		s.parkedBy[sess.token] = p
+		s.parkMu.Unlock()
+		return
+	}
+	s.parkMu.Unlock()
+	if park {
+		// Shutdown raced the park: resolve the session here instead.
+		s.discard(sess)
+	}
+}
+
+// claim removes the parked session for token and returns it. If the
+// token is still attached — the client saw a disconnect the server has
+// not noticed yet — the stale attachment is force-closed and claim
+// waits for it to park.
+func (s *Server) claim(token uint64) *session {
+	deadline := time.Now().Add(claimTimeout)
+	for {
+		s.parkMu.Lock()
+		if p, ok := s.parkedBy[token]; ok {
+			delete(s.parkedBy, token)
+			p.timer.Stop()
+			s.parkMu.Unlock()
+			return p.sess
+		}
+		act := s.attached[token]
+		s.parkMu.Unlock()
+		if act == nil || time.Now().After(deadline) {
+			return nil
+		}
+		act.conn.Close()
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// reap resolves a parked session whose grace window expired.
+func (s *Server) reap(token uint64) {
+	s.parkMu.Lock()
+	p, ok := s.parkedBy[token]
+	if ok {
+		delete(s.parkedBy, token)
+	}
+	s.parkMu.Unlock()
+	if ok {
+		s.discard(p.sess)
+	}
+}
+
+// reapAll discards every parked session (shutdown).
+func (s *Server) reapAll() {
+	s.parkMu.Lock()
+	ps := make([]*parked, 0, len(s.parkedBy))
+	for _, p := range s.parkedBy {
+		ps = append(ps, p)
+	}
+	s.parkedBy = make(map[uint64]*parked)
+	s.parkMu.Unlock()
+	for _, p := range ps {
+		p.timer.Stop()
+		s.discard(p.sess)
+	}
+}
+
+// discard resolves a detached session that will never resume. A
+// finalized session was already counted when its verdict was built;
+// an unfinalized one is reaped — its monitor closed quietly.
+func (s *Server) discard(sess *session) {
+	if sess.finalized {
+		return
+	}
+	sess.finalized = true
+	sess.om.Close()
+	s.stats.sessionsReaped.Add(1)
+	s.stats.sessionsClosed.Add(1)
 }
 
 // spec resolves and caches one spec selection.
@@ -285,8 +475,22 @@ func (s *Server) refuse(conn net.Conn, msg string) {
 	conn.Close()
 }
 
-// handleConn performs the handshake and, on success, runs the session
-// to completion.
+// newToken draws a nonzero random resume token.
+func newToken() uint64 {
+	var b [8]byte
+	for {
+		if _, err := cryptorand.Read(b[:]); err != nil {
+			panic(fmt.Sprintf("fleet: token entropy: %v", err))
+		}
+		if t := binary.LittleEndian.Uint64(b[:]); t != 0 {
+			return t
+		}
+	}
+}
+
+// handleConn performs the handshake — a Hello opening a fresh session
+// or a Resume reattaching a parked one — and runs the attachment to
+// completion.
 func (s *Server) handleConn(conn net.Conn) {
 	if n := s.active.Add(1); s.cfg.MaxSessions > 0 && n > int64(s.cfg.MaxSessions) {
 		s.active.Add(-1)
@@ -303,13 +507,26 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.refuse(conn, fmt.Sprintf("handshake: %v", err))
 		return
 	}
-	hello, ok := rec.(wire.Hello)
-	if !ok {
-		s.refuse(conn, fmt.Sprintf("handshake: expected hello, got %T", rec))
+	conn.SetReadDeadline(time.Time{})
+
+	switch rec := rec.(type) {
+	case wire.Hello:
+		s.handleHello(conn, br, rec)
+	case wire.Resume:
+		s.handleResume(conn, br, rec)
+	default:
+		s.refuse(conn, fmt.Sprintf("handshake: expected hello or resume, got %T", rec))
+	}
+}
+
+func (s *Server) handleHello(conn net.Conn, br *bufio.Reader, hello wire.Hello) {
+	if hello.Version < wire.MinVersion || hello.Version > wire.Version {
+		s.refuse(conn, fmt.Sprintf("protocol version %d unsupported (server speaks %d..%d)",
+			hello.Version, wire.MinVersion, wire.Version))
 		return
 	}
-	if hello.Version != wire.Version {
-		s.refuse(conn, fmt.Sprintf("protocol version %d unsupported (server speaks %d)", hello.Version, wire.Version))
+	if s.closed.Load() {
+		s.refuse(conn, "server draining")
 		return
 	}
 	entry, err := s.spec(hello.Spec)
@@ -322,31 +539,117 @@ func (s *Server) handleConn(conn net.Conn) {
 		s.refuse(conn, fmt.Sprintf("session setup: %v", err))
 		return
 	}
-	conn.SetReadDeadline(time.Time{})
 
 	sess := &session{
-		id:         s.nextID.Add(1),
-		srv:        s,
-		conn:       conn,
-		br:         br,
-		bw:         bufio.NewWriterSize(conn, 64<<10),
-		queue:      make(chan batch, s.cfg.QueueDepth),
-		om:         om,
-		entry:      entry,
-		vehicle:    hello.Vehicle,
-		tally:      make(map[string]*ruleTally, len(entry.rules)),
-		workerDone: make(chan struct{}),
+		id:      s.nextID.Add(1),
+		srv:     s,
+		proto:   hello.Version,
+		om:      om,
+		entry:   entry,
+		vehicle: hello.Vehicle,
+		tally:   make(map[string]*ruleTally, len(entry.rules)),
 	}
-	s.register(sess)
 	s.stats.sessionsOpened.Add(1)
-	defer func() {
-		s.unregister(sess)
-		s.stats.sessionsClosed.Add(1)
-	}()
 
-	if err := wire.Write(conn, wire.HelloAck{Session: sess.id}); err != nil {
+	var ack wire.Record = wire.HelloAck{Session: sess.id}
+	if sess.proto >= 2 {
+		sess.token = newToken()
+		ack = wire.SessionGrant{Session: sess.id, Token: sess.token}
+	}
+	if err := wire.Write(conn, ack); err != nil {
 		conn.Close()
+		s.discard(sess)
 		return
 	}
-	sess.run()
+	s.attach(sess, conn, br)
+}
+
+func (s *Server) handleResume(conn net.Conn, br *bufio.Reader, res wire.Resume) {
+	if res.Version < 2 || res.Version > wire.Version {
+		s.refuse(conn, fmt.Sprintf("protocol version %d unsupported for resume (server speaks 2..%d)",
+			res.Version, wire.Version))
+		return
+	}
+	sess := s.claim(res.Token)
+	if sess == nil {
+		s.refuse(conn, "unknown or expired session token")
+		return
+	}
+	s.stats.sessionsResumed.Add(1)
+	if sess.finalized {
+		s.deliverFinal(conn, br, sess, res.LastEventSeq)
+		return
+	}
+	if err := wire.Write(conn, wire.SessionGrant{
+		Session: sess.id, Token: sess.token, AckSeq: sess.lastApplied,
+	}); err != nil {
+		conn.Close()
+		s.repark(sess)
+		return
+	}
+	sess.resumeFrom = res.LastEventSeq
+	s.attach(sess, conn, br)
+}
+
+// deliverFinal re-serves a finalized session's event tail and verdict
+// to a client that missed them, then re-parks the session for another
+// grace round in case this delivery is lost too.
+func (s *Server) deliverFinal(conn net.Conn, br *bufio.Reader, sess *session, lastEventSeq uint64) {
+	bw := bufio.NewWriterSize(conn, 64<<10)
+	wire.Write(bw, wire.SessionGrant{Session: sess.id, Token: sess.token, AckSeq: sess.lastApplied})
+	from := lastEventSeq
+	if from > uint64(len(sess.events)) {
+		from = uint64(len(sess.events))
+	}
+	for i := from; i < uint64(len(sess.events)); i++ {
+		wire.Write(bw, wire.SeqEvent{Seq: i + 1, Event: sess.events[i]})
+	}
+	// bufio's error is sticky, so a clean final flush means every write
+	// above reached the transport.
+	if wire.Write(bw, *sess.verdictRec) == nil && bw.Flush() == nil {
+		sess.delivered = true
+	}
+	if s.closed.Load() && sess.delivered {
+		// During a drain, only the client's ack proves delivery.
+		sess.confirmDelivery(conn, br)
+	}
+	conn.Close()
+	s.repark(sess)
+}
+
+// repark returns a claimed-but-unattached session to the parked table.
+func (s *Server) repark(sess *session) {
+	s.parkMu.Lock()
+	if !s.closed.Load() || !sess.finalized || !sess.delivered {
+		p := &parked{sess: sess}
+		p.timer = time.AfterFunc(s.cfg.ResumeGrace, func() { s.reap(sess.token) })
+		s.parkedBy[sess.token] = p
+		s.parkMu.Unlock()
+		return
+	}
+	s.parkMu.Unlock()
+	s.discard(sess)
+}
+
+// attach binds a connection to the session and runs it; afterwards the
+// session either parks for resume or resolves for good.
+func (s *Server) attach(sess *session, conn net.Conn, br *bufio.Reader) {
+	sess.conn = conn
+	sess.br = br
+	sess.bw = bufio.NewWriterSize(conn, 64<<10)
+	sess.queue = make(chan item, s.cfg.QueueDepth)
+	sess.workerDone = make(chan struct{})
+	sess.quarantined = 0
+	sess.lastEnq = sess.lastApplied // unapplied queue items died with the old attachment
+	sess.endMu.Lock()
+	sess.suspended = false
+	sess.endMu.Unlock()
+
+	s.register(sess)
+	park := sess.run()
+	s.unregister(sess, park)
+	if !park && !sess.finalized {
+		s.stats.sessionsClosed.Add(1)
+		sess.finalized = true // terminal: never counted again
+	}
 }

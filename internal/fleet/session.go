@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -24,11 +25,22 @@ const (
 	stateClosed
 )
 
-// batch is one queued unit of ingest work: a run of frames plus the
-// moment it entered the queue, for latency accounting.
-type batch struct {
+// item is one queued unit of ingest work: a run of frames plus the
+// moment it entered the queue, for latency accounting. A version-2
+// item carries its batch sequence number; the finish marker carries
+// the client's declared final sequence instead of frames.
+type item struct {
 	frames []can.Frame
+	seq    uint64
+	finish bool
 	enq    time.Time
+}
+
+// gapInfo describes a run of shed frames: how many, over which capture
+// interval. The worker folds these into gap events in sequence order.
+type gapInfo struct {
+	n        uint64
+	from, to time.Duration
 }
 
 // ruleTally accumulates a session's closed violations per rule for the
@@ -37,34 +49,62 @@ type ruleTally struct {
 	violations, real, transient, negligible uint32
 }
 
-// session is one connected vehicle: a reader goroutine that decodes
-// records off the socket into a bounded queue, and a worker goroutine
-// that feeds the monitor and writes events back. The reader owns the
-// connection's read half and its close; the worker owns all writes
-// after the hello acknowledgement, so no write lock is needed.
+// session is one monitored vehicle. For a version-1 peer its life is
+// one TCP connection, exactly as before. For a version-2 peer the
+// session outlives connections: each connection is an attachment (a
+// reader goroutine decoding records into a bounded queue plus a worker
+// goroutine feeding the monitor and writing acks/events back), and
+// between attachments the session parks in the server's resume table,
+// monitor state intact, until the grace window expires.
+//
+// The reader owns the connection's read half; the worker owns all
+// writes after the handshake grant, so no write lock is needed.
 type session struct {
-	id   uint64
-	srv  *Server
-	conn net.Conn
-	br   *bufio.Reader
-	bw   *bufio.Writer
-
-	queue      chan batch
-	workerDone chan struct{}
-
-	om      *core.OnlineMonitor
-	entry   *specEntry
+	id      uint64
+	srv     *Server
+	proto   uint16
+	token   uint64 // resume key, v2 only
 	vehicle string
 
-	state atomic.Int32
+	om    *core.OnlineMonitor
+	entry *specEntry
 
-	// abort is set by the reader before closing the queue when the
-	// session ends abnormally (protocol error, unclean disconnect);
-	// nil abort after the queue closes means a clean Finish or a
-	// shutdown drain, and the worker owes a verdict. The queue close
-	// is the synchronization point, so the worker may read it after
-	// its range loop ends.
-	abort error
+	// Attachment state, replaced on every resume. Written only by the
+	// attaching goroutine before the reader/worker start.
+	conn       net.Conn
+	br         *bufio.Reader
+	bw         *bufio.Writer
+	queue      chan item
+	workerDone chan struct{}
+
+	// endMu guards the attachment outcome: abort is a terminal
+	// protocol failure (the session dies with an Error record),
+	// suspended means the connection was lost but the session should
+	// park for resume. Both reader and worker may end an attachment.
+	endMu     sync.Mutex
+	abort     error
+	suspended bool
+
+	// v2 sequencing. lastEnq is reader-owned within an attachment;
+	// lastApplied and events are worker-owned; resumeFrom is set by
+	// the resume handshake before the worker starts. events retains
+	// every emitted event so a resume can replay the unseen tail;
+	// events[i] has sequence i+1.
+	lastEnq     uint64
+	lastApplied uint64
+	resumeFrom  uint64
+	events      []wire.Event
+	finalized   bool
+	// delivered records that the verdict write reached the transport;
+	// a finalized-but-undelivered session stays resumable even through
+	// a server drain, so the client can come back for its verdict.
+	delivered  bool
+	verdictRec *wire.VerdictSeq
+
+	// shed records drop-mode load shedding by batch sequence, written
+	// by the reader and folded into gap events by the worker.
+	shedMu sync.Mutex
+	shed   map[uint64]gapInfo
 
 	// Worker-local accounting, reported in the verdict.
 	tally    map[string]*ruleTally
@@ -73,15 +113,43 @@ type session struct {
 	lastTime time.Duration
 	sawFrame bool
 
+	// quarantined counts malformed records skipped on the current
+	// attachment (reader-owned, reset per attachment).
+	quarantined int
+
 	// dropped is written by the reader (load shedding) and read by
 	// the worker (verdict), hence atomic.
 	dropped atomic.Uint64
+
+	state atomic.Int32
 }
 
-// run executes the session to completion: spawns the worker, reads
-// until the stream ends, then joins the worker and closes the
-// connection.
-func (sess *session) run() {
+// setSuspend marks the attachment lost-but-resumable.
+func (sess *session) setSuspend() {
+	sess.endMu.Lock()
+	sess.suspended = true
+	sess.endMu.Unlock()
+}
+
+// setAbort marks the session terminally failed; the first cause wins.
+func (sess *session) setAbort(err error) {
+	sess.endMu.Lock()
+	if sess.abort == nil {
+		sess.abort = err
+	}
+	sess.endMu.Unlock()
+}
+
+func (sess *session) outcome() (abort error, suspended bool) {
+	sess.endMu.Lock()
+	defer sess.endMu.Unlock()
+	return sess.abort, sess.suspended
+}
+
+// run executes one attachment to completion: spawns the worker, reads
+// until the stream ends, then joins the worker. It reports whether the
+// session should park for resume rather than die.
+func (sess *session) run() (park bool) {
 	sess.state.Store(stateStreaming)
 	if sess.srv.ctx.Err() != nil {
 		// Shutdown raced the handshake: this session registered after
@@ -92,145 +160,344 @@ func (sess *session) run() {
 	sess.read()
 	close(sess.queue)
 	<-sess.workerDone
-	sess.state.Store(stateClosed)
 	sess.conn.Close()
+
+	abort, _ := sess.outcome()
+	if sess.proto >= 2 && abort == nil {
+		if !sess.srv.closed.Load() {
+			// Park: a finalized session re-parks so a client that missed
+			// the verdict can resume and re-fetch it; an unfinalized one
+			// waits out the grace window for a resume.
+			return true
+		}
+		if !sess.finalized || !sess.delivered {
+			// Shutdown is draining but this session's verdict has not
+			// reached its client (it may be mid-backoff): park so the
+			// resume the drain is waiting for can finish the job. The
+			// grace timer still bounds the wait if the client is gone.
+			return true
+		}
+	}
+	sess.state.Store(stateClosed)
+	return false
 }
 
 // read decodes records until Finish, disconnect, protocol error or
 // server shutdown. It never writes to the connection.
 func (sess *session) read() {
 	for {
+		if d := sess.srv.cfg.IdleTimeout; d > 0 {
+			sess.conn.SetReadDeadline(time.Now().Add(d))
+		}
 		rec, err := wire.Read(sess.br)
 		if err != nil {
-			if sess.srv.ctx.Err() != nil {
-				// Server shutdown: the deadline sweep unparked us.
-				// Drain what is queued and verdict the session.
-				sess.state.Store(stateDraining)
+			var mal *wire.MalformedError
+			if sess.srv.ctx.Err() == nil && errors.As(err, &mal) {
+				// Framing held — the stream is still at a record
+				// boundary — so skip the record and charge the budget.
+				if sess.quarantine() {
+					continue
+				}
 				return
 			}
-			if errors.Is(err, io.EOF) {
-				// Disconnect without Finish: evaluate what arrived,
-				// but the client is gone — no verdict owed.
-				sess.abort = errors.New("client disconnected before finish")
-				return
-			}
-			sess.abort = err
+			sess.readFailed(err)
 			return
 		}
 		switch rec := rec.(type) {
 		case wire.FrameBatch:
+			if sess.proto >= 2 {
+				if !sess.unexpected(rec) {
+					return
+				}
+				continue
+			}
 			if len(rec.Frames) > 0 {
-				sess.enqueue(batch{frames: rec.Frames, enq: time.Now()})
+				sess.enqueue(item{frames: rec.Frames, enq: time.Now()})
 			}
 		case wire.Finish:
+			if sess.proto >= 2 {
+				if !sess.unexpected(rec) {
+					return
+				}
+				continue
+			}
 			sess.state.Store(stateDraining)
 			return
-		default:
-			sess.abort = fmt.Errorf("unexpected %T record mid-stream", rec)
+		case wire.SeqBatch:
+			if sess.proto < 2 {
+				sess.setAbort(fmt.Errorf("version-2 %T record on a version-1 session", rec))
+				return
+			}
+			if rec.Seq <= sess.lastEnq {
+				// Replayed duplicate (the client could not see our ack);
+				// already applied or queued, so discard.
+				sess.srv.stats.dupBatchesDropped.Add(1)
+				continue
+			}
+			if rec.Seq != sess.lastEnq+1 {
+				// A batch went missing (quarantined or lost upstream).
+				// Suspend: the resume handshake tells the client where
+				// to replay from.
+				sess.setSuspend()
+				return
+			}
+			sess.lastEnq = rec.Seq
+			sess.enqueue(item{frames: rec.Frames, seq: rec.Seq, enq: time.Now()})
+		case wire.FinishSeq:
+			sess.state.Store(stateDraining)
+			// The finish marker must reach the worker even in drop
+			// mode, so it bypasses the shedding enqueue path.
+			select {
+			case sess.queue <- item{finish: true, seq: rec.Seq}:
+			case <-sess.srv.ctx.Done():
+			}
 			return
+		default:
+			if !sess.unexpected(rec) {
+				return
+			}
 		}
 	}
 }
 
-// enqueue hands a batch to the worker. A full queue either sheds the
+// readFailed classifies a wire.Read error and ends the attachment
+// accordingly: malformed records are quarantined up to the error
+// budget, transport failures suspend a v2 session for resume, and
+// everything is terminal for a v1 session.
+func (sess *session) readFailed(err error) {
+	if sess.srv.ctx.Err() != nil {
+		// Server shutdown: the deadline sweep unparked us. Drain what
+		// is queued and verdict the session.
+		sess.state.Store(stateDraining)
+		return
+	}
+	if sess.proto >= 2 {
+		// Disconnect, timeout, or a broken frame header: the byte
+		// stream is unusable, but a resume restores framing.
+		sess.setSuspend()
+		return
+	}
+	if errors.Is(err, io.EOF) {
+		// Disconnect without Finish: evaluate what arrived, but the
+		// client is gone — no verdict owed.
+		sess.setAbort(errors.New("client disconnected before finish"))
+		return
+	}
+	sess.setAbort(err)
+}
+
+// quarantine accounts one skipped record against the attachment's
+// error budget. It reports false when the budget is exhausted and the
+// attachment must end.
+func (sess *session) quarantine() bool {
+	sess.quarantined++
+	sess.srv.stats.recordsQuarantined.Add(1)
+	budget := sess.srv.cfg.ErrorBudget
+	if budget == 0 {
+		budget = defaultErrorBudget
+	}
+	if sess.quarantined <= budget {
+		return true
+	}
+	if sess.proto >= 2 {
+		sess.setSuspend()
+	} else {
+		sess.setAbort(fmt.Errorf("%d malformed records exceed the session error budget", sess.quarantined))
+	}
+	return false
+}
+
+// unexpected handles a validly-decoded record that has no business
+// mid-stream. On a v2 session it is quarantined — corruption can flip
+// a type byte into another valid record — on v1 it is terminal. It
+// reports whether reading should continue.
+func (sess *session) unexpected(rec wire.Record) bool {
+	if sess.proto >= 2 {
+		return sess.quarantine()
+	}
+	sess.setAbort(fmt.Errorf("unexpected %T record mid-stream", rec))
+	return false
+}
+
+// enqueue hands an item to the worker. A full queue either sheds the
 // batch (drop mode) or blocks — explicit backpressure through TCP —
 // until the worker catches up or the server shuts down. Both outcomes
-// are accounted.
-func (sess *session) enqueue(b batch) {
+// are accounted; a v2 shed additionally records a gap so the verdict
+// stream admits the hole.
+func (sess *session) enqueue(it item) {
 	select {
-	case sess.queue <- b:
+	case sess.queue <- it:
 		return
 	default:
 	}
-	n := uint64(len(b.frames))
+	n := uint64(len(it.frames))
 	if sess.srv.cfg.DropWhenFull {
-		sess.dropped.Add(n)
-		sess.srv.stats.framesDropped.Add(n)
+		sess.shedItem(it, n)
 		return
 	}
 	sess.srv.stats.batchesBlocked.Add(1)
 	select {
-	case sess.queue <- b:
+	case sess.queue <- it:
 	case <-sess.srv.ctx.Done():
-		sess.dropped.Add(n)
-		sess.srv.stats.framesDropped.Add(n)
+		sess.shedItem(it, n)
 	}
 }
 
+// shedItem accounts a dropped batch and, on v2, records the gap it
+// leaves so the worker can fold it into the event stream.
+func (sess *session) shedItem(it item, n uint64) {
+	sess.dropped.Add(n)
+	sess.srv.stats.framesDropped.Add(n)
+	if sess.proto < 2 || it.seq == 0 || len(it.frames) == 0 {
+		return
+	}
+	g := gapInfo{n: n, from: it.frames[0].Time, to: it.frames[len(it.frames)-1].Time}
+	sess.shedMu.Lock()
+	if sess.shed == nil {
+		sess.shed = make(map[uint64]gapInfo)
+	}
+	sess.shed[it.seq] = g
+	sess.shedMu.Unlock()
+}
+
 // work drains the queue into the monitor, emitting events as they
-// become decidable, then settles the session: a verdict after Finish
-// or shutdown drain, an error record after a protocol failure.
+// become decidable, then settles the attachment: a verdict after
+// Finish or shutdown drain, an error record after a protocol failure,
+// or a silent park when the transport died and a resume is expected.
 func (sess *session) work() {
 	defer close(sess.workerDone)
 	stats := &sess.srv.stats
-	for b := range sess.queue {
-		for _, f := range b.frames {
-			// The monitor requires non-decreasing time; a stale frame
-			// is rejected and the session continues, per the
-			// OnlineMonitor.PushFrame contract.
-			if sess.sawFrame && f.Time < sess.lastTime {
-				sess.rejected++
-				continue
-			}
-			evs, err := sess.om.PushFrame(f)
-			if err != nil {
-				sess.fail(fmt.Errorf("monitor: %w", err))
+	// draining reports a server shutdown: the client may already be
+	// gone, so write failures must not abandon the session — keep
+	// applying and let the verdict park for resume instead.
+	draining := func() bool { return sess.srv.ctx.Err() != nil }
+
+	if sess.proto >= 2 && !sess.replayEvents() && !draining() {
+		sess.abandon()
+		return
+	}
+
+	doFinal := false
+	for it := range sess.queue {
+		if it.finish {
+			if !sess.foldShed(^uint64(0)) && !draining() {
+				sess.abandon()
 				return
 			}
-			sess.sawFrame = true
-			sess.lastTime = f.Time
-			sess.ingested++
-			if len(evs) > 0 && !sess.emit(evs) {
+			if sess.proto >= 2 && it.seq != sess.lastApplied {
+				// The client declared a final sequence we never saw:
+				// the transport hid a loss. Force a resume instead of
+				// issuing a short verdict.
+				sess.setSuspend()
+				sess.abandon()
 				return
+			}
+			doFinal = true
+			break
+		}
+		if sess.proto >= 2 && !sess.foldShed(it.seq) && !draining() {
+			sess.abandon()
+			return
+		}
+		out, err := sess.apply(it.frames)
+		if err != nil {
+			sess.fail(fmt.Errorf("monitor: %w", err))
+			return
+		}
+		if sess.proto >= 2 {
+			// The batch is fully applied: advance before emitting so a
+			// write failure (→ resume → replay) cannot re-apply it.
+			sess.lastApplied = it.seq
+		}
+		ok := true
+		for _, w := range out {
+			if !sess.emitWire(w) {
+				ok = false
+				break
 			}
 		}
-		stats.framesIngested.Add(uint64(len(b.frames)))
+		stats.framesIngested.Add(uint64(len(it.frames)))
 		stats.ingestBatches.Add(1)
-		stats.ingestNanos.Add(uint64(time.Since(b.enq)))
-		if err := sess.bw.Flush(); err != nil {
-			sess.fail(err)
+		stats.ingestNanos.Add(uint64(time.Since(it.enq)))
+		if ok && sess.proto >= 2 {
+			ok = wire.Write(sess.bw, wire.Ack{Seq: sess.lastApplied}) == nil
+		}
+		if !ok || sess.bw.Flush() != nil {
+			if draining() {
+				continue // dead client during drain; keep applying
+			}
+			if sess.proto >= 2 {
+				sess.setSuspend()
+				sess.abandon()
+				return
+			}
+			sess.fail(errors.New("event write failed"))
 			return
 		}
 	}
 	stats.framesRejected.Add(sess.rejected)
 
-	if sess.abort != nil {
+	abort, suspended := sess.outcome()
+	if abort != nil {
 		// Reader-side failure: best-effort error record, no verdict.
-		wire.Write(sess.bw, wire.Error{Msg: sess.abort.Error()})
+		wire.Write(sess.bw, wire.Error{Msg: abort.Error()})
 		sess.bw.Flush()
 		return
 	}
-	evs, err := sess.om.Close()
-	if err != nil {
-		sess.fail(err)
-		return
+	if !doFinal && suspended && !draining() {
+		return // park for resume
 	}
-	if len(evs) > 0 && !sess.emit(evs) {
-		return
-	}
-	if err := wire.Write(sess.bw, sess.verdict()); err != nil {
-		return
-	}
-	sess.bw.Flush()
-}
-
-// fail abandons the session from the worker side: the queue is left to
-// the reader, a best-effort error record goes out, and the connection
-// close (by run) unblocks the reader.
-func (sess *session) fail(err error) {
-	wire.Write(sess.bw, wire.Error{Msg: err.Error()})
-	sess.bw.Flush()
-	sess.conn.Close()
-	// Drain remaining batches so the reader's enqueue never blocks
-	// against a worker that already gave up.
-	for range sess.queue {
+	sess.finalize()
+	if sess.proto >= 2 && sess.delivered && draining() {
+		// The drain is about to count this session done for good, so a
+		// successful write is not proof enough — wait for the client's
+		// verdict ack (a dead peer fails the read instead and the
+		// session parks for resume).
+		sess.confirmDelivery(sess.conn, sess.br)
 	}
 }
 
-// emit converts and writes monitor events, updating the verdict tally.
-// It reports false when the connection write failed (session over).
-func (sess *session) emit(evs []core.OnlineEvent) bool {
-	stats := &sess.srv.stats
+// apply feeds one batch of frames to the monitor, returning the wire
+// events it produced (bus-silence gaps interleaved in stream order).
+// The whole batch is applied before anything is emitted, so emission
+// failures never leave a batch half-applied.
+func (sess *session) apply(frames []can.Frame) ([]wire.Event, error) {
+	var out []wire.Event
+	silence := sess.srv.cfg.SilenceGap
+	for _, f := range frames {
+		// The monitor requires non-decreasing time; a stale frame is
+		// rejected and the session continues, per the
+		// OnlineMonitor.PushFrame contract.
+		if sess.sawFrame && f.Time < sess.lastTime {
+			sess.rejected++
+			continue
+		}
+		if silence > 0 && sess.proto >= 2 && sess.sawFrame && f.Time-sess.lastTime > silence {
+			out = append(out, wire.Event{
+				Kind:  wire.EventGap,
+				Time:  f.Time,
+				Start: sess.lastTime,
+				End:   f.Time,
+				Msg:   "bus silence",
+			})
+			sess.srv.stats.gapEvents.Add(1)
+		}
+		evs, err := sess.om.PushFrame(f)
+		if err != nil {
+			return nil, err
+		}
+		sess.sawFrame = true
+		sess.lastTime = f.Time
+		sess.ingested++
+		out = sess.convert(out, evs)
+	}
+	return out, nil
+}
+
+// convert turns monitor events into wire events, updating the verdict
+// tally. The tally advances at application time — exactly once per
+// violation — never at (retryable) emission time.
+func (sess *session) convert(out []wire.Event, evs []core.OnlineEvent) []wire.Event {
 	for _, e := range evs {
 		w := wire.Event{Rule: e.Rule, Time: e.Time}
 		switch e.Kind {
@@ -261,14 +528,165 @@ func (sess *session) emit(evs []core.OnlineEvent) bool {
 			case core.ClassNegligible:
 				t.negligible++
 			}
-			stats.violationsEmitted.Add(1)
+			sess.srv.stats.violationsEmitted.Add(1)
 		}
-		if err := wire.Write(sess.bw, w); err != nil {
+		out = append(out, w)
+	}
+	return out
+}
+
+// emitWire writes one event to the client. On a v2 session the event
+// is first retained (and sequence-numbered) so a resume can replay it;
+// a write failure therefore only suspends the attachment, never loses
+// the event. It reports false when the write failed.
+func (sess *session) emitWire(w wire.Event) bool {
+	var err error
+	if sess.proto >= 2 {
+		sess.events = append(sess.events, w)
+		err = wire.Write(sess.bw, wire.SeqEvent{Seq: uint64(len(sess.events)), Event: w})
+	} else {
+		err = wire.Write(sess.bw, w)
+	}
+	if err != nil {
+		if sess.proto >= 2 {
+			sess.setSuspend()
+		}
+		return false
+	}
+	sess.srv.stats.eventsEmitted.Add(1)
+	return true
+}
+
+// replayEvents re-sends the event tail a resumed client reported not
+// having seen, as the worker's first action on the new attachment.
+func (sess *session) replayEvents() bool {
+	from := sess.resumeFrom
+	if from > uint64(len(sess.events)) {
+		from = uint64(len(sess.events))
+	}
+	for i := from; i < uint64(len(sess.events)); i++ {
+		if err := wire.Write(sess.bw, wire.SeqEvent{Seq: i + 1, Event: sess.events[i]}); err != nil {
+			sess.setSuspend()
 			return false
 		}
-		stats.eventsEmitted.Add(1)
+	}
+	if len(sess.events) > int(from) {
+		if err := sess.bw.Flush(); err != nil {
+			sess.setSuspend()
+			return false
+		}
 	}
 	return true
+}
+
+// foldShed advances lastApplied across contiguously shed batches below
+// next (exclusive; ^0 folds everything pending), emitting one gap
+// event per shed batch. It reports false when an emission failed.
+func (sess *session) foldShed(next uint64) bool {
+	for {
+		sess.shedMu.Lock()
+		g, ok := sess.shed[sess.lastApplied+1]
+		if ok && sess.lastApplied+1 < next {
+			delete(sess.shed, sess.lastApplied+1)
+		} else {
+			ok = false
+		}
+		sess.shedMu.Unlock()
+		if !ok {
+			return true
+		}
+		sess.lastApplied++
+		w := wire.Event{
+			Kind:  wire.EventGap,
+			Time:  g.to,
+			Start: g.from,
+			End:   g.to,
+			Msg:   fmt.Sprintf("shed %d frames under overload", g.n),
+		}
+		sess.srv.stats.gapEvents.Add(1)
+		if !sess.emitWire(w) {
+			return false
+		}
+	}
+}
+
+// finalize closes the monitor and issues the verdict. On v2 the
+// verdict record is retained so a resume within the grace window can
+// re-deliver it even if this write never reaches the client.
+func (sess *session) finalize() {
+	evs, err := sess.om.Close()
+	if err != nil {
+		sess.fail(err)
+		return
+	}
+	out := sess.convert(nil, evs)
+	for _, w := range out {
+		if !sess.emitWire(w) {
+			break
+		}
+	}
+	if sess.proto >= 2 {
+		sess.verdictRec = &wire.VerdictSeq{EventSeq: uint64(len(sess.events)), Verdict: sess.verdict()}
+		sess.finalized = true
+		sess.srv.stats.sessionsClosed.Add(1)
+		if wire.Write(sess.bw, *sess.verdictRec) == nil && sess.bw.Flush() == nil {
+			sess.delivered = true
+		}
+		return
+	}
+	if err := wire.Write(sess.bw, sess.verdict()); err != nil {
+		return
+	}
+	sess.bw.Flush()
+}
+
+// confirmDelivery downgrades delivered unless the client acks the
+// verdict within the ack window. The stream may still carry in-flight
+// uplink records (a mid-replay reconnect keeps sending until it sees
+// the verdict); they are skipped.
+func (sess *session) confirmDelivery(conn net.Conn, br *bufio.Reader) {
+	end := time.Now().Add(verdictAckTimeout)
+	conn.SetReadDeadline(end)
+	for {
+		rec, err := wire.Read(br)
+		if err != nil {
+			var mal *wire.MalformedError
+			if errors.As(err, &mal) {
+				continue
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && time.Now().Before(end) {
+				// A stale shutdown nudge clobbered our deadline; restore
+				// it and keep waiting for the ack.
+				conn.SetReadDeadline(end)
+				continue
+			}
+			sess.delivered = false
+			return
+		}
+		if _, ok := rec.(wire.Ack); ok {
+			return
+		}
+	}
+}
+
+// fail abandons the session terminally from the worker side: a
+// best-effort error record goes out and the connection close unblocks
+// the reader.
+func (sess *session) fail(err error) {
+	sess.setAbort(err)
+	wire.Write(sess.bw, wire.Error{Msg: err.Error()})
+	sess.bw.Flush()
+	sess.abandon()
+}
+
+// abandon closes the connection and drains remaining queue items so
+// the reader's enqueue never blocks against a worker that already gave
+// up.
+func (sess *session) abandon() {
+	sess.conn.Close()
+	for range sess.queue {
+	}
 }
 
 // verdict assembles the end-of-stream record in rule-set order.

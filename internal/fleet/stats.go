@@ -12,6 +12,8 @@ type counters struct {
 	sessionsOpened  atomic.Uint64
 	sessionsClosed  atomic.Uint64
 	sessionsRefused atomic.Uint64
+	sessionsResumed atomic.Uint64
+	sessionsReaped  atomic.Uint64
 
 	framesIngested atomic.Uint64
 	framesDropped  atomic.Uint64
@@ -21,6 +23,10 @@ type counters struct {
 
 	violationsEmitted atomic.Uint64
 	eventsEmitted     atomic.Uint64
+	gapEvents         atomic.Uint64
+
+	recordsQuarantined atomic.Uint64
+	dupBatchesDropped  atomic.Uint64
 
 	ingestBatches atomic.Uint64
 	ingestNanos   atomic.Uint64
@@ -34,6 +40,11 @@ type Stats struct {
 	// SessionsRefused counts connections turned away at the session
 	// cap or for a bad handshake.
 	SessionsRefused uint64
+	// SessionsResumed counts Resume handshakes that reattached (or
+	// re-served the verdict of) a parked session. SessionsReaped
+	// counts parked sessions whose resume grace expired before the
+	// client returned; their monitors were closed without a verdict.
+	SessionsResumed, SessionsReaped uint64
 
 	// FramesIngested counts frames fed to a monitor. FramesDropped
 	// counts frames shed because a session queue was full in drop
@@ -47,8 +58,16 @@ type Stats struct {
 	BatchesBlocked uint64
 
 	// ViolationsEmitted counts closed violation intervals sent to
-	// clients; EventsEmitted counts all event records (begin + end).
-	ViolationsEmitted, EventsEmitted uint64
+	// clients; EventsEmitted counts all event records (begin + end +
+	// gap). GapEvents counts the gap subset: bus-silence stretches and
+	// shed-batch holes made explicit in the event stream.
+	ViolationsEmitted, EventsEmitted, GapEvents uint64
+
+	// RecordsQuarantined counts malformed records skipped (rather than
+	// killing their session) under the per-session error budget.
+	// DupBatchesDropped counts sequence-numbered batches discarded as
+	// already seen — replays after a resume, delivered exactly once.
+	RecordsQuarantined, DupBatchesDropped uint64
 
 	// IngestBatches and IngestNanos accumulate per-batch ingest
 	// latency: the time from a batch entering its session queue to the
@@ -70,17 +89,22 @@ func (s *Server) Stats() Stats {
 	opened := s.stats.sessionsOpened.Load()
 	closed := s.stats.sessionsClosed.Load()
 	st := Stats{
-		SessionsOpened:    opened,
-		SessionsClosed:    closed,
-		SessionsRefused:   s.stats.sessionsRefused.Load(),
-		FramesIngested:    s.stats.framesIngested.Load(),
-		FramesDropped:     s.stats.framesDropped.Load(),
-		FramesRejected:    s.stats.framesRejected.Load(),
-		BatchesBlocked:    s.stats.batchesBlocked.Load(),
-		ViolationsEmitted: s.stats.violationsEmitted.Load(),
-		EventsEmitted:     s.stats.eventsEmitted.Load(),
-		IngestBatches:     s.stats.ingestBatches.Load(),
-		IngestNanos:       s.stats.ingestNanos.Load(),
+		SessionsOpened:     opened,
+		SessionsClosed:     closed,
+		SessionsRefused:    s.stats.sessionsRefused.Load(),
+		SessionsResumed:    s.stats.sessionsResumed.Load(),
+		SessionsReaped:     s.stats.sessionsReaped.Load(),
+		FramesIngested:     s.stats.framesIngested.Load(),
+		FramesDropped:      s.stats.framesDropped.Load(),
+		FramesRejected:     s.stats.framesRejected.Load(),
+		BatchesBlocked:     s.stats.batchesBlocked.Load(),
+		ViolationsEmitted:  s.stats.violationsEmitted.Load(),
+		EventsEmitted:      s.stats.eventsEmitted.Load(),
+		GapEvents:          s.stats.gapEvents.Load(),
+		RecordsQuarantined: s.stats.recordsQuarantined.Load(),
+		DupBatchesDropped:  s.stats.dupBatchesDropped.Load(),
+		IngestBatches:      s.stats.ingestBatches.Load(),
+		IngestNanos:        s.stats.ingestNanos.Load(),
 	}
 	if opened > closed {
 		st.SessionsActive = opened - closed

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"io"
 	"testing"
+
+	"cpsmon/internal/can"
 )
 
 // FuzzDecode exercises the record decoder with arbitrary byte streams:
@@ -27,6 +29,16 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F, typeFinish})
 	f.Add(Marshal(recRaw{typeFrameBatch, []byte{0xFF, 0xFF, 0xFF, 0xFF}}))
 	f.Add(Marshal(recRaw{typeVerdict, []byte{0xFF, 0xFF, 0xFF, 0xFF}}))
+	// Hostile element counts inside v2 checksummed records: the count
+	// field lies but the CRC is valid, so the decoder must reject on
+	// the count bound, not the checksum.
+	f.Add(Marshal(recRaw{typeSeqBatch, crcPayload(typeSeqBatch,
+		[]byte{1, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})}))
+	f.Add(Marshal(recRaw{typeVerdictSeq, crcPayload(typeVerdictSeq,
+		[]byte{6, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0})}))
+	// A v2 record with a flipped bit: checksum rejection path.
+	f.Add(flipBit(Marshal(SeqBatch{Seq: 9, Frames: []can.Frame{{ID: 2}}}), 90))
+	f.Add(Marshal(recRaw{typeAck, []byte{1, 2}}))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)

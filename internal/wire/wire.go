@@ -35,12 +35,42 @@
 //
 // The protocol is versioned via the Hello record: a server refuses a
 // hello whose version it does not speak with an Error record.
+//
+// # Version 2: sequencing, acknowledgement and resume
+//
+// Version 2 keeps every version-1 record unchanged and adds a parallel
+// set of records for lossy, disconnecting transports. A v2 client opens
+// with Hello{Version: 2} and receives a SessionGrant (instead of a
+// HelloAck) carrying a resume token. Data then flows as sequence-
+// numbered, checksummed SeqBatch records which the server acknowledges
+// cumulatively with Ack records; events come back as sequence-numbered
+// SeqEvent records, and the stream ends with FinishSeq → VerdictSeq.
+// After a disconnect the client reconnects and sends Resume{token,
+// last event seq} in place of a Hello; the server re-grants the
+// session, reports the highest batch it applied, and replays unseen
+// events, so both directions recover exactly-once delivery by sequence
+// dedup out of bounded replay buffers.
+//
+//	client                          server
+//	  Resume{token,lastEventSeq} →
+//	                              ← SessionGrant{session,token,ackSeq}
+//	                              ← SeqEvent...         (replayed tail)
+//	  SeqBatch{seq,frames} →      ← Ack{seq}
+//	  FinishSeq{lastSeq} →        ← VerdictSeq{events,verdict}
+//
+// Every v2 record carries a trailing CRC-32C over its type byte and
+// payload, so single flipped bits on a real link are rejected as
+// malformed instead of silently accepted. A record whose framing was
+// intact but whose payload fails to decode (or fails its checksum)
+// surfaces as a *MalformedError, letting tolerant readers quarantine
+// the record and keep the stream alive.
 package wire
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"time"
@@ -48,29 +78,65 @@ import (
 	"cpsmon/internal/can"
 )
 
-// Version is the protocol version this package speaks. It is carried in
-// every Hello and bumped on any change to the record layouts below.
-const Version = 1
+// Version is the newest protocol version this package speaks. It is
+// carried in every Hello and bumped on any change to the record layouts
+// below. MinVersion is the oldest version still accepted: version-1
+// peers interoperate with a version-2 server (they simply never see the
+// v2 record types).
+const (
+	Version    = 2
+	MinVersion = 1
+)
 
 // MaxRecordSize bounds a single record on the wire (length prefix
 // included), so a corrupt or hostile peer cannot make the decoder
 // allocate unboundedly. 1 MiB fits a frame batch of ~52k frames.
 const MaxRecordSize = 1 << 20
 
+// MaxFrameCount and MaxRuleCount bound the declared element counts of
+// batch and verdict records at decode time. Both are the largest counts
+// a MaxRecordSize record can physically carry, so they refuse nothing a
+// legitimate encoder can produce — they exist so a hostile count field
+// is rejected before any allocation is sized from it, independent of
+// the payload-length cross-checks below.
+const (
+	MaxFrameCount = (MaxRecordSize - 9) / frameSize
+	MaxRuleCount  = (MaxRecordSize - 9) / ruleVerdictSize
+)
+
+// ruleVerdictSize is the minimum encoded size of one RuleVerdict: an
+// empty-name string (u16 length), the violated byte and four u32s.
+const ruleVerdictSize = 19
+
 // frameSize is the encoded size of one CAN frame: u64 time, u32 id,
 // 8 data bytes.
 const frameSize = 20
 
-// Record types, one per concrete Record implementation.
+// Record types, one per concrete Record implementation. Types 0x08 and
+// up are version-2 records: all of them carry a trailing CRC-32C.
 const (
-	typeHello      = 0x01
-	typeHelloAck   = 0x02
-	typeFrameBatch = 0x03
-	typeFinish     = 0x04
-	typeEvent      = 0x05
-	typeVerdict    = 0x06
-	typeError      = 0x07
+	typeHello        = 0x01
+	typeHelloAck     = 0x02
+	typeFrameBatch   = 0x03
+	typeFinish       = 0x04
+	typeEvent        = 0x05
+	typeVerdict      = 0x06
+	typeError        = 0x07
+	typeSeqBatch     = 0x08
+	typeAck          = 0x09
+	typeResume       = 0x0A
+	typeSessionGrant = 0x0B
+	typeSeqEvent     = 0x0C
+	typeFinishSeq    = 0x0D
+	typeVerdictSeq   = 0x0E
 )
+
+// checksummed reports whether a record type carries the trailing v2
+// CRC-32C.
+func checksummed(typ byte) bool { return typ >= typeSeqBatch && typ <= typeVerdictSeq }
+
+// crcTable is the Castagnoli table shared by all v2 records.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // EventKind distinguishes the two violation notifications.
 type EventKind uint8
@@ -81,6 +147,11 @@ const (
 	// EventEnd reports a closed violation interval, carrying the full
 	// violation record and its triage class.
 	EventEnd EventKind = 2
+	// EventGap reports a hole in the monitored stream rather than a
+	// rule violation: a bus-silence stretch or shed frames. Start and
+	// End delimit the gap; Msg names its cause. Only sent to version-2
+	// sessions.
+	EventGap EventKind = 3
 )
 
 // String names the kind.
@@ -90,6 +161,8 @@ func (k EventKind) String() string {
 		return "begin"
 	case EventEnd:
 		return "end"
+	case EventGap:
+		return "gap"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -180,7 +253,9 @@ type Event struct {
 
 func (Event) wireType() byte { return typeEvent }
 
-func (e Event) appendPayload(buf []byte) []byte {
+func (e Event) appendPayload(buf []byte) []byte { return appendEventFields(buf, e) }
+
+func appendEventFields(buf []byte, e Event) []byte {
 	buf = append(buf, byte(e.Kind))
 	buf = appendString(buf, e.Rule)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(e.Time))
@@ -215,7 +290,9 @@ type Verdict struct {
 
 func (Verdict) wireType() byte { return typeVerdict }
 
-func (v Verdict) appendPayload(buf []byte) []byte {
+func (v Verdict) appendPayload(buf []byte) []byte { return appendVerdictFields(buf, v) }
+
+func appendVerdictFields(buf []byte, v Verdict) []byte {
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Rules)))
 	for _, r := range v.Rules {
 		buf = appendString(buf, r.Rule)
@@ -244,8 +321,171 @@ func (Error) wireType() byte { return typeError }
 
 func (e Error) appendPayload(buf []byte) []byte { return appendString(buf, e.Msg) }
 
-// Err converts the record into a Go error.
-func (e Error) Err() error { return fmt.Errorf("wire: remote error: %s", e.Msg) }
+// ErrRemote is the sentinel wrapped by Error.Err, so callers can tell
+// a deliberate server refusal apart from a transport failure with
+// errors.Is.
+var ErrRemote = errors.New("wire: remote error")
+
+// Err converts the record into a Go error wrapping ErrRemote.
+func (e Error) Err() error { return fmt.Errorf("%w: %s", ErrRemote, e.Msg) }
+
+// SeqBatch is the version-2 FrameBatch: the same frame run, numbered
+// with a session-scoped sequence (starting at 1, incremented per batch)
+// and protected by the trailing CRC. The server acknowledges applied
+// batches cumulatively with Ack records and discards duplicates, so a
+// client replaying its unacknowledged tail after a resume delivers
+// every frame exactly once.
+type SeqBatch struct {
+	Seq    uint64
+	Frames []can.Frame
+}
+
+func (SeqBatch) wireType() byte { return typeSeqBatch }
+
+func (b SeqBatch) appendPayload(buf []byte) []byte {
+	at := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, b.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.Frames)))
+	for _, f := range b.Frames {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(f.Time))
+		buf = binary.LittleEndian.AppendUint32(buf, f.ID)
+		buf = append(buf, f.Data[:]...)
+	}
+	return appendCRC(buf, at, typeSeqBatch)
+}
+
+// Ack is the server's cumulative acknowledgement: every SeqBatch with
+// sequence number at most Seq has been applied to the session's
+// monitor, so the client may release those batches from its replay
+// buffer.
+type Ack struct {
+	Seq uint64
+}
+
+func (Ack) wireType() byte { return typeAck }
+
+func (a Ack) appendPayload(buf []byte) []byte {
+	at := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, a.Seq)
+	return appendCRC(buf, at, typeAck)
+}
+
+// Resume reopens a suspended session after a disconnect: it stands in
+// for the Hello on a reconnect, naming the session by the token from
+// the original SessionGrant and the last event sequence number the
+// client received (so the server replays only the unseen tail).
+type Resume struct {
+	Version      uint16
+	Token        uint64
+	LastEventSeq uint64
+}
+
+func (Resume) wireType() byte { return typeResume }
+
+func (r Resume) appendPayload(buf []byte) []byte {
+	at := len(buf)
+	buf = binary.LittleEndian.AppendUint16(buf, r.Version)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Token)
+	buf = binary.LittleEndian.AppendUint64(buf, r.LastEventSeq)
+	return appendCRC(buf, at, typeResume)
+}
+
+// SessionGrant is the version-2 HelloAck, answering both Hello and
+// Resume: the session identifier, the resume token for later
+// reconnects, and AckSeq — the highest batch sequence the server has
+// applied (zero for a fresh session). After a resume the client
+// retransmits every buffered batch with a sequence above AckSeq.
+type SessionGrant struct {
+	Session uint64
+	Token   uint64
+	AckSeq  uint64
+}
+
+func (SessionGrant) wireType() byte { return typeSessionGrant }
+
+func (g SessionGrant) appendPayload(buf []byte) []byte {
+	at := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, g.Session)
+	buf = binary.LittleEndian.AppendUint64(buf, g.Token)
+	buf = binary.LittleEndian.AppendUint64(buf, g.AckSeq)
+	return appendCRC(buf, at, typeSessionGrant)
+}
+
+// SeqEvent is the version-2 Event: the same notification, numbered with
+// a session-scoped event sequence (starting at 1) so the client can
+// discard duplicates replayed after a resume and detect holes.
+type SeqEvent struct {
+	Seq   uint64
+	Event Event
+}
+
+func (SeqEvent) wireType() byte { return typeSeqEvent }
+
+func (e SeqEvent) appendPayload(buf []byte) []byte {
+	at := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, e.Seq)
+	buf = appendEventFields(buf, e.Event)
+	return appendCRC(buf, at, typeSeqEvent)
+}
+
+// FinishSeq is the version-2 Finish: it declares end-of-stream and
+// names the sequence number of the final batch, so a server that has
+// not applied every batch (a loss the transport hid) can force a
+// resume instead of issuing a short verdict.
+type FinishSeq struct {
+	Seq uint64
+}
+
+func (FinishSeq) wireType() byte { return typeFinishSeq }
+
+func (f FinishSeq) appendPayload(buf []byte) []byte {
+	at := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, f.Seq)
+	return appendCRC(buf, at, typeFinishSeq)
+}
+
+// VerdictSeq is the version-2 Verdict. EventSeq is the total number of
+// events the session emitted; a client whose last received event
+// sequence falls short has lost events in transit and resumes to
+// recover them before accepting the verdict.
+type VerdictSeq struct {
+	EventSeq uint64
+	Verdict  Verdict
+}
+
+func (VerdictSeq) wireType() byte { return typeVerdictSeq }
+
+func (v VerdictSeq) appendPayload(buf []byte) []byte {
+	at := len(buf)
+	buf = binary.LittleEndian.AppendUint64(buf, v.EventSeq)
+	buf = appendVerdictFields(buf, v.Verdict)
+	return appendCRC(buf, at, typeVerdictSeq)
+}
+
+// appendCRC seals a v2 payload: the trailing CRC-32C covers the type
+// byte and the payload bytes appended since at.
+func appendCRC(buf []byte, at int, typ byte) []byte {
+	c := crc32.Update(crc32.Checksum([]byte{typ}, crcTable), crcTable, buf[at:])
+	return binary.LittleEndian.AppendUint32(buf, c)
+}
+
+// MalformedError reports a record whose framing was intact — the length
+// prefix was sane and the full body arrived — but whose payload failed
+// to decode or failed its checksum. The reader consumed exactly one
+// record, so the stream remains positioned at the next record boundary
+// and a tolerant caller may quarantine the record and continue.
+type MalformedError struct {
+	// Type is the record's claimed type byte; Size its body length.
+	Type byte
+	Size int
+	Err  error
+}
+
+func (e *MalformedError) Error() string {
+	return fmt.Sprintf("wire: malformed record type 0x%02X (%d bytes): %v", e.Type, e.Size, e.Err)
+}
+
+func (e *MalformedError) Unwrap() error { return e.Err }
 
 // Append encodes the record — length prefix, type byte, payload — onto
 // buf and returns the extended slice.
@@ -292,12 +532,32 @@ func Read(r io.Reader) (Record, error) {
 		}
 		return nil, fmt.Errorf("wire: read record body: %w", err)
 	}
-	return Decode(body[0], body[1:])
+	rec, err := Decode(body[0], body[1:])
+	if err != nil {
+		// The framing held — exactly one record was consumed — so the
+		// failure is quarantinable: wrap it so callers can tell it
+		// apart from a framing or transport error.
+		return nil, &MalformedError{Type: body[0], Size: len(body), Err: err}
+	}
+	return rec, nil
 }
 
 // Decode decodes one record payload of the given type. The payload must
-// be exactly consumed; leftover bytes are an error.
+// be exactly consumed; leftover bytes are an error. Version-2 record
+// types verify their trailing CRC-32C before any field is read.
 func Decode(typ byte, payload []byte) (Record, error) {
+	if checksummed(typ) {
+		if len(payload) < 4 {
+			return nil, fmt.Errorf("wire: record type 0x%02X too short for its checksum", typ)
+		}
+		body := payload[:len(payload)-4]
+		want := binary.LittleEndian.Uint32(payload[len(payload)-4:])
+		got := crc32.Update(crc32.Checksum([]byte{typ}, crcTable), crcTable, body)
+		if got != want {
+			return nil, fmt.Errorf("wire: record type 0x%02X checksum mismatch", typ)
+		}
+		payload = body
+	}
 	d := decoder{buf: payload}
 	var rec Record
 	switch typ {
@@ -310,63 +570,37 @@ func Decode(typ byte, payload []byte) (Record, error) {
 	case typeHelloAck:
 		rec = HelloAck{Session: d.u64()}
 	case typeFrameBatch:
-		count := d.u32()
-		if uint64(count)*frameSize != uint64(len(d.buf)-d.at) && d.err == nil {
-			return nil, fmt.Errorf("wire: frame batch declares %d frames over %d payload bytes", count, len(d.buf)-d.at)
-		}
 		b := FrameBatch{}
-		if count > 0 && d.err == nil {
-			b.Frames = make([]can.Frame, count)
-			for i := range b.Frames {
-				b.Frames[i].Time = time.Duration(d.u64())
-				b.Frames[i].ID = d.u32()
-				copy(b.Frames[i].Data[:], d.bytes(8))
-			}
-		}
+		b.Frames = d.frames()
 		rec = b
 	case typeFinish:
 		rec = Finish{}
 	case typeEvent:
-		var e Event
-		e.Kind = EventKind(d.u8())
-		e.Rule = d.str()
-		e.Time = time.Duration(d.u64())
-		e.StartStep = d.u32()
-		e.EndStep = d.u32()
-		e.Start = time.Duration(d.u64())
-		e.End = time.Duration(d.u64())
-		e.Peak = math.Float64frombits(d.u64())
-		e.Msg = d.str()
-		e.Class = d.u8()
-		if e.Kind != EventBegin && e.Kind != EventEnd && d.err == nil {
-			return nil, fmt.Errorf("wire: unknown event kind %d", e.Kind)
-		}
-		rec = e
+		rec = d.event()
 	case typeVerdict:
-		count := d.u32()
-		// Each rule verdict is at least 19 bytes; reject counts the
-		// remaining payload cannot possibly hold.
-		if d.err == nil && uint64(count) > uint64(len(d.buf)-d.at)/19 {
-			return nil, fmt.Errorf("wire: verdict declares %d rules over %d payload bytes", count, len(d.buf)-d.at)
-		}
-		v := Verdict{}
-		if count > 0 && d.err == nil {
-			v.Rules = make([]RuleVerdict, count)
-			for i := range v.Rules {
-				v.Rules[i].Rule = d.str()
-				v.Rules[i].Violated = d.u8() != 0
-				v.Rules[i].Violations = d.u32()
-				v.Rules[i].Real = d.u32()
-				v.Rules[i].Transient = d.u32()
-				v.Rules[i].Negligible = d.u32()
-			}
-		}
-		v.FramesIngested = d.u64()
-		v.FramesDropped = d.u64()
-		v.FramesRejected = d.u64()
-		rec = v
+		rec = d.verdict()
 	case typeError:
 		rec = Error{Msg: d.str()}
+	case typeSeqBatch:
+		b := SeqBatch{Seq: d.u64()}
+		b.Frames = d.frames()
+		rec = b
+	case typeAck:
+		rec = Ack{Seq: d.u64()}
+	case typeResume:
+		rec = Resume{Version: d.u16(), Token: d.u64(), LastEventSeq: d.u64()}
+	case typeSessionGrant:
+		rec = SessionGrant{Session: d.u64(), Token: d.u64(), AckSeq: d.u64()}
+	case typeSeqEvent:
+		e := SeqEvent{Seq: d.u64()}
+		e.Event = d.event()
+		rec = e
+	case typeFinishSeq:
+		rec = FinishSeq{Seq: d.u64()}
+	case typeVerdictSeq:
+		v := VerdictSeq{EventSeq: d.u64()}
+		v.Verdict = d.verdict()
+		rec = v
 	default:
 		return nil, fmt.Errorf("wire: unknown record type 0x%02X", typ)
 	}
@@ -377,6 +611,79 @@ func Decode(typ byte, payload []byte) (Record, error) {
 		return nil, fmt.Errorf("wire: record type 0x%02X carries %d trailing bytes", typ, len(d.buf)-d.at)
 	}
 	return rec, nil
+}
+
+// frames decodes a counted frame run, bounding the declared count both
+// against MaxFrameCount and against the bytes actually present, so a
+// hostile count never sizes an allocation.
+func (d *decoder) frames() []can.Frame {
+	count := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if count > MaxFrameCount {
+		d.err = fmt.Errorf("wire: frame batch declares %d frames (limit %d)", count, MaxFrameCount)
+		return nil
+	}
+	if uint64(count)*frameSize != uint64(len(d.buf)-d.at) {
+		d.err = fmt.Errorf("wire: frame batch declares %d frames over %d payload bytes", count, len(d.buf)-d.at)
+		return nil
+	}
+	if count == 0 {
+		return nil
+	}
+	frames := make([]can.Frame, count)
+	for i := range frames {
+		frames[i].Time = time.Duration(d.u64())
+		frames[i].ID = d.u32()
+		copy(frames[i].Data[:], d.bytes(8))
+	}
+	return frames
+}
+
+// event decodes the shared Event field layout.
+func (d *decoder) event() Event {
+	var e Event
+	e.Kind = EventKind(d.u8())
+	e.Rule = d.str()
+	e.Time = time.Duration(d.u64())
+	e.StartStep = d.u32()
+	e.EndStep = d.u32()
+	e.Start = time.Duration(d.u64())
+	e.End = time.Duration(d.u64())
+	e.Peak = math.Float64frombits(d.u64())
+	e.Msg = d.str()
+	e.Class = d.u8()
+	if e.Kind != EventBegin && e.Kind != EventEnd && e.Kind != EventGap && d.err == nil {
+		d.err = fmt.Errorf("wire: unknown event kind %d", e.Kind)
+	}
+	return e
+}
+
+// verdict decodes the shared Verdict field layout, bounding the rule
+// count against MaxRuleCount and the bytes present.
+func (d *decoder) verdict() Verdict {
+	v := Verdict{}
+	count := d.u32()
+	if d.err == nil && (count > MaxRuleCount || uint64(count) > uint64(len(d.buf)-d.at)/ruleVerdictSize) {
+		d.err = fmt.Errorf("wire: verdict declares %d rules over %d payload bytes", count, len(d.buf)-d.at)
+		return v
+	}
+	if count > 0 && d.err == nil {
+		v.Rules = make([]RuleVerdict, count)
+		for i := range v.Rules {
+			v.Rules[i].Rule = d.str()
+			v.Rules[i].Violated = d.u8() != 0
+			v.Rules[i].Violations = d.u32()
+			v.Rules[i].Real = d.u32()
+			v.Rules[i].Transient = d.u32()
+			v.Rules[i].Negligible = d.u32()
+		}
+	}
+	v.FramesIngested = d.u64()
+	v.FramesDropped = d.u64()
+	v.FramesRejected = d.u64()
+	return v
 }
 
 func appendString(buf []byte, s string) []byte {

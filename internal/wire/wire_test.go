@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/hex"
+	"errors"
 	"io"
 	"math"
 	"reflect"
@@ -42,6 +43,23 @@ func sampleRecords() []Record {
 			FramesIngested: 100000, FramesDropped: 12, FramesRejected: 1,
 		},
 		Error{Msg: "unknown spec \"plant\""},
+		SeqBatch{Seq: 1},
+		SeqBatch{Seq: 42, Frames: []can.Frame{
+			{Time: 30 * time.Millisecond, ID: 0x101, Data: [8]byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		}},
+		Ack{Seq: 41},
+		Resume{Version: Version, Token: 0xFEEDFACE, LastEventSeq: 17},
+		SessionGrant{Session: 9, Token: 0xFEEDFACE, AckSeq: 41},
+		SeqEvent{Seq: 18, Event: Event{Kind: EventBegin, Rule: "Rule1", Time: 200 * time.Millisecond}},
+		SeqEvent{Seq: 19, Event: Event{
+			Kind: EventGap, Time: 2 * time.Second,
+			Start: time.Second, End: 2 * time.Second, Msg: "bus silence",
+		}},
+		FinishSeq{Seq: 42},
+		VerdictSeq{EventSeq: 19, Verdict: Verdict{
+			Rules:          []RuleVerdict{{Rule: "Rule1", Violated: true, Violations: 1, Real: 1}},
+			FramesIngested: 12,
+		}},
 	}
 }
 
@@ -132,6 +150,51 @@ func TestGoldenBytes(t *testing.T) {
 			"error", Error{Msg: "no"},
 			"05000000" + "07" + "02006e6f",
 		},
+		{
+			"seqbatch",
+			SeqBatch{Seq: 7, Frames: []can.Frame{{Time: 0x1122334455, ID: 0x305, Data: [8]byte{0xAA, 0, 0, 0, 0, 0, 0, 0xBB}}}},
+			"25000000" + "08" + "0700000000000000" + "01000000" +
+				"5544332211000000" + "05030000" + "aa000000000000bb" + "da8c481a",
+		},
+		{
+			"ack", Ack{Seq: 0x0102030405060708},
+			"0d000000" + "09" + "0807060504030201" + "eafc795d",
+		},
+		{
+			"resume", Resume{Version: 2, Token: 0xDEADBEEF, LastEventSeq: 5},
+			"17000000" + "0a" + "0200" + "efbeadde00000000" + "0500000000000000" + "6e2d38b5",
+		},
+		{
+			"grant", SessionGrant{Session: 9, Token: 0xDEADBEEF, AckSeq: 4},
+			"1d000000" + "0b" + "0900000000000000" + "efbeadde00000000" + "0400000000000000" + "85ac929a",
+		},
+		{
+			"seqevent", SeqEvent{Seq: 3, Event: Event{Kind: EventBegin, Rule: "R", Time: time.Millisecond}},
+			"3c000000" + "0c" + "0300000000000000" + "01" + "010052" + "40420f0000000000" +
+				"00000000" + "00000000" + "0000000000000000" + "0000000000000000" +
+				"0000000000000000" + "0000" + "00" + "3059f055",
+		},
+		{
+			"gapevent",
+			SeqEvent{Seq: 4, Event: Event{Kind: EventGap, Time: 2 * time.Millisecond,
+				Start: time.Millisecond, End: 2 * time.Millisecond, Msg: "bus silence"}},
+			"46000000" + "0c" + "0400000000000000" + "03" + "0000" + "80841e0000000000" +
+				"00000000" + "00000000" + "40420f0000000000" + "80841e0000000000" +
+				"0000000000000000" + "0b006275732073696c656e6365" + "00" + "8dc5d249",
+		},
+		{
+			"finishseq", FinishSeq{Seq: 12},
+			"0d000000" + "0d" + "0c00000000000000" + "f808414a",
+		},
+		{
+			"verdictseq",
+			VerdictSeq{EventSeq: 6, Verdict: Verdict{
+				Rules:          []RuleVerdict{{Rule: "R", Violated: true, Violations: 2, Real: 1, Transient: 1}},
+				FramesIngested: 5, FramesDropped: 1, FramesRejected: 2}},
+			"3d000000" + "0e" + "0600000000000000" + "01000000" +
+				"010052" + "01" + "02000000" + "01000000" + "01000000" + "00000000" +
+				"0500000000000000" + "0100000000000000" + "0200000000000000" + "2dacba79",
+		},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -161,6 +224,16 @@ func TestDecodeErrors(t *testing.T) {
 		{"verdict absurd count", Marshal(recRaw{typeVerdict, []byte{0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0}})},
 		{"finish trailing", Marshal(recRaw{typeFinish, []byte{1}})},
 		{"string overruns", Marshal(recRaw{typeError, []byte{0xFF, 0xFF, 'x'}})},
+		{"seqbatch flipped bit", flipBit(Marshal(SeqBatch{Seq: 3, Frames: []can.Frame{{ID: 1}}}), 80)},
+		{"seqbatch hostile count", Marshal(recRaw{typeSeqBatch, crcPayload(typeSeqBatch,
+			[]byte{1, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})})},
+		{"ack short for checksum", Marshal(recRaw{typeAck, []byte{1, 2}})},
+		{"ack bad checksum", Marshal(recRaw{typeAck, make([]byte, 12)})},
+		{"grant truncated", Marshal(recRaw{typeSessionGrant, crcPayload(typeSessionGrant, []byte{9, 0})})},
+		{"verdictseq hostile count", Marshal(recRaw{typeVerdictSeq, crcPayload(typeVerdictSeq,
+			[]byte{6, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0x7F, 0, 0, 0, 0})})},
+		{"seqevent bad kind", Marshal(recRaw{typeSeqEvent, crcPayload(typeSeqEvent,
+			append([]byte{0, 0, 0, 0, 0, 0, 0, 0, 9}, make([]byte, 45)...))})},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -179,6 +252,60 @@ type recRaw struct {
 
 func (r recRaw) wireType() byte                  { return r.typ }
 func (r recRaw) appendPayload(buf []byte) []byte { return append(buf, r.payload...) }
+
+// crcPayload seals a hand-built v2 payload with its correct checksum,
+// so the decode error under test is the field failure, not the CRC.
+func crcPayload(typ byte, payload []byte) []byte {
+	sealed := appendCRC(append([]byte{}, payload...), 0, typ)
+	return sealed
+}
+
+// flipBit returns a copy of buf with one bit inverted.
+func flipBit(buf []byte, bit int) []byte {
+	out := append([]byte{}, buf...)
+	out[bit/8] ^= 1 << (bit % 8)
+	return out
+}
+
+// TestMalformedClassification pins the quarantine contract: a record
+// whose framing held but whose payload is bad surfaces from Read as a
+// *MalformedError with the stream left at the next record boundary,
+// while framing-level failures do not.
+func TestMalformedClassification(t *testing.T) {
+	good := Marshal(Ack{Seq: 7})
+	bad := flipBit(Marshal(SeqBatch{Seq: 3, Frames: []can.Frame{{ID: 1}}}), 88)
+	r := bytes.NewReader(append(append([]byte{}, bad...), good...))
+
+	_, err := Read(r)
+	var mf *MalformedError
+	if !errors.As(err, &mf) {
+		t.Fatalf("corrupted payload: err = %v, want *MalformedError", err)
+	}
+	if mf.Type != typeSeqBatch {
+		t.Errorf("malformed type = 0x%02X, want 0x%02X", mf.Type, typeSeqBatch)
+	}
+	// The reader consumed exactly the bad record: the next read yields
+	// the intact ack.
+	rec, err := Read(r)
+	if err != nil {
+		t.Fatalf("record after quarantine: %v", err)
+	}
+	if ack, ok := rec.(Ack); !ok || ack.Seq != 7 {
+		t.Errorf("record after quarantine = %+v, want Ack{7}", rec)
+	}
+
+	// Framing-level failures are not malformed records: an oversized
+	// length prefix and a truncated body stay unwrapped.
+	for _, buf := range [][]byte{
+		{0xFF, 0xFF, 0xFF, 0xFF, typeFinish},
+		Marshal(Ack{Seq: 7})[:6],
+	} {
+		_, err := Read(bytes.NewReader(buf))
+		if err == nil || errors.As(err, &mf) {
+			t.Errorf("framing failure %x: err = %v, want a non-malformed error", buf, err)
+		}
+	}
+}
 
 func TestStringTruncation(t *testing.T) {
 	long := strings.Repeat("x", math.MaxUint16+5)
