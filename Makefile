@@ -3,9 +3,19 @@
 
 GO ?= go
 
-.PHONY: all test race short bench fuzz chaos vet
+.PHONY: all help test race short bench fuzz chaos vet
 
 all: test
+
+help:
+	@echo "Targets:"
+	@echo "  test   build everything and run the full suite (default)"
+	@echo "  race   race-clean gate: chaos sweep + short suite under -race"
+	@echo "  short  the suite minus campaign-scale tests"
+	@echo "  bench  all benchmarks with -benchmem; records BENCH_PR3.json via cmd/benchjson"
+	@echo "  chaos  seeded transport-chaos suite under -race + wire fuzz smoke"
+	@echo "  fuzz   brief fuzz passes (wire decoder, spec parser)"
+	@echo "  vet    go vet everything"
 
 test:
 	$(GO) build ./...
@@ -28,8 +38,10 @@ chaos:
 short:
 	$(GO) test -short ./...
 
+# Runs every benchmark and snapshots the numbers to BENCH_PR3.json so
+# performance work leaves a committed, diffable record.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./...
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR3.json
 
 # Brief fuzz passes over the parser/formatter and the wire codec.
 fuzz:

@@ -1,6 +1,7 @@
 package cpsmon_test
 
 import (
+	"go/ast"
 	"go/parser"
 	"go/token"
 	"os"
@@ -129,6 +130,71 @@ func TestFleetDependencySurface(t *testing.T) {
 func TestFaultnetStaysStandardLibraryOnly(t *testing.T) {
 	for ipath, files := range cpsmonImports(t, "internal/faultnet") {
 		t.Errorf("%v import %s: faultnet must stay standard-library-only", files, ipath)
+	}
+}
+
+// TestSignalDatabaseStaysStandardLibraryOnly keeps the signal database
+// a leaf package: it is the shared vocabulary between the system under
+// test, the monitor, and the fleet ingest path, so it may import
+// nothing of cpsmon. That is also what keeps its compiled decode plans
+// embeddable in a vehicle-side encoder.
+func TestSignalDatabaseStaysStandardLibraryOnly(t *testing.T) {
+	for ipath, files := range cpsmonImports(t, "internal/sigdb") {
+		t.Errorf("%v import %s: sigdb must stay standard-library-only", files, ipath)
+	}
+}
+
+// TestSignalDatabaseExportedTypeSurface pins sigdb's exported types:
+// the database itself, its schema vocabulary, and the compiled
+// DecodePlan — the one hot-path decode surface. Growing this set is a
+// deliberate API decision, not a side effect; update the list here when
+// it is.
+func TestSignalDatabaseExportedTypeSurface(t *testing.T) {
+	want := map[string]bool{
+		"DB":         true,
+		"DecodePlan": true,
+		"FrameDef":   true,
+		"Kind":       true,
+		"Signal":     true,
+	}
+	got := make(map[string]bool)
+	entries, err := os.ReadDir("internal/sigdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join("internal/sigdb", name)
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts := spec.(*ast.TypeSpec)
+				if ts.Name.IsExported() {
+					got[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	for name := range got {
+		if !want[name] {
+			t.Errorf("sigdb exports unexpected type %s: extend the pinned surface deliberately", name)
+		}
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("sigdb no longer exports type %s", name)
+		}
 	}
 }
 

@@ -1,0 +1,96 @@
+// Command benchjson converts `go test -bench -benchmem` text output
+// into a JSON array of benchmark records, so benchmark history can be
+// committed and diffed between performance PRs.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' ./... | benchjson > BENCH.json
+//
+// Non-benchmark lines (package headers, PASS/ok trailers, metrics
+// emitted via b.ReportMetric) are ignored. The -N GOMAXPROCS suffix is
+// stripped from names so records stay comparable across machines.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result.
+type Record struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// procSuffix matches the trailing -N GOMAXPROCS marker on a benchmark
+// name.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parse extracts benchmark records from go test output.
+func parse(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		rec := Record{
+			Name:       procSuffix.ReplaceAllString(fields[0], ""),
+			Iterations: iters,
+			NsPerOp:    ns,
+		}
+		// With -benchmem the tail is: <B> B/op <allocs> allocs/op,
+		// possibly preceded by custom ReportMetric columns.
+		for i := 4; i+1 < len(fields); i++ {
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "B/op":
+				rec.BytesPerOp = v
+			case "allocs/op":
+				rec.AllocsPerOp = v
+			}
+		}
+		out = append(out, rec)
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	recs, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(recs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

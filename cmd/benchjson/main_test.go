@@ -1,0 +1,58 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: cpsmon
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig1SignalCodec-8   	34024694	        35.21 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMonitorOnline-8     	      22	  51085132 ns/op	   15769 frames/sec	      63 ns/frame	   38848 B/op	     402 allocs/op
+BenchmarkSpecCompile         	    8342	    142035 ns/op	   98637 B/op	    1792 allocs/op
+PASS
+ok  	cpsmon	12.442s
+--- BENCH: BenchmarkSomethingVerbose
+    bench_test.go:42: note
+`
+
+func TestParse(t *testing.T) {
+	recs, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("parsed %d records, want 3: %+v", len(recs), recs)
+	}
+	codec := recs[0]
+	if codec.Name != "BenchmarkFig1SignalCodec" {
+		t.Errorf("name = %q, want GOMAXPROCS suffix stripped", codec.Name)
+	}
+	if codec.Iterations != 34024694 || codec.NsPerOp != 35.21 || codec.AllocsPerOp != 0 || codec.BytesPerOp != 0 {
+		t.Errorf("codec record = %+v", codec)
+	}
+	online := recs[1]
+	if online.NsPerOp != 51085132 {
+		t.Errorf("ns/op = %v, want 51085132", online.NsPerOp)
+	}
+	// Custom ReportMetric columns must not be mistaken for B/op.
+	if online.BytesPerOp != 38848 || online.AllocsPerOp != 402 {
+		t.Errorf("online record = %+v", online)
+	}
+	bare := recs[2]
+	if bare.Name != "BenchmarkSpecCompile" || bare.AllocsPerOp != 1792 {
+		t.Errorf("bare record = %+v", bare)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	recs, err := parse(strings.NewReader("PASS\nok \tcpsmon\t0.1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("parsed %d records from benchmark-free output", len(recs))
+	}
+}

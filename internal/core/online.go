@@ -32,17 +32,25 @@ type OnlineEvent struct {
 // for flexibility but notes "there is no fundamental reason the
 // monitoring could not be done at runtime"; this is that path, and it
 // produces byte-for-byte the same violations as CheckLog.
+//
+// The steady-state frame→verdict path is allocation-free: frames
+// decode through a compiled sigdb.DecodePlan straight into the latched
+// value vector, and events are assembled in a scratch buffer reused
+// across calls.
 type OnlineMonitor struct {
-	db     *sigdb.DB
+	plan   *sigdb.DecodePlan
 	period time.Duration
 	triage map[string]Triage
 	sc     *speclang.StreamChecker
 
 	names []string
-	index map[string]int
 
 	latched []float64
 	updated []bool
+
+	// events is the scratch buffer returned by PushFrame, PushFrames
+	// and Close; see the event-lifetime contract on PushFrame.
+	events []OnlineEvent
 
 	pending  int           // the step currently accumulating frames
 	lastTime time.Duration // time of the newest accepted frame
@@ -58,18 +66,20 @@ func (m *Monitor) Online(db *sigdb.DB) (*OnlineMonitor, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	plan, err := db.CompilePlan(names)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	o := &OnlineMonitor{
-		db:      db,
+		plan:    plan,
 		period:  m.period,
 		triage:  m.triage,
 		sc:      sc,
 		names:   names,
-		index:   make(map[string]int, len(names)),
 		latched: make([]float64, len(names)),
 		updated: make([]bool, len(names)),
 	}
-	for i, n := range names {
-		o.index[n] = i
+	for i := range o.latched {
 		o.latched[i] = math.NaN() // not yet valid, as offline alignment
 	}
 	return o, nil
@@ -84,6 +94,11 @@ func (m *Monitor) Online(db *sigdb.DB) (*OnlineMonitor, error) {
 // caller may drop the offending frame and keep pushing; the session
 // remains valid. Frames with IDs outside the database are ignored, as a
 // passive listener ignores foreign traffic.
+//
+// Event lifetime: the returned slice is a scratch buffer owned by the
+// monitor and is valid only until the next PushFrame, PushFrames or
+// Close call. Callers that retain events across pushes must copy the
+// elements out (appending them to another slice suffices).
 func (o *OnlineMonitor) PushFrame(f can.Frame) ([]OnlineEvent, error) {
 	if o.closed {
 		return nil, fmt.Errorf("core: PushFrame after Close")
@@ -91,9 +106,44 @@ func (o *OnlineMonitor) PushFrame(f can.Frame) ([]OnlineEvent, error) {
 	if o.sawFrame && f.Time < o.lastTime {
 		return nil, fmt.Errorf("core: out-of-order frame at %v after %v", f.Time, o.lastTime)
 	}
-	def, ok := o.db.Frame(f.ID)
+	o.events = o.events[:0]
+	if err := o.push(f); err != nil {
+		return nil, err
+	}
+	return o.events, nil
+}
+
+// PushFrames feeds a whole batch of captured frames in one call,
+// amortizing per-call overhead — the fleet ingest path hands entire
+// wire batches here. Unlike PushFrame, a frame whose timestamp
+// regresses is skipped and counted in rejected rather than failing the
+// batch, mirroring the drop-and-continue recovery the PushFrame
+// contract allows; the monitor's state is untouched by skipped frames.
+// The returned events cover the whole batch in stream order and obey
+// the same scratch-buffer lifetime as PushFrame.
+func (o *OnlineMonitor) PushFrames(frames []can.Frame) (events []OnlineEvent, rejected int, err error) {
+	if o.closed {
+		return nil, 0, fmt.Errorf("core: PushFrames after Close")
+	}
+	o.events = o.events[:0]
+	for _, f := range frames {
+		if o.sawFrame && f.Time < o.lastTime {
+			rejected++
+			continue
+		}
+		if err := o.push(f); err != nil {
+			return nil, rejected, err
+		}
+	}
+	return o.events, rejected, nil
+}
+
+// push feeds one in-order frame, appending decided events to the
+// scratch buffer.
+func (o *OnlineMonitor) push(f can.Frame) error {
+	dst, ok := o.plan.Dst(f.ID)
 	if !ok {
-		return nil, nil
+		return nil
 	}
 	o.sawFrame = true
 	o.lastTime = f.Time
@@ -103,75 +153,71 @@ func (o *OnlineMonitor) PushFrame(f can.Frame) ([]OnlineEvent, error) {
 	k := int((f.Time + o.period - 1) / o.period)
 
 	// Finalize every step strictly before k.
-	var events []OnlineEvent
 	for o.pending < k {
-		evs, err := o.finalizeStep()
-		if err != nil {
-			return nil, err
+		if err := o.finalizeStep(); err != nil {
+			return err
 		}
-		events = append(events, evs...)
 	}
 
-	values, err := o.db.Unpack(f.ID, f.Data)
-	if err != nil {
-		return nil, err
+	// Decode straight into the latched vector: no map, no hashing.
+	if _, err := o.plan.UnpackInto(f.ID, f.Data, o.latched); err != nil {
+		return err
 	}
-	for _, sig := range def.Signals {
-		idx := o.index[sig.Name]
-		o.latched[idx] = values[sig.Name]
-		o.updated[idx] = true
+	for _, di := range dst {
+		o.updated[di] = true
 	}
-	return events, nil
+	return nil
 }
 
-// finalizeStep pushes the pending step into the checker.
-func (o *OnlineMonitor) finalizeStep() ([]OnlineEvent, error) {
+// finalizeStep pushes the pending step into the checker and converts
+// its events into the scratch buffer.
+func (o *OnlineMonitor) finalizeStep() error {
 	evs, err := o.sc.Step(o.latched, o.updated)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	for i := range o.updated {
 		o.updated[i] = false
 	}
 	o.pending++
-	return o.convert(evs), nil
+	o.convert(evs)
+	return nil
 }
 
 // Close finalizes the trace — steps up to the last frame's grid slot,
 // exactly the steps the offline alignment evaluates — drains every
-// rule, and returns the remaining events.
+// rule, and returns the remaining events. The returned slice obeys the
+// same scratch-buffer lifetime as PushFrame (no further calls can
+// invalidate it, but it shares storage with previously returned
+// slices).
 func (o *OnlineMonitor) Close() ([]OnlineEvent, error) {
 	if o.closed {
 		return nil, fmt.Errorf("core: Close called twice")
 	}
-	var events []OnlineEvent
+	o.events = o.events[:0]
 	last := int(o.lastTime / o.period) // floor: trailing partial-step frames fall outside the grid
 	for o.pending <= last {
-		evs, err := o.finalizeStep()
-		if err != nil {
+		if err := o.finalizeStep(); err != nil {
 			return nil, err
 		}
-		events = append(events, evs...)
 	}
 	o.closed = true
 	evs, err := o.sc.Finish()
 	if err != nil {
 		return nil, err
 	}
-	return append(events, o.convert(evs)...), nil
+	o.convert(evs)
+	return o.events, nil
 }
 
-func (o *OnlineMonitor) convert(evs []speclang.Event) []OnlineEvent {
-	if len(evs) == 0 {
-		return nil
-	}
-	out := make([]OnlineEvent, len(evs))
-	for i, e := range evs {
+// convert appends checker events to the monitor's scratch buffer,
+// attaching triage classes to closed violations.
+func (o *OnlineMonitor) convert(evs []speclang.Event) {
+	for _, e := range evs {
 		oe := OnlineEvent{Rule: e.Rule, Kind: e.Kind, Time: e.Time, Violation: e.Violation}
 		if e.Kind == speclang.ViolationEnd {
 			oe.Class = o.triage[e.Rule].Classify(e.Violation)
 		}
-		out[i] = oe
+		o.events = append(o.events, oe)
 	}
-	return out
 }

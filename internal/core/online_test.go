@@ -414,3 +414,189 @@ func TestOnlineMatchesOfflineWithOffGridTimestamps(t *testing.T) {
 	m := testMonitor(t)
 	requireOnlineOfflineMatch(t, m, &log)
 }
+
+// TestOnlinePushFramesMatchesPushFrame checks that batch ingestion is
+// just a loop over the single-frame contract: same events in the same
+// order, with stale frames skipped and counted instead of erroring.
+func TestOnlinePushFramesMatchesPushFrame(t *testing.T) {
+	log := buildLog(t, 600, func(tick int, bus *can.Bus) {
+		_ = bus.Set(sigdb.SigVelocity, 24)
+		_ = bus.Set(sigdb.SigACCSetSpeed, 25)
+		if tick >= 100 && tick < 160 {
+			_ = bus.Set(sigdb.SigServiceACC, 1)
+			_ = bus.Set(sigdb.SigACCEnabled, 1)
+		} else {
+			_ = bus.Set(sigdb.SigServiceACC, 0)
+			_ = bus.Set(sigdb.SigACCEnabled, 0)
+		}
+	})
+	m := testMonitor(t)
+
+	var single []OnlineEvent
+	om1, err := m.Online(sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	for _, f := range log.Frames() {
+		evs, err := om1.PushFrame(f)
+		if err != nil {
+			t.Fatalf("PushFrame: %v", err)
+		}
+		single = append(single, evs...)
+	}
+	evs, err := om1.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	single = append(single, evs...)
+
+	var batched []OnlineEvent
+	om2, err := m.Online(sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	frames := log.Frames()
+	for len(frames) > 0 {
+		n := 7 // uneven batches straddle step boundaries
+		if n > len(frames) {
+			n = len(frames)
+		}
+		evs, rejected, err := om2.PushFrames(frames[:n])
+		if err != nil {
+			t.Fatalf("PushFrames: %v", err)
+		}
+		if rejected != 0 {
+			t.Fatalf("PushFrames rejected %d in-order frames", rejected)
+		}
+		batched = append(batched, evs...)
+		frames = frames[n:]
+	}
+	evs, err = om2.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	batched = append(batched, evs...)
+
+	if len(single) != len(batched) {
+		t.Fatalf("batched ingest produced %d events, per-frame produced %d", len(batched), len(single))
+	}
+	for i := range single {
+		if single[i] != batched[i] {
+			t.Fatalf("event %d differs:\nbatched:   %+v\nper-frame: %+v", i, batched[i], single[i])
+		}
+	}
+	if len(single) == 0 {
+		t.Fatal("trace produced no events; the comparison checked nothing")
+	}
+}
+
+// TestOnlinePushFramesSkipsStale checks the batch entry point's
+// drop-and-continue handling of time regressions.
+func TestOnlinePushFramesSkipsStale(t *testing.T) {
+	db := sigdb.Vehicle()
+	m := testMonitor(t)
+	om, err := m.Online(db)
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	data, err := db.Pack(sigdb.FrameVehicleDyn, map[string]float64{sigdb.SigVelocity: 24})
+	if err != nil {
+		t.Fatalf("Pack: %v", err)
+	}
+	frames := []can.Frame{
+		{Time: 50 * time.Millisecond, ID: sigdb.FrameVehicleDyn, Data: data},
+		{Time: 10 * time.Millisecond, ID: sigdb.FrameVehicleDyn, Data: data}, // stale
+		{Time: 20 * time.Millisecond, ID: sigdb.FrameVehicleDyn, Data: data}, // still stale
+		{Time: 60 * time.Millisecond, ID: sigdb.FrameVehicleDyn, Data: data},
+	}
+	_, rejected, err := om.PushFrames(frames)
+	if err != nil {
+		t.Fatalf("PushFrames: %v", err)
+	}
+	if rejected != 2 {
+		t.Fatalf("rejected = %d, want 2", rejected)
+	}
+	if _, err := om.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestOnlinePushFrameAllocFree pins the zero-allocation contract of the
+// steady-state frame→verdict path: after warm-up (ring buffers grown,
+// scratch buffers sized), pushing a frame allocates nothing — including
+// frames that cross step boundaries and run the full rule pipeline.
+func TestOnlinePushFrameAllocFree(t *testing.T) {
+	log := buildLog(t, 4000, func(tick int, bus *can.Bus) {
+		_ = bus.Set(sigdb.SigVelocity, 24)
+		_ = bus.Set(sigdb.SigACCSetSpeed, 25)
+	})
+	m := testMonitor(t)
+	om, err := m.Online(sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	frames := log.Frames()
+	warm := 1000
+	if len(frames) < warm+1500 {
+		t.Fatalf("fixture too short: %d frames", len(frames))
+	}
+	for _, f := range frames[:warm] {
+		if _, err := om.PushFrame(f); err != nil {
+			t.Fatalf("PushFrame: %v", err)
+		}
+	}
+	next := warm
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := om.PushFrame(frames[next]); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state PushFrame allocates %.2f times per frame, want 0", allocs)
+	}
+}
+
+// TestOnlineEventScratchReuse pins the documented event-slice lifetime:
+// slices returned by successive pushes share the monitor's scratch
+// backing, so retaining one across calls observes later events.
+func TestOnlineEventScratchReuse(t *testing.T) {
+	log := buildLog(t, 400, func(tick int, bus *can.Bus) {
+		_ = bus.Set(sigdb.SigVelocity, 24)
+		_ = bus.Set(sigdb.SigACCSetSpeed, 25)
+		if tick >= 100 && tick < 160 {
+			_ = bus.Set(sigdb.SigServiceACC, 1)
+			_ = bus.Set(sigdb.SigACCEnabled, 1)
+		} else {
+			_ = bus.Set(sigdb.SigServiceACC, 0)
+			_ = bus.Set(sigdb.SigACCEnabled, 0)
+		}
+	})
+	m := testMonitor(t)
+	om, err := m.Online(sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	var kept []OnlineEvent
+	var returns int
+	for _, f := range log.Frames() {
+		evs, err := om.PushFrame(f)
+		if err != nil {
+			t.Fatalf("PushFrame: %v", err)
+		}
+		if len(evs) == 0 {
+			continue
+		}
+		returns++
+		if kept == nil {
+			kept = evs
+			continue
+		}
+		if &kept[0] != &evs[0] {
+			t.Fatal("successive event slices do not share the scratch backing; the documented lifetime contract is stale")
+		}
+	}
+	if returns < 2 {
+		t.Fatalf("only %d non-empty event returns; aliasing not exercised", returns)
+	}
+}

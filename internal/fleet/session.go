@@ -113,6 +113,10 @@ type session struct {
 	lastTime time.Duration
 	sawFrame bool
 
+	// evScratch is the wire-event buffer reused across apply calls;
+	// events are copied out (retained or written) before the next batch.
+	evScratch []wire.Event
+
 	// quarantined counts malformed records skipped on the current
 	// attachment (reader-owned, reset per attachment).
 	quarantined int
@@ -461,36 +465,70 @@ func (sess *session) work() {
 // events it produced (bus-silence gaps interleaved in stream order).
 // The whole batch is applied before anything is emitted, so emission
 // failures never leave a batch half-applied.
+//
+// Frames flow to the monitor in contiguous runs through PushFrames;
+// a run ends where the session must act between frames — a stale frame
+// to reject, or a silence gap whose event must interleave in stream
+// order. The returned slice is the session's reusable scratch buffer,
+// valid until the next apply or finalize.
 func (sess *session) apply(frames []can.Frame) ([]wire.Event, error) {
-	var out []wire.Event
+	out := sess.evScratch[:0]
 	silence := sess.srv.cfg.SilenceGap
-	for _, f := range frames {
+	saw, last := sess.sawFrame, sess.lastTime
+
+	start := 0
+	flush := func(end int) error {
+		run := frames[start:end]
+		start = end
+		if len(run) == 0 {
+			return nil
+		}
+		evs, rejected, err := sess.om.PushFrames(run)
+		if err != nil {
+			return err
+		}
+		// The session's stale filter is at least as strict as the
+		// monitor's (session time also advances over foreign-ID frames),
+		// so runs reach the monitor in order; count defensively anyway.
+		sess.rejected += uint64(rejected)
+		sess.ingested += uint64(len(run) - rejected)
+		out = sess.convert(out, evs)
+		return nil
+	}
+
+	for i, f := range frames {
 		// The monitor requires non-decreasing time; a stale frame is
 		// rejected and the session continues, per the
 		// OnlineMonitor.PushFrame contract.
-		if sess.sawFrame && f.Time < sess.lastTime {
+		if saw && f.Time < last {
+			if err := flush(i); err != nil {
+				return nil, err
+			}
 			sess.rejected++
+			start = i + 1
 			continue
 		}
-		if silence > 0 && sess.proto >= 2 && sess.sawFrame && f.Time-sess.lastTime > silence {
+		if silence > 0 && sess.proto >= 2 && saw && f.Time-last > silence {
+			if err := flush(i); err != nil {
+				return nil, err
+			}
 			out = append(out, wire.Event{
 				Kind:  wire.EventGap,
 				Time:  f.Time,
-				Start: sess.lastTime,
+				Start: last,
 				End:   f.Time,
 				Msg:   "bus silence",
 			})
 			sess.srv.stats.gapEvents.Add(1)
 		}
-		evs, err := sess.om.PushFrame(f)
-		if err != nil {
-			return nil, err
-		}
-		sess.sawFrame = true
-		sess.lastTime = f.Time
-		sess.ingested++
-		out = sess.convert(out, evs)
+		saw = true
+		last = f.Time
 	}
+	if err := flush(len(frames)); err != nil {
+		return nil, err
+	}
+	sess.sawFrame, sess.lastTime = saw, last
+	sess.evScratch = out
 	return out, nil
 }
 

@@ -8,9 +8,11 @@
 package sigdb
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 	"time"
 )
 
@@ -158,6 +160,12 @@ type DB struct {
 	frames  map[uint32]*FrameDef
 	signals map[string]*Signal
 	order   []string
+
+	// canon caches the canonical decode plan (every signal in
+	// declaration order) backing the legacy Unpack path. AddFrame
+	// invalidates it; reads are lock-free so concurrent decoders never
+	// contend.
+	canon atomic.Pointer[DecodePlan]
 }
 
 // New returns an empty database.
@@ -199,6 +207,7 @@ func (db *DB) AddFrame(f *FrameDef) error {
 		db.signals[s.Name] = s
 		db.order = append(db.order, s.Name)
 	}
+	db.canon.Store(nil)
 	return nil
 }
 
@@ -290,21 +299,33 @@ func (db *DB) Pack(id uint32, values map[string]float64) ([8]byte, error) {
 	return data, nil
 }
 
+// canonicalPlan returns the cached all-signals decode plan, compiling
+// it on first use. Two racing first uses both compile and one cache
+// write wins; both plans are equivalent, so this stays lock-free.
+func (db *DB) canonicalPlan() *DecodePlan {
+	if p := db.canon.Load(); p != nil {
+		return p
+	}
+	// The canonical ordering is db.order: unique, known names by
+	// construction, so compilation cannot fail.
+	p, _ := db.CompilePlan(db.order)
+	db.canon.Store(p)
+	return p
+}
+
 // Unpack decodes the 8-byte payload of the given frame into named
-// physical values.
+// physical values. It is a compatibility wrapper over the compiled
+// decode plan; allocation-free callers should compile a DecodePlan and
+// use UnpackInto instead.
 func (db *DB) Unpack(id uint32, data [8]byte) (map[string]float64, error) {
-	f, ok := db.frames[id]
-	if !ok {
+	fp := db.canonicalPlan().lookup(id)
+	if fp == nil {
 		return nil, fmt.Errorf("sigdb: unpack: unknown frame ID 0x%X", id)
 	}
-	var word uint64
-	for i := range data {
-		word |= uint64(data[i]) << uint(8*i)
-	}
-	out := make(map[string]float64, len(f.Signals))
-	for _, s := range f.Signals {
-		raw := (word >> uint(s.StartBit)) & fieldMask(0, s.BitLen)
-		out[s.Name] = s.Decode(raw)
+	word := binary.LittleEndian.Uint64(data[:])
+	out := make(map[string]float64, len(fp.entries))
+	for k, e := range fp.entries {
+		out[fp.names[k]] = decodeRaw(e.kind, (word>>e.shift)&e.mask)
 	}
 	return out, nil
 }

@@ -381,6 +381,14 @@ type evaluator struct {
 	mode   DeltaMode
 	consts map[string]float64
 	lets   map[string]*series
+
+	// noUpd is the shared all-false freshness vector carried by every
+	// constant series; constCache interns constant series by value.
+	// Evaluated series are read-only downstream, so sharing is safe and
+	// saves one n-sized allocation per literal and per literal-operand
+	// binary node.
+	noUpd      []bool
+	constCache map[float64]*series
 }
 
 func truthy(v float64) bool {
@@ -394,15 +402,44 @@ func b2f(b bool) float64 {
 	return 0
 }
 
+func (ev *evaluator) noUpdates() []bool {
+	if ev.noUpd == nil {
+		ev.noUpd = make([]bool, ev.n)
+	}
+	return ev.noUpd
+}
+
 func (ev *evaluator) constant(v float64) *series {
+	if s, ok := ev.constCache[v]; ok {
+		return s
+	}
 	vals := make([]float64, ev.n)
 	for i := range vals {
 		vals[i] = v
 	}
-	return &series{vals: vals, upd: make([]bool, ev.n)}
+	s := &series{vals: vals, upd: ev.noUpdates()}
+	if ev.constCache == nil {
+		ev.constCache = make(map[float64]*series)
+	}
+	ev.constCache[v] = s
+	return s
 }
 
-func orBits(a, b []bool) []bool {
+// isNoUpd reports whether s is the shared all-false freshness vector.
+func (ev *evaluator) isNoUpd(s []bool) bool {
+	return len(s) > 0 && len(ev.noUpd) > 0 && &s[0] == &ev.noUpd[0]
+}
+
+// orBits combines two freshness vectors; when one side is the shared
+// all-false vector the other is returned as-is (freshness vectors are
+// never written after evaluation).
+func (ev *evaluator) orBits(a, b []bool) []bool {
+	if ev.isNoUpd(b) {
+		return a
+	}
+	if ev.isNoUpd(a) {
+		return b
+	}
 	out := make([]bool, len(a))
 	for i := range a {
 		out[i] = a[i] || b[i]
@@ -527,7 +564,7 @@ func (ev *evaluator) evalBinary(x *Binary) (*series, error) {
 	default:
 		return nil, fmt.Errorf("speclang: internal error: unknown binary op %v", x.Op)
 	}
-	return &series{vals: out, upd: orBits(l.upd, r.upd)}, nil
+	return &series{vals: out, upd: ev.orBits(l.upd, r.upd)}, nil
 }
 
 func (ev *evaluator) evalCall(x *Call) (*series, error) {
@@ -605,7 +642,7 @@ func (ev *evaluator) evalCall(x *Call) (*series, error) {
 	}
 	upd := args[0].upd
 	for _, a := range args[1:] {
-		upd = orBits(upd, a.upd)
+		upd = ev.orBits(upd, a.upd)
 	}
 	return &series{vals: out, upd: upd}, nil
 }

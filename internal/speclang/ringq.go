@@ -1,0 +1,60 @@
+package speclang
+
+// ring is a growable power-of-two FIFO ring buffer. The stream
+// evaluators previously used `append` + reslice queues, which leak
+// capacity off the front and therefore reallocate every few steps in
+// steady state. A ring reuses its storage on pop, so once a pipeline
+// reaches its high-water mark — bounded by the compiled temporal
+// horizon — stepping it never allocates again.
+type ring[T any] struct {
+	buf  []T
+	head int
+	n    int
+}
+
+// len returns the number of queued elements.
+func (r *ring[T]) len() int { return r.n }
+
+// reserve grows the buffer to hold at least n elements, so pipelines
+// sized from the compiled horizon never grow mid-stream.
+func (r *ring[T]) reserve(n int) {
+	if n > len(r.buf) {
+		r.grow(n)
+	}
+}
+
+// push appends one element.
+func (r *ring[T]) push(v T) {
+	if r.n == len(r.buf) {
+		r.grow(r.n + 1)
+	}
+	r.buf[(r.head+r.n)&(len(r.buf)-1)] = v
+	r.n++
+}
+
+// pop removes and returns the oldest element. It panics on an empty
+// ring, as q[0] on an empty slice would.
+func (r *ring[T]) pop() T {
+	if r.n == 0 {
+		panic("speclang: pop from empty ring")
+	}
+	v := r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero // release references held by string/struct elements
+	r.head = (r.head + 1) & (len(r.buf) - 1)
+	r.n--
+	return v
+}
+
+// grow reallocates to the next power of two holding at least need.
+func (r *ring[T]) grow(need int) {
+	capa := 4
+	for capa < need {
+		capa <<= 1
+	}
+	buf := make([]T, capa)
+	for i := 0; i < r.n; i++ {
+		buf[i] = r.buf[(r.head+i)&(len(r.buf)-1)]
+	}
+	r.buf, r.head = buf, 0
+}

@@ -109,7 +109,7 @@ type binaryStream struct {
 	op   tokenKind
 	l, r stream
 	// lq and rq align children of different delays.
-	lq, rq []streamOut
+	lq, rq ring[streamOut]
 	d      int
 }
 
@@ -167,28 +167,29 @@ func (s *binaryStream) combine(a, b streamOut) streamOut {
 }
 
 func (s *binaryStream) emit() (streamOut, bool) {
-	if len(s.lq) == 0 || len(s.rq) == 0 {
+	if s.lq.len() == 0 || s.rq.len() == 0 {
 		return streamOut{}, false
 	}
-	a, b := s.lq[0], s.rq[0]
-	s.lq = s.lq[1:]
-	s.rq = s.rq[1:]
-	return s.combine(a, b), true
+	return s.combine(s.lq.pop(), s.rq.pop()), true
 }
 
 func (s *binaryStream) step(ctx *stepCtx) (streamOut, bool) {
 	if o, ok := s.l.step(ctx); ok {
-		s.lq = append(s.lq, o)
+		s.lq.push(o)
 	}
 	if o, ok := s.r.step(ctx); ok {
-		s.rq = append(s.rq, o)
+		s.rq.push(o)
 	}
 	return s.emit()
 }
 
 func (s *binaryStream) drain() []streamOut {
-	s.lq = append(s.lq, s.l.drain()...)
-	s.rq = append(s.rq, s.r.drain()...)
+	for _, o := range s.l.drain() {
+		s.lq.push(o)
+	}
+	for _, o := range s.r.drain() {
+		s.rq.push(o)
+	}
 	var out []streamOut
 	for {
 		o, ok := s.emit()
@@ -335,7 +336,8 @@ func (s *edgeStream) drain() []streamOut {
 type mapStream struct {
 	fn       func(vals []float64) float64
 	children []stream
-	queues   [][]streamOut
+	queues   []ring[streamOut]
+	vals     []float64 // reusable argument vector for fn
 	d        int
 }
 
@@ -346,33 +348,37 @@ func newMapStream(fn func([]float64) float64, children ...stream) *mapStream {
 			d = c.delay()
 		}
 	}
-	return &mapStream{fn: fn, children: children, queues: make([][]streamOut, len(children)), d: d}
+	return &mapStream{
+		fn:       fn,
+		children: children,
+		queues:   make([]ring[streamOut], len(children)),
+		vals:     make([]float64, len(children)),
+		d:        d,
+	}
 }
 
 func (s *mapStream) delay() int { return s.d }
 
 func (s *mapStream) emit() (streamOut, bool) {
-	for _, q := range s.queues {
-		if len(q) == 0 {
+	for i := range s.queues {
+		if s.queues[i].len() == 0 {
 			return streamOut{}, false
 		}
 	}
-	vals := make([]float64, len(s.queues))
 	out := streamOut{}
 	for i := range s.queues {
-		o := s.queues[i][0]
-		s.queues[i] = s.queues[i][1:]
-		vals[i] = o.val
+		o := s.queues[i].pop()
+		s.vals[i] = o.val
 		out.upd = out.upd || o.upd
 	}
-	out.val = s.fn(vals)
+	out.val = s.fn(s.vals)
 	return out, true
 }
 
 func (s *mapStream) step(ctx *stepCtx) (streamOut, bool) {
 	for i, c := range s.children {
 		if o, ok := c.step(ctx); ok {
-			s.queues[i] = append(s.queues[i], o)
+			s.queues[i].push(o)
 		}
 	}
 	return s.emit()
@@ -380,7 +386,9 @@ func (s *mapStream) step(ctx *stepCtx) (streamOut, bool) {
 
 func (s *mapStream) drain() []streamOut {
 	for i, c := range s.children {
-		s.queues[i] = append(s.queues[i], c.drain()...)
+		for _, o := range c.drain() {
+			s.queues[i].push(o)
+		}
 	}
 	var out []streamOut
 	for {
@@ -396,24 +404,29 @@ func (s *mapStream) drain() []streamOut {
 
 // temporalStream implements always[lo:hi] / eventually[lo:hi]. Output
 // for step s is decided once the child output for step s+hi is
-// available, so the node adds hi steps of delay. The window buffer
-// holds at most hi-lo+1 child outputs.
+// available, so the node adds hi steps of delay. The window ring holds
+// at most hi-lo+1 child outputs and carries a monotonic truthy count,
+// so each step is O(1) — no window rescans — and, with the ring
+// preallocated from the compiled horizon, allocation-free.
 type temporalStream struct {
 	eventually bool
 	lo, hi     int
 	child      stream
 
-	window []bool // truthiness of child outputs for steps [s+lo .. s+hi]
-	count  int    // truthy entries in window
-	seen   int    // child outputs consumed
+	window ring[bool] // truthiness of child outputs for steps [s+lo .. s+hi]
+	count  int        // truthy entries in window
+	seen   int        // child outputs consumed
 	// updq delays the child's upd bits by hi steps so the output's
 	// freshness aligns with the output step, matching eval.go (which
 	// propagates the operand's upd vector unchanged).
-	updq []bool
+	updq ring[bool]
 }
 
 func newTemporalStream(eventually bool, lo, hi int, child stream) *temporalStream {
-	return &temporalStream{eventually: eventually, lo: lo, hi: hi, child: child}
+	s := &temporalStream{eventually: eventually, lo: lo, hi: hi, child: child}
+	s.window.reserve(hi - lo + 2)
+	s.updq.reserve(hi + 1)
+	return s
 }
 
 func (s *temporalStream) delay() int { return s.child.delay() + s.hi }
@@ -422,22 +435,22 @@ func (s *temporalStream) delay() int { return s.child.delay() + s.hi }
 // shrink-window evaluation.
 func (s *temporalStream) consume(o streamOut, truncated bool) (streamOut, bool) {
 	if !truncated {
-		s.updq = append(s.updq, o.upd)
+		s.updq.push(o.upd)
 		// Child output s.seen corresponds to step u = s.seen. It
 		// belongs to the windows of output steps u-hi .. u-lo.
-		s.window = append(s.window, truthy(o.val))
-		if truthy(o.val) {
+		t := truthy(o.val)
+		s.window.push(t)
+		if t {
 			s.count++
 		}
 		s.seen++
 		// Window for output step s0 = u-hi is [s0+lo, s0+hi]; it is
 		// complete once u >= hi, and must contain exactly the child
 		// outputs for steps [u-hi+lo, u].
-		if len(s.window) > s.hi-s.lo+1 {
-			if s.window[0] {
+		if s.window.len() > s.hi-s.lo+1 {
+			if s.window.pop() {
 				s.count--
 			}
-			s.window = s.window[1:]
 		}
 		if s.seen <= s.hi {
 			return streamOut{}, false
@@ -452,14 +465,13 @@ func (s *temporalStream) consume(o streamOut, truncated bool) (streamOut, bool) 
 		}
 	} else {
 		// always: false only on a witnessed falsification.
-		if s.count == len(s.window) {
+		if s.count == s.window.len() {
 			v = 1
 		}
 	}
 	var upd bool
-	if len(s.updq) > 0 {
-		upd = s.updq[0]
-		s.updq = s.updq[1:]
+	if s.updq.len() > 0 {
+		upd = s.updq.pop()
 	}
 	return streamOut{val: v, upd: upd}, true
 }
@@ -480,14 +492,17 @@ type pastStream struct {
 	lo, hi int
 	child  stream
 
-	pending []bool // child truthiness younger than lo steps
-	window  []bool // truthiness of steps [t-hi, t-lo]
+	pending ring[bool] // child truthiness younger than lo steps
+	window  ring[bool] // truthiness of steps [t-hi, t-lo]
 	count   int
 	n       int
 }
 
 func newPastStream(exists bool, lo, hi int, child stream) *pastStream {
-	return &pastStream{exists: exists, lo: lo, hi: hi, child: child}
+	s := &pastStream{exists: exists, lo: lo, hi: hi, child: child}
+	s.pending.reserve(lo + 1)
+	s.window.reserve(hi - lo + 2)
+	return s
 }
 
 func (s *pastStream) delay() int { return s.child.delay() }
@@ -495,19 +510,17 @@ func (s *pastStream) delay() int { return s.child.delay() }
 func (s *pastStream) apply(o streamOut) streamOut {
 	t := s.n
 	s.n++
-	s.pending = append(s.pending, truthy(o.val))
-	if len(s.pending) > s.lo {
-		v := s.pending[0]
-		s.pending = s.pending[1:]
-		s.window = append(s.window, v)
+	s.pending.push(truthy(o.val))
+	if s.pending.len() > s.lo {
+		v := s.pending.pop()
+		s.window.push(v)
 		if v {
 			s.count++
 		}
-		if len(s.window) > s.hi-s.lo+1 {
-			if s.window[0] {
+		if s.window.len() > s.hi-s.lo+1 {
+			if s.window.pop() {
 				s.count--
 			}
-			s.window = s.window[1:]
 		}
 	}
 	out := streamOut{upd: o.upd}
@@ -520,7 +533,7 @@ func (s *pastStream) apply(o streamOut) streamOut {
 			out.val = 1 // a witness, or a truncated window (no evidence)
 		}
 	default:
-		if s.count == len(s.window) {
+		if s.count == s.window.len() {
 			out.val = 1
 		}
 	}
@@ -563,11 +576,10 @@ func (s *temporalStream) drain() []streamOut {
 		start = 0
 	}
 	for t := start; t < n; t++ {
-		for len(s.window) > 0 && n-len(s.window) < t+s.lo {
-			if s.window[0] {
+		for s.window.len() > 0 && n-s.window.len() < t+s.lo {
+			if s.window.pop() {
 				s.count--
 			}
-			s.window = s.window[1:]
 		}
 		r, _ := s.consume(streamOut{}, true)
 		out = append(out, r)

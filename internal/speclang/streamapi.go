@@ -17,6 +17,11 @@ type StreamChecker struct {
 	rules  []*ruleStream
 	steps  int
 	done   bool
+
+	// ctx and evbuf are reused across Step calls so a steady-state step
+	// performs no allocation.
+	ctx   stepCtx
+	evbuf []Event
 }
 
 // NewStreamChecker builds an online checker over the given signal
@@ -52,7 +57,10 @@ func (sc *StreamChecker) Signals() []string {
 
 // Step pushes one aligned step: vals holds the held signal values in
 // the checker's signal order, upd the per-signal freshness bits. It
-// returns any events that became decidable.
+// returns any events that became decidable. The returned slice is a
+// scratch buffer owned by the checker: it is valid only until the next
+// Step or Finish call, so callers that retain events across steps must
+// copy them out.
 func (sc *StreamChecker) Step(vals []float64, upd []bool) ([]Event, error) {
 	if sc.done {
 		return nil, fmt.Errorf("speclang: Step after Finish")
@@ -60,11 +68,13 @@ func (sc *StreamChecker) Step(vals []float64, upd []bool) ([]Event, error) {
 	if len(vals) != len(sc.names) || len(upd) != len(sc.names) {
 		return nil, fmt.Errorf("speclang: step carries %d/%d entries, want %d", len(vals), len(upd), len(sc.names))
 	}
-	ctx := &stepCtx{vals: vals, upd: upd}
-	var events []Event
+	sc.ctx.vals, sc.ctx.upd = vals, upd
+	events := sc.evbuf[:0]
 	for _, r := range sc.rules {
-		events = append(events, r.step(ctx)...)
+		events = r.step(&sc.ctx, events)
 	}
+	sc.ctx.vals, sc.ctx.upd = nil, nil
+	sc.evbuf = events
 	sc.steps++
 	return events, nil
 }
@@ -79,7 +89,7 @@ func (sc *StreamChecker) Finish() ([]Event, error) {
 	sc.done = true
 	var events []Event
 	for _, r := range sc.rules {
-		events = append(events, r.finish(sc.steps)...)
+		events = r.finish(sc.steps, events)
 	}
 	return events, nil
 }
@@ -116,7 +126,7 @@ func newRuleStream(r *Rule, signals map[string]int, period time.Duration, opts E
 			rs.asserts = append(rs.asserts, s)
 			rs.msgs = append(rs.msgs, fmt.Sprintf("assert #%d (line %d) failed", i+1, line))
 		}
-		rs.assertQs = make([][]float64, len(rs.asserts))
+		rs.assertQs = make([]ring[float64], len(rs.asserts))
 	} else {
 		ms, err := newMachineStream(b, r.monitor, r.initial, period)
 		if err != nil {
@@ -150,63 +160,62 @@ func newRuleStream(r *Rule, signals map[string]int, period time.Duration, opts E
 }
 
 // step pushes one input step through every constituent stream and
-// assembles as many rule-output steps as became decidable.
-func (rs *ruleStream) step(ctx *stepCtx) []Event {
+// assembles as many rule-output steps as became decidable, appending
+// their events to events.
+func (rs *ruleStream) step(ctx *stepCtx, events []Event) []Event {
 	if rs.machine != nil {
 		if mark, ok := rs.machine.push(ctx); ok {
-			rs.markQ = append(rs.markQ, mark)
+			rs.markQ.push(mark)
 		}
 	} else {
 		for i, a := range rs.asserts {
 			if o, ok := a.step(ctx); ok {
-				rs.assertQs[i] = append(rs.assertQs[i], o.val)
+				rs.assertQs[i].push(o.val)
 			}
 		}
 		rs.assembleSpecMarks()
 	}
 	if rs.severity != nil {
 		if o, ok := rs.severity.step(ctx); ok {
-			rs.sevQ = append(rs.sevQ, o.val)
+			rs.sevQ.push(o.val)
 		}
 	}
 	for _, w := range rs.warmups {
 		if w.on != nil {
 			if o, ok := w.on.step(ctx); ok {
-				w.onQ = append(w.onQ, o.val)
+				w.onQ.push(o.val)
 			}
 		}
 	}
-	return rs.assemble(false, 0)
+	return rs.assemble(false, 0, events)
 }
 
 // assembleSpecMarks merges per-assert outputs into marks once every
 // assert has one.
 func (rs *ruleStream) assembleSpecMarks() {
 	for {
-		for _, q := range rs.assertQs {
-			if len(q) == 0 {
+		for i := range rs.assertQs {
+			if rs.assertQs[i].len() == 0 {
 				return
 			}
 		}
 		mark := ""
 		for i := range rs.assertQs {
-			v := rs.assertQs[i][0]
-			rs.assertQs[i] = rs.assertQs[i][1:]
+			v := rs.assertQs[i].pop()
 			if mark == "" && !truthy(v) {
 				mark = rs.msgs[i]
 			}
 		}
-		rs.markQ = append(rs.markQ, mark)
+		rs.markQ.push(mark)
 	}
 }
 
 // assemble consumes aligned (mark, severity, warmup) tuples and
-// maintains the open-violation state. When finishing, endAt closes any
-// open interval at that step.
-func (rs *ruleStream) assemble(finishing bool, endAt int) []Event {
-	var events []Event
-	for len(rs.markQ) > 0 {
-		if rs.severity != nil && len(rs.sevQ) == 0 {
+// maintains the open-violation state, appending decided events to
+// events. When finishing, endAt closes any open interval at that step.
+func (rs *ruleStream) assemble(finishing bool, endAt int, events []Event) []Event {
+	for rs.markQ.len() > 0 {
+		if rs.severity != nil && rs.sevQ.len() == 0 {
 			break
 		}
 		ready := true
@@ -219,12 +228,10 @@ func (rs *ruleStream) assemble(finishing bool, endAt int) []Event {
 		if !ready {
 			break
 		}
-		mark := rs.markQ[0]
-		rs.markQ = rs.markQ[1:]
+		mark := rs.markQ.pop()
 		sev := 0.0
 		if rs.severity != nil {
-			sev = rs.sevQ[0]
-			rs.sevQ = rs.sevQ[1:]
+			sev = rs.sevQ.pop()
 		}
 		suppressed := false
 		for _, w := range rs.warmups {
@@ -287,29 +294,32 @@ func (rs *ruleStream) close(end int) Event {
 	}
 }
 
-// finish drains every stream and closes the rule at totalSteps.
-func (rs *ruleStream) finish(totalSteps int) []Event {
+// finish drains every stream and closes the rule at totalSteps,
+// appending the remaining events to events.
+func (rs *ruleStream) finish(totalSteps int, events []Event) []Event {
 	if rs.machine != nil {
-		rs.markQ = append(rs.markQ, rs.machine.drainAll()...)
+		for _, mark := range rs.machine.drainAll() {
+			rs.markQ.push(mark)
+		}
 	} else {
 		for i, a := range rs.asserts {
 			for _, o := range a.drain() {
-				rs.assertQs[i] = append(rs.assertQs[i], o.val)
+				rs.assertQs[i].push(o.val)
 			}
 		}
 		rs.assembleSpecMarks()
 	}
 	if rs.severity != nil {
 		for _, o := range rs.severity.drain() {
-			rs.sevQ = append(rs.sevQ, o.val)
+			rs.sevQ.push(o.val)
 		}
 	}
 	for _, w := range rs.warmups {
 		if w.on != nil {
 			for _, o := range w.on.drain() {
-				w.onQ = append(w.onQ, o.val)
+				w.onQ.push(o.val)
 			}
 		}
 	}
-	return rs.assemble(true, totalSteps)
+	return rs.assemble(true, totalSteps, events)
 }

@@ -172,14 +172,14 @@ type ruleStream struct {
 	// alignment queue each.
 	asserts  []stream
 	msgs     []string
-	assertQs [][]float64
+	assertQs []ring[float64]
 
 	// Monitors: the state machine produces marks directly.
 	machine *machineStream
-	markQ   []string
+	markQ   ring[string]
 
 	severity stream
-	sevQ     []float64
+	sevQ     ring[float64]
 
 	warmups []*warmupStream
 
@@ -196,7 +196,7 @@ type ruleStream struct {
 type warmupStream struct {
 	window int
 	on     stream // nil = from trace start
-	onQ    []float64
+	onQ    ring[float64]
 	was    bool
 	// suppressedUntil is the exclusive end of the current suppression
 	// window, in steps.
@@ -206,7 +206,7 @@ type warmupStream struct {
 
 // ready reports whether the warmup can decide the next step.
 func (w *warmupStream) ready() bool {
-	return w.on == nil || len(w.onQ) > 0
+	return w.on == nil || w.onQ.len() > 0
 }
 
 // maskNext consumes one step and reports whether it is suppressed.
@@ -216,8 +216,7 @@ func (w *warmupStream) maskNext() bool {
 	if w.on == nil {
 		return step < w.window
 	}
-	cur := truthy(w.onQ[0])
-	w.onQ = w.onQ[1:]
+	cur := truthy(w.onQ.pop())
 	if cur && !w.was {
 		w.suppressedUntil = step + w.window
 	}
@@ -231,8 +230,12 @@ type machineStream struct {
 	m      *Monitor
 	states map[string]int
 	guards [][]stream // per state, per transition (nil for after)
-	queues [][][]float64
-	delay  int
+	queues [][]ring[float64]
+	vals   [][]float64 // reusable per-round guard value matrix
+	// fallbackMsg precomputes the per-state default violation message,
+	// so a violating step never formats on the hot path.
+	fallbackMsg []string
+	delay       int
 
 	cur     int
 	entered int
@@ -251,11 +254,15 @@ func newMachineStream(b *streamBuilder, m *Monitor, initial int, period time.Dur
 		ms.states[st.Name] = i
 	}
 	ms.guards = make([][]stream, len(m.States))
-	ms.queues = make([][][]float64, len(m.States))
+	ms.queues = make([][]ring[float64], len(m.States))
+	ms.vals = make([][]float64, len(m.States))
+	ms.fallbackMsg = make([]string, len(m.States))
 	for i := range m.States {
 		st := &m.States[i]
 		ms.guards[i] = make([]stream, len(st.Transitions))
-		ms.queues[i] = make([][]float64, len(st.Transitions))
+		ms.queues[i] = make([]ring[float64], len(st.Transitions))
+		ms.vals[i] = make([]float64, len(st.Transitions))
+		ms.fallbackMsg[i] = fmt.Sprintf("violation in state %s", st.Name)
 		for j := range st.Transitions {
 			tr := &st.Transitions[j]
 			if tr.Kind != TransWhen {
@@ -284,7 +291,7 @@ func (ms *machineStream) push(ctx *stepCtx) (string, bool) {
 				continue
 			}
 			if o, ok := g.step(ctx); ok {
-				ms.queues[i][j] = append(ms.queues[i][j], o.val)
+				ms.queues[i][j].push(o.val)
 			}
 		}
 	}
@@ -295,7 +302,7 @@ func (ms *machineStream) push(ctx *stepCtx) (string, bool) {
 func (ms *machineStream) tryStep() (string, bool) {
 	for i := range ms.queues {
 		for j := range ms.queues[i] {
-			if ms.guards[i][j] != nil && len(ms.queues[i][j]) == 0 {
+			if ms.guards[i][j] != nil && ms.queues[i][j].len() == 0 {
 				return "", false
 			}
 		}
@@ -304,15 +311,12 @@ func (ms *machineStream) tryStep() (string, bool) {
 	ms.n++
 	// Pop one value from every guard queue; only the current state's
 	// guards are consulted, but all streams advance in lockstep.
-	vals := make([][]float64, len(ms.queues))
 	for i := range ms.queues {
-		vals[i] = make([]float64, len(ms.queues[i]))
 		for j := range ms.queues[i] {
 			if ms.guards[i][j] == nil {
 				continue
 			}
-			vals[i][j] = ms.queues[i][j][0]
-			ms.queues[i][j] = ms.queues[i][j][1:]
+			ms.vals[i][j] = ms.queues[i][j].pop()
 		}
 	}
 	mark := ""
@@ -321,7 +325,7 @@ func (ms *machineStream) tryStep() (string, bool) {
 		fire := false
 		switch tr.Kind {
 		case TransWhen:
-			fire = truthy(vals[ms.cur][j])
+			fire = truthy(ms.vals[ms.cur][j])
 		case TransAfter:
 			dwell := time.Duration(t-ms.entered) * ms.period
 			fire = dwell >= tr.Deadline
@@ -332,7 +336,7 @@ func (ms *machineStream) tryStep() (string, bool) {
 		if tr.Violate {
 			mark = tr.Msg
 			if mark == "" {
-				mark = fmt.Sprintf("violation in state %s", ms.m.States[ms.cur].Name)
+				mark = ms.fallbackMsg[ms.cur]
 			}
 		}
 		if tr.Target != "" {
@@ -355,7 +359,7 @@ func (ms *machineStream) drainAll() []string {
 				continue
 			}
 			for _, o := range g.drain() {
-				ms.queues[i][j] = append(ms.queues[i][j], o.val)
+				ms.queues[i][j].push(o.val)
 			}
 		}
 	}

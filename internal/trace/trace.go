@@ -114,23 +114,30 @@ func (tr *Trace) Duration() time.Duration {
 // database. This is the monitor's entire view of the system under test.
 func FromCANLog(log *can.Log, db *sigdb.DB) (*Trace, error) {
 	tr := New()
-	// Pre-create series in database order for stable output.
-	for _, name := range db.SignalNames() {
-		tr.Ensure(name)
+	// Pre-create series in database order for stable output, and keep a
+	// dense index so the decode loop never touches the name map.
+	names := db.SignalNames()
+	series := make([]*Series, len(names))
+	for i, name := range names {
+		series[i] = tr.Ensure(name)
 	}
+	plan, err := db.CompilePlan(names)
+	if err != nil {
+		return nil, err
+	}
+	scratch := make([]float64, plan.Width())
 	for _, f := range log.Frames() {
-		def, ok := db.Frame(f.ID)
+		dst, ok := plan.Dst(f.ID)
 		if !ok {
 			// Foreign traffic on the bus is expected; a passive monitor
 			// ignores frames it has no definition for.
 			continue
 		}
-		values, err := db.Unpack(f.ID, f.Data)
-		if err != nil {
+		if _, err := plan.UnpackInto(f.ID, f.Data, scratch); err != nil {
 			return nil, err
 		}
-		for _, sig := range def.Signals {
-			if err := tr.Ensure(sig.Name).Append(f.Time, values[sig.Name]); err != nil {
+		for _, di := range dst {
+			if err := series[di].Append(f.Time, scratch[di]); err != nil {
 				return nil, err
 			}
 		}
