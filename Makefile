@@ -10,9 +10,9 @@ all: test
 help:
 	@echo "Targets:"
 	@echo "  test   build everything and run the full suite (default)"
-	@echo "  race   race-clean gate: chaos sweep + short suite under -race"
+	@echo "  race   race-clean gate: vet + chaos sweep + short suite under -race"
 	@echo "  short  the suite minus campaign-scale tests"
-	@echo "  bench  all benchmarks with -benchmem; records BENCH_PR3.json via cmd/benchjson"
+	@echo "  bench  all benchmarks with -benchmem; records BENCH_PR4.json via cmd/benchjson"
 	@echo "  chaos  seeded transport-chaos suite under -race + wire fuzz smoke"
 	@echo "  fuzz   brief fuzz passes (wire decoder, spec parser)"
 	@echo "  vet    go vet everything"
@@ -24,8 +24,9 @@ test:
 # The fleet server, HIL benches and campaigns are concurrent; the suite
 # must stay race-clean. `-short` skips the campaign-scale tests so the
 # race run stays quick enough to use before every push. The chaos sweep
-# rides along: transport resilience bugs are concurrency bugs.
-race: chaos
+# rides along (transport resilience bugs are concurrency bugs), and vet
+# runs first so cheap static findings surface before the slow sweep.
+race: vet chaos
 	$(GO) test -race -short ./...
 
 # The seeded transport-chaos suite (fault-injected connections, resume,
@@ -38,10 +39,11 @@ chaos:
 short:
 	$(GO) test -short ./...
 
-# Runs every benchmark and snapshots the numbers to BENCH_PR3.json so
-# performance work leaves a committed, diffable record.
+# Runs every benchmark and snapshots the numbers to BENCH_PR4.json so
+# performance work leaves a committed, diffable record; the label says
+# which PR produced the snapshot even once copied elsewhere.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson > BENCH_PR3.json
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson -label PR4 > BENCH_PR4.json
 
 # Brief fuzz passes over the parser/formatter and the wire codec.
 fuzz:

@@ -93,14 +93,60 @@ func cpsmonImports(t *testing.T, pkg string) map[string][]string {
 }
 
 // TestWireProtocolStaysDependencyLight pins the wire codec's dependency
-// surface: it may know about CAN frames (the payload it carries) and
-// nothing else of the repository. A vehicle-side encoder must be able to
-// link the codec without dragging in the monitor engine.
+// surface: it may know about CAN frames (the payload it carries) and the
+// metrics registry it reports into, and nothing else of the repository.
+// A vehicle-side encoder must be able to link the codec without
+// dragging in the monitor engine.
 func TestWireProtocolStaysDependencyLight(t *testing.T) {
-	allowed := map[string]bool{"cpsmon/internal/can": true}
+	allowed := map[string]bool{
+		"cpsmon/internal/can": true,
+		"cpsmon/internal/obs": true,
+	}
 	for ipath, files := range cpsmonImports(t, "internal/wire") {
 		if !allowed[ipath] {
-			t.Errorf("%v import %s: the wire codec may depend only on internal/can", files, ipath)
+			t.Errorf("%v import %s: the wire codec may depend only on internal/can and internal/obs", files, ipath)
+		}
+	}
+}
+
+// TestObservabilityStaysStandardLibraryOnly keeps the metrics registry
+// a leaf package: every layer from the wire codec up to the fleet
+// server reports into it, so it may import nothing of cpsmon — exactly
+// like faultnet and sigdb, that is what keeps it linkable everywhere
+// without cycles.
+func TestObservabilityStaysStandardLibraryOnly(t *testing.T) {
+	for ipath, files := range cpsmonImports(t, "internal/obs") {
+		t.Errorf("%v import %s: obs must stay standard-library-only", files, ipath)
+	}
+}
+
+// TestMonitorEngineStaysOffTheNetwork keeps instrumentation from
+// pulling transport concerns into the engine: internal/core updates
+// obs counters, but serving them (/metrics, pprof) is the daemon's
+// job. An engine that can't open sockets is an engine that stays
+// embeddable in the HIL bench and a vehicle-side process alike.
+func TestMonitorEngineStaysOffTheNetwork(t *testing.T) {
+	forbidden := map[string]bool{"net": true, "net/http": true}
+	entries, err := os.ReadDir("internal/core")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join("internal/core", name)
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		for _, imp := range f.Imports {
+			ipath, _ := strconv.Unquote(imp.Path.Value)
+			if forbidden[ipath] {
+				t.Errorf("%s imports %s: the monitor engine must stay off the network", path, ipath)
+			}
 		}
 	}
 }
@@ -115,10 +161,11 @@ func TestFleetDependencySurface(t *testing.T) {
 		"cpsmon/internal/can":      true,
 		"cpsmon/internal/sigdb":    true,
 		"cpsmon/internal/speclang": true,
+		"cpsmon/internal/obs":      true,
 	}
 	for ipath, files := range cpsmonImports(t, "internal/fleet") {
 		if !allowed[ipath] {
-			t.Errorf("%v import %s: fleet may depend only on wire, core, can, sigdb, speclang", files, ipath)
+			t.Errorf("%v import %s: fleet may depend only on wire, core, can, sigdb, speclang, obs", files, ipath)
 		}
 	}
 }

@@ -5,15 +5,19 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -run='^$' ./... | benchjson > BENCH.json
+//	go test -bench=. -benchmem -run='^$' ./... | benchjson -label PR4 > BENCH_PR4.json
 //
 // Non-benchmark lines (package headers, PASS/ok trailers, metrics
 // emitted via b.ReportMetric) are ignored. The -N GOMAXPROCS suffix is
 // stripped from names so records stay comparable across machines.
+// -label tags every record, so a snapshot says which PR produced it
+// even after it is copied or concatenated with another.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -25,10 +29,18 @@ import (
 // Record is one parsed benchmark result.
 type Record struct {
 	Name        string  `json:"name"`
+	Label       string  `json:"label,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// applyLabel stamps every record with the snapshot's tag.
+func applyLabel(recs []Record, label string) {
+	for i := range recs {
+		recs[i].Label = label
+	}
 }
 
 // procSuffix matches the trailing -N GOMAXPROCS marker on a benchmark
@@ -82,11 +94,14 @@ func parse(r io.Reader) ([]Record, error) {
 }
 
 func main() {
+	label := flag.String("label", "", "tag every record with this snapshot label (e.g. the PR name)")
+	flag.Parse()
 	recs, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+	applyLabel(recs, *label)
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(recs); err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -44,6 +45,35 @@ func TestParse(t *testing.T) {
 	bare := recs[2]
 	if bare.Name != "BenchmarkSpecCompile" || bare.AllocsPerOp != 1792 {
 		t.Errorf("bare record = %+v", bare)
+	}
+}
+
+func TestLabelTagsEveryRecordAndStaysOptional(t *testing.T) {
+	recs, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unlabelled records must omit the field entirely, keeping old
+	// snapshots byte-compatible.
+	plain, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(plain), "label") {
+		t.Errorf("unlabelled records leak a label field: %s", plain)
+	}
+	applyLabel(recs, "PR4")
+	for _, r := range recs {
+		if r.Label != "PR4" {
+			t.Errorf("record %s label = %q, want PR4", r.Name, r.Label)
+		}
+	}
+	tagged, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(tagged), `"label": "PR4"`) && !strings.Contains(string(tagged), `"label":"PR4"`) {
+		t.Errorf("labelled records missing the tag: %s", tagged)
 	}
 }
 

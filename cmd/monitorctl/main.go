@@ -13,6 +13,7 @@
 //	monitorctl -trace capture.canlog -explain 2  # context strips per violation
 //	monitorctl -signals                          # print the Figure 1 inventory
 //	monitorctl -writedb my.netdb                 # export the network DB template
+//	monitorctl -metrics 127.0.0.1:9321           # scrape a monitord admin endpoint
 //	monitorctl -db plant.netdb -rules plant.spec -trace plant.canlog
 package main
 
@@ -49,6 +50,7 @@ func run(args []string) error {
 		dbPath    = fs.String("db", "", "custom network database file (see 'monitorctl -writedb' for the format); default is the paper's vehicle network")
 		writeDB   = fs.String("writedb", "", "write the built-in vehicle database to this file as a template and exit")
 		signals   = fs.Bool("signals", false, "print the network's signal inventory (paper Figure 1 for the built-in vehicle) and exit")
+		metrics   = fs.String("metrics", "", "scrape a monitord admin endpoint (host:port or URL), pretty-print its metrics, and exit")
 		online    = fs.Bool("online", false, "replay the capture through the streaming monitor, printing events as they become decidable (requires a .canlog trace)")
 		stream    = fs.String("stream", "", "replay the capture to a monitord fleet server at this address, printing its incremental verdicts (requires a .canlog trace)")
 		speed     = fs.Float64("speed", 0, "replay speed for -stream: 1 is real time, 2 double speed, 0 as fast as the server accepts")
@@ -61,6 +63,9 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *metrics != "" {
+		return runMetrics(*metrics, os.Stdout)
 	}
 	if *writeDB != "" {
 		f, err := os.Create(*writeDB)

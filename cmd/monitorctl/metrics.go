@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+)
+
+// promSample is one series of a scraped metric family.
+type promSample struct {
+	series string // full name, including any {labels} and _sum/_count suffix
+	value  float64
+}
+
+// promFamily groups the samples of one metric under its HELP and TYPE
+// annotations.
+type promFamily struct {
+	name    string
+	kind    string
+	help    string
+	samples []promSample
+}
+
+// runMetrics scrapes a monitord admin endpoint and renders its metric
+// families for humans: one block per family with its type and help
+// text, one aligned line per series. Histogram bucket series are
+// elided — their count and sum lines carry the operational signal.
+//
+// target is the admin address as given to monitord -admin (host:port)
+// or a full URL; a bare address scrapes http://<target>/metrics.
+func runMetrics(target string, out io.Writer) error {
+	url := target
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	if !strings.Contains(strings.TrimPrefix(url, "http://"), "/") {
+		url += "/metrics"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("scrape %s: status %s", url, resp.Status)
+	}
+	fams, err := parseExposition(resp.Body)
+	if err != nil {
+		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	return printFamilies(out, fams)
+}
+
+// parseExposition reads Prometheus text exposition into families,
+// preserving encounter order. Histogram child series (_bucket, _sum,
+// _count) are filed under their parent family.
+func parseExposition(r io.Reader) ([]*promFamily, error) {
+	var fams []*promFamily
+	byName := make(map[string]*promFamily)
+	family := func(name string) *promFamily {
+		if f, ok := byName[name]; ok {
+			return f
+		}
+		f := &promFamily{name: name}
+		byName[name] = f
+		fams = append(fams, f)
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			if name, help, ok := strings.Cut(rest, " "); ok {
+				family(name).help = help
+			} else {
+				family(rest)
+			}
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			if name, kind, ok := strings.Cut(rest, " "); ok {
+				family(name).kind = kind
+			}
+			continue
+		case strings.HasPrefix(line, "#"):
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("unparseable sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("unparseable value in %q: %v", line, err)
+		}
+		series := strings.TrimSpace(line[:sp])
+		name := series
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		// A histogram's children carry suffixed names; attribute them
+		// to the parent announced by the TYPE line.
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			parent := strings.TrimSuffix(name, suf)
+			if parent != name {
+				if f, ok := byName[parent]; ok && f.kind == "histogram" {
+					name = parent
+					break
+				}
+			}
+		}
+		f := family(name)
+		f.samples = append(f.samples, promSample{series: series, value: v})
+	}
+	return fams, sc.Err()
+}
+
+// printFamilies renders the families as aligned blocks.
+func printFamilies(out io.Writer, fams []*promFamily) error {
+	tw := tabwriter.NewWriter(out, 0, 4, 2, ' ', 0)
+	first := true
+	for _, f := range fams {
+		if len(f.samples) == 0 {
+			continue
+		}
+		if !first {
+			fmt.Fprintln(tw)
+		}
+		first = false
+		kind := f.kind
+		if kind == "" {
+			kind = "untyped"
+		}
+		fmt.Fprintf(tw, "%s (%s)\t%s\n", f.name, kind, f.help)
+		for _, s := range f.samples {
+			if f.kind == "histogram" && strings.Contains(s.series, "_bucket") {
+				continue
+			}
+			fmt.Fprintf(tw, "  %s\t%s\n", s.series, strconv.FormatFloat(s.value, 'g', -1, 64))
+		}
+	}
+	return tw.Flush()
+}

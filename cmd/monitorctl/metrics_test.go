@@ -1,0 +1,65 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"cpsmon/internal/obs"
+)
+
+// adminFixture serves a small registry — a labelled counter, a gauge
+// and a histogram — through the real admin handler.
+func adminFixture(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := obs.NewRegistry()
+	c := reg.Counter("cpsmon_fleet_frames_ingested_total", "Frames accepted into session queues.", obs.Label{Name: "vehicle", Value: "veh-1"})
+	c.Add(240)
+	reg.GaugeFunc("cpsmon_fleet_sessions_active", "Sessions currently attached.", func() float64 { return 3 })
+	h := reg.Histogram("cpsmon_fleet_ingest_batch_latency_seconds", "Queue-to-evaluation latency per batch.", obs.DefaultLatencyBuckets())
+	h.Observe(0.002)
+	h.Observe(0.004)
+	srv := httptest.NewServer(obs.NewAdminHandler(reg, nil))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestRunMetricsPrettyPrintsFamilies(t *testing.T) {
+	srv := adminFixture(t)
+	for _, target := range []string{
+		srv.URL + "/metrics",                   // full URL
+		strings.TrimPrefix(srv.URL, "http://"), // bare host:port, as passed to monitord -admin
+	} {
+		var sb strings.Builder
+		if err := runMetrics(target, &sb); err != nil {
+			t.Fatalf("runMetrics(%q): %v", target, err)
+		}
+		out := sb.String()
+		for _, want := range []string{
+			"cpsmon_fleet_frames_ingested_total (counter)",
+			`{vehicle="veh-1"}`,
+			"240",
+			"cpsmon_fleet_sessions_active (gauge)",
+			"cpsmon_fleet_ingest_batch_latency_seconds (histogram)",
+			"_count",
+		} {
+			if !strings.Contains(out, want) {
+				t.Errorf("runMetrics(%q) output missing %q:\n%s", target, want, out)
+			}
+		}
+		if strings.Contains(out, "_bucket") {
+			t.Errorf("histogram buckets not elided:\n%s", out)
+		}
+	}
+}
+
+func TestRunMetricsRejectsBadTarget(t *testing.T) {
+	srv := adminFixture(t)
+	var sb strings.Builder
+	if err := runMetrics(srv.URL+"/nope", &sb); err == nil {
+		t.Error("no error for a 404 target")
+	}
+	if err := runMetrics("127.0.0.1:1", &sb); err == nil {
+		t.Error("no error for a refused connection")
+	}
+}

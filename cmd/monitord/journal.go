@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"sync"
+	"time"
+
+	"cpsmon/internal/core"
+	"cpsmon/internal/obs"
+	"cpsmon/internal/wire"
+)
+
+// jsonFloat marshals like a float64 but survives the non-finite peaks
+// a NaN- or Inf-injected signal produces: JSON has no Inf/NaN literal,
+// and one unmarshalable severity must not cost the journal its event
+// record. Non-finite values are emitted as the quoted strings "+Inf",
+// "-Inf" and "NaN".
+type jsonFloat float64
+
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return strconv.AppendQuote(nil, strconv.FormatFloat(v, 'g', -1, 64)), nil
+	}
+	return json.Marshal(v)
+}
+
+// journalEvent is one event line in the verdict journal: a violation
+// opening or closing, or a stream gap, stamped with the wall clock at
+// which the daemon produced it. Capture-relative times ride along so
+// the journal can be joined back to the recorded trace.
+type journalEvent struct {
+	TS      string `json:"ts"`
+	Kind    string `json:"kind"` // begin, end or gap
+	Session uint64 `json:"session"`
+	Vehicle string `json:"vehicle,omitempty"`
+	Rule    string `json:"rule,omitempty"`
+	// AtSec is the event's capture-relative time in seconds: the
+	// violation start for begin events, the exclusive end otherwise.
+	AtSec float64 `json:"at_s"`
+	// Severity is the triage class of a closed violation; Peak its
+	// maximum absolute severity over the interval (quoted "+Inf" /
+	// "NaN" when an injected signal drove it non-finite).
+	Severity string    `json:"severity,omitempty"`
+	Peak     jsonFloat `json:"peak,omitempty"`
+	Msg      string    `json:"msg,omitempty"`
+}
+
+// journalRule is one rule row of a verdict line.
+type journalRule struct {
+	Rule       string `json:"rule"`
+	Violated   bool   `json:"violated"`
+	Violations uint32 `json:"violations"`
+	Real       uint32 `json:"real"`
+	Transient  uint32 `json:"transient"`
+	Negligible uint32 `json:"negligible"`
+}
+
+// journalVerdict is one verdict line: the session's end-of-stream
+// outcome, one row per rule in rule-set order.
+type journalVerdict struct {
+	TS      string        `json:"ts"`
+	Kind    string        `json:"kind"` // always "verdict"
+	Session uint64        `json:"session"`
+	Vehicle string        `json:"vehicle,omitempty"`
+	Rules   []journalRule `json:"rules"`
+
+	FramesIngested uint64 `json:"frames_ingested"`
+	FramesDropped  uint64 `json:"frames_dropped"`
+	FramesRejected uint64 `json:"frames_rejected"`
+}
+
+// journalHooks adapts a journal into the fleet server's event and
+// verdict callbacks. Journal write failures (disk full, rotation
+// races) must never take sessions down, so they are reported once to
+// errOut and otherwise swallowed.
+func journalHooks(j *obs.Journal, errOut io.Writer) (
+	onEvent func(session uint64, vehicle string, e wire.Event),
+	onVerdict func(session uint64, vehicle string, v wire.Verdict),
+) {
+	var warnOnce sync.Once
+	appendRec := func(rec any) {
+		if err := j.Append(rec); err != nil {
+			warnOnce.Do(func() {
+				fmt.Fprintf(errOut, "monitord: journal write failed (suppressing further warnings): %v\n", err)
+			})
+		}
+	}
+	now := func() string { return time.Now().UTC().Format(time.RFC3339Nano) }
+	onEvent = func(session uint64, vehicle string, e wire.Event) {
+		rec := journalEvent{
+			TS:      now(),
+			Kind:    e.Kind.String(),
+			Session: session,
+			Vehicle: vehicle,
+			Rule:    e.Rule,
+			AtSec:   e.Time.Seconds(),
+			Msg:     e.Msg,
+		}
+		if e.Kind == wire.EventEnd {
+			rec.Severity = core.Class(e.Class).String()
+			rec.Peak = jsonFloat(e.Peak)
+		}
+		appendRec(rec)
+	}
+	onVerdict = func(session uint64, vehicle string, v wire.Verdict) {
+		rec := journalVerdict{
+			TS:             now(),
+			Kind:           "verdict",
+			Session:        session,
+			Vehicle:        vehicle,
+			FramesIngested: v.FramesIngested,
+			FramesDropped:  v.FramesDropped,
+			FramesRejected: v.FramesRejected,
+		}
+		for _, r := range v.Rules {
+			rec.Rules = append(rec.Rules, journalRule{
+				Rule: r.Rule, Violated: r.Violated,
+				Violations: r.Violations, Real: r.Real,
+				Transient: r.Transient, Negligible: r.Negligible,
+			})
+		}
+		appendRec(rec)
+	}
+	return onEvent, onVerdict
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cpsmon/internal/obs"
+	"cpsmon/internal/wire"
+)
+
+// TestJournalHooksSurviveNonFinitePeaks pins a failure found in the
+// field: a NaN-injected signal drives a violation's peak severity to
+// +Inf, which encoding/json refuses to marshal — every such end event
+// silently vanished from the journal. Non-finite peaks must journal as
+// quoted strings, losing no records.
+func TestJournalHooksSurviveNonFinitePeaks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := obs.OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warnings strings.Builder
+	onEvent, onVerdict := journalHooks(j, &warnings)
+
+	for _, peak := range []float64{math.Inf(1), math.Inf(-1), math.NaN(), 0.12} {
+		onEvent(1, "veh-1", wire.Event{Kind: wire.EventEnd, Rule: "Rule5", Peak: peak})
+	}
+	onEvent(1, "veh-1", wire.Event{Kind: wire.EventBegin, Rule: "Rule5"})
+	onVerdict(1, "veh-1", wire.Verdict{Rules: []wire.RuleVerdict{{Rule: "Rule5", Violated: true}}})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if warnings.Len() != 0 {
+		t.Errorf("journal hooks warned: %s", warnings.String())
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("journal holds %d lines, want 6:\n%s", len(lines), data)
+	}
+	var peaks []any
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		if rec["kind"] == "end" {
+			peaks = append(peaks, rec["peak"])
+		}
+	}
+	want := []any{"+Inf", "-Inf", "NaN", 0.12}
+	if len(peaks) != len(want) {
+		t.Fatalf("journal holds %d end lines, want %d", len(peaks), len(want))
+	}
+	for i, p := range peaks {
+		if p != want[i] {
+			t.Errorf("peak %d journaled as %v (%T), want %v", i, p, p, want[i])
+		}
+	}
+}

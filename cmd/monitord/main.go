@@ -15,6 +15,8 @@
 //	monitord -drop -queue 16                    # shed load instead of blocking
 //	monitord -idle-timeout 30s -resume-grace 2m -silence-gap 500ms
 //	                                            # field-network hardening knobs
+//	monitord -admin 127.0.0.1:9321              # /metrics, /healthz, pprof
+//	monitord -journal verdicts.jsonl            # append-only event/verdict log
 //
 // Stream a recorded capture to it with:
 //
@@ -24,6 +26,12 @@
 // or empty for the daemon's -rules default. The daemon drains every
 // session gracefully on SIGINT/SIGTERM: queued frames are evaluated,
 // verdicts delivered, and the final ingest statistics printed.
+//
+// The -admin endpoint carries live profiling and operational detail
+// with no authentication of its own: bind it to loopback (or an
+// otherwise access-controlled address), never the vehicle-facing
+// network. /healthz flips to 503 the moment a drain starts, so load
+// balancers stop routing before the listener closes.
 package main
 
 import (
@@ -31,15 +39,20 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"cpsmon/internal/fleet"
+	"cpsmon/internal/obs"
 	"cpsmon/internal/rules"
 	"cpsmon/internal/sigdb"
 	"cpsmon/internal/speclang"
+	"cpsmon/internal/wire"
 )
 
 func main() {
@@ -61,8 +74,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		queueDepth  = fs.Int("queue", 0, "per-session ingest queue depth in batches (0 = default)")
 		drop        = fs.Bool("drop", false, "shed frames when a session queue is full instead of applying backpressure")
 		deltaMode   = fs.String("delta", "aware", "multi-rate difference semantics: aware or naive")
-		statsEvery  = fs.Duration("stats", 0, "print ingest statistics at this interval (0 = only at shutdown)")
+		statsEvery  = fs.Duration("stats-interval", 0, "print ingest statistics at this interval, from the same registry as /metrics (0 = only at shutdown)")
 		drainGrace  = fs.Duration("drain", 10*time.Second, "how long shutdown waits for sessions to drain")
+		adminAddr   = fs.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address — bind loopback, e.g. 127.0.0.1:9321 (empty = off)")
+		journalPath = fs.String("journal", "", "append every event and verdict as one JSON line to this file (empty = off)")
+		journalMax  = fs.Int64("journal-max-size", 64<<20, "rotate the journal to <path>.1 past this many bytes (0 = never)")
 		idleTimeout = fs.Duration("idle-timeout", 0, "cut connections silent for this long; resumable sessions park for -resume-grace (0 = never)")
 		resumeGrace = fs.Duration("resume-grace", 0, "how long a disconnected session's monitor state awaits a resume (0 = default 30s)")
 		silenceGap  = fs.Duration("silence-gap", 0, "emit a gap event when consecutive frame timestamps are further apart than this (0 = off)")
@@ -99,7 +115,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv, err := fleet.NewServer(fleet.Config{
+	cfg := fleet.Config{
 		DB:           db,
 		Resolve:      resolve,
 		DeltaMode:    mode,
@@ -111,10 +127,40 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ResumeGrace:  *resumeGrace,
 		SilenceGap:   *silenceGap,
 		ErrorBudget:  *errorBudget,
-	})
+	}
+
+	var journal *obs.Journal
+	if *journalPath != "" {
+		journal, err = obs.OpenJournal(*journalPath, *journalMax)
+		if err != nil {
+			return err
+		}
+		defer journal.Close()
+		cfg.OnEvent, cfg.OnVerdict = journalHooks(journal, os.Stderr)
+	}
+
+	srv, err := fleet.NewServer(cfg)
 	if err != nil {
 		return err
 	}
+	wire.Instrument(srv.Registry())
+
+	// draining flips /healthz to 503 the moment shutdown begins, so
+	// health checks stop routing before the listener actually closes.
+	var draining atomic.Bool
+	if *adminAddr != "" {
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			return fmt.Errorf("admin: %w", err)
+		}
+		admin := &http.Server{Handler: obs.NewAdminHandler(srv.Registry(), func() bool { return !draining.Load() })}
+		go admin.Serve(ln)
+		// The admin endpoint outlives the drain on purpose: /metrics
+		// stays scrapeable while sessions settle. It dies with the
+		// process.
+		fmt.Fprintf(out, "monitord: admin on %s\n", ln.Addr())
+	}
+
 	if err := srv.Listen(*addr); err != nil {
 		return err
 	}
@@ -135,6 +181,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		<-ctx.Done()
 	}
 
+	draining.Store(true)
 	fmt.Fprintln(out, "monitord: draining sessions")
 	sctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
 	defer cancel()

@@ -3,7 +3,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -189,6 +195,144 @@ func TestDaemonGapFlagsAndResilienceStats(t *testing.T) {
 	shutdown()
 	if !strings.Contains(out.String(), "resilience:") {
 		t.Errorf("no resilience stats line:\n%s", out.String())
+	}
+}
+
+var adminRE = regexp.MustCompile(`admin on (\S+)`)
+
+// adminGet fetches one admin endpoint and returns status and body.
+func adminGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// scrapeAdmin fetches /metrics and parses every sample line into a
+// value keyed by "name{labels}", failing on anything that is not valid
+// Prometheus text exposition.
+func scrapeAdmin(t *testing.T, adminURL string) map[string]float64 {
+	t.Helper()
+	status, body := adminGet(t, adminURL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status %d", status)
+	}
+	samples := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "# ") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		samples[line[:sp]] = v
+	}
+	return samples
+}
+
+// TestDaemonAdminAndJournal is the daemon-level observability e2e: a
+// session streamed through a daemon running with -admin and -journal
+// must be visible on /metrics (parseable, counters matching the
+// session), /healthz must flip from ok to draining across shutdown,
+// pprof must answer, and the journal must hold one JSON line per event
+// plus the verdict.
+func TestDaemonAdminAndJournal(t *testing.T) {
+	journalPath := filepath.Join(t.TempDir(), "verdicts.jsonl")
+	addr, out, shutdown := startDaemon(t, "-admin", "127.0.0.1:0", "-journal", journalPath)
+	m := adminRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("daemon never reported its admin address:\n%s", out.String())
+	}
+	adminURL := "http://" + m[1]
+
+	if status, body := adminGet(t, adminURL+"/healthz"); status != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz before drain: status %d body %q, want 200 ok", status, body)
+	}
+
+	var events atomic.Int32
+	c, err := fleet.Dial(addr, "veh-obs", "strict", func(wire.Event) { events.Add(1) })
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	frames := testFrames(t)
+	if err := c.Send(frames); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := c.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if events.Load() == 0 {
+		t.Fatal("fixture produced no events; the journal assertions would be vacuous")
+	}
+
+	samples := scrapeAdmin(t, adminURL)
+	if got := samples["cpsmon_fleet_frames_ingested_total"]; got != float64(len(frames)) {
+		t.Errorf("frames_ingested = %v, want %d", got, len(frames))
+	}
+	if got := samples["cpsmon_fleet_sessions_opened_total"]; got != 1 {
+		t.Errorf("sessions_opened = %v, want 1", got)
+	}
+	if got := samples[`cpsmon_wire_records_total{dir="rx",type="seq_batch"}`]; got == 0 {
+		t.Error("wire codec counters absent from the admin registry")
+	}
+	if status, body := adminGet(t, adminURL+"/debug/pprof/"); status != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ status %d", status)
+	}
+
+	shutdown()
+
+	// The admin endpoint outlives the drain (it dies with the process),
+	// but readiness must have flipped and metrics must stay scrapeable.
+	if status, body := adminGet(t, adminURL+"/healthz"); status != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("/healthz after drain: status %d body %q, want 503 draining", status, body)
+	}
+	if got := scrapeAdmin(t, adminURL)["cpsmon_fleet_sessions_closed_total"]; got != 1 {
+		t.Errorf("sessions_closed after drain = %v, want 1", got)
+	}
+
+	data, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatalf("read journal: %v", err)
+	}
+	var verdicts, eventLines int
+	for _, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line %q: %v", line, err)
+		}
+		switch kind := rec["kind"]; kind {
+		case "verdict":
+			verdicts++
+			if rules, ok := rec["rules"].([]any); !ok || len(rules) == 0 {
+				t.Errorf("verdict line has no rule rows: %q", line)
+			}
+		case "begin", "end", "gap":
+			eventLines++
+			if rec["rule"] == "" && kind != "gap" {
+				t.Errorf("event line missing rule: %q", line)
+			}
+		default:
+			t.Errorf("journal line with unknown kind %v: %q", kind, line)
+		}
+	}
+	if verdicts != 1 {
+		t.Errorf("journal holds %d verdict lines, want 1", verdicts)
+	}
+	if eventLines != int(events.Load()) {
+		t.Errorf("journal holds %d event lines, client received %d events", eventLines, events.Load())
 	}
 }
 

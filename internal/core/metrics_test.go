@@ -1,0 +1,150 @@
+package core
+
+import (
+	"testing"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/obs"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+)
+
+// TestOnlinePushFrameAllocFreeInstrumented pins that attaching metrics
+// does not regress the hot path's zero-allocation contract: counters,
+// the step-latency histogram and the per-rule step observer all update
+// atomically with no heap traffic.
+func TestOnlinePushFrameAllocFreeInstrumented(t *testing.T) {
+	log := buildLog(t, 4000, func(tick int, bus *can.Bus) {
+		_ = bus.Set(sigdb.SigVelocity, 24)
+		_ = bus.Set(sigdb.SigACCSetSpeed, 25)
+	})
+	m := testMonitor(t)
+	om, err := m.Online(sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	reg := obs.NewRegistry()
+	om.Instrument(NewMetrics(reg, "strict", m.RuleNames()))
+	frames := log.Frames()
+	warm := 1000
+	if len(frames) < warm+1500 {
+		t.Fatalf("fixture too short: %d frames", len(frames))
+	}
+	for _, f := range frames[:warm] {
+		if _, err := om.PushFrame(f); err != nil {
+			t.Fatalf("PushFrame: %v", err)
+		}
+	}
+	next := warm
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := om.PushFrame(frames[next]); err != nil {
+			t.Fatal(err)
+		}
+		next++
+	})
+	if allocs != 0 {
+		t.Fatalf("instrumented PushFrame allocates %.2f times per frame, want 0", allocs)
+	}
+}
+
+// TestOnlineMetricsCounts checks the instrumented session's counters
+// against ground truth computed from the same trace: frames decoded,
+// steps finalized, events emitted and per-rule violation counts.
+func TestOnlineMetricsCounts(t *testing.T) {
+	log := buildLog(t, 400, func(tick int, bus *can.Bus) {
+		_ = bus.Set(sigdb.SigVelocity, 24)
+		_ = bus.Set(sigdb.SigACCSetSpeed, 25)
+		if tick >= 100 && tick < 160 {
+			_ = bus.Set(sigdb.SigServiceACC, 1)
+			_ = bus.Set(sigdb.SigACCEnabled, 1)
+		} else {
+			_ = bus.Set(sigdb.SigServiceACC, 0)
+			_ = bus.Set(sigdb.SigACCEnabled, 0)
+		}
+	})
+	m := testMonitor(t)
+	om, err := m.Online(sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg, "strict", m.RuleNames())
+	om.Instrument(met)
+
+	var events []OnlineEvent
+	for _, f := range log.Frames() {
+		evs, err := om.PushFrame(f)
+		if err != nil {
+			t.Fatalf("PushFrame: %v", err)
+		}
+		events = append(events, evs...)
+	}
+	evs, err := om.Close()
+	if err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	events = append(events, evs...)
+
+	if got, want := met.framesDecoded.Value(), uint64(len(log.Frames())); got != want {
+		t.Errorf("frames decoded = %d, want %d", got, want)
+	}
+	if got, want := met.events.Value(), uint64(len(events)); got != want || want == 0 {
+		t.Errorf("events = %d, want %d (nonzero)", got, want)
+	}
+	wantViol := map[string]uint64{}
+	for _, e := range events {
+		if e.Kind == speclang.ViolationEnd {
+			wantViol[e.Rule]++
+		}
+	}
+	if len(wantViol) == 0 {
+		t.Fatal("fixture produced no violations")
+	}
+	for rule, want := range wantViol {
+		i, ok := met.ruleIndex[rule]
+		if !ok {
+			t.Fatalf("rule %q missing from metrics index", rule)
+		}
+		if got := met.ruleViolations[i].Value(); got != want {
+			t.Errorf("violations[%s] = %d, want %d", rule, got, want)
+		}
+	}
+	if met.steps.Value() == 0 || met.stepLatency.Count() != met.steps.Value() {
+		t.Errorf("steps = %d, step latency count = %d; want equal and nonzero",
+			met.steps.Value(), met.stepLatency.Count())
+	}
+	// Per-rule step observers fire once per rule per step.
+	for i := range met.ruleStep {
+		if got := met.ruleStep[i].Count(); got != met.steps.Value() {
+			t.Errorf("rule %d step observations = %d, want %d", i, got, met.steps.Value())
+		}
+	}
+}
+
+// TestOnlineStaleFramesCounted checks the PushFrames skip path.
+func TestOnlineStaleFramesCounted(t *testing.T) {
+	m := testMonitor(t)
+	om, err := m.Online(sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("Online: %v", err)
+	}
+	reg := obs.NewRegistry()
+	met := NewMetrics(reg, "strict", m.RuleNames())
+	om.Instrument(met)
+	log := buildLog(t, 20, func(tick int, bus *can.Bus) {
+		_ = bus.Set(sigdb.SigVelocity, 24)
+	})
+	frames := log.Frames()
+	// Append two copies of an early frame: both regress in time.
+	stale := append(append([]can.Frame(nil), frames...), frames[0], frames[1])
+	_, rejected, err := om.PushFrames(stale)
+	if err != nil {
+		t.Fatalf("PushFrames: %v", err)
+	}
+	if rejected != 2 {
+		t.Fatalf("rejected = %d, want 2", rejected)
+	}
+	if got := met.framesStale.Value(); got != 2 {
+		t.Errorf("stale counter = %d, want 2", got)
+	}
+}

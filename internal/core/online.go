@@ -56,6 +56,11 @@ type OnlineMonitor struct {
 	lastTime time.Duration // time of the newest accepted frame
 	sawFrame bool
 	closed   bool
+
+	// met, when non-nil, receives frame/step/event accounting; see
+	// Instrument. All updates are atomic counter bumps, so the
+	// allocation-free contract above holds with metrics enabled.
+	met *Metrics
 }
 
 // Online creates a streaming session of this monitor over the given
@@ -129,6 +134,9 @@ func (o *OnlineMonitor) PushFrames(frames []can.Frame) (events []OnlineEvent, re
 	for _, f := range frames {
 		if o.sawFrame && f.Time < o.lastTime {
 			rejected++
+			if o.met != nil {
+				o.met.framesStale.Inc()
+			}
 			continue
 		}
 		if err := o.push(f); err != nil {
@@ -144,6 +152,9 @@ func (o *OnlineMonitor) push(f can.Frame) error {
 	dst, ok := o.plan.Dst(f.ID)
 	if !ok {
 		return nil
+	}
+	if o.met != nil {
+		o.met.framesDecoded.Inc()
 	}
 	o.sawFrame = true
 	o.lastTime = f.Time
@@ -172,7 +183,15 @@ func (o *OnlineMonitor) push(f can.Frame) error {
 // finalizeStep pushes the pending step into the checker and converts
 // its events into the scratch buffer.
 func (o *OnlineMonitor) finalizeStep() error {
+	var t0 time.Time
+	if o.met != nil {
+		t0 = time.Now()
+	}
 	evs, err := o.sc.Step(o.latched, o.updated)
+	if o.met != nil {
+		o.met.stepLatency.Observe(time.Since(t0).Seconds())
+		o.met.steps.Inc()
+	}
 	if err != nil {
 		return err
 	}
@@ -217,6 +236,14 @@ func (o *OnlineMonitor) convert(evs []speclang.Event) {
 		oe := OnlineEvent{Rule: e.Rule, Kind: e.Kind, Time: e.Time, Violation: e.Violation}
 		if e.Kind == speclang.ViolationEnd {
 			oe.Class = o.triage[e.Rule].Classify(e.Violation)
+		}
+		if o.met != nil {
+			o.met.events.Inc()
+			if e.Kind == speclang.ViolationEnd {
+				if i, ok := o.met.ruleIndex[e.Rule]; ok {
+					o.met.ruleViolations[i].Inc()
+				}
+			}
 		}
 		o.events = append(o.events, oe)
 	}

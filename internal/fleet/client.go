@@ -8,10 +8,10 @@ import (
 	"math/rand"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"cpsmon/internal/can"
+	"cpsmon/internal/obs"
 	"cpsmon/internal/wire"
 )
 
@@ -70,6 +70,13 @@ type Options struct {
 	// IdleTimeout) restores liveness. Off by default — an idle client
 	// legitimately hears nothing between uplink bursts.
 	StallTimeout time.Duration
+	// Metrics, when not nil, is the registry the client publishes its
+	// recovery counters and replay-depth gauge on, labelled by
+	// Vehicle. Nil selects a private registry — Stats() keeps working,
+	// nothing is exported. One registry should back at most one client
+	// per vehicle name: the replay-depth gauge is registered by series
+	// and a second same-vehicle client would silently read the first's.
+	Metrics *obs.Registry
 }
 
 // ClientStats counts a client's transport recovery activity.
@@ -87,8 +94,26 @@ type ClientStats struct {
 	GapEvents uint64
 }
 
+// clientCounters is the client's recovery accounting, obs-backed like
+// the server's so Stats() and a scraped /metrics can never disagree.
 type clientCounters struct {
-	reconnects, dialAttempts, dupEvents, quarantined, gaps atomic.Uint64
+	reconnects, dialAttempts, dupEvents, quarantined, gaps *obs.Counter
+}
+
+// newClientCounters registers the client metric families on reg,
+// labelled by vehicle, and a replay-depth gauge sampling depth.
+func newClientCounters(reg *obs.Registry, vehicle string, depth func() float64) clientCounters {
+	v := obs.Label{Name: "vehicle", Value: vehicle}
+	c := func(name, help string) *obs.Counter { return reg.Counter(name, help, v) }
+	reg.GaugeFunc("cpsmon_fleet_client_replay_depth",
+		"Unacknowledged batches held for replay.", depth, v)
+	return clientCounters{
+		reconnects:   c("cpsmon_fleet_client_reconnects_total", "Successful reattachments after a transport failure."),
+		dialAttempts: c("cpsmon_fleet_client_dial_attempts_total", "Dials attempted, successful or not."),
+		dupEvents:    c("cpsmon_fleet_client_dup_events_dropped_total", "Replayed events discarded by sequence dedup."),
+		quarantined:  c("cpsmon_fleet_client_records_quarantined_total", "Malformed records skipped on the event stream."),
+		gaps:         c("cpsmon_fleet_client_gap_events_total", "Gap-kind events received from the server."),
+	}
 }
 
 // errClientClosed reports an operation on a closed client.
@@ -171,6 +196,10 @@ func DialOptions(addr string, o Options) (*Client, error) {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
+	reg := o.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	c := &Client{
 		opts: o,
 		addr: addr,
@@ -178,6 +207,12 @@ func DialOptions(addr string, o Options) (*Client, error) {
 		done: make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
+	c.stats = newClientCounters(reg, o.Vehicle, func() float64 {
+		c.mu.Lock()
+		n := len(c.unacked)
+		c.mu.Unlock()
+		return float64(n)
+	})
 	conn, br, err := c.handshake()
 	if err != nil {
 		return nil, err
@@ -196,11 +231,11 @@ func (c *Client) Session() uint64 { return c.session }
 // Stats snapshots the client's recovery counters.
 func (c *Client) Stats() ClientStats {
 	return ClientStats{
-		Reconnects:         c.stats.reconnects.Load(),
-		DialAttempts:       c.stats.dialAttempts.Load(),
-		DupEventsDropped:   c.stats.dupEvents.Load(),
-		RecordsQuarantined: c.stats.quarantined.Load(),
-		GapEvents:          c.stats.gaps.Load(),
+		Reconnects:         c.stats.reconnects.Value(),
+		DialAttempts:       c.stats.dialAttempts.Value(),
+		DupEventsDropped:   c.stats.dupEvents.Value(),
+		RecordsQuarantined: c.stats.quarantined.Value(),
+		GapEvents:          c.stats.gaps.Value(),
 	}
 }
 

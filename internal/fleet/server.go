@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"cpsmon/internal/core"
+	"cpsmon/internal/obs"
 	"cpsmon/internal/sigdb"
 	"cpsmon/internal/speclang"
 	"cpsmon/internal/wire"
@@ -95,6 +96,24 @@ type Config struct {
 	// whenever consecutive frame timestamps are further apart than
 	// this — the bus went quiet or the capture has a hole.
 	SilenceGap time.Duration
+	// Metrics, when not nil, is the registry the server publishes its
+	// operational counters, per-spec monitor metrics and session
+	// gauges on. Nil selects a private registry — Stats() keeps
+	// working, the metrics are simply not exported anywhere. One
+	// registry should back at most one server: the session gauges are
+	// registered by name and a second server would silently read the
+	// first's.
+	Metrics *obs.Registry
+	// OnEvent, when not nil, is invoked from session worker goroutines
+	// exactly once per event the server produces (violation begins,
+	// ends and gaps) — resume replays and verdict re-deliveries do not
+	// repeat it. It must not block; the verdict journal is the
+	// intended consumer.
+	OnEvent func(session uint64, vehicle string, e wire.Event)
+	// OnVerdict, when not nil, is invoked exactly once per session
+	// verdict, when the verdict is built (delivery may still be
+	// retried). Sessions reaped without a verdict never invoke it.
+	OnVerdict func(session uint64, vehicle string, v wire.Verdict)
 }
 
 const (
@@ -115,11 +134,13 @@ type shard struct {
 	sessions map[uint64]*session
 }
 
-// specEntry is a resolved spec: the shared immutable monitor plus the
-// rule order for verdict records.
+// specEntry is a resolved spec: the shared immutable monitor, the rule
+// order for verdict records, and the monitor metrics every session of
+// this spec aggregates into.
 type specEntry struct {
 	mon   *core.Monitor
 	rules []string
+	met   *core.Metrics
 }
 
 // parked is one detached v2 session awaiting resume, with the grace
@@ -157,6 +178,7 @@ type Server struct {
 	specMu sync.Mutex
 	specs  map[string]*specEntry
 
+	reg   *obs.Registry
 	stats counters
 }
 
@@ -178,6 +200,10 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.ResumeGrace == 0 {
 		cfg.ResumeGrace = defaultResumeGrace
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
@@ -186,12 +212,33 @@ func NewServer(cfg Config) (*Server, error) {
 		specs:    make(map[string]*specEntry),
 		attached: make(map[uint64]*session),
 		parkedBy: make(map[uint64]*parked),
+		reg:      reg,
+		stats:    newCounters(reg),
 	}
 	for i := range s.shards {
 		s.shards[i].sessions = make(map[uint64]*session)
 	}
+	reg.GaugeFunc("cpsmon_fleet_sessions_active", "Sessions currently accepted and not yet resolved.",
+		func() float64 {
+			opened, closed := s.stats.sessionsOpened.Value(), s.stats.sessionsClosed.Value()
+			if opened <= closed {
+				return 0
+			}
+			return float64(opened - closed)
+		})
+	reg.GaugeFunc("cpsmon_fleet_sessions_parked", "Detached v2 sessions awaiting resume.",
+		func() float64 {
+			s.parkMu.Lock()
+			n := len(s.parkedBy)
+			s.parkMu.Unlock()
+			return float64(n)
+		})
 	return s, nil
 }
+
+// Registry returns the server's metrics registry — the one passed via
+// Config.Metrics, or the private one created in its absence.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // Listen binds addr and starts serving in the background. Use Addr to
 // learn the bound address (handy with a ":0" port).
@@ -463,6 +510,11 @@ func (s *Server) spec(name string) (*specEntry, error) {
 	for _, r := range rs.Rules() {
 		e.rules = append(e.rules, r.Name)
 	}
+	label := name
+	if label == "" {
+		label = "default"
+	}
+	e.met = core.NewMetrics(s.reg, label, e.rules)
 	s.specs[name] = e
 	return e, nil
 }
@@ -539,6 +591,7 @@ func (s *Server) handleHello(conn net.Conn, br *bufio.Reader, hello wire.Hello) 
 		s.refuse(conn, fmt.Sprintf("session setup: %v", err))
 		return
 	}
+	om.Instrument(entry.met)
 
 	sess := &session{
 		id:      s.nextID.Add(1),

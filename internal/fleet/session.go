@@ -421,8 +421,7 @@ func (sess *session) work() {
 			}
 		}
 		stats.framesIngested.Add(uint64(len(it.frames)))
-		stats.ingestBatches.Add(1)
-		stats.ingestNanos.Add(uint64(time.Since(it.enq)))
+		stats.ingestLatency.Observe(time.Since(it.enq).Seconds())
 		if ok && sess.proto >= 2 {
 			ok = wire.Write(sess.bw, wire.Ack{Seq: sess.lastApplied}) == nil
 		}
@@ -578,6 +577,12 @@ func (sess *session) convert(out []wire.Event, evs []core.OnlineEvent) []wire.Ev
 // a write failure therefore only suspends the attachment, never loses
 // the event. It reports false when the write failed.
 func (sess *session) emitWire(w wire.Event) bool {
+	// emitWire runs exactly once per produced event — resume replays
+	// and verdict re-deliveries bypass it — so it is the exactly-once
+	// hook point for the event journal.
+	if f := sess.srv.cfg.OnEvent; f != nil {
+		f(sess.id, sess.vehicle, w)
+	}
 	var err error
 	if sess.proto >= 2 {
 		sess.events = append(sess.events, w)
@@ -663,8 +668,12 @@ func (sess *session) finalize() {
 			break
 		}
 	}
+	v := sess.verdict()
+	if f := sess.srv.cfg.OnVerdict; f != nil {
+		f(sess.id, sess.vehicle, v)
+	}
 	if sess.proto >= 2 {
-		sess.verdictRec = &wire.VerdictSeq{EventSeq: uint64(len(sess.events)), Verdict: sess.verdict()}
+		sess.verdictRec = &wire.VerdictSeq{EventSeq: uint64(len(sess.events)), Verdict: v}
 		sess.finalized = true
 		sess.srv.stats.sessionsClosed.Add(1)
 		if wire.Write(sess.bw, *sess.verdictRec) == nil && sess.bw.Flush() == nil {
@@ -672,7 +681,7 @@ func (sess *session) finalize() {
 		}
 		return
 	}
-	if err := wire.Write(sess.bw, sess.verdict()); err != nil {
+	if err := wire.Write(sess.bw, v); err != nil {
 		return
 	}
 	sess.bw.Flush()

@@ -1,35 +1,67 @@
 package fleet
 
 import (
-	"sync/atomic"
 	"time"
+
+	"cpsmon/internal/obs"
 )
 
-// counters is the server's hot-path accounting. Every field is an
-// atomic so sessions update them without sharing a lock; Stats() takes
-// a coherent-enough snapshot for operational monitoring.
+// counters is the server's hot-path accounting. Every cell lives on
+// the server's obs registry, so Stats() snapshots and the Prometheus
+// exposition read the very same atomics and can never disagree;
+// sessions update them lock-free and allocation-free.
 type counters struct {
-	sessionsOpened  atomic.Uint64
-	sessionsClosed  atomic.Uint64
-	sessionsRefused atomic.Uint64
-	sessionsResumed atomic.Uint64
-	sessionsReaped  atomic.Uint64
+	sessionsOpened  *obs.Counter
+	sessionsClosed  *obs.Counter
+	sessionsRefused *obs.Counter
+	sessionsResumed *obs.Counter
+	sessionsReaped  *obs.Counter
 
-	framesIngested atomic.Uint64
-	framesDropped  atomic.Uint64
-	framesRejected atomic.Uint64
+	framesIngested *obs.Counter
+	framesDropped  *obs.Counter
+	framesRejected *obs.Counter
 
-	batchesBlocked atomic.Uint64
+	batchesBlocked *obs.Counter
 
-	violationsEmitted atomic.Uint64
-	eventsEmitted     atomic.Uint64
-	gapEvents         atomic.Uint64
+	violationsEmitted *obs.Counter
+	eventsEmitted     *obs.Counter
+	gapEvents         *obs.Counter
 
-	recordsQuarantined atomic.Uint64
-	dupBatchesDropped  atomic.Uint64
+	recordsQuarantined *obs.Counter
+	dupBatchesDropped  *obs.Counter
 
-	ingestBatches atomic.Uint64
-	ingestNanos   atomic.Uint64
+	// ingestLatency observes seconds from a batch entering its session
+	// queue to its last frame being fully evaluated; its count and sum
+	// stand in for the old batch/nanosecond accumulators.
+	ingestLatency *obs.Histogram
+}
+
+// newCounters registers the server metric families on reg.
+func newCounters(reg *obs.Registry) counters {
+	c := func(name, help string) *obs.Counter { return reg.Counter(name, help) }
+	return counters{
+		sessionsOpened:  c("cpsmon_fleet_sessions_opened_total", "Sessions accepted over the server's lifetime."),
+		sessionsClosed:  c("cpsmon_fleet_sessions_closed_total", "Sessions resolved for good (verdict delivered or reaped)."),
+		sessionsRefused: c("cpsmon_fleet_sessions_refused_total", "Connections turned away at the session cap or for a bad handshake."),
+		sessionsResumed: c("cpsmon_fleet_sessions_resumed_total", "Resume handshakes that reattached a parked session."),
+		sessionsReaped:  c("cpsmon_fleet_sessions_reaped_total", "Parked sessions whose resume grace expired unclaimed."),
+
+		framesIngested: c("cpsmon_fleet_frames_ingested_total", "Frames fed to a monitor."),
+		framesDropped:  c("cpsmon_fleet_frames_dropped_total", "Frames shed because a session queue was full in drop mode."),
+		framesRejected: c("cpsmon_fleet_frames_rejected_total", "Frames refused for arriving out of time order."),
+
+		batchesBlocked: c("cpsmon_fleet_batches_blocked_total", "Frame batches that waited on a full queue in backpressure mode."),
+
+		violationsEmitted: c("cpsmon_fleet_violations_emitted_total", "Closed violation intervals sent to clients."),
+		eventsEmitted:     c("cpsmon_fleet_events_emitted_total", "Event records sent to clients (begin, end and gap)."),
+		gapEvents:         c("cpsmon_fleet_gap_events_total", "Gap events: bus-silence stretches and shed-batch holes."),
+
+		recordsQuarantined: c("cpsmon_fleet_records_quarantined_total", "Malformed records skipped under the per-session error budget."),
+		dupBatchesDropped:  c("cpsmon_fleet_dup_batches_dropped_total", "Sequence-numbered batches discarded as already seen."),
+
+		ingestLatency: reg.Histogram("cpsmon_fleet_ingest_batch_latency_seconds",
+			"Queue-to-evaluated latency of one frame batch.", obs.DefaultLatencyBuckets()),
+	}
 }
 
 // Stats is a point-in-time snapshot of the server's counters.
@@ -86,25 +118,25 @@ func (s Stats) AvgIngestLatency() time.Duration {
 
 // Stats snapshots the server counters.
 func (s *Server) Stats() Stats {
-	opened := s.stats.sessionsOpened.Load()
-	closed := s.stats.sessionsClosed.Load()
+	opened := s.stats.sessionsOpened.Value()
+	closed := s.stats.sessionsClosed.Value()
 	st := Stats{
 		SessionsOpened:     opened,
 		SessionsClosed:     closed,
-		SessionsRefused:    s.stats.sessionsRefused.Load(),
-		SessionsResumed:    s.stats.sessionsResumed.Load(),
-		SessionsReaped:     s.stats.sessionsReaped.Load(),
-		FramesIngested:     s.stats.framesIngested.Load(),
-		FramesDropped:      s.stats.framesDropped.Load(),
-		FramesRejected:     s.stats.framesRejected.Load(),
-		BatchesBlocked:     s.stats.batchesBlocked.Load(),
-		ViolationsEmitted:  s.stats.violationsEmitted.Load(),
-		EventsEmitted:      s.stats.eventsEmitted.Load(),
-		GapEvents:          s.stats.gapEvents.Load(),
-		RecordsQuarantined: s.stats.recordsQuarantined.Load(),
-		DupBatchesDropped:  s.stats.dupBatchesDropped.Load(),
-		IngestBatches:      s.stats.ingestBatches.Load(),
-		IngestNanos:        s.stats.ingestNanos.Load(),
+		SessionsRefused:    s.stats.sessionsRefused.Value(),
+		SessionsResumed:    s.stats.sessionsResumed.Value(),
+		SessionsReaped:     s.stats.sessionsReaped.Value(),
+		FramesIngested:     s.stats.framesIngested.Value(),
+		FramesDropped:      s.stats.framesDropped.Value(),
+		FramesRejected:     s.stats.framesRejected.Value(),
+		BatchesBlocked:     s.stats.batchesBlocked.Value(),
+		ViolationsEmitted:  s.stats.violationsEmitted.Value(),
+		EventsEmitted:      s.stats.eventsEmitted.Value(),
+		GapEvents:          s.stats.gapEvents.Value(),
+		RecordsQuarantined: s.stats.recordsQuarantined.Value(),
+		DupBatchesDropped:  s.stats.dupBatchesDropped.Value(),
+		IngestBatches:      s.stats.ingestLatency.Count(),
+		IngestNanos:        uint64(s.stats.ingestLatency.Sum() * 1e9),
 	}
 	if opened > closed {
 		st.SessionsActive = opened - closed

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewAdminHandler builds the monitord admin surface:
+//
+//   - /metrics        — the registry in Prometheus text format
+//   - /healthz        — 200 "ok" while ready() is true, 503 "draining"
+//     once it flips (drain-aware readiness: load balancers stop
+//     routing before the listener actually closes)
+//   - /debug/pprof/…  — the standard runtime profiles
+//
+// The handler carries live profiling endpoints and operational
+// detail, so it must only ever be bound to a loopback or otherwise
+// access-controlled address; it performs no authentication itself.
+// A nil ready is treated as always ready.
+func NewAdminHandler(reg *Registry, ready func() bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if ready == nil || ready() {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("ok\n"))
+			return
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("draining\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is an append-only JSONL audit log: one JSON object per line,
+// written atomically with respect to concurrent appenders, rotated by
+// size. The fleet daemon journals one record per verdict and oracle
+// event, making a live deployment auditable offline the way the
+// paper's prototype-vehicle captures were.
+//
+// Rotation: when an append would push the file past its size limit,
+// the current file is renamed to <path>.1 (replacing any previous
+// rotation) and a fresh file is started, so a journal never grows
+// unboundedly and the newest records are always in <path>.
+type Journal struct {
+	mu       sync.Mutex
+	path     string
+	maxBytes int64
+	f        *os.File
+	size     int64
+	records  uint64
+	buf      bytes.Buffer
+}
+
+// OpenJournal opens (creating or appending to) the journal at path.
+// maxBytes bounds the live file's size before rotation; zero or
+// negative disables rotation.
+func OpenJournal(path string, maxBytes int64) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: journal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: journal: %w", err)
+	}
+	return &Journal{path: path, maxBytes: maxBytes, f: f, size: st.Size()}, nil
+}
+
+// Append marshals v as one JSON line and appends it. The line is
+// written with a single Write call, so concurrent appenders never
+// interleave partial records.
+func (j *Journal) Append(v any) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("obs: journal %s is closed", j.path)
+	}
+	j.buf.Reset()
+	enc := json.NewEncoder(&j.buf)
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("obs: journal: %w", err)
+	}
+	line := j.buf.Bytes() // Encode appends the trailing newline
+	if j.maxBytes > 0 && j.size > 0 && j.size+int64(len(line)) > j.maxBytes {
+		if err := j.rotate(); err != nil {
+			return err
+		}
+	}
+	n, err := j.f.Write(line)
+	j.size += int64(n)
+	if err != nil {
+		return fmt.Errorf("obs: journal: %w", err)
+	}
+	j.records++
+	return nil
+}
+
+// rotate is called with the lock held.
+func (j *Journal) rotate() error {
+	if err := j.f.Close(); err != nil {
+		return fmt.Errorf("obs: journal rotate: %w", err)
+	}
+	if err := os.Rename(j.path, j.path+".1"); err != nil {
+		return fmt.Errorf("obs: journal rotate: %w", err)
+	}
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("obs: journal rotate: %w", err)
+	}
+	j.f = f
+	j.size = 0
+	return nil
+}
+
+// Path returns the journal's live file path.
+func (j *Journal) Path() string { return j.path }
+
+// Records returns how many records this Journal handle has appended
+// (not counting lines already in the file when it was opened).
+func (j *Journal) Records() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+// Close flushes nothing (appends are unbuffered) and closes the file.
+// Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

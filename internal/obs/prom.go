@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus encodes the registry in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, one
+// HELP/TYPE header each, series sorted by label signature, histograms
+// expanded into cumulative _bucket series plus _sum and _count. The
+// output is deterministic for a given registry state, so it can be
+// golden-tested and diffed.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	last := ""
+	r.Each(func(m Metric) {
+		if m.Name != last {
+			if m.Help != "" {
+				bw.WriteString("# HELP ")
+				bw.WriteString(m.Name)
+				bw.WriteByte(' ')
+				bw.WriteString(escapeHelp(m.Help))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString("# TYPE ")
+			bw.WriteString(m.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(m.Kind.String())
+			bw.WriteByte('\n')
+			last = m.Name
+		}
+		switch m.Kind {
+		case KindHistogram:
+			for i, ub := range m.Upper {
+				writeSample(bw, m.Name+"_bucket", m.Labels, Label{Name: "le", Value: formatFloat(ub)}, float64(m.Cumulative[i]))
+			}
+			writeSample(bw, m.Name+"_bucket", m.Labels, Label{Name: "le", Value: "+Inf"}, float64(m.Count))
+			writeSample(bw, m.Name+"_sum", m.Labels, Label{}, m.Sum)
+			writeSample(bw, m.Name+"_count", m.Labels, Label{}, float64(m.Count))
+		default:
+			writeSample(bw, m.Name, m.Labels, Label{}, m.Value)
+		}
+	})
+	return bw.Flush()
+}
+
+// writeSample emits one "name{labels} value" line. extra, when it has
+// a name, is appended after the series labels (the histogram le label).
+func writeSample(bw *bufio.Writer, name string, labels []Label, extra Label, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || extra.Name != "" {
+		bw.WriteByte('{')
+		first := true
+		for _, l := range labels {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			writeLabel(bw, l)
+		}
+		if extra.Name != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			writeLabel(bw, extra)
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+func writeLabel(bw *bufio.Writer, l Label) {
+	bw.WriteString(l.Name)
+	bw.WriteString(`="`)
+	bw.WriteString(escapeLabel(l.Value))
+	bw.WriteByte('"')
+}
+
+// formatFloat renders a sample value: integers without an exponent or
+// trailing zeros, everything else in Go's shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

@@ -22,6 +22,20 @@ type StreamChecker struct {
 	// performs no allocation.
 	ctx   stepCtx
 	evbuf []Event
+
+	// observe, when set, receives the wall-clock nanoseconds each rule
+	// spent inside Step, keyed by rule index in rule-set order. Nil (the
+	// default) costs nothing on the hot path.
+	observe func(rule int, nanos int64)
+}
+
+// Observe installs a per-rule step-latency observer: fn is called once
+// per rule per Step with the rule's index (rule-set order) and the
+// nanoseconds its incremental evaluation took. Pass nil to remove the
+// observer. The callback runs on the Step hot path, so it must not
+// block or allocate; metric counters are the intended consumer.
+func (sc *StreamChecker) Observe(fn func(rule int, nanos int64)) {
+	sc.observe = fn
 }
 
 // NewStreamChecker builds an online checker over the given signal
@@ -70,8 +84,16 @@ func (sc *StreamChecker) Step(vals []float64, upd []bool) ([]Event, error) {
 	}
 	sc.ctx.vals, sc.ctx.upd = vals, upd
 	events := sc.evbuf[:0]
-	for _, r := range sc.rules {
-		events = r.step(&sc.ctx, events)
+	if sc.observe == nil {
+		for _, r := range sc.rules {
+			events = r.step(&sc.ctx, events)
+		}
+	} else {
+		for i, r := range sc.rules {
+			t0 := time.Now()
+			events = r.step(&sc.ctx, events)
+			sc.observe(i, time.Since(t0).Nanoseconds())
+		}
 	}
 	sc.ctx.vals, sc.ctx.upd = nil, nil
 	sc.evbuf = events

@@ -503,7 +503,9 @@ func Marshal(rec Record) []byte { return Append(nil, rec) }
 
 // Write encodes the record onto w.
 func Write(w io.Writer, rec Record) error {
-	_, err := w.Write(Marshal(rec))
+	buf := Marshal(rec)
+	countTx(rec.wireType(), len(buf))
+	_, err := w.Write(buf)
 	return err
 }
 
@@ -532,6 +534,7 @@ func Read(r io.Reader) (Record, error) {
 		}
 		return nil, fmt.Errorf("wire: read record body: %w", err)
 	}
+	countRx(body[0], len(body)+4)
 	rec, err := Decode(body[0], body[1:])
 	if err != nil {
 		// The framing held — exactly one record was consumed — so the
@@ -554,6 +557,7 @@ func Decode(typ byte, payload []byte) (Record, error) {
 		want := binary.LittleEndian.Uint32(payload[len(payload)-4:])
 		got := crc32.Update(crc32.Checksum([]byte{typ}, crcTable), crcTable, body)
 		if got != want {
+			countCRCFailure()
 			return nil, fmt.Errorf("wire: record type 0x%02X checksum mismatch", typ)
 		}
 		payload = body
