@@ -3,19 +3,20 @@
 
 GO ?= go
 
-.PHONY: all help test race short bench fuzz chaos vet
+.PHONY: all help test race short bench fuzz fuzz-smoke chaos vet
 
 all: test
 
 help:
 	@echo "Targets:"
-	@echo "  test   build everything and run the full suite (default)"
-	@echo "  race   race-clean gate: vet + chaos sweep + short suite under -race"
-	@echo "  short  the suite minus campaign-scale tests"
-	@echo "  bench  all benchmarks with -benchmem; records BENCH_PR4.json via cmd/benchjson"
-	@echo "  chaos  seeded transport-chaos suite under -race + wire fuzz smoke"
-	@echo "  fuzz   brief fuzz passes (wire decoder, spec parser)"
-	@echo "  vet    go vet everything"
+	@echo "  test        build everything and run the full suite (default)"
+	@echo "  race        race-clean gate: vet + chaos sweep + short suite under -race (archive/recheck run unshortened)"
+	@echo "  short       the suite minus campaign-scale tests"
+	@echo "  bench       all benchmarks with -benchmem; records BENCH_PR6.json via cmd/benchjson"
+	@echo "  chaos       seeded transport-chaos suite under -race + wire fuzz smoke"
+	@echo "  fuzz        brief fuzz passes (wire decoder, spec parser, archive segments)"
+	@echo "  fuzz-smoke  10s each of the segment-store and wire-decoder fuzzers"
+	@echo "  vet         go vet everything"
 
 test:
 	$(GO) build ./...
@@ -26,8 +27,13 @@ test:
 # race run stays quick enough to use before every push. The chaos sweep
 # rides along (transport resilience bugs are concurrency bugs), and vet
 # runs first so cheap static findings surface before the slow sweep.
+# The archive store and recheck engine are listed explicitly: their
+# torn-tail recovery and pump-drain tests are exactly the concurrent
+# durability paths the race gate exists for, and -count=1 keeps cached
+# passes from masking them.
 race: vet chaos
 	$(GO) test -race -short ./...
+	$(GO) test -race -count=1 ./internal/archive ./internal/recheck
 
 # The seeded transport-chaos suite (fault-injected connections, resume,
 # drain) under the race detector, plus a short wire-decoder fuzz smoke —
@@ -39,16 +45,24 @@ chaos:
 short:
 	$(GO) test -short ./...
 
-# Runs every benchmark and snapshots the numbers to BENCH_PR4.json so
+# Runs every benchmark and snapshots the numbers to BENCH_PR6.json so
 # performance work leaves a committed, diffable record; the label says
 # which PR produced the snapshot even once copied elsewhere.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson -label PR4 > BENCH_PR4.json
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson -label PR6 > BENCH_PR6.json
 
-# Brief fuzz passes over the parser/formatter and the wire codec.
-fuzz:
-	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
+# Brief fuzz passes over the parser/formatter, the wire codec and the
+# archive segment reader.
+fuzz: fuzz-smoke
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/speclang
+
+# The two deserializers that face bytes an attacker (or a crash) wrote:
+# the archive segment store recovering arbitrary tail damage, and the
+# wire decoder. 10 seconds each — the smoke level CI can afford on
+# every run.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzSegment -fuzztime=10s ./internal/archive
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
 
 vet:
 	$(GO) vet ./...

@@ -170,6 +170,70 @@ func TestFleetDependencySurface(t *testing.T) {
 	}
 }
 
+// TestArchiveStaysALeafOverWire pins the archive store's dependency
+// surface: the wire codec whose records it persists, the CAN frames
+// those records carry, and the metrics registry — the same three-leaf
+// diet as the wire codec itself. In particular it must never import
+// the fleet server (the archive is the hook's implementation, not a
+// client of it) nor open sockets: an archive directory must be
+// readable by offline tooling that links nothing of the transport.
+func TestArchiveStaysALeafOverWire(t *testing.T) {
+	allowed := map[string]bool{
+		"cpsmon/internal/wire": true,
+		"cpsmon/internal/can":  true,
+		"cpsmon/internal/obs":  true,
+	}
+	for ipath, files := range cpsmonImports(t, "internal/archive") {
+		if !allowed[ipath] {
+			t.Errorf("%v import %s: archive may depend only on wire, can, obs", files, ipath)
+		}
+	}
+	forbidden := map[string]bool{"net": true, "net/http": true}
+	entries, err := os.ReadDir("internal/archive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join("internal/archive", name)
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		for _, imp := range f.Imports {
+			ipath, _ := strconv.Unquote(imp.Path.Value)
+			if forbidden[ipath] {
+				t.Errorf("%s imports %s: the archive must stay off the network", path, ipath)
+			}
+		}
+	}
+}
+
+// TestRecheckDependencySurface bounds the recheck engine: it reads
+// archives and replays them through the monitor engine, so it may see
+// the archive store, the engine and its inputs — never the fleet
+// server or the system under test. Rechecking history must stay an
+// offline operation.
+func TestRecheckDependencySurface(t *testing.T) {
+	allowed := map[string]bool{
+		"cpsmon/internal/archive":  true,
+		"cpsmon/internal/core":     true,
+		"cpsmon/internal/sigdb":    true,
+		"cpsmon/internal/speclang": true,
+		"cpsmon/internal/wire":     true,
+		"cpsmon/internal/can":      true,
+	}
+	for ipath, files := range cpsmonImports(t, "internal/recheck") {
+		if !allowed[ipath] {
+			t.Errorf("%v import %s: recheck may depend only on archive, core, sigdb, speclang, wire, can", files, ipath)
+		}
+	}
+}
+
 // TestFaultnetStaysStandardLibraryOnly keeps the fault-injecting conn
 // wrapper a leaf: it wraps any net.Conn for any test in the repository,
 // so it may import nothing of cpsmon — standard library only. That is

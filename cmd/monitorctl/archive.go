@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"cpsmon/internal/archive"
+	"cpsmon/internal/core"
+	"cpsmon/internal/recheck"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+	"cpsmon/internal/wire"
+)
+
+// runArchiveLs lists the segments of an archive directory: one line
+// per segment with its state, record count, sequence range, capture
+// time span and size, plus totals. The catalog open is read-only, so
+// listing a directory a daemon is still writing into is safe.
+func runArchiveLs(dir string, out io.Writer) error {
+	cat, err := archive.OpenCatalog(dir)
+	if err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(out, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SEGMENT\tSTATE\tRECORDS\tSEQ\tTIME\tBYTES")
+	var records, bytes uint64
+	for _, s := range cat.Segments() {
+		state := "sealed"
+		switch {
+		case s.Damaged:
+			state = "damaged"
+		case !s.Sealed:
+			state = "part"
+		case s.Scanned:
+			state = "sealed(scanned)"
+		}
+		if s.Torn {
+			state += "+torn"
+		}
+		seq, span := "-", "-"
+		if s.Records > 0 {
+			seq = fmt.Sprintf("%d..%d", s.FirstSeq, s.LastSeq)
+			span = fmt.Sprintf("%v..%v", s.TMin, s.TMax)
+		}
+		fmt.Fprintf(tw, "%08d\t%s\t%d\t%s\t%s\t%d\n",
+			s.Number, state, s.Records, seq, span, s.Bytes)
+		records += uint64(s.Records)
+		bytes += uint64(s.Bytes)
+	}
+	fmt.Fprintf(tw, "total\t%d segments\t%d\t\t\t%d\n", len(cat.Segments()), records, bytes)
+	return tw.Flush()
+}
+
+// runRecheck replays an archived time range through a freshly
+// compiled spec set and prints per-session, per-rule agreement with
+// the archived verdicts. A run that finds rule regressions returns an
+// error, so spec edits can be gated on the fleet's history from CI.
+func runRecheck(dir, spec string, db *sigdb.DB, mode speclang.DeltaMode, opt recheck.Options, out io.Writer) error {
+	rs, err := loadRules(spec, db)
+	if err != nil {
+		return err
+	}
+	cat, err := archive.OpenCatalog(dir)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{Rules: rs, DeltaMode: mode, Triage: rules.DefaultTriage()}
+	rep, err := recheck.Run(cat, db, cfg, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "recheck: %s against %q: %d sessions, %d frames replayed\n",
+		dir, spec, len(rep.Sessions), rep.FramesReplayed)
+	for i := range rep.Sessions {
+		sr := &rep.Sessions[i]
+		status := "agrees"
+		switch {
+		case sr.Archived == nil:
+			status = "no archived verdict"
+		case sr.Divergent():
+			status = "DIVERGED"
+		}
+		fmt.Fprintf(out, "session %d %-16s %8d frames  %s\n", sr.Session, sr.Vehicle, sr.Frames, status)
+		for _, d := range sr.Diffs {
+			kind := "fix"
+			if d.Regression {
+				kind = "REGRESSION"
+			}
+			fmt.Fprintf(out, "  %-28s %s: archived %s, rechecked %s\n",
+				d.Rule, kind, ruleSummary(d.Archived), ruleSummary(d.Rechecked))
+		}
+	}
+	fmt.Fprintf(out, "\nrecheck: %d sessions checked, %d divergent (%d rule regressions, %d fixes)\n",
+		rep.Checked, rep.Divergent, rep.Regressions, rep.Fixes)
+	if rep.Regressions > 0 {
+		return fmt.Errorf("recheck found %d rule regressions", rep.Regressions)
+	}
+	return nil
+}
+
+func ruleSummary(rv wire.RuleVerdict) string {
+	if !rv.Violated {
+		return "satisfied"
+	}
+	return fmt.Sprintf("violated (%d: %d real, %d transient, %d negligible)",
+		rv.Violations, rv.Real, rv.Transient, rv.Negligible)
+}

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"cpsmon/internal/archive"
+	"cpsmon/internal/can"
+	"cpsmon/internal/fleet"
+	"cpsmon/internal/recheck"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+)
+
+// buildArchive streams the test capture through a real fleet server
+// with the archive hook enabled, one session per vehicle, and returns
+// the sealed archive directory.
+func buildArchive(t *testing.T, vehicles ...string) string {
+	t.Helper()
+	dir := t.TempDir()
+	aw, err := archive.OpenWriter(dir, archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fleet.NewServer(fleet.Config{
+		DB:       sigdb.Vehicle(),
+		Resolve:  func(string) (*speclang.RuleSet, error) { return rules.Strict() },
+		Triage:   rules.DefaultTriage(),
+		Archiver: aw,
+		// Full-speed replay outruns the default queue; recheck needs
+		// lossless capture.
+		ArchiveQueue: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	path := writeTestLog(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log, err := can.ReadLog(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vehicle := range vehicles {
+		c, err := fleet.Dial(srv.Addr().String(), vehicle, "strict", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Replay(log, 0); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestRunArchiveLs(t *testing.T) {
+	dir := buildArchive(t, "veh-ls")
+	var sb strings.Builder
+	if err := runArchiveLs(dir, &sb); err != nil {
+		t.Fatalf("runArchiveLs: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"SEGMENT", "sealed", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("listing missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "part") || strings.Contains(out, "torn") {
+		t.Errorf("cleanly closed archive listed as torn or unsealed:\n%s", out)
+	}
+}
+
+// TestRunRecheckSameSpecAgrees pins the CLI half of the e2e criterion:
+// rechecking an archive against the spec that produced it reports zero
+// divergence and exits clean.
+func TestRunRecheckSameSpecAgrees(t *testing.T) {
+	dir := buildArchive(t, "veh-a", "veh-b")
+	db := sigdb.Vehicle()
+	var sb strings.Builder
+	if err := runRecheck(dir, "strict", db, speclang.DeltaUpdateAware, recheck.Options{}, &sb); err != nil {
+		t.Fatalf("runRecheck: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "2 sessions checked, 0 divergent") {
+		t.Errorf("same-spec recheck not clean:\n%s", out)
+	}
+	if strings.Contains(out, "DIVERGED") || strings.Contains(out, "REGRESSION") {
+		t.Errorf("same-spec recheck reported divergence:\n%s", out)
+	}
+
+	// An explicit -vehicle narrows the replay to that vehicle.
+	sb.Reset()
+	if err := runRecheck(dir, "strict", db, speclang.DeltaUpdateAware, recheck.Options{Vehicle: "veh-a"}, &sb); err != nil {
+		t.Fatalf("runRecheck -vehicle: %v\n%s", err, sb.String())
+	}
+	if out := sb.String(); strings.Contains(out, "veh-b") || !strings.Contains(out, "veh-a") {
+		t.Errorf("vehicle filter did not narrow the recheck:\n%s", out)
+	}
+}
+
+// TestRunRecheckTightenedSpecRegresses rechecks against a tightened
+// spec the archived traffic violates: the run must report the
+// regression and return an error so CI gates fail.
+func TestRunRecheckTightenedSpecRegresses(t *testing.T) {
+	dir := buildArchive(t, "veh-tight")
+	spec := filepath.Join(t.TempDir(), "tight.spec")
+	// The test capture has an ACCEnabled burst; forbidding engagement
+	// outright is strictly worse than every archived rule.
+	if err := os.WriteFile(spec, []byte(`spec Tight { assert !ACCEnabled }`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	err := runRecheck(dir, spec, sigdb.Vehicle(), speclang.DeltaUpdateAware, recheck.Options{}, &sb)
+	if err == nil {
+		t.Fatalf("tightened recheck exited clean:\n%s", sb.String())
+	}
+	if !strings.Contains(err.Error(), "regression") {
+		t.Errorf("error %q does not mention regressions", err)
+	}
+	if out := sb.String(); !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "DIVERGED") {
+		t.Errorf("regression not reported in output:\n%s", out)
+	}
+}
+
+func TestRunArchiveFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-archive-ls"},        // no -archive-dir
+		{"-recheck", "strict"}, // no -archive-dir
+		{"-archive-ls", "-archive-dir", "/nonexistent"},
+		{"-recheck", "/nonexistent.spec", "-archive-dir", "/nonexistent"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

@@ -14,6 +14,10 @@
 //	monitorctl -signals                          # print the Figure 1 inventory
 //	monitorctl -writedb my.netdb                 # export the network DB template
 //	monitorctl -metrics 127.0.0.1:9321           # scrape a monitord admin endpoint
+//	monitorctl -archive-dir /var/lib/cpsmon -archive-ls
+//	                                             # list a monitord archive's segments
+//	monitorctl -archive-dir /var/lib/cpsmon -recheck specs/tightened.spec -from 1m -to 5m
+//	                                             # re-verify archived traffic against a spec
 //	monitorctl -db plant.netdb -rules plant.spec -trace plant.canlog
 package main
 
@@ -27,6 +31,7 @@ import (
 	"cpsmon/internal/can"
 	"cpsmon/internal/core"
 	"cpsmon/internal/fleet"
+	"cpsmon/internal/recheck"
 	"cpsmon/internal/rules"
 	"cpsmon/internal/sigdb"
 	"cpsmon/internal/speclang"
@@ -60,10 +65,18 @@ func run(args []string) error {
 		explain   = fs.Int("explain", 0, "render signal context strips for up to N violations per rule")
 		margin    = fs.Duration("margin", 2*time.Second, "context margin around each explained violation")
 		verbose   = fs.Bool("v", false, "list every violation")
+
+		archiveDir  = fs.String("archive-dir", "", "monitord archive directory for -archive-ls and -recheck")
+		archiveLs   = fs.Bool("archive-ls", false, "list the segments of -archive-dir and exit")
+		recheckSpec = fs.String("recheck", "", "re-verify archived traffic in -archive-dir against this rule set (strict, relaxed, or a .spec path) and report per-rule divergence")
+		fromT       = fs.Duration("from", 0, "capture-time lower bound for -recheck (0 = start of archive)")
+		toT         = fs.Duration("to", 0, "capture-time upper bound for -recheck (0 = end of archive)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if *metrics != "" {
 		return runMetrics(*metrics, os.Stdout)
 	}
@@ -95,6 +108,33 @@ func run(args []string) error {
 		printSignals(db)
 		return nil
 	}
+	mode := speclang.DeltaUpdateAware
+	switch *deltaMode {
+	case "aware":
+	case "naive":
+		mode = speclang.DeltaNaive
+	default:
+		return fmt.Errorf("unknown -delta %q (want aware or naive)", *deltaMode)
+	}
+	if *archiveLs {
+		if *archiveDir == "" {
+			return fmt.Errorf("-archive-ls requires -archive-dir")
+		}
+		return runArchiveLs(*archiveDir, os.Stdout)
+	}
+	if *recheckSpec != "" {
+		if *archiveDir == "" {
+			return fmt.Errorf("-recheck requires -archive-dir")
+		}
+		opt := recheck.Options{From: *fromT, To: *toT}
+		// -vehicle doubles as the -stream identity, so its default
+		// must not silently filter the recheck; only an explicit flag
+		// narrows the replay.
+		if set["vehicle"] {
+			opt.Vehicle = *vehicle
+		}
+		return runRecheck(*archiveDir, *recheckSpec, db, mode, opt, os.Stdout)
+	}
 	if *tracePath == "" {
 		fs.Usage()
 		return fmt.Errorf("-trace is required")
@@ -106,14 +146,6 @@ func run(args []string) error {
 	rs, err := loadRules(*ruleSpec, db)
 	if err != nil {
 		return err
-	}
-	mode := speclang.DeltaUpdateAware
-	switch *deltaMode {
-	case "aware":
-	case "naive":
-		mode = speclang.DeltaNaive
-	default:
-		return fmt.Errorf("unknown -delta %q (want aware or naive)", *deltaMode)
 	}
 	mon, err := core.New(core.Config{Rules: rs, DeltaMode: mode, Triage: rules.DefaultTriage()})
 	if err != nil {

@@ -42,7 +42,7 @@ func runMetrics(target string, out io.Writer) error {
 	}
 	resp, err := http.Get(url)
 	if err != nil {
-		return err
+		return fmt.Errorf("admin endpoint unreachable: %w (is monitord running with -admin, and is the address right?)", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -51,6 +51,13 @@ func runMetrics(target string, out io.Writer) error {
 	fams, err := parseExposition(resp.Body)
 	if err != nil {
 		return fmt.Errorf("scrape %s: %w", url, err)
+	}
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.samples)
+	}
+	if samples == 0 {
+		return fmt.Errorf("scrape %s: endpoint answered but exposed no metrics — not a monitord admin endpoint?", url)
 	}
 	return printFamilies(out, fams)
 }

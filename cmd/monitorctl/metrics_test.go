@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -61,5 +62,31 @@ func TestRunMetricsRejectsBadTarget(t *testing.T) {
 	}
 	if err := runMetrics("127.0.0.1:1", &sb); err == nil {
 		t.Error("no error for a refused connection")
+	} else if !strings.Contains(err.Error(), "unreachable") {
+		t.Errorf("refused-connection error %q does not say the endpoint is unreachable", err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("failed scrapes still printed output:\n%s", sb.String())
+	}
+}
+
+// TestRunMetricsRejectsEmptyScrape pins the unreachable-endpoint
+// satellite from the other side: an HTTP server that answers 200 with
+// no exposition at all (nothing listening that speaks Prometheus, a
+// bare web server, a load balancer default page) must be an error,
+// not a silent empty printout.
+func TestRunMetricsRejectsEmptyScrape(t *testing.T) {
+	empty := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	t.Cleanup(empty.Close)
+	var sb strings.Builder
+	err := runMetrics(empty.URL+"/metrics", &sb)
+	if err == nil {
+		t.Fatal("no error for a 200 response with no metrics")
+	}
+	if !strings.Contains(err.Error(), "no metrics") {
+		t.Errorf("empty-scrape error %q does not explain the empty exposition", err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("empty scrape still printed output:\n%s", sb.String())
 	}
 }

@@ -47,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"cpsmon/internal/archive"
 	"cpsmon/internal/fleet"
 	"cpsmon/internal/obs"
 	"cpsmon/internal/rules"
@@ -83,6 +84,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		resumeGrace = fs.Duration("resume-grace", 0, "how long a disconnected session's monitor state awaits a resume (0 = default 30s)")
 		silenceGap  = fs.Duration("silence-gap", 0, "emit a gap event when consecutive frame timestamps are further apart than this (0 = off)")
 		errorBudget = fs.Int("error-budget", 0, "malformed records tolerated per connection before it is cut (0 = default 16)")
+		archiveDir  = fs.String("archive-dir", "", "archive every applied frame run, event and verdict into segment files in this directory (empty = off)")
+		archiveSeg  = fs.Int64("archive-segment-size", 0, "archive segment rotation threshold in bytes (0 = default 8MiB)")
+		archiveKeep = fs.Duration("archive-retention", 0, "remove sealed archive segments older than this, swept periodically (0 = keep forever)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -139,11 +143,28 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cfg.OnEvent, cfg.OnVerdict = journalHooks(journal, os.Stderr)
 	}
 
+	var archiver *archive.Writer
+	if *archiveDir != "" {
+		archiver, err = archive.OpenWriter(*archiveDir, archive.Options{SegmentBytes: *archiveSeg})
+		if err != nil {
+			return err
+		}
+		defer archiver.Close()
+		cfg.Archiver = archiver
+	}
+
 	srv, err := fleet.NewServer(cfg)
 	if err != nil {
 		return err
 	}
 	wire.Instrument(srv.Registry())
+	if archiver != nil {
+		archive.Instrument(srv.Registry())
+		fmt.Fprintf(out, "monitord: archiving to %s\n", archiver.Dir())
+		if *archiveKeep > 0 {
+			go sweepRetention(ctx, archiver, *archiveKeep, os.Stderr)
+		}
+	}
 
 	// draining flips /healthz to 503 the moment shutdown begins, so
 	// health checks stop routing before the listener actually closes.
@@ -188,6 +209,31 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	err = srv.Shutdown(sctx)
 	printStats(out, srv.Stats())
 	return err
+}
+
+// sweepRetention periodically removes sealed archive segments older
+// than keep. The sweep interval tracks the retention window (a quarter
+// of it) so segments overstay by at most ~25%, bounded to [15s, 10m].
+func sweepRetention(ctx context.Context, w *archive.Writer, keep time.Duration, errOut io.Writer) {
+	interval := keep / 4
+	if interval < 15*time.Second {
+		interval = 15 * time.Second
+	}
+	if interval > 10*time.Minute {
+		interval = 10 * time.Minute
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if _, err := w.SweepRetention(keep); err != nil {
+				fmt.Fprintln(errOut, "monitord: archive retention:", err)
+			}
+		}
+	}
 }
 
 // newResolver builds the session spec resolver: clients may select the
@@ -241,5 +287,9 @@ func printStats(out io.Writer, st fleet.Stats) {
 		fmt.Fprintf(out,
 			"monitord: resilience: %d resumed / %d reaped sessions; %d records quarantined; %d duplicate batches dropped; %d gap events\n",
 			st.SessionsResumed, st.SessionsReaped, st.RecordsQuarantined, st.DupBatchesDropped, st.GapEvents)
+	}
+	if st.ArchiveRecords+st.ArchiveDropped+st.ArchiveErrors > 0 {
+		fmt.Fprintf(out, "monitord: archive: %d records / %d dropped / %d errors\n",
+			st.ArchiveRecords, st.ArchiveDropped, st.ArchiveErrors)
 	}
 }

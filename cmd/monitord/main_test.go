@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"cpsmon/internal/archive"
 	"cpsmon/internal/can"
 	"cpsmon/internal/fleet"
 	"cpsmon/internal/sigdb"
@@ -336,13 +337,77 @@ func TestDaemonAdminAndJournal(t *testing.T) {
 	}
 }
 
+// TestDaemonArchivesSessions runs the daemon with -archive-dir and
+// streams one session through it: the directory must afterwards hold
+// every ingested frame and the session's verdict, readable by a plain
+// catalog open — the flag-level proof that the archive subsystem is
+// wired end to end.
+func TestDaemonArchivesSessions(t *testing.T) {
+	dir := t.TempDir()
+	addr, out, shutdown := startDaemon(t, "-archive-dir", dir)
+	if !strings.Contains(out.String(), "monitord: archiving to "+dir) {
+		t.Errorf("daemon never announced the archive directory:\n%s", out.String())
+	}
+	c, err := fleet.Dial(addr, "veh-arch", "", nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	frames := testFrames(t)
+	if err := c.Send(frames); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	v, err := c.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	shutdown()
+	if !strings.Contains(out.String(), "monitord: archive:") {
+		t.Errorf("no archive stats line after shutdown:\n%s", out.String())
+	}
+
+	cat, err := archive.OpenCatalog(dir)
+	if err != nil {
+		t.Fatalf("OpenCatalog: %v", err)
+	}
+	var archived uint64
+	var verdicts int
+	it := cat.Iter(archive.Query{})
+	for it.Next() {
+		switch rec := it.Record(); rec.Kind {
+		case archive.KindFrames:
+			archived += uint64(len(rec.Frames))
+		case archive.KindVerdict:
+			verdicts++
+			if len(rec.Verdict.Rules) != len(v.Rules) {
+				t.Errorf("archived verdict has %d rules, delivered %d", len(rec.Verdict.Rules), len(v.Rules))
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if archived != uint64(len(frames)) {
+		t.Errorf("archive holds %d frames, want %d", archived, len(frames))
+	}
+	if verdicts != 1 {
+		t.Errorf("archive holds %d verdicts, want 1", verdicts)
+	}
+}
+
 func TestDaemonFlagErrors(t *testing.T) {
 	ctx := context.Background()
+	notADir := filepath.Join(t.TempDir(), "plain-file")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
 	for _, args := range [][]string{
 		{"-delta", "sideways"},
 		{"-rules", "/nonexistent.spec"},
 		{"-db", "/nonexistent.netdb"},
 		{"-queue", "-1"},
+		{"-archive-dir", notADir},
 	} {
 		if err := run(ctx, args, &syncBuffer{}); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)

@@ -1,0 +1,103 @@
+package archive
+
+import (
+	"sync/atomic"
+
+	"cpsmon/internal/obs"
+)
+
+// Metrics counts archive activity: appends and bytes by record kind,
+// segment lifecycle transitions, and corruption encounters. Counter
+// handles are pre-created at Instrument time so the append hot path
+// pays an atomic load, an index and an add — no allocation, no map.
+type Metrics struct {
+	appends   [3]*obs.Counter // frames, event, verdict
+	bytes     [3]*obs.Counter
+	sealed    *obs.Counter
+	recovered *obs.Counter
+	swept     *obs.Counter
+	corrupt   *obs.Counter
+}
+
+// metrics gates instrumentation for the whole package, mirroring the
+// wire codec's Instrument: Writer and Catalog are plain values with no
+// registry to hang counters on, and a monitord process runs one
+// archive. A nil pointer (the default) costs one atomic load per
+// append.
+var metrics atomic.Pointer[Metrics]
+
+// kindSlot maps a Kind bit to its counter slot.
+func kindSlot(k Kind) int {
+	switch k {
+	case KindFrames:
+		return 0
+	case KindEvent:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Instrument registers the archive metric families on reg and starts
+// counting. Passing nil detaches.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		metrics.Store(nil)
+		return
+	}
+	m := &Metrics{
+		sealed: reg.Counter("cpsmon_archive_segments_sealed_total",
+			"Segments sealed and atomically renamed to .seg."),
+		recovered: reg.Counter("cpsmon_archive_segments_recovered_total",
+			"Torn active segments recovered (truncated and sealed, or removed when empty) at writer open."),
+		swept: reg.Counter("cpsmon_archive_segments_swept_total",
+			"Sealed segments removed by the retention sweep."),
+		corrupt: reg.Counter("cpsmon_archive_corrupt_records_total",
+			"Records skipped during iteration for a failed checksum or envelope."),
+	}
+	for _, k := range []Kind{KindFrames, KindEvent, KindVerdict} {
+		l := obs.Label{Name: "kind", Value: k.String()}
+		m.appends[kindSlot(k)] = reg.Counter("cpsmon_archive_appends_total",
+			"Records appended to the archive.", l)
+		m.bytes[kindSlot(k)] = reg.Counter("cpsmon_archive_bytes_total",
+			"Bytes appended to the archive, length prefix included.", l)
+	}
+	metrics.Store(m)
+}
+
+// countAppend records one appended record of n on-disk bytes.
+func countAppend(k Kind, n int) {
+	if m := metrics.Load(); m != nil {
+		i := kindSlot(k)
+		m.appends[i].Inc()
+		m.bytes[i].Add(uint64(n))
+	}
+}
+
+// countSealed records one sealed segment.
+func countSealed() {
+	if m := metrics.Load(); m != nil {
+		m.sealed.Inc()
+	}
+}
+
+// countRecovered records one recovered (or removed) torn segment.
+func countRecovered() {
+	if m := metrics.Load(); m != nil {
+		m.recovered.Inc()
+	}
+}
+
+// countSwept records one segment removed by retention.
+func countSwept() {
+	if m := metrics.Load(); m != nil {
+		m.swept.Inc()
+	}
+}
+
+// countCorrupt records one record skipped during iteration.
+func countCorrupt() {
+	if m := metrics.Load(); m != nil {
+		m.corrupt.Inc()
+	}
+}

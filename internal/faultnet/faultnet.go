@@ -115,6 +115,28 @@ func (f Fault) String() string {
 	return fmt.Sprintf("%s/%s@%d+%d", f.Dir, f.Op, f.Offset, f.Len)
 }
 
+// DefaultCorruptMask is the XOR pattern a Corrupt fault applies when
+// its Mask is zero, chosen so corruption never degenerates into a
+// no-op.
+const DefaultCorruptMask byte = 0xA5
+
+// CorruptSpan applies the Corrupt transform to b[off:off+n] in place:
+// each byte is XORed with mask, zero selecting DefaultCorruptMask. It
+// lets file-format tests (the archive's torn-segment suite) mangle
+// stored bytes exactly the way the transport chaos suite mangles
+// in-flight ones. Spans outside b are clipped.
+func CorruptSpan(b []byte, off, n int, mask byte) {
+	if mask == 0 {
+		mask = DefaultCorruptMask
+	}
+	for i := off; i < off+n && i < len(b); i++ {
+		if i < 0 {
+			continue
+		}
+		b[i] ^= mask
+	}
+}
+
 // span reports whether the op covers a byte range (as opposed to a
 // point event).
 func (f Fault) span() bool {
@@ -335,7 +357,7 @@ func (l *lane) transform(c *Conn, p []byte) (out []byte, closeAfter bool) {
 		case Corrupt:
 			mask := f.Mask
 			if mask == 0 {
-				mask = 0xA5
+				mask = DefaultCorruptMask
 			}
 			for _, b := range seg {
 				out = append(out, b^mask)

@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cpsmon/internal/archive"
+	"cpsmon/internal/sigdb"
+)
+
+// TestShutdownFlushesArchiveTail pins the drain satellite: a server
+// shut down mid-stream (no Finish from the client) flushes and drains
+// its archive queue before the final verdict ack, so a catalog opened
+// over the directory — with the Writer still open, no seal — already
+// holds every frame run, every event and the session's verdict.
+func TestShutdownFlushesArchiveTail(t *testing.T) {
+	dir := t.TempDir()
+	aw, err := archive.OpenWriter(dir, archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer aw.Close()
+
+	srv, addr := startServer(t, func(cfg *Config) {
+		cfg.Archiver = aw
+	})
+	log := hilLog(t, 11, 10*time.Second, nil)
+	c, err := Dial(addr, "veh-drain", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(log.Frames()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().FramesIngested < uint64(log.Len()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("server ingested %d of %d frames", srv.Stats().FramesIngested, log.Len())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	v, err := c.Wait()
+	if err != nil {
+		t.Fatalf("no verdict after drain: %v", err)
+	}
+
+	st := srv.Stats()
+	if st.ArchiveDropped != 0 {
+		t.Errorf("archive shed %d items during an unloaded run", st.ArchiveDropped)
+	}
+	if st.ArchiveErrors != 0 {
+		t.Errorf("archiver reported %d errors", st.ArchiveErrors)
+	}
+
+	// No Writer.Close, no Flush: Shutdown's own drain must have pushed
+	// the tail out.
+	cat, err := archive.OpenCatalog(dir)
+	if err != nil {
+		t.Fatalf("OpenCatalog: %v", err)
+	}
+	var frames uint64
+	var verdicts int
+	it := cat.Iter(archive.Query{})
+	for it.Next() {
+		rec := it.Record()
+		if rec.Vehicle != "veh-drain" {
+			t.Fatalf("record for unexpected vehicle %q", rec.Vehicle)
+		}
+		switch rec.Kind {
+		case archive.KindFrames:
+			frames += uint64(len(rec.Frames))
+		case archive.KindVerdict:
+			verdicts++
+			if len(rec.Verdict.Rules) != len(v.Rules) {
+				t.Fatalf("archived verdict has %d rules, delivered %d", len(rec.Verdict.Rules), len(v.Rules))
+			}
+			for i := range v.Rules {
+				if rec.Verdict.Rules[i] != v.Rules[i] {
+					t.Fatalf("archived rule %d = %+v, delivered %+v", i, rec.Verdict.Rules[i], v.Rules[i])
+				}
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if frames != uint64(log.Len()) {
+		t.Fatalf("archive holds %d frames, want %d", frames, log.Len())
+	}
+	if verdicts != 1 {
+		t.Fatalf("archive holds %d verdicts, want 1", verdicts)
+	}
+}
+
+// TestArchiveCapturesFinishedSession checks the ordinary path: a
+// Finish-terminated session's frames, events and verdict all reach the
+// archive, and Stats counts the enqueued records.
+func TestArchiveCapturesFinishedSession(t *testing.T) {
+	dir := t.TempDir()
+	aw, err := archive.OpenWriter(dir, archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, _ := startServer(t, func(cfg *Config) {
+		cfg.Archiver = aw
+		// A full-speed replay outruns the default queue; this test
+		// wants lossless capture, so shedding would fail the frame
+		// count below.
+		cfg.ArchiveQueue = 1 << 16
+	})
+	addr := srv.Addr().String()
+	// The blinded-radar fault needs tens of seconds of vehicle
+	// dynamics before a rule trips (same shape as fleetScenarios).
+	log := hilLog(t, 3, 60*time.Second, []injection{{
+		from: 20 * time.Second, to: 40 * time.Second,
+		signals: map[string]float64{
+			sigdb.SigVehicleAhead: 0,
+			sigdb.SigTargetRange:  0,
+			sigdb.SigTargetRelVel: 0,
+		},
+	}})
+	c, err := Dial(addr, "veh-fin", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	v, err := c.Replay(log, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cat, err := archive.OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames uint64
+	var events, verdicts int
+	it := cat.Iter(archive.Query{})
+	for it.Next() {
+		switch it.Record().Kind {
+		case archive.KindFrames:
+			frames += uint64(len(it.Record().Frames))
+		case archive.KindEvent:
+			events++
+		case archive.KindVerdict:
+			verdicts++
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if frames != v.FramesIngested {
+		t.Fatalf("archive holds %d frames, verdict ingested %d", frames, v.FramesIngested)
+	}
+	var want uint32
+	for _, rv := range v.Rules {
+		want += rv.Violations
+	}
+	if want == 0 {
+		t.Fatal("scenario produced no violations; the event assertion is vacuous")
+	}
+	if events == 0 {
+		t.Fatal("no events archived")
+	}
+	if verdicts != 1 {
+		t.Fatalf("archive holds %d verdicts, want 1", verdicts)
+	}
+	if st := srv.Stats(); st.ArchiveRecords == 0 || st.ArchiveDropped != 0 || st.ArchiveErrors != 0 {
+		t.Fatalf("archive stats = %+v", st)
+	}
+}

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"cpsmon/internal/can"
+	"cpsmon/internal/wire"
+)
+
+// Archiver receives the server's traffic for durable storage:
+// exactly the frame runs each session's monitor applied (post
+// stale-filter, so a replay reproduces the verdict), every emitted
+// event, and every verdict. archive.Writer implements it. Calls are
+// serialized by the server's archive pump — an Archiver needs no
+// locking of its own for the server's sake.
+type Archiver interface {
+	ArchiveFrames(session uint64, vehicle string, frames []can.Frame) error
+	ArchiveEvent(session uint64, vehicle string, e wire.Event) error
+	ArchiveVerdict(session uint64, vehicle string, v wire.Verdict) error
+}
+
+// archFlusher is the optional flush an Archiver may offer; the drain
+// barrier calls it before a final verdict is acked, so a drained
+// server never leaves its tail records in a library buffer.
+type archFlusher interface {
+	Flush() error
+}
+
+// archKind discriminates pump queue items.
+type archKind uint8
+
+const (
+	archFrames archKind = iota + 1
+	archEvent
+	archVerdict
+	archBarrier
+)
+
+// archItem is one unit of archive work. Frames items reference the
+// batch slices decoded from the wire (each batch gets fresh backing
+// from wire.Read, so the pump may hold them after the session moves
+// on). A barrier carries only its done channel.
+type archItem struct {
+	kind    archKind
+	session uint64
+	vehicle string
+	frames  []can.Frame
+	event   wire.Event
+	verdict wire.Verdict
+	done    chan struct{}
+}
+
+// archivePump decouples session workers from archive I/O: workers
+// enqueue, one goroutine drains into the Archiver. Frames and events
+// are enqueued without blocking — a full queue sheds the item and
+// counts it dropped, keeping archive stalls out of the ingest path —
+// while verdicts and barriers block, because correctness (a complete
+// verdict record, a flushed tail) outranks latency at session end.
+type archivePump struct {
+	srv     *Server
+	sink    Archiver
+	ch      chan archItem
+	stopped chan struct{}
+}
+
+func newArchivePump(s *Server, sink Archiver, depth int) *archivePump {
+	p := &archivePump{
+		srv:     s,
+		sink:    sink,
+		ch:      make(chan archItem, depth),
+		stopped: make(chan struct{}),
+	}
+	go p.run()
+	return p
+}
+
+// run drains the queue until the channel closes, then flushes the sink
+// one last time.
+func (p *archivePump) run() {
+	defer close(p.stopped)
+	for it := range p.ch {
+		var err error
+		switch it.kind {
+		case archFrames:
+			err = p.sink.ArchiveFrames(it.session, it.vehicle, it.frames)
+		case archEvent:
+			err = p.sink.ArchiveEvent(it.session, it.vehicle, it.event)
+		case archVerdict:
+			err = p.sink.ArchiveVerdict(it.session, it.vehicle, it.verdict)
+		case archBarrier:
+			if f, ok := p.sink.(archFlusher); ok {
+				err = f.Flush()
+			}
+			close(it.done)
+		}
+		if err != nil {
+			p.srv.stats.archiveErrors.Add(1)
+		}
+	}
+	if f, ok := p.sink.(archFlusher); ok {
+		if f.Flush() != nil {
+			p.srv.stats.archiveErrors.Add(1)
+		}
+	}
+}
+
+// stop closes the queue and waits for the drain. Only call after every
+// producer goroutine has exited (Shutdown does, after wg.Wait).
+func (p *archivePump) stop() {
+	close(p.ch)
+	<-p.stopped
+}
+
+// archiveFrames enqueues an applied frame run, shedding on a full
+// queue.
+func (s *Server) archiveFrames(session uint64, vehicle string, frames []can.Frame) {
+	if s.arch == nil || len(frames) == 0 {
+		return
+	}
+	select {
+	case s.arch.ch <- archItem{kind: archFrames, session: session, vehicle: vehicle, frames: frames}:
+		s.stats.archiveRecords.Add(1)
+	default:
+		s.stats.archiveDropped.Add(1)
+	}
+}
+
+// archiveEvent enqueues an emitted event, shedding on a full queue.
+func (s *Server) archiveEvent(session uint64, vehicle string, e wire.Event) {
+	if s.arch == nil {
+		return
+	}
+	select {
+	case s.arch.ch <- archItem{kind: archEvent, session: session, vehicle: vehicle, event: e}:
+		s.stats.archiveRecords.Add(1)
+	default:
+		s.stats.archiveDropped.Add(1)
+	}
+}
+
+// archiveVerdict enqueues a session verdict. The send blocks: a
+// verdict happens once per session and must not be shed. The pump
+// outlives every session worker, so the send always completes.
+func (s *Server) archiveVerdict(session uint64, vehicle string, v wire.Verdict) {
+	if s.arch == nil {
+		return
+	}
+	s.arch.ch <- archItem{kind: archVerdict, session: session, vehicle: vehicle, verdict: v}
+	s.stats.archiveRecords.Add(1)
+}
+
+// archBarrier blocks until every archive item enqueued before it has
+// reached the Archiver and the Archiver has flushed. Sessions call it
+// before confirming a final verdict delivery during a drain, so the
+// drain's last ack implies the session's records are out of the pump.
+func (s *Server) archBarrier() {
+	if s.arch == nil {
+		return
+	}
+	done := make(chan struct{})
+	s.arch.ch <- archItem{kind: archBarrier, done: done}
+	<-done
+}

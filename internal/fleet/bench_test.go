@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"cpsmon/internal/archive"
 	"cpsmon/internal/can"
 	"cpsmon/internal/sigdb"
 )
@@ -49,6 +50,57 @@ func BenchmarkFleetIngest(b *testing.B) {
 	for _, sessions := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
 			_, addr := startServer(b, nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for s := 0; s < sessions; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						c, err := Dial(addr, fmt.Sprintf("bench-%03d", s), "strict", nil)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						defer c.Close()
+						if _, err := c.Replay(log, 0); err != nil {
+							b.Error(err)
+						}
+					}(s)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			frames := float64(b.N) * float64(sessions) * float64(log.Len())
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(frames/secs, "frames/sec")
+			}
+			if frames > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/frames, "ns/frame")
+			}
+		})
+	}
+}
+
+// BenchmarkFleetIngestArchived is BenchmarkFleetIngest with the
+// archive hook enabled: same loopback replay, every applied frame run
+// and verdict also flowing through the pump into a segment store on
+// disk. The acceptance bar is under 5% frames/sec regression against
+// the unarchived benchmark.
+func BenchmarkFleetIngestArchived(b *testing.B) {
+	log := benchLog(b, 3000)
+	for _, sessions := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			aw, err := archive.OpenWriter(b.TempDir(), archive.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer aw.Close()
+			_, addr := startServer(b, func(cfg *Config) {
+				cfg.Archiver = aw
+			})
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -114,16 +114,27 @@ type Config struct {
 	// verdict, when the verdict is built (delivery may still be
 	// retried). Sessions reaped without a verdict never invoke it.
 	OnVerdict func(session uint64, vehicle string, v wire.Verdict)
+	// Archiver, when not nil, receives every applied frame run, every
+	// emitted event and every verdict through a bounded queue drained
+	// by a dedicated goroutine. Frames and events are shed (and
+	// counted dropped) when the queue is full; verdicts never are.
+	// Shutdown drains the queue and flushes the Archiver before
+	// returning; closing the Archiver itself stays the caller's job.
+	Archiver Archiver
+	// ArchiveQueue is the archive queue capacity in items. Zero
+	// selects the default (256).
+	ArchiveQueue int
 }
 
 const (
-	defaultQueueDepth  = 64
-	defaultErrorBudget = 16
-	defaultResumeGrace = 30 * time.Second
-	handshakeTimeout   = 10 * time.Second
-	claimTimeout       = 3 * time.Second
-	verdictAckTimeout  = 2 * time.Second
-	numShards          = 16
+	defaultQueueDepth   = 64
+	defaultArchiveQueue = 256
+	defaultErrorBudget  = 16
+	defaultResumeGrace  = 30 * time.Second
+	handshakeTimeout    = 10 * time.Second
+	claimTimeout        = 3 * time.Second
+	verdictAckTimeout   = 2 * time.Second
+	numShards           = 16
 )
 
 // shard is one slice of the session table. Sessions register on the
@@ -180,6 +191,9 @@ type Server struct {
 
 	reg   *obs.Registry
 	stats counters
+
+	// arch is the archive pump, nil when no Archiver is configured.
+	arch *archivePump
 }
 
 // NewServer validates the configuration and builds a server. Call
@@ -233,6 +247,15 @@ func NewServer(cfg Config) (*Server, error) {
 			s.parkMu.Unlock()
 			return float64(n)
 		})
+	if cfg.Archiver != nil {
+		depth := cfg.ArchiveQueue
+		if depth <= 0 {
+			depth = defaultArchiveQueue
+		}
+		s.arch = newArchivePump(s, cfg.Archiver, depth)
+		reg.GaugeFunc("cpsmon_fleet_archive_queue_depth", "Archive items waiting in the pump queue.",
+			func() float64 { return float64(len(s.arch.ch)) })
+	}
 	return s, nil
 }
 
@@ -339,6 +362,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-time.After(100 * time.Millisecond):
 		s.sweep(func(sess *session) { sess.conn.Close() })
 		<-done
+	}
+	if s.arch != nil {
+		// Every producer goroutine is down; drain the archive queue and
+		// flush the Archiver so no tail record is left in flight.
+		s.arch.stop()
 	}
 	return err
 }
@@ -663,7 +691,9 @@ func (s *Server) deliverFinal(conn net.Conn, br *bufio.Reader, sess *session, la
 		sess.delivered = true
 	}
 	if s.closed.Load() && sess.delivered {
-		// During a drain, only the client's ack proves delivery.
+		// During a drain, only the client's ack proves delivery — and
+		// the ack must not outrun the session's archive records.
+		s.archBarrier()
 		sess.confirmDelivery(conn, br)
 	}
 	conn.Close()

@@ -455,7 +455,9 @@ func (sess *session) work() {
 		// The drain is about to count this session done for good, so a
 		// successful write is not proof enough — wait for the client's
 		// verdict ack (a dead peer fails the read instead and the
-		// session parks for resume).
+		// session parks for resume). The ack must not outrun the
+		// session's archive records: barrier first.
+		sess.srv.archBarrier()
 		sess.confirmDelivery(sess.conn, sess.br)
 	}
 }
@@ -491,6 +493,9 @@ func (sess *session) apply(frames []can.Frame) ([]wire.Event, error) {
 		// so runs reach the monitor in order; count defensively anyway.
 		sess.rejected += uint64(rejected)
 		sess.ingested += uint64(len(run) - rejected)
+		// Archive exactly what the monitor applied, so replaying the
+		// archive reproduces this session's verdict.
+		sess.srv.archiveFrames(sess.id, sess.vehicle, run)
 		out = sess.convert(out, evs)
 		return nil
 	}
@@ -579,10 +584,11 @@ func (sess *session) convert(out []wire.Event, evs []core.OnlineEvent) []wire.Ev
 func (sess *session) emitWire(w wire.Event) bool {
 	// emitWire runs exactly once per produced event — resume replays
 	// and verdict re-deliveries bypass it — so it is the exactly-once
-	// hook point for the event journal.
+	// hook point for the event journal and the archive.
 	if f := sess.srv.cfg.OnEvent; f != nil {
 		f(sess.id, sess.vehicle, w)
 	}
+	sess.srv.archiveEvent(sess.id, sess.vehicle, w)
 	var err error
 	if sess.proto >= 2 {
 		sess.events = append(sess.events, w)
@@ -672,6 +678,7 @@ func (sess *session) finalize() {
 	if f := sess.srv.cfg.OnVerdict; f != nil {
 		f(sess.id, sess.vehicle, v)
 	}
+	sess.srv.archiveVerdict(sess.id, sess.vehicle, v)
 	if sess.proto >= 2 {
 		sess.verdictRec = &wire.VerdictSeq{EventSeq: uint64(len(sess.events)), Verdict: v}
 		sess.finalized = true

@@ -30,6 +30,10 @@ type counters struct {
 	recordsQuarantined *obs.Counter
 	dupBatchesDropped  *obs.Counter
 
+	archiveRecords *obs.Counter
+	archiveDropped *obs.Counter
+	archiveErrors  *obs.Counter
+
 	// ingestLatency observes seconds from a batch entering its session
 	// queue to its last frame being fully evaluated; its count and sum
 	// stand in for the old batch/nanosecond accumulators.
@@ -58,6 +62,10 @@ func newCounters(reg *obs.Registry) counters {
 
 		recordsQuarantined: c("cpsmon_fleet_records_quarantined_total", "Malformed records skipped under the per-session error budget."),
 		dupBatchesDropped:  c("cpsmon_fleet_dup_batches_dropped_total", "Sequence-numbered batches discarded as already seen."),
+
+		archiveRecords: c("cpsmon_fleet_archive_records_total", "Frame runs, events and verdicts enqueued for archiving."),
+		archiveDropped: c("cpsmon_fleet_archive_dropped_total", "Frame runs and events shed because the archive queue was full."),
+		archiveErrors:  c("cpsmon_fleet_archive_errors_total", "Archiver calls that returned an error."),
 
 		ingestLatency: reg.Histogram("cpsmon_fleet_ingest_batch_latency_seconds",
 			"Queue-to-evaluated latency of one frame batch.", obs.DefaultLatencyBuckets()),
@@ -101,6 +109,12 @@ type Stats struct {
 	// already seen — replays after a resume, delivered exactly once.
 	RecordsQuarantined, DupBatchesDropped uint64
 
+	// ArchiveRecords counts items enqueued for the Archiver (frame
+	// runs, events and verdicts). ArchiveDropped counts frame runs and
+	// events shed at a full archive queue; verdicts are never shed.
+	// ArchiveErrors counts Archiver calls that returned an error.
+	ArchiveRecords, ArchiveDropped, ArchiveErrors uint64
+
 	// IngestBatches and IngestNanos accumulate per-batch ingest
 	// latency: the time from a batch entering its session queue to the
 	// last of its frames being fully evaluated.
@@ -135,6 +149,9 @@ func (s *Server) Stats() Stats {
 		GapEvents:          s.stats.gapEvents.Value(),
 		RecordsQuarantined: s.stats.recordsQuarantined.Value(),
 		DupBatchesDropped:  s.stats.dupBatchesDropped.Value(),
+		ArchiveRecords:     s.stats.archiveRecords.Value(),
+		ArchiveDropped:     s.stats.archiveDropped.Value(),
+		ArchiveErrors:      s.stats.archiveErrors.Value(),
 		IngestBatches:      s.stats.ingestLatency.Count(),
 		IngestNanos:        uint64(s.stats.ingestLatency.Sum() * 1e9),
 	}

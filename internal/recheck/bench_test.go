@@ -1,0 +1,106 @@
+package recheck_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"cpsmon/internal/archive"
+	"cpsmon/internal/can"
+	"cpsmon/internal/core"
+	"cpsmon/internal/recheck"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/sigdb"
+)
+
+// benchLog synthesizes a bus capture directly (no plant simulation):
+// steady following traffic with a mid-trace fault burst, mirroring the
+// fleet ingest benchmark's traffic shape.
+func benchLog(b *testing.B, ticks int) *can.Log {
+	b.Helper()
+	db := sigdb.Vehicle()
+	sched, err := can.NewTxSchedule(db, sigdb.FastPeriod, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bus := can.NewBus(db, sched)
+	for tick := 0; tick < ticks; tick++ {
+		_ = bus.Set(sigdb.SigVelocity, 24)
+		_ = bus.Set(sigdb.SigACCSetSpeed, 25)
+		_ = bus.Set(sigdb.SigVehicleAhead, 1)
+		_ = bus.Set(sigdb.SigTargetRange, 40)
+		if tick >= ticks/3 && tick < ticks/2 {
+			_ = bus.Set(sigdb.SigServiceACC, 1)
+			_ = bus.Set(sigdb.SigACCEnabled, 1)
+		} else {
+			_ = bus.Set(sigdb.SigServiceACC, 0)
+			_ = bus.Set(sigdb.SigACCEnabled, 0)
+		}
+		if err := bus.Step(time.Duration(tick) * sigdb.FastPeriod); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return bus.Log()
+}
+
+// BenchmarkRecheck measures archive replay throughput: an archived
+// multi-session corpus rechecked against the strict spec, reported as
+// frames/sec.
+func BenchmarkRecheck(b *testing.B) {
+	db := sigdb.Vehicle()
+	log := benchLog(b, 3000)
+	frames := log.Frames()
+	for _, sessions := range []int{1, 8} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			dir := b.TempDir()
+			w, err := archive.OpenWriter(dir, archive.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Archive each session's frames in wire-sized runs, as the
+			// fleet server would.
+			const run = 256
+			for s := 1; s <= sessions; s++ {
+				vehicle := fmt.Sprintf("bench-%02d", s)
+				for at := 0; at < len(frames); at += run {
+					end := at + run
+					if end > len(frames) {
+						end = len(frames)
+					}
+					if err := w.ArchiveFrames(uint64(s), vehicle, frames[at:end]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := w.Close(); err != nil {
+				b.Fatal(err)
+			}
+			cat, err := archive.OpenCatalog(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rs, err := rules.Strict()
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := core.Config{Rules: rs, Triage: rules.DefaultTriage()}
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := recheck.Run(cat, db, cfg, recheck.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want := uint64(sessions) * uint64(len(frames)); rep.FramesReplayed != want {
+					b.Fatalf("replayed %d frames, want %d", rep.FramesReplayed, want)
+				}
+			}
+			b.StopTimer()
+			total := float64(b.N) * float64(sessions) * float64(len(frames))
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(total/secs, "frames/sec")
+			}
+		})
+	}
+}

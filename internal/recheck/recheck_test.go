@@ -1,0 +1,368 @@
+package recheck_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cpsmon/internal/archive"
+	"cpsmon/internal/can"
+	"cpsmon/internal/core"
+	"cpsmon/internal/fleet"
+	"cpsmon/internal/hil"
+	"cpsmon/internal/recheck"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/scenario"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+	"cpsmon/internal/wire"
+)
+
+// injection is one fault window applied while generating a HIL log.
+type injection struct {
+	from, to time.Duration
+	signals  map[string]float64
+}
+
+// hilLog generates one follow-scenario bus capture with the given
+// fault windows, as the fleet acceptance tests do.
+func hilLog(t testing.TB, seed int64, dur time.Duration, faults []injection) *can.Log {
+	t.Helper()
+	cfg := scenario.Follow(seed, dur)
+	cfg.TypeChecking = false
+	bench, err := hil.New(cfg)
+	if err != nil {
+		t.Fatalf("hil.New: %v", err)
+	}
+	onTick := func(now time.Duration, b *hil.Bench) error {
+		for _, f := range faults {
+			switch now {
+			case f.from:
+				for name, v := range f.signals {
+					if err := b.SetInjection(name, v); err != nil {
+						return err
+					}
+				}
+			case f.to:
+				for name := range f.signals {
+					b.ClearInjection(name)
+				}
+			}
+		}
+		return nil
+	}
+	if err := bench.Run(dur, onTick); err != nil {
+		t.Fatalf("bench.Run: %v", err)
+	}
+	return bench.Log()
+}
+
+// fleetLogs builds n distinct scenario logs: blind radar, corrupt
+// range, runaway set-speed and clean runs, cycled.
+func fleetLogs(t testing.TB, n int, dur time.Duration) []*can.Log {
+	t.Helper()
+	frac := func(num, den time.Duration) time.Duration {
+		return dur * num / den / sigdb.FastPeriod * sigdb.FastPeriod
+	}
+	blind := []injection{{
+		from: frac(1, 3), to: frac(2, 3),
+		signals: map[string]float64{
+			sigdb.SigVehicleAhead: 0,
+			sigdb.SigTargetRange:  0,
+			sigdb.SigTargetRelVel: 0,
+		},
+	}}
+	corrupt := []injection{{
+		from: frac(1, 4), to: frac(7, 12),
+		signals: map[string]float64{sigdb.SigTargetRange: 4294967296.000001},
+	}}
+	runaway := []injection{{
+		from: frac(5, 12), to: frac(3, 4),
+		signals: map[string]float64{sigdb.SigACCSetSpeed: 1e9},
+	}}
+	kinds := [][]injection{blind, corrupt, runaway, nil}
+
+	logs := make([]*can.Log, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			logs[i] = hilLog(t, int64(100+i), dur, kinds[i%len(kinds)])
+		}(i)
+	}
+	wg.Wait()
+	return logs
+}
+
+// strictConfig is the monitor configuration the fleet server runs with
+// for the empty spec name.
+func strictConfig(t testing.TB) core.Config {
+	t.Helper()
+	rs, err := rules.Strict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Config{Rules: rs, Triage: rules.DefaultTriage()}
+}
+
+// tightenedConfig is the strict set with Rule0 deliberately tightened
+// to "ACC must never be enabled" — traffic that was clean under the
+// real rule now violates, so a recheck against the archive must report
+// Rule0 regressions.
+func tightenedConfig(t testing.TB) core.Config {
+	t.Helper()
+	src := strings.Replace(rules.StrictSource,
+		"assert ServiceACC -> !ACCEnabled",
+		"assert !ACCEnabled", 1)
+	if src == rules.StrictSource {
+		t.Fatal("tightening substitution did not apply")
+	}
+	f, err := speclang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := speclang.Compile(f, sigdb.Vehicle().SignalNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.Config{Rules: rs, Triage: rules.DefaultTriage()}
+}
+
+// offlineVerdictRules renders an offline CheckLog report as the wire
+// rule verdicts a session over the same frames must produce.
+func offlineVerdictRules(rep *core.Report) []wire.RuleVerdict {
+	out := make([]wire.RuleVerdict, 0, len(rep.Rules))
+	for _, rr := range rep.Rules {
+		out = append(out, wire.RuleVerdict{
+			Rule:       rr.Name(),
+			Violated:   rr.Verdict == core.Violated,
+			Violations: uint32(len(rr.Result.Violations)),
+			Real:       uint32(rr.Count(core.ClassReal)),
+			Transient:  uint32(rr.Count(core.ClassTransient)),
+			Negligible: uint32(rr.Count(core.ClassNegligible)),
+		})
+	}
+	return out
+}
+
+// archiveFleetRun streams the logs through a fleet server with an
+// archive attached and returns the sealed archive directory plus the
+// verdict each session received, keyed by vehicle name.
+func archiveFleetRun(t *testing.T, logs []*can.Log) (string, map[string]*wire.Verdict) {
+	t.Helper()
+	dir := t.TempDir()
+	aw, err := archive.OpenWriter(dir, archive.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := fleet.NewServer(fleet.Config{
+		DB: sigdb.Vehicle(),
+		Resolve: func(name string) (*speclang.RuleSet, error) {
+			return rules.Strict()
+		},
+		Triage:   rules.DefaultTriage(),
+		Archiver: aw,
+		// Lossless capture: the recheck equivalence below needs every
+		// applied frame run on disk.
+		ArchiveQueue: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+
+	verdicts := make(map[string]*wire.Verdict, len(logs))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i, log := range logs {
+		wg.Add(1)
+		go func(i int, log *can.Log) {
+			defer wg.Done()
+			vehicle := fmt.Sprintf("veh-%02d", i)
+			c, err := fleet.Dial(addr, vehicle, "", nil)
+			if err != nil {
+				t.Errorf("%s: %v", vehicle, err)
+				return
+			}
+			defer c.Close()
+			v, err := c.Replay(log, 0)
+			if err != nil {
+				t.Errorf("%s: %v", vehicle, err)
+				return
+			}
+			mu.Lock()
+			verdicts[vehicle] = v
+			mu.Unlock()
+		}(i, log)
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.ArchiveDropped != 0 || st.ArchiveErrors != 0 {
+		t.Fatalf("archive run not lossless: %+v", st)
+	}
+	return dir, verdicts
+}
+
+// TestRecheckEndToEnd is the acceptance test: an 8-session fleet run
+// archived to disk, rechecked with the same specs, reports zero
+// divergence and verdicts byte-for-byte equal to offline CheckLog over
+// the original logs; a deliberately tightened spec reports the
+// expected per-rule regressions.
+func TestRecheckEndToEnd(t *testing.T) {
+	sessions := 8
+	const dur = 60 * time.Second
+	if testing.Short() {
+		sessions = 4
+	}
+	logs := fleetLogs(t, sessions, dur)
+	dir, verdicts := archiveFleetRun(t, logs)
+	if len(verdicts) != sessions {
+		t.Fatalf("got %d verdicts, want %d", len(verdicts), sessions)
+	}
+
+	cat, err := archive.OpenCatalog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sigdb.Vehicle()
+
+	rep, err := recheck.Run(cat, db, strictConfig(t), recheck.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Checked != sessions || len(rep.Sessions) != sessions {
+		t.Fatalf("rechecked %d of %d sessions (%d reports)", rep.Checked, sessions, len(rep.Sessions))
+	}
+	if rep.Divergent != 0 || rep.Regressions != 0 || rep.Fixes != 0 {
+		for _, sr := range rep.Sessions {
+			for _, d := range sr.Diffs {
+				t.Errorf("session %d (%s) rule %s: archived %+v, rechecked %+v",
+					sr.Session, sr.Vehicle, d.Rule, d.Archived, d.Rechecked)
+			}
+		}
+		t.Fatalf("same-spec recheck diverged: %d sessions, %d regressions, %d fixes",
+			rep.Divergent, rep.Regressions, rep.Fixes)
+	}
+
+	// Byte-for-byte: the rechecked verdict equals the archived one and
+	// the offline CheckLog verdict over the original log.
+	vehicleLog := make(map[string]*can.Log, sessions)
+	for i, log := range logs {
+		vehicleLog[fmt.Sprintf("veh-%02d", i)] = log
+	}
+	offline, err := core.New(strictConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var violations uint32
+	for _, sr := range rep.Sessions {
+		if sr.Archived == nil {
+			t.Fatalf("session %d (%s) has no archived verdict", sr.Session, sr.Vehicle)
+		}
+		if got, want := wire.Marshal(sr.Rechecked), wire.Marshal(*sr.Archived); !bytes.Equal(got, want) {
+			t.Fatalf("session %d (%s): rechecked verdict differs from archived:\n got %x\nwant %x",
+				sr.Session, sr.Vehicle, got, want)
+		}
+		if delivered := verdicts[sr.Vehicle]; delivered == nil {
+			t.Fatalf("no delivered verdict for %s", sr.Vehicle)
+		} else if !bytes.Equal(wire.Marshal(*delivered), wire.Marshal(sr.Rechecked)) {
+			t.Fatalf("session %d (%s): rechecked verdict differs from the one delivered to the client",
+				sr.Session, sr.Vehicle)
+		}
+		log := vehicleLog[sr.Vehicle]
+		if log == nil {
+			t.Fatalf("unknown vehicle %q in recheck report", sr.Vehicle)
+		}
+		offRep, err := offline.CheckLog(log, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := wire.Verdict{Rules: offlineVerdictRules(offRep), FramesIngested: uint64(log.Len())}
+		if got := wire.Marshal(sr.Rechecked); !bytes.Equal(got, wire.Marshal(want)) {
+			t.Fatalf("session %d (%s): rechecked verdict differs from offline CheckLog:\n got %+v\nwant %+v",
+				sr.Session, sr.Vehicle, sr.Rechecked, want)
+		}
+		for _, rv := range sr.Rechecked.Rules {
+			violations += rv.Violations
+		}
+	}
+	if violations == 0 {
+		t.Fatal("no violations across the fleet run; the equivalence is vacuous")
+	}
+
+	// Tightened spec: Rule0 now fires on traffic the archived verdicts
+	// called clean. Every session whose offline tightened run finds
+	// more Rule0 violations must surface as a Rule0 regression.
+	tcfg := tightenedConfig(t)
+	trep, err := recheck.Run(cat, db, tcfg, recheck.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tightened, err := core.New(tightenedConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRegressions := 0
+	for _, sr := range trep.Sessions {
+		log := vehicleLog[sr.Vehicle]
+		offRep, err := tightened.CheckLog(log, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRules := offlineVerdictRules(offRep)
+		for i, rv := range sr.Rechecked.Rules {
+			if rv != wantRules[i] {
+				t.Fatalf("session %d (%s) rule %s: tightened recheck %+v, offline %+v",
+					sr.Session, sr.Vehicle, rv.Rule, rv, wantRules[i])
+			}
+		}
+		var archivedRule0, tightRule0 wire.RuleVerdict
+		for _, rv := range sr.Archived.Rules {
+			if rv.Rule == "Rule0" {
+				archivedRule0 = rv
+			}
+		}
+		for _, rv := range sr.Rechecked.Rules {
+			if rv.Rule == "Rule0" {
+				tightRule0 = rv
+			}
+		}
+		if tightRule0.Violations > archivedRule0.Violations {
+			wantRegressions++
+			found := false
+			for _, d := range sr.Diffs {
+				if d.Rule == "Rule0" && d.Regression {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("session %d (%s): Rule0 got worse (%d -> %d violations) but no regression reported",
+					sr.Session, sr.Vehicle, archivedRule0.Violations, tightRule0.Violations)
+			}
+		}
+	}
+	if wantRegressions == 0 {
+		t.Fatal("tightened spec regressed no session; the regression assertion is vacuous")
+	}
+	if trep.Regressions < wantRegressions {
+		t.Fatalf("report counts %d regressions, want at least %d", trep.Regressions, wantRegressions)
+	}
+	if trep.Divergent == 0 {
+		t.Fatal("tightened recheck reported zero divergent sessions")
+	}
+}
