@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all help test race short bench fuzz fuzz-smoke chaos vet
+.PHONY: all help test race short bench fuzz fuzz-smoke chaos crash vet
 
 all: test
 
@@ -12,8 +12,9 @@ help:
 	@echo "  test        build everything and run the full suite (default)"
 	@echo "  race        race-clean gate: vet + chaos sweep + short suite under -race (archive/recheck run unshortened)"
 	@echo "  short       the suite minus campaign-scale tests"
-	@echo "  bench       all benchmarks with -benchmem; records BENCH_PR6.json via cmd/benchjson"
+	@echo "  bench       all benchmarks with -benchmem; records BENCH_PR7.json via cmd/benchjson"
 	@echo "  chaos       seeded transport-chaos suite under -race + wire fuzz smoke"
+	@echo "  crash       subprocess SIGKILL matrix: 16 seeded kills of a real monitord under -race"
 	@echo "  fuzz        brief fuzz passes (wire decoder, spec parser, archive segments)"
 	@echo "  fuzz-smoke  10s each of the segment-store and wire-decoder fuzzers"
 	@echo "  vet         go vet everything"
@@ -31,9 +32,9 @@ test:
 # torn-tail recovery and pump-drain tests are exactly the concurrent
 # durability paths the race gate exists for, and -count=1 keeps cached
 # passes from masking them.
-race: vet chaos
+race: vet chaos crash
 	$(GO) test -race -short ./...
-	$(GO) test -race -count=1 ./internal/archive ./internal/recheck
+	$(GO) test -race -count=1 ./internal/archive ./internal/recheck ./internal/durable
 
 # The seeded transport-chaos suite (fault-injected connections, resume,
 # drain) under the race detector, plus a short wire-decoder fuzz smoke —
@@ -42,27 +43,35 @@ chaos:
 	$(GO) test -race -run 'TestChaos|TestDrain|TestQuarantine|TestErrorBudget' -count=1 ./internal/fleet
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
 
+# The crash-safety acceptance gate: SIGKILL a real monitord subprocess
+# at 16 seeded uplink offsets (plus a chaos disconnect each), restart on
+# the same state dir, and require byte-identical verdicts with zero
+# duplicates — all under the race detector.
+crash:
+	$(GO) test -race -run 'TestCrashRecovery' -count=1 ./cmd/monitord
+
 short:
 	$(GO) test -short ./...
 
-# Runs every benchmark and snapshots the numbers to BENCH_PR6.json so
+# Runs every benchmark and snapshots the numbers to BENCH_PR7.json so
 # performance work leaves a committed, diffable record; the label says
 # which PR produced the snapshot even once copied elsewhere.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson -label PR6 > BENCH_PR6.json
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson -label PR7 > BENCH_PR7.json
 
 # Brief fuzz passes over the parser/formatter, the wire codec and the
 # archive segment reader.
 fuzz: fuzz-smoke
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/speclang
 
-# The two deserializers that face bytes an attacker (or a crash) wrote:
-# the archive segment store recovering arbitrary tail damage, and the
-# wire decoder. 10 seconds each — the smoke level CI can afford on
-# every run.
+# The three deserializers that face bytes an attacker (or a crash)
+# wrote: the archive segment store recovering arbitrary tail damage,
+# the wire decoder, and the session ledger fold. 10 seconds each — the
+# smoke level CI can afford on every run.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzSegment -fuzztime=10s ./internal/archive
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzLedgerFold -fuzztime=10s ./internal/durable
 
 vet:
 	$(GO) vet ./...

@@ -213,6 +213,26 @@ func TestArchiveStaysALeafOverWire(t *testing.T) {
 	}
 }
 
+// TestDurableDependencySurface bounds the crash-safety layer: the
+// session ledger and recovery engine sit between the fleet server and
+// the archive, so they may see those two, the wire records they
+// persist, and the metrics registry — never the monitor engine (the
+// rebuild replays frames through fleet's Restorer, which owns the
+// monitor) and never the system under test.
+func TestDurableDependencySurface(t *testing.T) {
+	allowed := map[string]bool{
+		"cpsmon/internal/fleet":   true,
+		"cpsmon/internal/archive": true,
+		"cpsmon/internal/wire":    true,
+		"cpsmon/internal/obs":     true,
+	}
+	for ipath, files := range cpsmonImports(t, "internal/durable") {
+		if !allowed[ipath] {
+			t.Errorf("%v import %s: durable may depend only on fleet, archive, wire, obs", files, ipath)
+		}
+	}
+}
+
 // TestRecheckDependencySurface bounds the recheck engine: it reads
 // archives and replays them through the monitor engine, so it may see
 // the archive store, the engine and its inputs — never the fleet

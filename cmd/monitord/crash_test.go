@@ -1,0 +1,392 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"cpsmon/internal/archive"
+	"cpsmon/internal/can"
+	"cpsmon/internal/core"
+	"cpsmon/internal/faultnet"
+	"cpsmon/internal/fleet"
+	"cpsmon/internal/hil"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/scenario"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/wire"
+)
+
+// TestMain lets the test binary re-exec itself as a real monitord
+// process: the crash harness SIGKILLs that child, which is the only
+// honest way to exercise the durable ledger (an in-process "crash"
+// still runs deferred flushes a kill -9 never would).
+func TestMain(m *testing.M) {
+	if os.Getenv("MONITORD_CRASH_CHILD") == "1" {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "monitord:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// violatingLog renders one HIL follow scenario with a sensor-blindness
+// window, the fault kind known to close real violations under the
+// strict spec.
+func violatingLog(t testing.TB, seed int64, dur time.Duration) *can.Log {
+	t.Helper()
+	frac := func(num, den time.Duration) time.Duration {
+		return dur * num / den / sigdb.FastPeriod * sigdb.FastPeriod
+	}
+	cfg := scenario.Follow(seed, dur)
+	cfg.TypeChecking = false
+	bench, err := hil.New(cfg)
+	if err != nil {
+		t.Fatalf("hil.New: %v", err)
+	}
+	from, to := frac(1, 3), frac(2, 3)
+	blind := []string{sigdb.SigVehicleAhead, sigdb.SigTargetRange, sigdb.SigTargetRelVel}
+	onTick := func(now time.Duration, b *hil.Bench) error {
+		switch now {
+		case from:
+			for _, name := range blind {
+				if err := b.SetInjection(name, 0); err != nil {
+					return err
+				}
+			}
+		case to:
+			for _, name := range blind {
+				b.ClearInjection(name)
+			}
+		}
+		return nil
+	}
+	if err := bench.Run(dur, onTick); err != nil {
+		t.Fatalf("bench.Run: %v", err)
+	}
+	return bench.Log()
+}
+
+func offlineReport(t testing.TB, log *can.Log) *core.Report {
+	t.Helper()
+	rs, err := rules.Strict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(core.Config{Rules: rs, Triage: rules.DefaultTriage()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.CheckLog(log, sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("CheckLog: %v", err)
+	}
+	return rep
+}
+
+// freePort reserves a loopback address that stays stable across the
+// daemon restarts of one test.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// monitordChild is one process life of the re-exec'd daemon.
+type monitordChild struct {
+	cmd *exec.Cmd
+	out *syncBuffer
+}
+
+// startChild launches the daemon subprocess on addr with stateDir and
+// waits until it reports the listener (which, with -state-dir, means
+// ledger open and recovery replay both finished).
+func startChild(t *testing.T, addr, stateDir string) *monitordChild {
+	t.Helper()
+	cmd := exec.Command(os.Args[0],
+		"-addr", addr, "-state-dir", stateDir,
+		"-rules", "strict", "-resume-grace", "2m", "-drain-timeout", "10s")
+	cmd.Env = append(os.Environ(), "MONITORD_CRASH_CHILD=1")
+	out := &syncBuffer{}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	ch := &monitordChild{cmd: cmd, out: out}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for !strings.Contains(out.String(), "listening on") {
+		if cmd.ProcessState != nil || time.Now().After(deadline) {
+			t.Fatalf("child never listened:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return ch
+}
+
+// killerConn counts uplink bytes and fires once when the stream crosses
+// the seeded kill offset.
+type killerConn struct {
+	net.Conn
+	sent *atomic.Int64
+	at   int64
+	fire func()
+	once *sync.Once
+}
+
+func (k *killerConn) Write(p []byte) (int, error) {
+	n, err := k.Conn.Write(p)
+	if k.sent.Add(int64(n)) >= k.at {
+		k.once.Do(k.fire)
+	}
+	return n, err
+}
+
+// TestCrashRecoverySeeded is the PR's acceptance harness: at each of 16
+// seeded uplink byte offsets, SIGKILL a real monitord subprocess
+// mid-stream (under faultnet chaos on top), restart it on the same
+// state dir, and prove the resumed session still yields the offline
+// ground truth — streamed violations byte-for-byte, the verdict exactly
+// once, every frame archived exactly once.
+func TestCrashRecoverySeeded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess crash matrix is minutes of work; run without -short")
+	}
+	dur := 50 * time.Second
+	log := violatingLog(t, 7, dur)
+	offline := offlineReport(t, log)
+	// Every frame encodes to at least 20 uplink bytes, so offsets spread
+	// over [10%, 85%] of this floor always land mid-stream.
+	floor := int64(log.Len()) * 20
+
+	const seeds = 16
+	for i := 0; i < seeds; i++ {
+		i := i
+		t.Run(fmt.Sprintf("seed%02d", i), func(t *testing.T) {
+			t.Parallel()
+			killAt := floor * (10 + 75*int64(i)/(seeds-1)) / 100
+			runCrashSeed(t, log, offline, killAt, i)
+		})
+	}
+}
+
+// TestCrashRecoverySmoke keeps one subprocess crash in the -short tier
+// so the path never rots between full runs.
+func TestCrashRecoverySmoke(t *testing.T) {
+	dur := 50 * time.Second
+	log := violatingLog(t, 42, dur)
+	offline := offlineReport(t, log)
+	runCrashSeed(t, log, offline, int64(log.Len())*20/2, 3)
+}
+
+func runCrashSeed(t *testing.T, log *can.Log, offline *core.Report, killAt int64, seed int) {
+	offlineViolations := 0
+	for _, rr := range offline.Rules {
+		offlineViolations += len(rr.Result.Violations)
+	}
+	if offlineViolations == 0 {
+		t.Fatal("ground-truth trace has no violations; the equivalence assertions would be vacuous")
+	}
+	stateDir := t.TempDir()
+	addr := freePort(t)
+
+	var (
+		childMu sync.Mutex
+		child   = startChild(t, addr, stateDir)
+	)
+	// One faultnet disconnect before the kill offset, so the run
+	// exercises a soft resume and then the hard crash on top of it.
+	chaos := &faultnet.Dialer{Schedules: [][]faultnet.Fault{
+		{{Op: faultnet.Disconnect, Dir: faultnet.Send, Offset: killAt / 2}},
+	}}
+
+	var sent atomic.Int64
+	var killOnce sync.Once
+	killed := make(chan struct{})
+	dial := func(target string) (net.Conn, error) {
+		conn, err := chaos.Dial(target)
+		if err != nil {
+			return nil, err
+		}
+		return &killerConn{Conn: conn, sent: &sent, at: killAt, once: &killOnce, fire: func() {
+			childMu.Lock()
+			child.cmd.Process.Kill()
+			childMu.Unlock()
+			close(killed)
+		}}, nil
+	}
+
+	var mu sync.Mutex
+	var events []wire.Event
+	c, err := fleet.DialOptions(addr, fleet.Options{
+		Vehicle: fmt.Sprintf("veh-crash-%d", seed),
+		Spec:    "strict",
+		OnEvent: func(e wire.Event) {
+			mu.Lock()
+			events = append(events, e)
+			mu.Unlock()
+		},
+		Dial:         dial,
+		MaxRetries:   60,
+		Backoff:      25 * time.Millisecond,
+		MaxBackoff:   250 * time.Millisecond,
+		StallTimeout: 3 * time.Second,
+		Seed:         int64(seed),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	type res struct {
+		v   *wire.Verdict
+		err error
+	}
+	done := make(chan res, 1)
+	go func() {
+		v, err := c.Replay(log, 0)
+		done <- res{v, err}
+	}()
+
+	// Restart the daemon on the same state dir once the kill fires. The
+	// client meanwhile spins in its retry loop against a dead port.
+	select {
+	case <-killed:
+	case r := <-done:
+		t.Fatalf("replay finished before the seeded kill at byte %d: %+v %v", killAt, r.v, r.err)
+	case <-time.After(60 * time.Second):
+		t.Fatalf("kill at byte %d never fired", killAt)
+	}
+	childMu.Lock()
+	child.cmd.Wait()
+	child = startChild(t, addr, stateDir)
+	childMu.Unlock()
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("replay across the crash: %v\nchild:\n%s", r.err, child.out.String())
+	}
+	total := uint64(log.Len())
+	if r.v.FramesIngested != total {
+		t.Errorf("verdict ingested %d frames, sent %d", r.v.FramesIngested, total)
+	}
+	if r.v.FramesDropped != 0 || r.v.FramesRejected != 0 {
+		t.Errorf("dropped=%d rejected=%d, want 0/0", r.v.FramesDropped, r.v.FramesRejected)
+	}
+
+	// Streamed events must equal the offline ground truth exactly once,
+	// byte for byte — across the process death.
+	mu.Lock()
+	streamed := make(map[string][]wire.Event)
+	begins := make(map[string]int)
+	for _, e := range events {
+		switch e.Kind {
+		case wire.EventBegin:
+			begins[e.Rule]++
+		case wire.EventEnd:
+			streamed[e.Rule] = append(streamed[e.Rule], e)
+		default:
+			t.Errorf("unexpected event kind %d (%+v)", e.Kind, e)
+		}
+	}
+	mu.Unlock()
+	for ri, rr := range offline.Rules {
+		name := rr.Name()
+		want := rr.Result.Violations
+		got := streamed[name]
+		if len(got) != len(want) {
+			t.Fatalf("rule %s: streamed %d violations, offline %d (duplicate or lost events across the crash)",
+				name, len(got), len(want))
+		}
+		if begins[name] != len(want) {
+			t.Errorf("rule %s: %d begin events for %d violations", name, begins[name], len(want))
+		}
+		for vi, v := range want {
+			wantEv := wire.Event{
+				Kind: wire.EventEnd, Rule: name, Time: v.End,
+				StartStep: uint32(v.StartStep), EndStep: uint32(v.EndStep),
+				Start: v.Start, End: v.End, Peak: v.Peak, Msg: v.Msg,
+				Class: uint8(rr.Classes[vi]),
+			}
+			if !bytes.Equal(wire.Marshal(got[vi]), wire.Marshal(wantEv)) {
+				t.Errorf("rule %s violation %d: wire bytes differ from offline", name, vi)
+			}
+		}
+		rv := r.v.Rules[ri]
+		if rv.Rule != name || int(rv.Violations) != len(want) {
+			t.Errorf("rule %s: verdict row %+v, offline %d violations", name, rv, len(want))
+		}
+	}
+
+	// A clean SIGTERM must drain and exit zero; its output proves the
+	// restart actually rebuilt the session rather than starting fresh.
+	childMu.Lock()
+	child.cmd.Process.Signal(syscall.SIGTERM)
+	err = child.cmd.Wait()
+	outStr := child.out.String()
+	childMu.Unlock()
+	if err != nil {
+		t.Fatalf("restarted child exited dirty: %v\n%s", err, outStr)
+	}
+	if !strings.Contains(outStr, "recovery: 1 sessions rebuilt") {
+		t.Errorf("restarted child never reported the rebuild:\n%s", outStr)
+	}
+
+	// The archive — written across two process lives, with the client
+	// resending unacknowledged batches — must hold every frame exactly
+	// once and exactly one verdict.
+	cat, err := archive.OpenCatalog(filepath.Join(stateDir, "archive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frames uint64
+	verdicts := 0
+	it := cat.Iter(archive.Query{})
+	for it.Next() {
+		switch rec := it.Record(); rec.Kind {
+		case archive.KindFrames:
+			frames += uint64(len(rec.Frames))
+		case archive.KindVerdict:
+			verdicts++
+			if !bytes.Equal(wire.Marshal(rec.Verdict), wire.Marshal(*r.v)) {
+				t.Error("archived verdict differs from the delivered one")
+			}
+		}
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	if frames != total {
+		t.Errorf("archive holds %d frames, want exactly %d (duplicates or loss across the crash)", frames, total)
+	}
+	if verdicts != 1 {
+		t.Errorf("archive holds %d verdicts, want exactly 1", verdicts)
+	}
+}

@@ -17,6 +17,9 @@
 //	                                            # field-network hardening knobs
 //	monitord -admin 127.0.0.1:9321              # /metrics, /healthz, pprof
 //	monitord -journal verdicts.jsonl            # append-only event/verdict log
+//	monitord -state-dir /var/lib/monitord       # crash-safe: ledger + archive,
+//	                                            # sessions survive kill -9
+//	monitord -drain-timeout 30s                 # bound the shutdown drain
 //
 // Stream a recorded capture to it with:
 //
@@ -36,6 +39,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -43,11 +47,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	"cpsmon/internal/archive"
+	"cpsmon/internal/durable"
 	"cpsmon/internal/fleet"
 	"cpsmon/internal/obs"
 	"cpsmon/internal/rules"
@@ -76,7 +82,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		drop        = fs.Bool("drop", false, "shed frames when a session queue is full instead of applying backpressure")
 		deltaMode   = fs.String("delta", "aware", "multi-rate difference semantics: aware or naive")
 		statsEvery  = fs.Duration("stats-interval", 0, "print ingest statistics at this interval, from the same registry as /metrics (0 = only at shutdown)")
-		drainGrace  = fs.Duration("drain", 10*time.Second, "how long shutdown waits for sessions to drain")
+		stateDir    = fs.String("state-dir", "", "crash-safe operation: keep a durable session ledger here and rebuild unfinished sessions from it at startup; implies -archive-dir <state-dir>/archive unless set (empty = off)")
 		adminAddr   = fs.String("admin", "", "serve /metrics, /healthz and /debug/pprof on this address — bind loopback, e.g. 127.0.0.1:9321 (empty = off)")
 		journalPath = fs.String("journal", "", "append every event and verdict as one JSON line to this file (empty = off)")
 		journalMax  = fs.Int64("journal-max-size", 64<<20, "rotate the journal to <path>.1 past this many bytes (0 = never)")
@@ -88,6 +94,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		archiveSeg  = fs.Int64("archive-segment-size", 0, "archive segment rotation threshold in bytes (0 = default 8MiB)")
 		archiveKeep = fs.Duration("archive-retention", 0, "remove sealed archive segments older than this, swept periodically (0 = keep forever)")
 	)
+	var drainGrace time.Duration
+	fs.DurationVar(&drainGrace, "drain-timeout", 10*time.Second, "how long shutdown waits for sessions to drain before force-closing them")
+	fs.DurationVar(&drainGrace, "drain", 10*time.Second, "alias for -drain-timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -133,6 +142,24 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ErrorBudget:  *errorBudget,
 	}
 
+	var led *durable.Ledger
+	if *stateDir != "" {
+		if *drop {
+			return fmt.Errorf("-drop cannot be combined with -state-dir: shed frames would punch holes in the archived prefix the recovery replay depends on")
+		}
+		led, err = durable.Open(*stateDir)
+		if err != nil {
+			return err
+		}
+		defer led.Close()
+		cfg.Ledger = led
+		cfg.Epoch = led.Epoch()
+		cfg.SessionBase = led.State().MaxSession
+		if *archiveDir == "" {
+			*archiveDir = filepath.Join(*stateDir, "archive")
+		}
+	}
+
 	var journal *obs.Journal
 	if *journalPath != "" {
 		journal, err = obs.OpenJournal(*journalPath, *journalMax)
@@ -140,6 +167,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		defer journal.Close()
+		if n := journal.Repaired(); n > 0 {
+			fmt.Fprintf(out, "monitord: journal: cut %d torn bytes left by the previous run\n", n)
+		}
 		cfg.OnEvent, cfg.OnVerdict = journalHooks(journal, os.Stderr)
 	}
 
@@ -163,6 +193,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fmt.Fprintf(out, "monitord: archiving to %s\n", archiver.Dir())
 		if *archiveKeep > 0 {
 			go sweepRetention(ctx, archiver, *archiveKeep, os.Stderr)
+		}
+	}
+
+	if led != nil {
+		durable.Instrument(srv.Registry())
+		cat, err := archive.OpenCatalog(*archiveDir)
+		if err != nil {
+			return err
+		}
+		rs, err := durable.Recover(led, cat, srv)
+		if err != nil {
+			return fmt.Errorf("recovery: %w", err)
+		}
+		fmt.Fprintf(out, "monitord: state dir %s (epoch %d)\n", *stateDir, led.Epoch())
+		if rs.SessionsRecovered+rs.SessionsFailed > 0 {
+			fmt.Fprintf(out, "monitord: recovery: %d sessions rebuilt (%d already verdicted, %d failed); %d frames replayed, %d orphaned\n",
+				rs.SessionsRecovered, rs.SessionsFinalized, rs.SessionsFailed, rs.FramesReplayed, rs.OrphanFrames)
 		}
 	}
 
@@ -204,9 +251,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 	draining.Store(true)
 	fmt.Fprintln(out, "monitord: draining sessions")
-	sctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	sctx, cancel := context.WithTimeout(context.Background(), drainGrace)
 	defer cancel()
 	err = srv.Shutdown(sctx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		if led != nil {
+			// With a ledger the force-closed sessions are not lost: their
+			// grants, watermarks and archived frames survive, and the next
+			// start rebuilds them. A slow drain is a warning, not a failure.
+			fmt.Fprintln(out, "monitord: drain deadline exceeded; unfinished sessions preserved in the state dir")
+			err = nil
+		} else {
+			fmt.Fprintln(out, "monitord: drain deadline exceeded; remaining sessions force-closed")
+		}
+	}
 	printStats(out, srv.Stats())
 	return err
 }
@@ -291,5 +349,9 @@ func printStats(out io.Writer, st fleet.Stats) {
 	if st.ArchiveRecords+st.ArchiveDropped+st.ArchiveErrors > 0 {
 		fmt.Fprintf(out, "monitord: archive: %d records / %d dropped / %d errors\n",
 			st.ArchiveRecords, st.ArchiveDropped, st.ArchiveErrors)
+	}
+	if st.SessionsRestored+st.SessionsRestoreFailed+st.LedgerErrors > 0 {
+		fmt.Fprintf(out, "monitord: durable: %d sessions restored / %d restore failures / %d ledger errors\n",
+			st.SessionsRestored, st.SessionsRestoreFailed, st.LedgerErrors)
 	}
 }

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -18,6 +20,7 @@ import (
 
 	"cpsmon/internal/archive"
 	"cpsmon/internal/can"
+	"cpsmon/internal/durable"
 	"cpsmon/internal/fleet"
 	"cpsmon/internal/sigdb"
 	"cpsmon/internal/wire"
@@ -396,6 +399,194 @@ func TestDaemonArchivesSessions(t *testing.T) {
 	}
 }
 
+// parkRawSession opens a raw v2+ session on addr, streams one batch,
+// and drops the connection, leaving the session parked for resume.
+func parkRawSession(t *testing.T, addr string) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.Write(conn, wire.Hello{Version: wire.Version, Vehicle: "veh-park"}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	rec, err := wire.Read(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rec.(wire.SessionGrant); !ok {
+		t.Fatalf("got %T, want SessionGrant", rec)
+	}
+	if err := wire.Write(conn, wire.SeqBatch{Seq: 1, Frames: testFrames(t)}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if rec, err = wire.Read(conn); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := rec.(wire.Ack); ok {
+			break
+		}
+		if _, ok := rec.(wire.SeqEvent); !ok {
+			t.Fatalf("got %T, want Ack or SeqEvent", rec)
+		}
+	}
+	conn.Close()
+}
+
+// TestDaemonDrainTimeoutBounded pins the -drain-timeout contract: a
+// parked mid-stream session cannot hold shutdown hostage. Without a
+// ledger the daemon force-closes it at the deadline and reports the
+// loss; with one it exits promptly and the session survives in the
+// state dir.
+func TestDaemonDrainTimeoutBounded(t *testing.T) {
+	t.Run("force-close", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		out := &syncBuffer{}
+		errc := make(chan error, 1)
+		go func() {
+			errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain-timeout", "300ms", "-resume-grace", "2m"}, out)
+		}()
+		addr := awaitListening(t, out, errc)
+		parkRawSession(t, addr)
+		start := time.Now()
+		cancel()
+		select {
+		case err := <-errc:
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Errorf("run returned %v, want a shutdown-deadline error", err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not exit within the drain bound")
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Errorf("drain took %v with a 300ms deadline", d)
+		}
+		if !strings.Contains(out.String(), "force-closed") {
+			t.Errorf("no force-close warning:\n%s", out.String())
+		}
+	})
+
+	t.Run("preserve-with-ledger", func(t *testing.T) {
+		stateDir := t.TempDir()
+		ctx, cancel := context.WithCancel(context.Background())
+		out := &syncBuffer{}
+		errc := make(chan error, 1)
+		go func() {
+			errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain-timeout", "300ms", "-resume-grace", "2m", "-state-dir", stateDir}, out)
+		}()
+		addr := awaitListening(t, out, errc)
+		parkRawSession(t, addr)
+		cancel()
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("ledgered drain: %v\n%s", err, out.String())
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatal("daemon did not exit within the drain bound")
+		}
+		led, err := durable.Open(stateDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer led.Close()
+		open := 0
+		for _, s := range led.State().Sessions {
+			if !s.Closed {
+				open++
+			}
+		}
+		if open != 1 {
+			t.Errorf("ledger preserved %d open sessions across the drain, want 1", open)
+		}
+	})
+}
+
+// awaitListening waits for the daemon goroutine to report its address.
+func awaitListening(t *testing.T, out *syncBuffer, errc chan error) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("daemon exited early: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDaemonJournalTornTailRestart proves a daemon killed mid-journal-
+// line does not poison the next run: the restart repairs the tail,
+// reports the cut, and every surviving line stays parseable.
+func TestDaemonJournalTornTailRestart(t *testing.T) {
+	journalPath := filepath.Join(t.TempDir(), "verdicts.jsonl")
+	addr, _, shutdown := startDaemon(t, "-journal", journalPath)
+	c, err := fleet.Dial(addr, "veh-torn", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(testFrames(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	shutdown()
+
+	// The kill -9 we are simulating tears the last line in half.
+	f, err := os.OpenFile(journalPath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"kind":"verdict","rules":[{"ru`)
+	f.Close()
+
+	addr2, out2, shutdown2 := startDaemon(t, "-journal", journalPath)
+	if !strings.Contains(out2.String(), "torn bytes") {
+		t.Errorf("restart never reported the journal repair:\n%s", out2.String())
+	}
+	c2, err := fleet.Dial(addr2, "veh-torn-2", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Send(testFrames(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	c2.Close()
+	shutdown2()
+
+	data, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts := 0
+	for _, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("journal line %q unparseable after the torn restart: %v", line, err)
+		}
+		if rec["kind"] == "verdict" {
+			verdicts++
+		}
+	}
+	if verdicts != 2 {
+		t.Errorf("journal holds %d verdicts across the restart, want 2", verdicts)
+	}
+}
+
 func TestDaemonFlagErrors(t *testing.T) {
 	ctx := context.Background()
 	notADir := filepath.Join(t.TempDir(), "plain-file")
@@ -408,6 +599,8 @@ func TestDaemonFlagErrors(t *testing.T) {
 		{"-db", "/nonexistent.netdb"},
 		{"-queue", "-1"},
 		{"-archive-dir", notADir},
+		{"-state-dir", filepath.Join(t.TempDir(), "s"), "-drop"},
+		{"-state-dir", notADir},
 	} {
 		if err := run(ctx, args, &syncBuffer{}); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)

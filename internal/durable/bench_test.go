@@ -1,0 +1,124 @@
+package durable
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cpsmon/internal/archive"
+	"cpsmon/internal/can"
+	"cpsmon/internal/fleet"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/sigdb"
+)
+
+// benchLog mirrors the fleet package's ingest-benchmark capture:
+// steady following traffic with a mid-trace fault burst.
+func benchLog(b *testing.B, ticks int) *can.Log {
+	b.Helper()
+	db := sigdb.Vehicle()
+	sched, err := can.NewTxSchedule(db, sigdb.FastPeriod, 0, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bus := can.NewBus(db, sched)
+	for tick := 0; tick < ticks; tick++ {
+		_ = bus.Set(sigdb.SigVelocity, 24)
+		_ = bus.Set(sigdb.SigACCSetSpeed, 25)
+		_ = bus.Set(sigdb.SigVehicleAhead, 1)
+		_ = bus.Set(sigdb.SigTargetRange, 40)
+		if tick >= ticks/3 && tick < ticks/2 {
+			_ = bus.Set(sigdb.SigServiceACC, 1)
+			_ = bus.Set(sigdb.SigACCEnabled, 1)
+		} else {
+			_ = bus.Set(sigdb.SigServiceACC, 0)
+			_ = bus.Set(sigdb.SigACCEnabled, 0)
+		}
+		if err := bus.Step(time.Duration(tick) * sigdb.FastPeriod); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return bus.Log()
+}
+
+// BenchmarkFleetIngestLedgered is the fleet ingest benchmark with the
+// full crash-safety stack attached: every session ledgered (fsync'd
+// open and verdict records, group-committed watermarks) on top of a
+// lossless archive pump. The acceptance bar is under 5% frames/sec
+// regression against BenchmarkFleetIngestArchivedLossless — the
+// apples-to-apples baseline, since a Ledger forces ArchiveBackpressure
+// and the default archived mode sheds most records under load.
+// Watermarks are group-committed (Config.WatermarkInterval, or sooner
+// when a drained queue has ≥32 unledgered batches), so the per-batch
+// hot path carries no barrier or fsync at all; commits amortize one
+// archive flush plus one buffered ledger append across the group.
+func BenchmarkFleetIngestLedgered(b *testing.B) {
+	log := benchLog(b, 3000)
+	for _, sessions := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			led, err := Open(b.TempDir())
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer led.Close()
+			aw, err := archive.OpenWriter(b.TempDir(), archive.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer aw.Close()
+			srv, err := fleet.NewServer(fleet.Config{
+				DB:          sigdb.Vehicle(),
+				Resolve:     testResolver,
+				Triage:      rules.DefaultTriage(),
+				Ledger:      led,
+				Epoch:       led.Epoch(),
+				SessionBase: led.State().MaxSession,
+				Archiver:    aw,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := srv.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				srv.Shutdown(ctx)
+			}()
+			addr := srv.Addr().String()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for s := 0; s < sessions; s++ {
+					wg.Add(1)
+					go func(s int) {
+						defer wg.Done()
+						c, err := fleet.Dial(addr, fmt.Sprintf("bench-%03d", s), "strict", nil)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						defer c.Close()
+						if _, err := c.Replay(log, 0); err != nil {
+							b.Error(err)
+						}
+					}(s)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			frames := float64(b.N) * float64(sessions) * float64(log.Len())
+			secs := b.Elapsed().Seconds()
+			if secs > 0 {
+				b.ReportMetric(frames/secs, "frames/sec")
+			}
+			if frames > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/frames, "ns/frame")
+			}
+		})
+	}
+}

@@ -1,0 +1,96 @@
+package durable
+
+import (
+	"sync/atomic"
+
+	"cpsmon/internal/obs"
+)
+
+// Metrics holds the package's counter handles, pre-created so the hot
+// append path pays one atomic load and an Add — no map lookups.
+type Metrics struct {
+	records     [7]*obs.Counter // indexed by record kind
+	bytes       *obs.Counter
+	fsyncs      *obs.Counter
+	truncations *obs.Counter
+
+	restored       *obs.Counter
+	restoreFailed  *obs.Counter
+	framesReplayed *obs.Counter
+}
+
+// metrics is the process-wide instrumentation target. Nil (the
+// default) means counting is off.
+var metrics atomic.Pointer[Metrics]
+
+// kindNames labels the per-kind record counters.
+var kindNames = [7]string{"", "epoch", "open", "watermark", "verdict", "delivered", "closed"}
+
+// Instrument points the package's counters at reg. Pass nil to detach.
+// Ledger appends and recovery runs after the call are counted; calls
+// racing the swap may land on either registry.
+func Instrument(reg *obs.Registry) {
+	if reg == nil {
+		metrics.Store(nil)
+		return
+	}
+	m := &Metrics{
+		bytes: reg.Counter("cpsmon_durable_ledger_bytes_total",
+			"Bytes appended to the session ledger."),
+		fsyncs: reg.Counter("cpsmon_durable_ledger_fsyncs_total",
+			"fsync calls on the session ledger."),
+		truncations: reg.Counter("cpsmon_durable_ledger_truncations_total",
+			"Torn ledger tails truncated at open."),
+		restored: reg.Counter("cpsmon_durable_sessions_restored_total",
+			"Sessions rebuilt from ledger and archive at startup."),
+		restoreFailed: reg.Counter("cpsmon_durable_sessions_restore_failed_total",
+			"Ledgered sessions whose archive rebuild failed."),
+		framesReplayed: reg.Counter("cpsmon_durable_frames_replayed_total",
+			"Archived frames replayed into monitors during recovery."),
+	}
+	for k := recEpoch; k <= recClosed; k++ {
+		m.records[k] = reg.Counter("cpsmon_durable_ledger_records_total",
+			"Records appended to the session ledger, by kind.",
+			obs.Label{Name: "kind", Value: kindNames[k]})
+	}
+	metrics.Store(m)
+}
+
+func countRecord(kind byte, n int) {
+	if m := metrics.Load(); m != nil {
+		if int(kind) < len(m.records) && m.records[kind] != nil {
+			m.records[kind].Add(1)
+		}
+		m.bytes.Add(uint64(n))
+	}
+}
+
+func countFsync() {
+	if m := metrics.Load(); m != nil {
+		m.fsyncs.Add(1)
+	}
+}
+
+func countTruncation() {
+	if m := metrics.Load(); m != nil {
+		m.truncations.Add(1)
+	}
+}
+
+func countRestored() {
+	if m := metrics.Load(); m != nil {
+		m.restored.Add(1)
+	}
+}
+
+func countRestoreFailed() {
+	if m := metrics.Load(); m != nil {
+		m.restoreFailed.Add(1)
+	}
+}
+
+func countFramesReplayed(n uint64) {
+	if m := metrics.Load(); m != nil {
+		m.framesReplayed.Add(n)
+	}
+}

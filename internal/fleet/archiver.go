@@ -49,10 +49,11 @@ type archItem struct {
 }
 
 // archivePump decouples session workers from archive I/O: workers
-// enqueue, one goroutine drains into the Archiver. Frames and events
-// are enqueued without blocking — a full queue sheds the item and
-// counts it dropped, keeping archive stalls out of the ingest path —
-// while verdicts and barriers block, because correctness (a complete
+// enqueue, one goroutine drains into the Archiver. By default frames
+// and events are enqueued without blocking — a full queue sheds the
+// item and counts it dropped, keeping archive stalls out of the
+// ingest path — while under ArchiveBackpressure every enqueue blocks.
+// Verdicts and barriers always block, because correctness (a complete
 // verdict record, a flushed tail) outranks latency at session end.
 type archivePump struct {
 	srv     *Server
@@ -110,26 +111,43 @@ func (p *archivePump) stop() {
 }
 
 // archiveFrames enqueues an applied frame run, shedding on a full
-// queue.
+// queue — unless ArchiveBackpressure is set (always true with a
+// Ledger), in which case the send blocks: the ledger watermark
+// promises every acknowledged frame is in the archive, and recovery's
+// skip accounting needs the archived stream to be an exact prefix of
+// what the session produced.
 func (s *Server) archiveFrames(session uint64, vehicle string, frames []can.Frame) {
 	if s.arch == nil || len(frames) == 0 {
 		return
 	}
+	it := archItem{kind: archFrames, session: session, vehicle: vehicle, frames: frames}
+	if s.cfg.ArchiveBackpressure {
+		s.arch.ch <- it
+		s.stats.archiveRecords.Add(1)
+		return
+	}
 	select {
-	case s.arch.ch <- archItem{kind: archFrames, session: session, vehicle: vehicle, frames: frames}:
+	case s.arch.ch <- it:
 		s.stats.archiveRecords.Add(1)
 	default:
 		s.stats.archiveDropped.Add(1)
 	}
 }
 
-// archiveEvent enqueues an emitted event, shedding on a full queue.
+// archiveEvent enqueues an emitted event, shedding on a full queue
+// (blocking under ArchiveBackpressure, as archiveFrames).
 func (s *Server) archiveEvent(session uint64, vehicle string, e wire.Event) {
 	if s.arch == nil {
 		return
 	}
+	it := archItem{kind: archEvent, session: session, vehicle: vehicle, event: e}
+	if s.cfg.ArchiveBackpressure {
+		s.arch.ch <- it
+		s.stats.archiveRecords.Add(1)
+		return
+	}
 	select {
-	case s.arch.ch <- archItem{kind: archEvent, session: session, vehicle: vehicle, event: e}:
+	case s.arch.ch <- it:
 		s.stats.archiveRecords.Add(1)
 	default:
 		s.stats.archiveDropped.Add(1)

@@ -146,12 +146,19 @@ type Client struct {
 
 	session      uint64
 	token        uint64
+	epoch        uint64          // server ledger epoch from the last grant
 	nextSeq      uint64          // last batch sequence assigned
 	acked        uint64          // highest cumulative ack from the server
 	unacked      []wire.SeqBatch // [acked+1 .. nextSeq], pending replay
 	lastEventSeq uint64
 	finSent      bool
 	finSeq       uint64
+
+	// backoff is the next recovery episode's starting delay: inflated
+	// by failed attempts, reset to Options.Backoff by a successful
+	// resume handshake — a healthy transport earns the base interval
+	// back.
+	backoff time.Duration
 
 	rng *rand.Rand // recovery-goroutine only (single-flight)
 
@@ -201,10 +208,11 @@ func DialOptions(addr string, o Options) (*Client, error) {
 		reg = obs.NewRegistry()
 	}
 	c := &Client{
-		opts: o,
-		addr: addr,
-		rng:  rand.New(rand.NewSource(seed)),
-		done: make(chan struct{}),
+		opts:    o,
+		addr:    addr,
+		backoff: o.Backoff,
+		rng:     rand.New(rand.NewSource(seed)),
+		done:    make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.stats = newClientCounters(reg, o.Vehicle, func() float64 {
@@ -251,7 +259,7 @@ func (c *Client) handshake() (net.Conn, *bufio.Reader, error) {
 	var open wire.Record
 	c.mu.Lock()
 	if c.opts.Protocol >= 2 && c.token != 0 {
-		open = wire.Resume{Version: c.opts.Protocol, Token: c.token, LastEventSeq: c.lastEventSeq}
+		open = wire.Resume{Version: c.opts.Protocol, Token: c.token, LastEventSeq: c.lastEventSeq, Epoch: c.epoch}
 	} else {
 		open = wire.Hello{Version: c.opts.Protocol, Vehicle: c.opts.Vehicle, Spec: c.opts.Spec}
 	}
@@ -279,6 +287,7 @@ func (c *Client) handshake() (net.Conn, *bufio.Reader, error) {
 		c.mu.Lock()
 		c.session = rec.Session
 		c.token = rec.Token
+		c.epoch = rec.Epoch
 		c.advanceAck(rec.AckSeq)
 		c.mu.Unlock()
 	case wire.Error:
@@ -467,7 +476,12 @@ func (c *Client) recover(gen int) {
 		return
 	}
 
-	backoff := c.opts.Backoff
+	// The starting delay persists across recovery episodes: repeated
+	// failures keep inflating it, and only a successful handshake below
+	// resets it to the base interval.
+	c.mu.Lock()
+	backoff := c.backoff
+	c.mu.Unlock()
 	var lastErr error = errors.New("no attempts made")
 	for attempt := 0; attempt <= c.opts.MaxRetries; attempt++ {
 		if c.isDone() || c.clientClosed() {
@@ -483,6 +497,9 @@ func (c *Client) recover(gen int) {
 			if backoff > c.opts.MaxBackoff {
 				backoff = c.opts.MaxBackoff
 			}
+			c.mu.Lock()
+			c.backoff = backoff
+			c.mu.Unlock()
 		}
 		newConn, br, err := c.handshake()
 		if err != nil {
@@ -499,6 +516,10 @@ func (c *Client) recover(gen int) {
 		// replay below has restored sequence order.
 		c.wmu.Lock()
 		c.mu.Lock()
+		// The resume handshake succeeded: the transport is healthy
+		// again, so the next episode starts from the base interval
+		// instead of this one's inflated delay.
+		c.backoff = c.opts.Backoff
 		c.gen++
 		newGen := c.gen
 		c.conn = newConn

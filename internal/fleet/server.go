@@ -117,24 +117,66 @@ type Config struct {
 	// Archiver, when not nil, receives every applied frame run, every
 	// emitted event and every verdict through a bounded queue drained
 	// by a dedicated goroutine. Frames and events are shed (and
-	// counted dropped) when the queue is full; verdicts never are.
+	// counted dropped) when the queue is full — unless
+	// ArchiveBackpressure is set — while verdicts never are.
 	// Shutdown drains the queue and flushes the Archiver before
 	// returning; closing the Archiver itself stays the caller's job.
 	Archiver Archiver
 	// ArchiveQueue is the archive queue capacity in items. Zero
 	// selects the default (256).
 	ArchiveQueue int
+	// ArchiveBackpressure makes the archive lossless without crash
+	// safety: a session worker blocks on a full archive queue instead
+	// of shedding, so the archive is a complete record of every
+	// applied frame run and event at the cost of coupling ingest to
+	// archive I/O. Implied (and forced) by Ledger.
+	ArchiveBackpressure bool
+	// Ledger, when not nil, makes the server crash-safe: every v2
+	// session grant, acknowledged watermark and verdict is recorded
+	// durably before the protocol message that promises it (see the
+	// Ledger interface for the ordering contract), and NewRestorer can
+	// rebuild ledgered sessions from the archive after a restart.
+	// Requires Archiver; incompatible with DropWhenFull, whose
+	// shed-batch gap events cannot be rebuilt from archived frames.
+	// With a Ledger attached, frame runs and events are never shed at
+	// the archive queue — the enqueue blocks instead.
+	Ledger Ledger
+	// Epoch identifies this server process's ledger generation. It is
+	// carried on every SessionGrant; a Resume bearing an epoch larger
+	// than the server's own is refused as stale in-flight state (the
+	// client talked to a future ledger this process has lost).
+	Epoch uint64
+	// SessionBase offsets session IDs: the first session is granted
+	// SessionBase+1. A restarted server passes the highest ID its
+	// ledger ever recorded, so new and recovered sessions never collide
+	// in the archive or the ledger.
+	SessionBase uint64
+	// WatermarkInterval is the ledger group-commit cadence: how often a
+	// session's applied progress is made durable (archive barrier +
+	// watermark) and acknowledged to the client. Batches apply and
+	// their events stream immediately regardless; only the Ack waits
+	// for the covering watermark. Zero selects the default (100ms);
+	// only consulted when a Ledger is attached.
+	WatermarkInterval time.Duration
 }
 
 const (
-	defaultQueueDepth   = 64
-	defaultArchiveQueue = 256
-	defaultErrorBudget  = 16
-	defaultResumeGrace  = 30 * time.Second
-	handshakeTimeout    = 10 * time.Second
-	claimTimeout        = 3 * time.Second
-	verdictAckTimeout   = 2 * time.Second
-	numShards           = 16
+	defaultQueueDepth        = 64
+	defaultArchiveQueue      = 256
+	defaultErrorBudget       = 16
+	defaultResumeGrace       = 30 * time.Second
+	defaultWatermarkInterval = 100 * time.Millisecond
+	// commitBatches is how much applied-but-unledgered progress a
+	// drained session queue triggers a group commit at. It must stay
+	// well below the client's default replay buffer (256 batches): a
+	// client stalls only with a full buffer, which always exceeds this
+	// threshold, so the stall is broken by the dry-queue commit rather
+	// than the watermark timer.
+	commitBatches     = 32
+	handshakeTimeout  = 10 * time.Second
+	claimTimeout      = 3 * time.Second
+	verdictAckTimeout = 2 * time.Second
+	numShards         = 16
 )
 
 // shard is one slice of the session table. Sessions register on the
@@ -208,11 +250,23 @@ func NewServer(cfg Config) (*Server, error) {
 	if cfg.QueueDepth < 0 {
 		return nil, fmt.Errorf("fleet: negative queue depth %d", cfg.QueueDepth)
 	}
+	if cfg.Ledger != nil {
+		if cfg.Archiver == nil {
+			return nil, errors.New("fleet: Ledger requires an Archiver (recovery rebuilds sessions from archived frames)")
+		}
+		if cfg.DropWhenFull {
+			return nil, errors.New("fleet: Ledger is incompatible with DropWhenFull (shed batches cannot be rebuilt from the archive)")
+		}
+		cfg.ArchiveBackpressure = true
+	}
 	if cfg.QueueDepth == 0 {
 		cfg.QueueDepth = defaultQueueDepth
 	}
 	if cfg.ResumeGrace == 0 {
 		cfg.ResumeGrace = defaultResumeGrace
+	}
+	if cfg.WatermarkInterval <= 0 {
+		cfg.WatermarkInterval = defaultWatermarkInterval
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -232,6 +286,7 @@ func NewServer(cfg Config) (*Server, error) {
 	for i := range s.shards {
 		s.shards[i].sessions = make(map[uint64]*session)
 	}
+	s.nextID.Store(cfg.SessionBase)
 	reg.GaugeFunc("cpsmon_fleet_sessions_active", "Sessions currently accepted and not yet resolved.",
 		func() float64 {
 			opened, closed := s.stats.sessionsOpened.Value(), s.stats.sessionsClosed.Value()
@@ -380,7 +435,16 @@ func (s *Server) awaitedParked() int {
 	defer s.parkMu.Unlock()
 	n := 0
 	for _, p := range s.parkedBy {
-		if !p.sess.finalized || !p.sess.delivered {
+		if !p.sess.finalized {
+			// With a ledger the session is preserved across the restart
+			// and this process will never finalize it — waiting would
+			// only stall the drain.
+			if s.cfg.Ledger == nil {
+				n++
+			}
+			continue
+		}
+		if !p.sess.delivered {
 			n++
 		}
 	}
@@ -501,10 +565,25 @@ func (s *Server) reapAll() {
 	}
 }
 
-// discard resolves a detached session that will never resume. A
-// finalized session was already counted when its verdict was built;
-// an unfinalized one is reaped — its monitor closed quietly.
+// discard resolves a detached session that will never resume *in this
+// process*. A finalized session was already counted when its verdict
+// was built; an unfinalized one is reaped — its monitor closed
+// quietly. With a ledger attached, the closure is recorded so recovery
+// skips the session — except during shutdown, when a session still
+// owed its verdict delivery is deliberately left open in the ledger:
+// its in-memory monitor dies with the process, but the next process
+// rebuilds it from the archive and the client's resume still succeeds.
 func (s *Server) discard(sess *session) {
+	if s.cfg.Ledger != nil && s.closed.Load() && (!sess.finalized || !sess.delivered) {
+		if !sess.finalized {
+			sess.finalized = true
+			sess.om.Close()
+			s.stats.sessionsReaped.Add(1)
+			s.stats.sessionsClosed.Add(1)
+		}
+		return
+	}
+	s.logClosed(sess)
 	if sess.finalized {
 		return
 	}
@@ -630,13 +709,22 @@ func (s *Server) handleHello(conn net.Conn, br *bufio.Reader, hello wire.Hello) 
 		vehicle: hello.Vehicle,
 		tally:   make(map[string]*ruleTally, len(entry.rules)),
 	}
-	s.stats.sessionsOpened.Add(1)
-
 	var ack wire.Record = wire.HelloAck{Session: sess.id}
 	if sess.proto >= 2 {
 		sess.token = newToken()
-		ack = wire.SessionGrant{Session: sess.id, Token: sess.token}
+		if led := s.cfg.Ledger; led != nil {
+			// The grant is durable before the client can hold it, so a
+			// granted token always resolves to something after a crash.
+			if err := led.SessionOpened(sess.id, sess.token, sess.proto, sess.vehicle, hello.Spec); err != nil {
+				s.stats.ledgerErrors.Add(1)
+				om.Close()
+				s.refuse(conn, fmt.Sprintf("session ledger: %v", err))
+				return
+			}
+		}
+		ack = wire.SessionGrant{Session: sess.id, Token: sess.token, Epoch: s.cfg.Epoch}
 	}
+	s.stats.sessionsOpened.Add(1)
 	if err := wire.Write(conn, ack); err != nil {
 		conn.Close()
 		s.discard(sess)
@@ -651,6 +739,15 @@ func (s *Server) handleResume(conn net.Conn, br *bufio.Reader, res wire.Resume) 
 			res.Version, wire.Version))
 		return
 	}
+	if res.Epoch > s.cfg.Epoch {
+		// The client's grant came from a later ledger epoch than this
+		// process carries: the server's durable state was lost or
+		// rolled back, and silently resuming would serve stale state as
+		// truth. Refuse so the client fails loudly instead.
+		s.refuse(conn, fmt.Sprintf("stale server state: client holds epoch %d, server is at epoch %d",
+			res.Epoch, s.cfg.Epoch))
+		return
+	}
 	sess := s.claim(res.Token)
 	if sess == nil {
 		s.refuse(conn, "unknown or expired session token")
@@ -662,7 +759,7 @@ func (s *Server) handleResume(conn net.Conn, br *bufio.Reader, res wire.Resume) 
 		return
 	}
 	if err := wire.Write(conn, wire.SessionGrant{
-		Session: sess.id, Token: sess.token, AckSeq: sess.lastApplied,
+		Session: sess.id, Token: sess.token, AckSeq: sess.lastApplied, Epoch: s.cfg.Epoch,
 	}); err != nil {
 		conn.Close()
 		s.repark(sess)
@@ -677,7 +774,7 @@ func (s *Server) handleResume(conn net.Conn, br *bufio.Reader, res wire.Resume) 
 // grace round in case this delivery is lost too.
 func (s *Server) deliverFinal(conn net.Conn, br *bufio.Reader, sess *session, lastEventSeq uint64) {
 	bw := bufio.NewWriterSize(conn, 64<<10)
-	wire.Write(bw, wire.SessionGrant{Session: sess.id, Token: sess.token, AckSeq: sess.lastApplied})
+	wire.Write(bw, wire.SessionGrant{Session: sess.id, Token: sess.token, AckSeq: sess.lastApplied, Epoch: s.cfg.Epoch})
 	from := lastEventSeq
 	if from > uint64(len(sess.events)) {
 		from = uint64(len(sess.events))
@@ -689,6 +786,7 @@ func (s *Server) deliverFinal(conn net.Conn, br *bufio.Reader, sess *session, la
 	// above reached the transport.
 	if wire.Write(bw, *sess.verdictRec) == nil && bw.Flush() == nil {
 		sess.delivered = true
+		s.logDelivered(sess)
 	}
 	if s.closed.Load() && sess.delivered {
 		// During a drain, only the client's ack proves delivery — and
@@ -731,8 +829,13 @@ func (s *Server) attach(sess *session, conn net.Conn, br *bufio.Reader) {
 	s.register(sess)
 	park := sess.run()
 	s.unregister(sess, park)
-	if !park && !sess.finalized {
-		s.stats.sessionsClosed.Add(1)
-		sess.finalized = true // terminal: never counted again
+	if !park {
+		// The attachment resolved the session for good (terminal abort,
+		// or a drain that saw the verdict delivered and acked).
+		s.logClosed(sess)
+		if !sess.finalized {
+			s.stats.sessionsClosed.Add(1)
+			sess.finalized = true // terminal: never counted again
+		}
 	}
 }

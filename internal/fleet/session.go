@@ -93,6 +93,12 @@ type session struct {
 	lastEnq     uint64
 	lastApplied uint64
 	resumeFrom  uint64
+	// ledgeredSeq is the last batch sequence a ledger watermark covers
+	// (worker-owned; seeded by restore). Acks and resume grants never
+	// exceed it — the client prunes its replay buffer on both, so an
+	// unledgered acknowledgement could strand frames a crash then
+	// needs back.
+	ledgeredSeq uint64
 	events      []wire.Event
 	finalized   bool
 	// delivered records that the verdict write reached the transport;
@@ -124,6 +130,21 @@ type session struct {
 	// dropped is written by the reader (load shedding) and read by
 	// the worker (verdict), hence atomic.
 	dropped atomic.Uint64
+
+	// rebuilding marks a crash-recovery replay in progress: apply runs
+	// normally, but archiving, exactly-once hooks and emission counters
+	// are suppressed — the replay reproduces state, it must not
+	// re-report anything. Set by NewRestorer, cleared by Finish, both
+	// before the session is reachable by any other goroutine.
+	rebuilding bool
+	// The skip counters implement post-crash archive dedup: the
+	// previous process archived this much output beyond the last
+	// ledger watermark, and deterministic re-application regenerates it
+	// byte-identically, so exactly this much of the session's next
+	// output bypasses the archive and the exactly-once hooks.
+	skipArchFrames  uint64
+	skipArchEvents  uint64
+	skipArchVerdict bool
 
 	state atomic.Int32
 }
@@ -381,8 +402,75 @@ func (sess *session) work() {
 		return
 	}
 
+	// With a ledger, durability is group-committed: batches apply and
+	// their events stream immediately, but the archive barrier, the
+	// watermark and the cumulative Ack happen per commit, not per
+	// batch, so the per-batch hot path never waits on the pump or the
+	// ledger. A commit fires when the queue runs dry with at least
+	// commitBatches of progress pending — a client stalled on a full
+	// replay buffer has far more than that outstanding, so its backlog
+	// being applied is what releases it — and at WatermarkInterval as
+	// a staleness bound otherwise. The client prunes its replay buffer
+	// only on acks, so everything past the last watermark is still in
+	// its hands if this process dies.
+	ledgered := sess.proto >= 2 && sess.srv.cfg.Ledger != nil
+	var commitC <-chan time.Time
+	if ledgered {
+		t := time.NewTicker(sess.srv.cfg.WatermarkInterval)
+		defer t.Stop()
+		commitC = t.C
+	}
+	// commitAck group-commits applied progress and sends the cumulative
+	// Ack, reporting false when the worker must exit. A ledger failure
+	// is terminal — an ack the ledger cannot back would strand the
+	// client's pruned frames after a crash.
+	commitAck := func() bool {
+		if sess.lastApplied == sess.ledgeredSeq {
+			return true
+		}
+		if !sess.syncLedger() {
+			sess.fail(fmt.Errorf("session ledger: watermark for batch %d failed", sess.lastApplied))
+			return false
+		}
+		if wire.Write(sess.bw, wire.Ack{Seq: sess.lastApplied}) != nil || sess.bw.Flush() != nil {
+			if draining() {
+				return true // dead client during drain; keep applying
+			}
+			sess.setSuspend()
+			sess.abandon()
+			return false
+		}
+		return true
+	}
+
 	doFinal := false
-	for it := range sess.queue {
+	for {
+		var it item
+		var open bool
+		if commitC == nil {
+			it, open = <-sess.queue
+		} else {
+			select {
+			case it, open = <-sess.queue:
+			default:
+				if sess.lastApplied-sess.ledgeredSeq >= commitBatches {
+					if !commitAck() {
+						return
+					}
+				}
+				select {
+				case it, open = <-sess.queue:
+				case <-commitC:
+					if !commitAck() {
+						return
+					}
+					continue
+				}
+			}
+		}
+		if !open {
+			break
+		}
 		if it.finish {
 			if !sess.foldShed(^uint64(0)) && !draining() {
 				sess.abandon()
@@ -394,6 +482,16 @@ func (sess *session) work() {
 				// issuing a short verdict.
 				sess.setSuspend()
 				sess.abandon()
+				return
+			}
+			if ledgered && !sess.syncLedger() {
+				// The verdict about to be built covers the whole
+				// stream; recovery replays the archive only up to the
+				// watermark, so the watermark must be current before
+				// the verdict is ledgered. A ledger failure is
+				// terminal — a verdict it cannot back would break the
+				// rebuild.
+				sess.fail(fmt.Errorf("session ledger: watermark for batch %d failed", sess.lastApplied))
 				return
 			}
 			doFinal = true
@@ -422,7 +520,7 @@ func (sess *session) work() {
 		}
 		stats.framesIngested.Add(uint64(len(it.frames)))
 		stats.ingestLatency.Observe(time.Since(it.enq).Seconds())
-		if ok && sess.proto >= 2 {
+		if ok && sess.proto >= 2 && !ledgered {
 			ok = wire.Write(sess.bw, wire.Ack{Seq: sess.lastApplied}) == nil
 		}
 		if !ok || sess.bw.Flush() != nil {
@@ -448,7 +546,28 @@ func (sess *session) work() {
 		return
 	}
 	if !doFinal && suspended && !draining() {
-		return // park for resume
+		// Park for resume. The grant a resume earns acknowledges
+		// lastApplied, and an acknowledgement the ledger cannot back
+		// would strand the client's pruned frames after a crash — so
+		// the watermark must cover the park, or the session must die.
+		if ledgered && !sess.syncLedger() {
+			sess.setAbort(fmt.Errorf("session ledger: watermark for batch %d failed", sess.lastApplied))
+		}
+		return
+	}
+	if !doFinal && sess.proto >= 2 && sess.srv.cfg.Ledger != nil {
+		// A shutdown drain reached a session whose client never said
+		// Finish. Without a ledger this process is the session's only
+		// life, so a partial verdict beats none — but with one the
+		// session survives the restart, and a verdict covering half the
+		// trace would be silently wrong. Park instead: the shutdown
+		// preserves the session in the ledger and the next process
+		// rebuilds it mid-stream. Bring the watermark current first, so
+		// the restart resumes from here, not the last timer commit.
+		if !sess.syncLedger() {
+			sess.setAbort(fmt.Errorf("session ledger: watermark for batch %d failed", sess.lastApplied))
+		}
+		return
 	}
 	sess.finalize()
 	if sess.proto >= 2 && sess.delivered && draining() {
@@ -460,6 +579,28 @@ func (sess *session) work() {
 		sess.srv.archBarrier()
 		sess.confirmDelivery(sess.conn, sess.br)
 	}
+}
+
+// syncLedger makes the session's applied progress durable: every
+// archived record is flushed through the pump, then the watermark is
+// appended to the ledger. After a true return, an Ack (or a resume
+// grant) for lastApplied is safe to send — the batch is rebuildable
+// from the archive. A false return counts the ledger error and leaves
+// ledgeredSeq behind; callers must treat it as terminal, because any
+// later acknowledgement would promise state the ledger cannot back.
+// No-op when the session has no ledger or nothing new applied.
+func (sess *session) syncLedger() bool {
+	led := sess.srv.cfg.Ledger
+	if led == nil || sess.proto < 2 || sess.lastApplied == sess.ledgeredSeq {
+		return true
+	}
+	sess.srv.archBarrier()
+	if err := led.Watermark(sess.id, sess.lastApplied, sess.ingested, sess.rejected); err != nil {
+		sess.srv.stats.ledgerErrors.Add(1)
+		return false
+	}
+	sess.ledgeredSeq = sess.lastApplied
+	return true
 }
 
 // apply feeds one batch of frames to the monitor, returning the wire
@@ -495,7 +636,7 @@ func (sess *session) apply(frames []can.Frame) ([]wire.Event, error) {
 		sess.ingested += uint64(len(run) - rejected)
 		// Archive exactly what the monitor applied, so replaying the
 		// archive reproduces this session's verdict.
-		sess.srv.archiveFrames(sess.id, sess.vehicle, run)
+		sess.archiveRun(run)
 		out = sess.convert(out, evs)
 		return nil
 	}
@@ -523,7 +664,9 @@ func (sess *session) apply(frames []can.Frame) ([]wire.Event, error) {
 				End:   f.Time,
 				Msg:   "bus silence",
 			})
-			sess.srv.stats.gapEvents.Add(1)
+			if !sess.rebuilding {
+				sess.srv.stats.gapEvents.Add(1)
+			}
 		}
 		saw = true
 		last = f.Time
@@ -570,11 +713,34 @@ func (sess *session) convert(out []wire.Event, evs []core.OnlineEvent) []wire.Ev
 			case core.ClassNegligible:
 				t.negligible++
 			}
-			sess.srv.stats.violationsEmitted.Add(1)
+			if !sess.rebuilding {
+				sess.srv.stats.violationsEmitted.Add(1)
+			}
 		}
 		out = append(out, w)
 	}
 	return out
+}
+
+// archiveRun archives one applied frame run. A crash-recovery rebuild
+// never archives (it replays *from* the archive); afterwards, the
+// post-crash skip window drops exactly the frames the previous process
+// archived beyond its last watermark — the client retransmits them and
+// deterministic re-application regenerates the same runs, so skipping
+// that many keeps the archive duplicate-free.
+func (sess *session) archiveRun(run []can.Frame) {
+	if sess.rebuilding {
+		return
+	}
+	if n := uint64(len(run)); sess.skipArchFrames > 0 {
+		if n <= sess.skipArchFrames {
+			sess.skipArchFrames -= n
+			return
+		}
+		run = run[sess.skipArchFrames:]
+		sess.skipArchFrames = 0
+	}
+	sess.srv.archiveFrames(sess.id, sess.vehicle, run)
 }
 
 // emitWire writes one event to the client. On a v2 session the event
@@ -584,11 +750,18 @@ func (sess *session) convert(out []wire.Event, evs []core.OnlineEvent) []wire.Ev
 func (sess *session) emitWire(w wire.Event) bool {
 	// emitWire runs exactly once per produced event — resume replays
 	// and verdict re-deliveries bypass it — so it is the exactly-once
-	// hook point for the event journal and the archive.
-	if f := sess.srv.cfg.OnEvent; f != nil {
-		f(sess.id, sess.vehicle, w)
+	// hook point for the event journal and the archive. Events inside
+	// the post-crash skip window are the exception: the previous
+	// process already journaled and archived them, this process merely
+	// regenerates them for the client.
+	if sess.skipArchEvents > 0 {
+		sess.skipArchEvents--
+	} else {
+		if f := sess.srv.cfg.OnEvent; f != nil {
+			f(sess.id, sess.vehicle, w)
+		}
+		sess.srv.archiveEvent(sess.id, sess.vehicle, w)
 	}
-	sess.srv.archiveEvent(sess.id, sess.vehicle, w)
 	var err error
 	if sess.proto >= 2 {
 		sess.events = append(sess.events, w)
@@ -675,16 +848,33 @@ func (sess *session) finalize() {
 		}
 	}
 	v := sess.verdict()
-	if f := sess.srv.cfg.OnVerdict; f != nil {
-		f(sess.id, sess.vehicle, v)
+	if sess.skipArchVerdict {
+		// The previous process archived (and journaled) this verdict
+		// right before dying; re-finalization regenerates it
+		// byte-identically, so only the client delivery remains.
+		sess.skipArchVerdict = false
+	} else {
+		if f := sess.srv.cfg.OnVerdict; f != nil {
+			f(sess.id, sess.vehicle, v)
+		}
+		sess.srv.archiveVerdict(sess.id, sess.vehicle, v)
 	}
-	sess.srv.archiveVerdict(sess.id, sess.vehicle, v)
 	if sess.proto >= 2 {
 		sess.verdictRec = &wire.VerdictSeq{EventSeq: uint64(len(sess.events)), Verdict: v}
+		if led := sess.srv.cfg.Ledger; led != nil {
+			// The verdict is durable — archive flushed, ledger record
+			// fsync'd — before the client can see it, so a crash can
+			// never un-decide a verdict a client already holds.
+			sess.srv.archBarrier()
+			if err := led.VerdictReached(sess.id, sess.verdictRec.EventSeq, v); err != nil {
+				sess.srv.stats.ledgerErrors.Add(1)
+			}
+		}
 		sess.finalized = true
 		sess.srv.stats.sessionsClosed.Add(1)
 		if wire.Write(sess.bw, *sess.verdictRec) == nil && sess.bw.Flush() == nil {
 			sess.delivered = true
+			sess.srv.logDelivered(sess)
 		}
 		return
 	}

@@ -34,6 +34,10 @@ type counters struct {
 	archiveDropped *obs.Counter
 	archiveErrors  *obs.Counter
 
+	sessionsRestored *obs.Counter
+	restoreFailed    *obs.Counter
+	ledgerErrors     *obs.Counter
+
 	// ingestLatency observes seconds from a batch entering its session
 	// queue to its last frame being fully evaluated; its count and sum
 	// stand in for the old batch/nanosecond accumulators.
@@ -66,6 +70,10 @@ func newCounters(reg *obs.Registry) counters {
 		archiveRecords: c("cpsmon_fleet_archive_records_total", "Frame runs, events and verdicts enqueued for archiving."),
 		archiveDropped: c("cpsmon_fleet_archive_dropped_total", "Frame runs and events shed because the archive queue was full."),
 		archiveErrors:  c("cpsmon_fleet_archive_errors_total", "Archiver calls that returned an error."),
+
+		sessionsRestored: c("cpsmon_fleet_sessions_restored_total", "Sessions rebuilt from ledger and archive after a restart."),
+		restoreFailed:    c("cpsmon_fleet_sessions_restore_failed_total", "Ledgered sessions whose archive rebuild failed."),
+		ledgerErrors:     c("cpsmon_fleet_ledger_errors_total", "Ledger appends that returned an error."),
 
 		ingestLatency: reg.Histogram("cpsmon_fleet_ingest_batch_latency_seconds",
 			"Queue-to-evaluated latency of one frame batch.", obs.DefaultLatencyBuckets()),
@@ -115,6 +123,12 @@ type Stats struct {
 	// ArchiveErrors counts Archiver calls that returned an error.
 	ArchiveRecords, ArchiveDropped, ArchiveErrors uint64
 
+	// SessionsRestored counts sessions rebuilt from the ledger and
+	// archive after a restart; SessionsRestoreFailed counts ledgered
+	// sessions whose rebuild could not be completed (archive and ledger
+	// disagreed). LedgerErrors counts ledger appends that failed.
+	SessionsRestored, SessionsRestoreFailed, LedgerErrors uint64
+
 	// IngestBatches and IngestNanos accumulate per-batch ingest
 	// latency: the time from a batch entering its session queue to the
 	// last of its frames being fully evaluated.
@@ -135,25 +149,28 @@ func (s *Server) Stats() Stats {
 	opened := s.stats.sessionsOpened.Value()
 	closed := s.stats.sessionsClosed.Value()
 	st := Stats{
-		SessionsOpened:     opened,
-		SessionsClosed:     closed,
-		SessionsRefused:    s.stats.sessionsRefused.Value(),
-		SessionsResumed:    s.stats.sessionsResumed.Value(),
-		SessionsReaped:     s.stats.sessionsReaped.Value(),
-		FramesIngested:     s.stats.framesIngested.Value(),
-		FramesDropped:      s.stats.framesDropped.Value(),
-		FramesRejected:     s.stats.framesRejected.Value(),
-		BatchesBlocked:     s.stats.batchesBlocked.Value(),
-		ViolationsEmitted:  s.stats.violationsEmitted.Value(),
-		EventsEmitted:      s.stats.eventsEmitted.Value(),
-		GapEvents:          s.stats.gapEvents.Value(),
-		RecordsQuarantined: s.stats.recordsQuarantined.Value(),
-		DupBatchesDropped:  s.stats.dupBatchesDropped.Value(),
-		ArchiveRecords:     s.stats.archiveRecords.Value(),
-		ArchiveDropped:     s.stats.archiveDropped.Value(),
-		ArchiveErrors:      s.stats.archiveErrors.Value(),
-		IngestBatches:      s.stats.ingestLatency.Count(),
-		IngestNanos:        uint64(s.stats.ingestLatency.Sum() * 1e9),
+		SessionsOpened:        opened,
+		SessionsClosed:        closed,
+		SessionsRefused:       s.stats.sessionsRefused.Value(),
+		SessionsResumed:       s.stats.sessionsResumed.Value(),
+		SessionsReaped:        s.stats.sessionsReaped.Value(),
+		FramesIngested:        s.stats.framesIngested.Value(),
+		FramesDropped:         s.stats.framesDropped.Value(),
+		FramesRejected:        s.stats.framesRejected.Value(),
+		BatchesBlocked:        s.stats.batchesBlocked.Value(),
+		ViolationsEmitted:     s.stats.violationsEmitted.Value(),
+		EventsEmitted:         s.stats.eventsEmitted.Value(),
+		GapEvents:             s.stats.gapEvents.Value(),
+		RecordsQuarantined:    s.stats.recordsQuarantined.Value(),
+		DupBatchesDropped:     s.stats.dupBatchesDropped.Value(),
+		ArchiveRecords:        s.stats.archiveRecords.Value(),
+		ArchiveDropped:        s.stats.archiveDropped.Value(),
+		ArchiveErrors:         s.stats.archiveErrors.Value(),
+		SessionsRestored:      s.stats.sessionsRestored.Value(),
+		SessionsRestoreFailed: s.stats.restoreFailed.Value(),
+		LedgerErrors:          s.stats.ledgerErrors.Value(),
+		IngestBatches:         s.stats.ingestLatency.Count(),
+		IngestNanos:           uint64(s.stats.ingestLatency.Sum() * 1e9),
 	}
 	if opened > closed {
 		st.SessionsActive = opened - closed

@@ -25,13 +25,24 @@ type Journal struct {
 	f        *os.File
 	size     int64
 	records  uint64
+	repaired int64
 	buf      bytes.Buffer
 }
 
 // OpenJournal opens (creating or appending to) the journal at path.
 // maxBytes bounds the live file's size before rotation; zero or
 // negative disables rotation.
+//
+// If the previous process died mid-Append the file may end in a torn
+// line (no trailing newline). OpenJournal truncates the file back to
+// the last complete line before appending, so one crash never poisons
+// every later run's parse of the journal. The number of bytes cut is
+// reported by Repaired.
 func OpenJournal(path string, maxBytes int64) (*Journal, error) {
+	repaired, err := repairTail(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: journal: %w", err)
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("obs: journal: %w", err)
@@ -41,7 +52,50 @@ func OpenJournal(path string, maxBytes int64) (*Journal, error) {
 		f.Close()
 		return nil, fmt.Errorf("obs: journal: %w", err)
 	}
-	return &Journal{path: path, maxBytes: maxBytes, f: f, size: st.Size()}, nil
+	return &Journal{path: path, maxBytes: maxBytes, f: f, size: st.Size(), repaired: repaired}, nil
+}
+
+// repairTail truncates path back to its last newline and reports how
+// many bytes were cut. A missing file is not an error.
+func repairTail(path string) (int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	size := st.Size()
+	end := size
+	const chunk = 4096
+	for end > 0 {
+		n := int64(chunk)
+		if n > end {
+			n = end
+		}
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, end-n); err != nil {
+			return 0, err
+		}
+		if i := bytes.LastIndexByte(buf, '\n'); i >= 0 {
+			keep := end - n + int64(i) + 1
+			if keep == size {
+				return 0, nil
+			}
+			return size - keep, f.Truncate(keep)
+		}
+		end -= n
+	}
+	// No newline anywhere: the whole file is one torn line.
+	if size == 0 {
+		return 0, nil
+	}
+	return size, f.Truncate(0)
 }
 
 // Append marshals v as one JSON line and appends it. The line is
@@ -92,6 +146,10 @@ func (j *Journal) rotate() error {
 
 // Path returns the journal's live file path.
 func (j *Journal) Path() string { return j.path }
+
+// Repaired returns how many torn-tail bytes OpenJournal cut from the
+// file left by the previous process; zero when the tail was clean.
+func (j *Journal) Repaired() int64 { return j.repaired }
 
 // Records returns how many records this Journal handle has appended
 // (not counting lines already in the file when it was opened).

@@ -36,6 +36,19 @@
 // The protocol is versioned via the Hello record: a server refuses a
 // hello whose version it does not speak with an Error record.
 //
+// # Version 3: server epochs
+//
+// Version 3 keeps every version-2 record and extends SessionGrant and
+// Resume with a trailing server-epoch field. The epoch is a counter the
+// server durably increments on every process start; a grant announces
+// it and a resume echoes it back, so a restarted server can tell a
+// token minted by a live predecessor (epoch at most its own — honoured
+// against recovered state) from one minted by a *newer* instance than
+// the state it recovered (epoch ahead of its own — refused, because
+// serving it would silently roll the session back). Decoders accept the
+// version-2 layout without the field, reading epoch zero, which every
+// server honours: version-2 peers interoperate unchanged.
+//
 // # Version 2: sequencing, acknowledgement and resume
 //
 // Version 2 keeps every version-1 record unchanged and adds a parallel
@@ -84,7 +97,7 @@ import (
 // peers interoperate with a version-2 server (they simply never see the
 // v2 record types).
 const (
-	Version    = 2
+	Version    = 3
 	MinVersion = 1
 )
 
@@ -373,11 +386,16 @@ func (a Ack) appendPayload(buf []byte) []byte {
 // Resume reopens a suspended session after a disconnect: it stands in
 // for the Hello on a reconnect, naming the session by the token from
 // the original SessionGrant and the last event sequence number the
-// client received (so the server replays only the unseen tail).
+// client received (so the server replays only the unseen tail). Epoch
+// echoes the server epoch from the grant that minted the token (zero
+// from version-2 clients, which never saw one); a server refuses a
+// resume from an epoch ahead of its own, since honouring it would roll
+// the session back behind state the client has already observed.
 type Resume struct {
 	Version      uint16
 	Token        uint64
 	LastEventSeq uint64
+	Epoch        uint64
 }
 
 func (Resume) wireType() byte { return typeResume }
@@ -387,6 +405,7 @@ func (r Resume) appendPayload(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint16(buf, r.Version)
 	buf = binary.LittleEndian.AppendUint64(buf, r.Token)
 	buf = binary.LittleEndian.AppendUint64(buf, r.LastEventSeq)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Epoch)
 	return appendCRC(buf, at, typeResume)
 }
 
@@ -395,10 +414,13 @@ func (r Resume) appendPayload(buf []byte) []byte {
 // reconnects, and AckSeq — the highest batch sequence the server has
 // applied (zero for a fresh session). After a resume the client
 // retransmits every buffered batch with a sequence above AckSeq.
+// Epoch (version 3) is the server's durable restart counter, echoed
+// back in later Resume records; zero means the server predates epochs.
 type SessionGrant struct {
 	Session uint64
 	Token   uint64
 	AckSeq  uint64
+	Epoch   uint64
 }
 
 func (SessionGrant) wireType() byte { return typeSessionGrant }
@@ -408,6 +430,7 @@ func (g SessionGrant) appendPayload(buf []byte) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, g.Session)
 	buf = binary.LittleEndian.AppendUint64(buf, g.Token)
 	buf = binary.LittleEndian.AppendUint64(buf, g.AckSeq)
+	buf = binary.LittleEndian.AppendUint64(buf, g.Epoch)
 	return appendCRC(buf, at, typeSessionGrant)
 }
 
@@ -592,9 +615,13 @@ func Decode(typ byte, payload []byte) (Record, error) {
 	case typeAck:
 		rec = Ack{Seq: d.u64()}
 	case typeResume:
-		rec = Resume{Version: d.u16(), Token: d.u64(), LastEventSeq: d.u64()}
+		r := Resume{Version: d.u16(), Token: d.u64(), LastEventSeq: d.u64()}
+		r.Epoch = d.optU64()
+		rec = r
 	case typeSessionGrant:
-		rec = SessionGrant{Session: d.u64(), Token: d.u64(), AckSeq: d.u64()}
+		g := SessionGrant{Session: d.u64(), Token: d.u64(), AckSeq: d.u64()}
+		g.Epoch = d.optU64()
+		rec = g
 	case typeSeqEvent:
 		e := SeqEvent{Seq: d.u64()}
 		e.Event = d.event()
@@ -755,4 +782,15 @@ func (d *decoder) u64() uint64 {
 func (d *decoder) str() string {
 	n := int(d.u16())
 	return string(d.bytes(n))
+}
+
+// optU64 reads a trailing optional u64: zero when the payload is
+// already exhausted (a version-2 encoder stopped here), the value
+// otherwise. Record layouts may only use it for their final field, so
+// the strict trailing-bytes check still rejects any other remainder.
+func (d *decoder) optU64() uint64 {
+	if d.err != nil || d.at == len(d.buf) {
+		return 0
+	}
+	return d.u64()
 }

@@ -49,7 +49,9 @@ func sampleRecords() []Record {
 		}},
 		Ack{Seq: 41},
 		Resume{Version: Version, Token: 0xFEEDFACE, LastEventSeq: 17},
+		Resume{Version: Version, Token: 0xFEEDFACE, LastEventSeq: 17, Epoch: 3},
 		SessionGrant{Session: 9, Token: 0xFEEDFACE, AckSeq: 41},
+		SessionGrant{Session: 9, Token: 0xFEEDFACE, AckSeq: 41, Epoch: 3},
 		SeqEvent{Seq: 18, Event: Event{Kind: EventBegin, Rule: "Rule1", Time: 200 * time.Millisecond}},
 		SeqEvent{Seq: 19, Event: Event{
 			Kind: EventGap, Time: 2 * time.Second,
@@ -161,12 +163,12 @@ func TestGoldenBytes(t *testing.T) {
 			"0d000000" + "09" + "0807060504030201" + "eafc795d",
 		},
 		{
-			"resume", Resume{Version: 2, Token: 0xDEADBEEF, LastEventSeq: 5},
-			"17000000" + "0a" + "0200" + "efbeadde00000000" + "0500000000000000" + "6e2d38b5",
+			"resume", Resume{Version: 3, Token: 0xDEADBEEF, LastEventSeq: 5, Epoch: 2},
+			"1f000000" + "0a" + "0300" + "efbeadde00000000" + "0500000000000000" + "0200000000000000" + "0667b76c",
 		},
 		{
-			"grant", SessionGrant{Session: 9, Token: 0xDEADBEEF, AckSeq: 4},
-			"1d000000" + "0b" + "0900000000000000" + "efbeadde00000000" + "0400000000000000" + "85ac929a",
+			"grant", SessionGrant{Session: 9, Token: 0xDEADBEEF, AckSeq: 4, Epoch: 2},
+			"25000000" + "0b" + "0900000000000000" + "efbeadde00000000" + "0400000000000000" + "0200000000000000" + "4cd3c532",
 		},
 		{
 			"seqevent", SeqEvent{Seq: 3, Event: Event{Kind: EventBegin, Rule: "R", Time: time.Millisecond}},
@@ -201,6 +203,44 @@ func TestGoldenBytes(t *testing.T) {
 			got := hex.EncodeToString(Marshal(c.rec))
 			if got != c.hex {
 				t.Errorf("encoding drifted:\n got %s\nwant %s", got, c.hex)
+			}
+		})
+	}
+}
+
+// TestVersion2CompatDecode pins the version-2 encodings of Resume and
+// SessionGrant — the exact bytes the PR-2 golden test froze, without
+// the epoch field — and requires current decoders to accept them with
+// epoch zero, so version-2 peers keep interoperating.
+func TestVersion2CompatDecode(t *testing.T) {
+	cases := []struct {
+		name string
+		hex  string
+		want Record
+	}{
+		{
+			"resume-v2",
+			"17000000" + "0a" + "0200" + "efbeadde00000000" + "0500000000000000" + "6e2d38b5",
+			Resume{Version: 2, Token: 0xDEADBEEF, LastEventSeq: 5},
+		},
+		{
+			"grant-v2",
+			"1d000000" + "0b" + "0900000000000000" + "efbeadde00000000" + "0400000000000000" + "85ac929a",
+			SessionGrant{Session: 9, Token: 0xDEADBEEF, AckSeq: 4},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			buf, err := hex.DecodeString(c.hex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Read(bytes.NewReader(buf))
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("decoded %+v, want %+v", got, c.want)
 			}
 		})
 	}
