@@ -12,7 +12,7 @@ help:
 	@echo "  test        build everything and run the full suite (default)"
 	@echo "  race        race-clean gate: vet + chaos sweep + short suite under -race (archive/recheck run unshortened)"
 	@echo "  short       the suite minus campaign-scale tests"
-	@echo "  bench       all benchmarks with -benchmem; records BENCH_PR7.json via cmd/benchjson"
+	@echo "  bench       all benchmarks with -benchmem; records BENCH_PR8.json via cmd/benchjson"
 	@echo "  chaos       seeded transport-chaos suite under -race + wire fuzz smoke"
 	@echo "  crash       subprocess SIGKILL matrix: 16 seeded kills of a real monitord under -race"
 	@echo "  fuzz        brief fuzz passes (wire decoder, spec parser, archive segments)"
@@ -31,10 +31,13 @@ test:
 # The archive store and recheck engine are listed explicitly: their
 # torn-tail recovery and pump-drain tests are exactly the concurrent
 # durability paths the race gate exists for, and -count=1 keeps cached
-# passes from masking them.
+# passes from masking them. core and speclang join the list with PR 8's
+# parallel grid evaluation and sharded recheck: the differential tests
+# (parallel output == sequential at 1/2/4/8 workers) are only meaningful
+# under the race detector.
 race: vet chaos crash
 	$(GO) test -race -short ./...
-	$(GO) test -race -count=1 ./internal/archive ./internal/recheck ./internal/durable
+	$(GO) test -race -count=1 ./internal/archive ./internal/recheck ./internal/durable ./internal/core ./internal/speclang
 
 # The seeded transport-chaos suite (fault-injected connections, resume,
 # drain) under the race detector, plus a short wire-decoder fuzz smoke —
@@ -53,11 +56,11 @@ crash:
 short:
 	$(GO) test -short ./...
 
-# Runs every benchmark and snapshots the numbers to BENCH_PR7.json so
+# Runs every benchmark and snapshots the numbers to BENCH_PR8.json so
 # performance work leaves a committed, diffable record; the label says
 # which PR produced the snapshot even once copied elsewhere.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson -label PR7 > BENCH_PR7.json
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson -label PR8 > BENCH_PR8.json
 
 # Brief fuzz passes over the parser/formatter, the wire codec and the
 # archive segment reader.

@@ -235,9 +235,11 @@ func TestDurableDependencySurface(t *testing.T) {
 
 // TestRecheckDependencySurface bounds the recheck engine: it reads
 // archives and replays them through the monitor engine, so it may see
-// the archive store, the engine and its inputs — never the fleet
+// the archive store, the engine and its inputs, plus the metrics
+// registry its throughput counters report into — never the fleet
 // server or the system under test. Rechecking history must stay an
-// offline operation.
+// offline operation, so like the engine and the archive it is also
+// pinned off the network.
 func TestRecheckDependencySurface(t *testing.T) {
 	allowed := map[string]bool{
 		"cpsmon/internal/archive":  true,
@@ -246,11 +248,45 @@ func TestRecheckDependencySurface(t *testing.T) {
 		"cpsmon/internal/speclang": true,
 		"cpsmon/internal/wire":     true,
 		"cpsmon/internal/can":      true,
+		"cpsmon/internal/obs":      true,
 	}
 	for ipath, files := range cpsmonImports(t, "internal/recheck") {
 		if !allowed[ipath] {
-			t.Errorf("%v import %s: recheck may depend only on archive, core, sigdb, speclang, wire, can", files, ipath)
+			t.Errorf("%v import %s: recheck may depend only on archive, core, sigdb, speclang, wire, can, obs", files, ipath)
 		}
+	}
+	forbidden := map[string]bool{"net": true, "net/http": true}
+	entries, err := os.ReadDir("internal/recheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join("internal/recheck", name)
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		for _, imp := range f.Imports {
+			ipath, _ := strconv.Unquote(imp.Path.Value)
+			if forbidden[ipath] {
+				t.Errorf("%s imports %s: recheck must stay off the network", path, ipath)
+			}
+		}
+	}
+}
+
+// TestSpeclangStaysStandardLibraryOnly keeps the specification language
+// a leaf package: it is shared by the online checker, the offline
+// evaluator and the recheck engine, and its scratch arena sits on every
+// hot path — it may import nothing of cpsmon.
+func TestSpeclangStaysStandardLibraryOnly(t *testing.T) {
+	for ipath, files := range cpsmonImports(t, "internal/speclang") {
+		t.Errorf("%v import %s: speclang must stay standard-library-only", files, ipath)
 	}
 }
 

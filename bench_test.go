@@ -232,6 +232,54 @@ func BenchmarkMonitorCheckTrace(b *testing.B) {
 	}
 }
 
+// BenchmarkCheckGridParallel measures the offline grid evaluation with
+// the rules fanned over a worker pool (Config.EvalParallelism): the
+// same ten minutes of traffic as BenchmarkMonitorCheckTrace, evaluated
+// at parallelism 1, 4 and GOMAXPROCS. The report is identical at every
+// width (pinned by the core differential tests); this records what the
+// width buys in wall clock on this machine.
+func BenchmarkCheckGridParallel(b *testing.B) {
+	tr := benchTrace(b)
+	grid, err := trace.Align(tr, sigdb.FastPeriod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, err := rules.Strict()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		par  int
+	}{
+		{"par=1", 1},
+		{"par=4", 4},
+		{"par=max", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			mon, err := core.New(core.Config{
+				Rules:           rs,
+				Triage:          rules.DefaultTriage(),
+				EvalParallelism: bc.par,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := mon.CheckGrid(grid)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rep.Rules) != 7 {
+					b.Fatalf("evaluated %d rules, want 7", len(rep.Rules))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMonitorOnline measures the streaming monitor over the same
 // ten minutes of traffic, frame by frame — the runtime-deployment path.
 func BenchmarkMonitorOnline(b *testing.B) {

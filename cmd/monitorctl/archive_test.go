@@ -118,6 +118,38 @@ func TestRunRecheckSameSpecAgrees(t *testing.T) {
 	}
 }
 
+// TestRunRecheckWorkersFlag pins the -workers flag: it is threaded
+// through to recheck.Options and the sharded run prints the same
+// report as the sequential default, while a negative count is
+// rejected with the familiar single-error exit path.
+func TestRunRecheckWorkersFlag(t *testing.T) {
+	dir := buildArchive(t, "veh-w1", "veh-w2", "veh-w3")
+	db := sigdb.Vehicle()
+	var seq strings.Builder
+	if err := runRecheck(dir, "strict", db, speclang.DeltaUpdateAware, recheck.Options{Workers: 1}, &seq); err != nil {
+		t.Fatalf("sequential runRecheck: %v\n%s", err, seq.String())
+	}
+	for _, workers := range []int{0, 2, 4} {
+		var par strings.Builder
+		if err := runRecheck(dir, "strict", db, speclang.DeltaUpdateAware, recheck.Options{Workers: workers}, &par); err != nil {
+			t.Fatalf("workers=%d runRecheck: %v\n%s", workers, err, par.String())
+		}
+		if par.String() != seq.String() {
+			t.Errorf("workers=%d output differs from sequential:\n--- workers=1\n%s--- workers=%d\n%s",
+				workers, seq.String(), workers, par.String())
+		}
+	}
+
+	// The full CLI path accepts the flag and rejects a negative count.
+	if err := run([]string{"-recheck", "strict", "-archive-dir", dir, "-workers", "2"}); err != nil {
+		t.Errorf("run -workers 2: %v", err)
+	}
+	err := run([]string{"-recheck", "strict", "-archive-dir", dir, "-workers", "-3"})
+	if err == nil || !strings.Contains(err.Error(), "worker count") {
+		t.Errorf("run -workers -3: got %v, want worker-count error", err)
+	}
+}
+
 // TestRunRecheckTightenedSpecRegresses rechecks against a tightened
 // spec the archived traffic violates: the run must report the
 // regression and return an error so CI gates fail.

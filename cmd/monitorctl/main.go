@@ -71,6 +71,7 @@ func run(args []string) error {
 		recheckSpec = fs.String("recheck", "", "re-verify archived traffic in -archive-dir against this rule set (strict, relaxed, or a .spec path) and report per-rule divergence")
 		fromT       = fs.Duration("from", 0, "capture-time lower bound for -recheck (0 = start of archive)")
 		toT         = fs.Duration("to", 0, "capture-time upper bound for -recheck (0 = end of archive)")
+		workers     = fs.Int("workers", 0, "worker count for -recheck session sharding (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -126,7 +127,7 @@ func run(args []string) error {
 		if *archiveDir == "" {
 			return fmt.Errorf("-recheck requires -archive-dir")
 		}
-		opt := recheck.Options{From: *fromT, To: *toT}
+		opt := recheck.Options{From: *fromT, To: *toT, Workers: *workers}
 		// -vehicle doubles as the -stream identity, so its default
 		// must not silently filter the recheck; only an explicit flag
 		// narrows the replay.

@@ -322,6 +322,25 @@ type Query struct {
 	Kinds Kind
 }
 
+// skipsSegment reports whether the query can never match a record in
+// the segment: a damaged or empty segment, or — when the query cannot
+// match verdicts (which are exempt from the time window) — a segment
+// whose footer time span is disjoint from the window, since the span
+// bounds every record inside.
+func (q Query) skipsSegment(info SegmentInfo) bool {
+	if info.Damaged || info.Records == 0 {
+		return true
+	}
+	kinds := q.Kinds
+	if kinds == 0 {
+		kinds = KindAll
+	}
+	if kinds&KindVerdict != 0 {
+		return false
+	}
+	return (q.To > 0 && info.TMin > q.To) || (q.From > 0 && info.TMax < q.From)
+}
+
 // Record is one archived record as yielded by an Iterator. Frames is
 // the iterator's reusable scratch buffer — valid only until the next
 // call to Next.
@@ -406,19 +425,10 @@ func (it *Iterator) Next() bool {
 // segments whose footer time span is disjoint from the window are
 // pruned without being opened — the span bounds every record inside.
 func (it *Iterator) openNext() bool {
-	kinds := it.q.Kinds
-	if kinds == 0 {
-		kinds = KindAll
-	}
-	prune := kinds&KindVerdict == 0
 	for it.si < len(it.segs) {
 		seg := it.segs[it.si]
 		it.si++
-		if seg.info.Damaged || seg.info.Records == 0 {
-			continue
-		}
-		if prune && ((it.q.To > 0 && seg.info.TMin > it.q.To) ||
-			(it.q.From > 0 && seg.info.TMax < it.q.From)) {
+		if it.q.skipsSegment(seg.info) {
 			continue
 		}
 		f, err := os.Open(seg.info.Path)
@@ -650,9 +660,30 @@ func (it *Iterator) Record() *Record { return &it.rec }
 // Err returns the error that terminated iteration, if any.
 func (it *Iterator) Err() error { return it.err }
 
-// Close releases the iterator's open segment file.
+// Close releases the iterator's open segment file. It is idempotent
+// and safe to call mid-iteration — including right after a true Next,
+// with the current Record still in hand; subsequent Next calls report
+// false without disturbing Err.
 func (it *Iterator) Close() error {
 	it.closeSegment()
 	it.done = true
 	return nil
+}
+
+// reset re-arms the iterator over a single segment, reusing its decode
+// scratch (body buffer, frame slab, vehicle intern table). The
+// parallel scanner's workers replay one segment at a time through a
+// worker-owned iterator this way.
+func (it *Iterator) reset(seg segment, q Query) {
+	it.closeSegment()
+	it.segs = append(it.segs[:0], seg)
+	it.q = q
+	it.si = 0
+	it.off, it.end = 0, 0
+	it.rec = Record{}
+	it.err = nil
+	it.done = false
+	if it.vehicles == nil {
+		it.vehicles = make(map[string]string)
+	}
 }

@@ -141,6 +141,7 @@ type TxSchedule struct {
 	rng        *rand.Rand
 	next       map[uint32]time.Duration
 	order      []uint32
+	due        []uint32 // reusable Due result buffer
 }
 
 // NewTxSchedule builds a schedule for every frame in the database.
@@ -176,9 +177,11 @@ func NewTxSchedule(db *sigdb.DB, base time.Duration, jitterProb float64, rng *ra
 }
 
 // Due returns the IDs of frames due at time now and schedules their next
-// emissions. IDs are returned in ascending order for determinism.
+// emissions. IDs are returned in ascending order for determinism. The
+// returned slice is the schedule's reusable scratch — valid only until
+// the next call to Due.
 func (s *TxSchedule) Due(now time.Duration) []uint32 {
-	var due []uint32
+	due := s.due[:0]
 	for _, id := range s.order {
 		if s.next[id] > now {
 			continue
@@ -195,6 +198,7 @@ func (s *TxSchedule) Due(now time.Duration) []uint32 {
 		}
 		s.next[id] = next
 	}
+	s.due = due
 	return due
 }
 
@@ -207,10 +211,16 @@ func (s *TxSchedule) Due(now time.Duration) []uint32 {
 // arrives, which is the root of the multi-rate sampling issues explored
 // in the paper's Section V.C.1.
 type Bus struct {
-	db      *sigdb.DB
-	sched   *TxSchedule
-	pending map[string]float64
-	latched map[string]float64
+	db    *sigdb.DB
+	sched *TxSchedule
+	// plan packs and unpacks frames against the slot vectors below —
+	// the simulation ticks millions of times per campaign, so the bus
+	// works in flat vectors (one map lookup per Set, none per Step)
+	// instead of allocating a value map per frame.
+	plan    *sigdb.DecodePlan
+	slot    map[string]int
+	pending []float64
+	latched []float64
 	log     *Log
 }
 
@@ -218,16 +228,21 @@ type Bus struct {
 // schedule. All signals start latched at zero, matching a network where
 // nodes boot broadcasting default values.
 func NewBus(db *sigdb.DB, sched *TxSchedule) *Bus {
+	names := db.SignalNames()
+	// The ordering comes straight from the database, so compilation
+	// cannot fail.
+	plan, _ := db.CompilePlan(names)
 	b := &Bus{
 		db:      db,
 		sched:   sched,
-		pending: make(map[string]float64),
-		latched: make(map[string]float64),
+		plan:    plan,
+		slot:    make(map[string]int, len(names)),
+		pending: make([]float64, len(names)),
+		latched: make([]float64, len(names)),
 		log:     &Log{},
 	}
-	for _, name := range db.SignalNames() {
-		b.pending[name] = 0
-		b.latched[name] = 0
+	for i, name := range names {
+		b.slot[name] = i
 	}
 	return b
 }
@@ -235,21 +250,22 @@ func NewBus(db *sigdb.DB, sched *TxSchedule) *Bus {
 // Set updates the publisher-side value of a signal. The new value is not
 // visible to receivers until the carrying frame is next transmitted.
 func (b *Bus) Set(name string, v float64) error {
-	if _, ok := b.db.Signal(name); !ok {
+	i, ok := b.slot[name]
+	if !ok {
 		return fmt.Errorf("can: set of unknown signal %q", name)
 	}
-	b.pending[name] = v
+	b.pending[i] = v
 	return nil
 }
 
 // Read returns the last broadcast value of a signal, as any receiver on
 // the bus would observe it.
 func (b *Bus) Read(name string) (float64, error) {
-	v, ok := b.latched[name]
+	i, ok := b.slot[name]
 	if !ok {
 		return 0, fmt.Errorf("can: read of unknown signal %q", name)
 	}
-	return v, nil
+	return b.latched[i], nil
 }
 
 // Step transmits every frame due at time now: packs the pending signal
@@ -257,8 +273,7 @@ func (b *Bus) Read(name string) (float64, error) {
 // receivers.
 func (b *Bus) Step(now time.Duration) error {
 	for _, id := range b.sched.Due(now) {
-		f, _ := b.db.Frame(id)
-		data, err := b.db.Pack(id, b.pending)
+		data, err := b.plan.PackFrom(id, b.pending)
 		if err != nil {
 			return err
 		}
@@ -268,12 +283,8 @@ func (b *Bus) Step(now time.Duration) error {
 		// Latch what actually went over the wire (float32 precision,
 		// saturated enums), not the publisher's float64 copy, so that
 		// receivers and the offline monitor observe identical values.
-		decoded, err := b.db.Unpack(id, data)
-		if err != nil {
+		if _, err := b.plan.UnpackInto(id, data, b.latched); err != nil {
 			return err
-		}
-		for _, sig := range f.Signals {
-			b.latched[sig.Name] = decoded[sig.Name]
 		}
 	}
 	return nil

@@ -22,6 +22,8 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"cpsmon/internal/can"
@@ -158,14 +160,29 @@ type Config struct {
 	// Triage maps rule names to triage thresholds. Rules without an
 	// entry classify every violation as real.
 	Triage map[string]Triage
+	// EvalParallelism bounds how many rules CheckGrid evaluates
+	// concurrently. Rules are independent over a read-only grid, so
+	// the report is identical at any level; 0 means GOMAXPROCS, 1
+	// forces sequential evaluation.
+	EvalParallelism int
 }
 
 // Monitor is a bolt-on passive test oracle.
+//
+// A Monitor is safe for concurrent use: CheckTrace/CheckGrid/CheckLog
+// may run from many goroutines over one instance (the campaign drivers
+// and the recheck shards do), and each call may itself fan rules out
+// over a worker pool per Config.EvalParallelism.
 type Monitor struct {
 	rules  *speclang.RuleSet
 	period time.Duration
 	mode   speclang.DeltaMode
 	triage map[string]Triage
+	par    int
+
+	// scratch pools speclang evaluation buffers per worker; see
+	// speclang.Scratch for the lifetime contract.
+	scratch sync.Pool
 }
 
 // New builds a monitor from the configuration.
@@ -182,12 +199,18 @@ func New(cfg Config) (*Monitor, error) {
 	if cfg.Triage == nil {
 		cfg.Triage = make(map[string]Triage)
 	}
-	return &Monitor{
+	if cfg.EvalParallelism < 0 {
+		return nil, fmt.Errorf("core: negative eval parallelism %d", cfg.EvalParallelism)
+	}
+	m := &Monitor{
 		rules:  cfg.Rules,
 		period: cfg.Period,
 		mode:   cfg.DeltaMode,
 		triage: cfg.Triage,
-	}, nil
+		par:    cfg.EvalParallelism,
+	}
+	m.scratch.New = func() any { return speclang.NewScratch() }
+	return m, nil
 }
 
 // RuleReport is the oracle outcome for one rule over one trace.
@@ -282,12 +305,58 @@ func (m *Monitor) CheckTrace(tr *trace.Trace) (*Report, error) {
 	return m.CheckGrid(grid)
 }
 
-// CheckGrid evaluates every rule over an already-aligned grid.
+// CheckGrid evaluates every rule over an already-aligned grid. Rules
+// are independent, so with Config.EvalParallelism above one they are
+// fanned over a worker pool; results are assembled in rule-set order
+// (and errors surfaced in rule-set order), so the report is identical
+// at any parallelism level.
 func (m *Monitor) CheckGrid(grid *trace.Grid) (*Report, error) {
-	results, err := m.rules.Eval(grid, speclang.EvalOptions{DeltaMode: m.mode})
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+	rules := m.rules.Rules()
+	workers := m.par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(rules) {
+		workers = len(rules)
+	}
+
+	results := make([]speclang.RuleResult, len(rules))
+	errs := make([]error, len(rules))
+	if workers <= 1 {
+		scr := m.scratch.Get().(*speclang.Scratch)
+		for i, r := range rules {
+			results[i], errs[i] = r.Eval(grid, speclang.EvalOptions{DeltaMode: m.mode, Scratch: scr})
+			if errs[i] != nil {
+				break
+			}
+		}
+		m.scratch.Put(scr)
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				scr := m.scratch.Get().(*speclang.Scratch)
+				defer m.scratch.Put(scr)
+				for i := range next {
+					results[i], errs[i] = rules[i].Eval(grid, speclang.EvalOptions{DeltaMode: m.mode, Scratch: scr})
+				}
+			}()
+		}
+		for i := range rules {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
 	rep := &Report{Steps: grid.NumSteps(), Period: grid.StepPeriod()}
 	for _, res := range results {
 		rr := RuleReport{Result: res, Verdict: Satisfied}

@@ -1,0 +1,152 @@
+// Parallel CheckGrid differential tests live in an external test
+// package so they can compile the real strict and relaxed rule sets
+// (internal/rules imports core, so the in-package tests cannot).
+package core_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/core"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/trace"
+)
+
+// parallelFixtureLog synthesizes a bus capture with a mid-trace fault
+// burst so several rules actually violate — a differential test over
+// an all-satisfied trace would prove very little.
+func parallelFixtureLog(t testing.TB, ticks int) *can.Log {
+	t.Helper()
+	db := sigdb.Vehicle()
+	sched, err := can.NewTxSchedule(db, sigdb.FastPeriod, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := can.NewBus(db, sched)
+	for tick := 0; tick < ticks; tick++ {
+		_ = bus.Set(sigdb.SigVelocity, 22+3*float64(tick%7))
+		_ = bus.Set(sigdb.SigACCSetSpeed, 25)
+		_ = bus.Set(sigdb.SigVehicleAhead, 1)
+		_ = bus.Set(sigdb.SigTargetRange, float64(45-(tick%30)))
+		_ = bus.Set(sigdb.SigSelHeadway, 2)
+		if tick >= ticks/3 && tick < ticks/2 {
+			_ = bus.Set(sigdb.SigServiceACC, 1)
+			_ = bus.Set(sigdb.SigACCEnabled, 1)
+			_ = bus.Set(sigdb.SigRequestedTorque, 120)
+			_ = bus.Set(sigdb.SigTorqueRequested, 1)
+		} else {
+			_ = bus.Set(sigdb.SigServiceACC, 0)
+			_ = bus.Set(sigdb.SigACCEnabled, 0)
+			_ = bus.Set(sigdb.SigRequestedTorque, 0)
+			_ = bus.Set(sigdb.SigTorqueRequested, 0)
+		}
+		if err := bus.Step(time.Duration(tick) * sigdb.FastPeriod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return bus.Log()
+}
+
+// TestCheckGridParallelDifferential pins the concurrent rule fan-out
+// to the sequential engine: for the strict and the relaxed rule sets,
+// CheckGrid at parallelism 2, 4 and 8 must reproduce the sequential
+// report exactly — rule order, verdicts, violations, triage classes.
+func TestCheckGridParallelDifferential(t *testing.T) {
+	db := sigdb.Vehicle()
+	log := parallelFixtureLog(t, 2000)
+	tr, err := trace.FromCANLog(log, db)
+	if err != nil {
+		t.Fatalf("FromCANLog: %v", err)
+	}
+	grid, err := trace.Align(tr, sigdb.FastPeriod)
+	if err != nil {
+		t.Fatalf("Align: %v", err)
+	}
+
+	for _, spec := range []struct {
+		name string
+		par  func(p int) (*core.Monitor, error)
+	}{
+		{"strict", func(p int) (*core.Monitor, error) {
+			rs, err := rules.Strict()
+			if err != nil {
+				return nil, err
+			}
+			return core.New(core.Config{Rules: rs, Triage: rules.DefaultTriage(), EvalParallelism: p})
+		}},
+		{"relaxed", func(p int) (*core.Monitor, error) {
+			rs, err := rules.Relaxed()
+			if err != nil {
+				return nil, err
+			}
+			return core.New(core.Config{Rules: rs, Triage: rules.DefaultTriage(), EvalParallelism: p})
+		}},
+	} {
+		t.Run(spec.name, func(t *testing.T) {
+			seqMon, err := spec.par(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := seqMon.CheckGrid(grid)
+			if err != nil {
+				t.Fatalf("sequential CheckGrid: %v", err)
+			}
+			if !want.AnyViolated() {
+				t.Fatal("fixture produced no violations; differential test would be vacuous")
+			}
+			for _, p := range []int{2, 4, 8} {
+				parMon, err := spec.par(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Run repeatedly so the scratch pool actually recycles
+				// buffers across calls.
+				for round := 0; round < 3; round++ {
+					got, err := parMon.CheckGrid(grid)
+					if err != nil {
+						t.Fatalf("parallel CheckGrid (p=%d): %v", p, err)
+					}
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("parallelism %d round %d: report diverges from sequential", p, round)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCheckGridParallelErrorIsDeterministic checks that when a rule
+// references a signal missing from the grid, the parallel engine
+// surfaces the same (first in rule order) error the sequential one
+// does.
+func TestCheckGridParallelErrorIsDeterministic(t *testing.T) {
+	rs, err := rules.Strict()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New()
+	s := tr.Ensure(sigdb.SigVelocity) // every other signal missing
+	for i := 0; i < 10; i++ {
+		if err := s.Append(time.Duration(i)*sigdb.FastPeriod, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var errors []string
+	for _, p := range []int{1, 4} {
+		mon, err := core.New(core.Config{Rules: rs, EvalParallelism: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, cerr := mon.CheckTrace(tr)
+		if cerr == nil {
+			t.Fatalf("parallelism %d: missing-signal trace checked cleanly", p)
+		}
+		errors = append(errors, cerr.Error())
+	}
+	if errors[0] != errors[1] {
+		t.Errorf("error differs by parallelism:\nseq: %s\npar: %s", errors[0], errors[1])
+	}
+}

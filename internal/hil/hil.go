@@ -280,19 +280,23 @@ func (b *Bench) Step() error {
 	if max := b.ego.Config().MaxEngineTorque; max > 0 {
 		throt = 100 * clamp(b.appliedTorque/max, 0, 1)
 	}
-	pub := map[string]float64{
-		sigdb.SigVelocity:     vel,
-		sigdb.SigThrotPos:     throt,
-		sigdb.SigAccelPedPos:  cmd.AccelPedPos,
-		sigdb.SigBrakePedPres: cmd.BrakePedPres,
-		sigdb.SigACCSetSpeed:  cmd.ACCSetSpeed,
-		sigdb.SigSelHeadway:   cmd.SelHeadway,
-		sigdb.SigTargetRange:  obs.Range,
-		sigdb.SigTargetRelVel: obs.RelVel,
-		sigdb.SigVehicleAhead: boolToF(obs.Ahead),
-	}
-	for name, v := range pub {
-		if err := b.bus.Set(name, v); err != nil {
+	// Publish with direct Set calls — this runs every tick of every
+	// campaign scenario, so no per-tick value map.
+	for _, p := range [...]struct {
+		name string
+		v    float64
+	}{
+		{sigdb.SigVelocity, vel},
+		{sigdb.SigThrotPos, throt},
+		{sigdb.SigAccelPedPos, cmd.AccelPedPos},
+		{sigdb.SigBrakePedPres, cmd.BrakePedPres},
+		{sigdb.SigACCSetSpeed, cmd.ACCSetSpeed},
+		{sigdb.SigSelHeadway, cmd.SelHeadway},
+		{sigdb.SigTargetRange, obs.Range},
+		{sigdb.SigTargetRelVel, obs.RelVel},
+		{sigdb.SigVehicleAhead, boolToF(obs.Ahead)},
+	} {
+		if err := b.bus.Set(p.name, p.v); err != nil {
 			return err
 		}
 	}
@@ -318,16 +322,18 @@ func (b *Bench) Step() error {
 	}
 	out := b.feature.Step(dt, in)
 	b.lastOut = out
-	outPub := map[string]float64{
-		sigdb.SigACCEnabled:      boolToF(out.ACCEnabled),
-		sigdb.SigBrakeRequested:  boolToF(out.BrakeRequested),
-		sigdb.SigTorqueRequested: boolToF(out.TorqueRequested),
-		sigdb.SigRequestedTorque: out.RequestedTorque,
-		sigdb.SigRequestedDecel:  out.RequestedDecel,
-		sigdb.SigServiceACC:      boolToF(out.ServiceACC),
-	}
-	for name, v := range outPub {
-		if err := b.bus.Set(name, v); err != nil {
+	for _, p := range [...]struct {
+		name string
+		v    float64
+	}{
+		{sigdb.SigACCEnabled, boolToF(out.ACCEnabled)},
+		{sigdb.SigBrakeRequested, boolToF(out.BrakeRequested)},
+		{sigdb.SigTorqueRequested, boolToF(out.TorqueRequested)},
+		{sigdb.SigRequestedTorque, out.RequestedTorque},
+		{sigdb.SigRequestedDecel, out.RequestedDecel},
+		{sigdb.SigServiceACC, boolToF(out.ServiceACC)},
+	} {
+		if err := b.bus.Set(p.name, p.v); err != nil {
 			return err
 		}
 	}

@@ -14,21 +14,34 @@
 // Only the rule fields of a verdict are compared. Ingest counters
 // (frames dropped, rejected) describe the original transport and are
 // not reproducible from the archive.
+//
+// Recheck is an offline batch job, so it parallelizes freely: sessions
+// are sharded onto a worker pool (Options.Workers) and segments are
+// decoded ahead of the replay by the archive's parallel scanner. The
+// sharding is deterministic — every session is wholly owned by one
+// worker and its records arrive in archive order, and the final report
+// is assembled in sorted session order — so the report is identical at
+// any worker count, byte for byte.
 package recheck
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"cpsmon/internal/archive"
+	"cpsmon/internal/can"
 	"cpsmon/internal/core"
 	"cpsmon/internal/sigdb"
 	"cpsmon/internal/speclang"
 	"cpsmon/internal/wire"
 )
 
-// Options narrows which archived sessions are rechecked.
+// Options narrows which archived sessions are rechecked and sizes the
+// replay worker pool.
 type Options struct {
 	// From and To bound the capture-time window, as archive.Query.
 	From, To time.Duration
@@ -36,6 +49,10 @@ type Options struct {
 	Vehicle string
 	// Session, when nonzero, selects one session.
 	Session uint64
+	// Workers bounds how many session shards replay concurrently:
+	// 0 means GOMAXPROCS, 1 forces the sequential engine. The report
+	// is identical at any value.
+	Workers int
 }
 
 // RuleDiff is one rule whose rechecked verdict differs from the
@@ -116,8 +133,16 @@ type tally struct {
 // from cfg and reports per-session, per-rule agreement with the
 // archived verdicts. The archive is read in one pass; interleaved
 // sessions each get their own monitor instance over the shared
-// compiled spec.
+// compiled spec. With Options.Workers above one, sessions are sharded
+// onto that many replay workers (session number modulo worker count)
+// fed by a pipelined segment scan; any error — a worker-side replay
+// failure or an iterator decode failure — surfaces as the one error
+// Run returns, never a hang.
 func Run(cat *archive.Catalog, db *sigdb.DB, cfg core.Config, opt Options) (*Report, error) {
+	start := time.Now()
+	if opt.Workers < 0 {
+		return nil, fmt.Errorf("recheck: negative worker count %d", opt.Workers)
+	}
 	mon, err := core.New(cfg)
 	if err != nil {
 		return nil, err
@@ -126,16 +151,43 @@ func Run(cat *archive.Catalog, db *sigdb.DB, cfg core.Config, opt Options) (*Rep
 	for _, r := range cfg.Rules.Rules() {
 		ruleOrder = append(ruleOrder, r.Name)
 	}
-
-	sessions := make(map[uint64]*replay)
-	it := cat.Iter(archive.Query{
+	workers := opt.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	q := archive.Query{
 		From: opt.From, To: opt.To,
 		Vehicle: opt.Vehicle, Session: opt.Session,
 		Kinds: archive.KindFrames | archive.KindVerdict,
-	})
+	}
+
+	var sessions map[uint64]*replay
+	var busy []time.Duration
+	if workers <= 1 {
+		sessions, err = runSequential(cat, db, mon, q)
+	} else {
+		sessions, busy, err = runSharded(cat, db, mon, q, workers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rep, err := finalize(sessions, ruleOrder)
+	if err != nil {
+		return nil, err
+	}
+	observeRun(rep, workers, busy, time.Since(start))
+	return rep, nil
+}
+
+// runSequential is the single-threaded replay: one pass over the
+// sequential iterator, sessions demultiplexed into a map.
+func runSequential(cat *archive.Catalog, db *sigdb.DB, mon *core.Monitor, q archive.Query) (map[uint64]*replay, error) {
+	sessions := make(map[uint64]*replay)
+	it := cat.Iter(q)
 	defer it.Close()
 	for it.Next() {
 		rec := it.Record()
+		countRecord()
 		r := sessions[rec.Session]
 		if r == nil {
 			om, err := mon.Online(db)
@@ -145,24 +197,182 @@ func Run(cat *archive.Catalog, db *sigdb.DB, cfg core.Config, opt Options) (*Rep
 			r = &replay{vehicle: rec.Vehicle, om: om, tally: make(map[string]*tally)}
 			sessions[rec.Session] = r
 		}
-		switch rec.Kind {
-		case archive.KindFrames:
-			evs, rejected, err := r.om.PushFrames(rec.Frames)
-			if err != nil {
-				return nil, fmt.Errorf("recheck: session %d: %w", rec.Session, err)
-			}
-			r.rejected += uint64(rejected)
-			r.frames += uint64(len(rec.Frames) - rejected)
-			r.account(evs)
-		case archive.KindVerdict:
-			v := rec.Verdict
-			r.archived = &v
+		if err := r.apply(rec); err != nil {
+			return nil, err
 		}
 	}
 	if err := it.Err(); err != nil {
 		return nil, err
 	}
+	return sessions, nil
+}
 
+// shardBatch is how many records the reader accumulates per shard
+// before handing them to the worker — large enough to amortize the
+// channel transfer, small enough to keep every shard busy on
+// interleaved archives.
+const shardBatch = 64
+
+// batch is the unit of reader-to-shard transfer: record copies with
+// their frames moved into a batch-owned arena, since both iterator and
+// parallel-scanner frame buffers are scratch that must not cross a
+// goroutine boundary by reference.
+type batch struct {
+	recs   []archive.Record
+	frames []can.Frame
+}
+
+// shard is one replay worker's private state. Sessions are assigned by
+// session number modulo worker count, so the maps are disjoint and the
+// merge after the join is a plain union.
+type shard struct {
+	mon      *core.Monitor
+	db       *sigdb.DB
+	sessions map[uint64]*replay
+	err      error
+	busy     time.Duration
+}
+
+// process replays one batch, creating session state on first sight.
+func (s *shard) process(b *batch) error {
+	for i := range b.recs {
+		rec := &b.recs[i]
+		r := s.sessions[rec.Session]
+		if r == nil {
+			om, err := s.mon.Online(s.db)
+			if err != nil {
+				return err
+			}
+			r = &replay{vehicle: rec.Vehicle, om: om, tally: make(map[string]*tally)}
+			s.sessions[rec.Session] = r
+		}
+		if err := r.apply(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// apply folds one archived record into the session's replay state.
+func (r *replay) apply(rec *archive.Record) error {
+	switch rec.Kind {
+	case archive.KindFrames:
+		evs, rejected, err := r.om.PushFrames(rec.Frames)
+		if err != nil {
+			return fmt.Errorf("recheck: session %d: %w", rec.Session, err)
+		}
+		r.rejected += uint64(rejected)
+		r.frames += uint64(len(rec.Frames) - rejected)
+		r.account(evs)
+	case archive.KindVerdict:
+		v := rec.Verdict
+		r.archived = &v
+	}
+	return nil
+}
+
+// runSharded fans the archive pass over a worker pool: a pipelined
+// segment scan feeds a reader that routes each record to its session's
+// shard. A failing shard raises a flag the reader polls, so the scan
+// is closed mid-iteration instead of replaying to the end; the workers
+// drain their channels without processing, and the first error (in
+// shard order, then the iterator's) is returned.
+func runSharded(cat *archive.Catalog, db *sigdb.DB, mon *core.Monitor, q archive.Query, workers int) (map[uint64]*replay, []time.Duration, error) {
+	it := cat.ParallelIter(q, archive.ScanOptions{Workers: workers})
+	defer it.Close()
+
+	var pool sync.Pool
+	pool.New = func() any { return new(batch) }
+	chans := make([]chan *batch, workers)
+	shards := make([]*shard, workers)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		chans[w] = make(chan *batch, 4)
+		sh := &shard{mon: mon, db: db, sessions: make(map[uint64]*replay)}
+		shards[w] = sh
+		wg.Add(1)
+		go func(ch <-chan *batch) {
+			defer wg.Done()
+			for b := range ch {
+				if sh.err == nil {
+					t0 := time.Now()
+					if err := sh.process(b); err != nil {
+						sh.err = err
+						failed.Store(true)
+					}
+					sh.busy += time.Since(t0)
+				}
+				b.recs, b.frames = b.recs[:0], b.frames[:0]
+				pool.Put(b)
+			}
+		}(chans[w])
+	}
+
+	cur := make([]*batch, workers)
+	flush := func(w int) {
+		if cur[w] != nil && len(cur[w].recs) > 0 {
+			chans[w] <- cur[w]
+			cur[w] = nil
+		}
+	}
+	records := uint64(0)
+	for it.Next() {
+		if failed.Load() {
+			break // a shard already failed: stop scanning early
+		}
+		rec := *it.Record()
+		records++
+		w := int(rec.Session % uint64(workers))
+		b := cur[w]
+		if b == nil {
+			b = pool.Get().(*batch)
+			cur[w] = b
+		}
+		if len(rec.Frames) > 0 {
+			// Copy into the batch arena; records sliced from it stay
+			// valid across later appends (old backing arrays persist).
+			at := len(b.frames)
+			b.frames = append(b.frames, rec.Frames...)
+			rec.Frames = b.frames[at:len(b.frames):len(b.frames)]
+		}
+		b.recs = append(b.recs, rec)
+		if len(b.recs) >= shardBatch {
+			flush(w)
+		}
+	}
+	readErr := it.Err()
+	it.Close()
+	for w := range chans {
+		flush(w)
+		close(chans[w])
+	}
+	wg.Wait()
+	countRecords(records)
+
+	busy := make([]time.Duration, workers)
+	for w, sh := range shards {
+		busy[w] = sh.busy
+		if sh.err != nil {
+			return nil, nil, sh.err
+		}
+	}
+	if readErr != nil {
+		return nil, nil, readErr
+	}
+	merged := make(map[uint64]*replay)
+	for _, sh := range shards {
+		for id, r := range sh.sessions {
+			merged[id] = r
+		}
+	}
+	return merged, busy, nil
+}
+
+// finalize closes every session's monitor and assembles the report in
+// sorted session order — the step that makes the output independent of
+// how the replay was scheduled.
+func finalize(sessions map[uint64]*replay, ruleOrder []string) (*Report, error) {
 	rep := &Report{}
 	ids := make([]uint64, 0, len(sessions))
 	for id := range sessions {

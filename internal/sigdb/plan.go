@@ -174,6 +174,55 @@ func decodeRaw(kind Kind, raw uint64) float64 {
 	}
 }
 
+// encodeRaw converts one physical value to its raw bit field — the
+// inverse of decodeRaw, matching Signal.Encode exactly: float32
+// precision for Float, 0/1 for Bool, and saturation to the field mask
+// for Enum (the mask is (1<<BitLen)-1, Encode's saturation bound).
+func encodeRaw(kind Kind, mask uint64, v float64) uint64 {
+	switch kind {
+	case Float:
+		return uint64(math.Float32bits(float32(v)))
+	case Bool:
+		if v != 0 {
+			return 1
+		}
+		return 0
+	case Enum:
+		if math.IsNaN(v) || v < 0 {
+			return 0
+		}
+		if v >= float64(mask) {
+			return mask
+		}
+		return uint64(v)
+	default:
+		return 0
+	}
+}
+
+// PackFrom assembles the 8-byte payload of the given frame from the
+// plan's value vector — the allocation-free inverse of UnpackInto, and
+// byte-for-byte equivalent to DB.Pack when the plan was compiled over
+// every signal. Frame signals absent from the compiled ordering encode
+// as zero, exactly as Pack encodes signals missing from its map. src
+// must be at least Width() long.
+func (p *DecodePlan) PackFrom(id uint32, src []float64) ([8]byte, error) {
+	var data [8]byte
+	fp := p.lookup(id)
+	if fp == nil {
+		return data, ErrUnknownFrame
+	}
+	if len(src) < p.width {
+		return data, fmt.Errorf("sigdb: plan: source holds %d values, plan width is %d", len(src), p.width)
+	}
+	var word uint64
+	for _, e := range fp.entries {
+		word |= (encodeRaw(e.kind, e.mask, src[e.dst]) & e.mask) << e.shift
+	}
+	binary.LittleEndian.PutUint64(data[:], word)
+	return data, nil
+}
+
 // UnpackInto decodes the 8-byte payload of the given frame directly
 // into dst at the plan's precomputed destination indices. It performs
 // no allocation and no string hashing. The returned mask has bit k set

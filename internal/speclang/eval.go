@@ -41,6 +41,11 @@ const (
 type EvalOptions struct {
 	// DeltaMode selects multi-rate difference semantics.
 	DeltaMode DeltaMode
+	// Scratch, when non-nil, supplies reusable evaluation buffers so
+	// repeated evaluations stop allocating one slab per expression
+	// node. See the lifetime and concurrency contract on Scratch; the
+	// evaluation result never references scratch memory.
+	Scratch *Scratch
 }
 
 // Violation is one contiguous interval of rule violation.
@@ -124,6 +129,10 @@ func (r *Rule) Eval(src Source, opts EvalOptions) (RuleResult, error) {
 		mode:   opts.DeltaMode,
 		consts: r.consts,
 		lets:   make(map[string]*series),
+		scr:    opts.Scratch,
+	}
+	if ev.scr != nil {
+		ev.scr.begin(ev.n)
 	}
 	res := RuleResult{Name: r.Name, Description: r.Description, StepsChecked: ev.n}
 
@@ -184,7 +193,7 @@ func (r *Rule) Eval(src Source, opts EvalOptions) (RuleResult, error) {
 // held; an assert that is not an implication exercises every step).
 func (ev *evaluator) evalSpec(s *Spec) ([]string, []bool, error) {
 	marks := make([]string, ev.n)
-	active := make([]bool, ev.n)
+	active := ev.newBools()
 	for i, a := range s.Asserts {
 		vals, err := ev.eval(a)
 		if err != nil {
@@ -220,7 +229,7 @@ func (ev *evaluator) evalSpec(s *Spec) ([]string, []bool, error) {
 // step is "active" when the machine is outside its initial state.
 func (ev *evaluator) evalMonitor(m *Monitor, initial int) ([]string, []bool, error) {
 	marks := make([]string, ev.n)
-	active := make([]bool, ev.n)
+	active := ev.newBools()
 	states := make(map[string]int, len(m.States))
 	for i, st := range m.States {
 		states[st.Name] = i
@@ -288,7 +297,7 @@ func (ev *evaluator) evalMonitor(m *Monitor, initial int) ([]string, []bool, err
 
 // warmupMask computes the suppressed-step mask from warmup clauses.
 func (ev *evaluator) warmupMask(ws []Warmup) ([]bool, error) {
-	mask := make([]bool, ev.n)
+	mask := ev.newBools()
 	for _, w := range ws {
 		steps := int(w.Window / ev.period)
 		if steps < 1 {
@@ -382,6 +391,10 @@ type evaluator struct {
 	consts map[string]float64
 	lets   map[string]*series
 
+	// scr, when non-nil, recycles the per-step slabs below; nil falls
+	// back to plain allocation.
+	scr *Scratch
+
 	// noUpd is the shared all-false freshness vector carried by every
 	// constant series; constCache interns constant series by value.
 	// Evaluated series are read-only downstream, so sharing is safe and
@@ -389,6 +402,31 @@ type evaluator struct {
 	// binary node.
 	noUpd      []bool
 	constCache map[float64]*series
+}
+
+// newFloats returns a zeroed per-step float64 vector, recycled through
+// the scratch when one is attached.
+func (ev *evaluator) newFloats() []float64 {
+	if ev.scr != nil {
+		return ev.scr.grabFloats()
+	}
+	return make([]float64, ev.n)
+}
+
+// newBools returns a zeroed per-step bool vector.
+func (ev *evaluator) newBools() []bool {
+	if ev.scr != nil {
+		return ev.scr.grabBools()
+	}
+	return make([]bool, ev.n)
+}
+
+// newInts returns a zeroed vector of n+1 ints for prefix sums.
+func (ev *evaluator) newInts() []int {
+	if ev.scr != nil {
+		return ev.scr.grabInts()
+	}
+	return make([]int, ev.n+1)
 }
 
 func truthy(v float64) bool {
@@ -404,7 +442,7 @@ func b2f(b bool) float64 {
 
 func (ev *evaluator) noUpdates() []bool {
 	if ev.noUpd == nil {
-		ev.noUpd = make([]bool, ev.n)
+		ev.noUpd = ev.newBools()
 	}
 	return ev.noUpd
 }
@@ -413,7 +451,7 @@ func (ev *evaluator) constant(v float64) *series {
 	if s, ok := ev.constCache[v]; ok {
 		return s
 	}
-	vals := make([]float64, ev.n)
+	vals := ev.newFloats()
 	for i := range vals {
 		vals[i] = v
 	}
@@ -440,7 +478,7 @@ func (ev *evaluator) orBits(a, b []bool) []bool {
 	if ev.isNoUpd(a) {
 		return b
 	}
-	out := make([]bool, len(a))
+	out := ev.newBools()
 	for i := range a {
 		out[i] = a[i] || b[i]
 	}
@@ -473,7 +511,7 @@ func (ev *evaluator) eval(e Expr) (*series, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]float64, ev.n)
+		out := ev.newFloats()
 		if x.Op == tokNot {
 			for i, v := range s.vals {
 				out[i] = b2f(!truthy(v))
@@ -504,7 +542,7 @@ func (ev *evaluator) evalBinary(x *Binary) (*series, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, ev.n)
+	out := ev.newFloats()
 	lv, rv := l.vals, r.vals
 	switch x.Op {
 	case tokPlus:
@@ -576,7 +614,7 @@ func (ev *evaluator) evalCall(x *Call) (*series, error) {
 		}
 		args[i] = s
 	}
-	out := make([]float64, ev.n)
+	out := ev.newFloats()
 	switch x.Func {
 	case "prev":
 		prevVals, _ := ev.prevOf(args[0])
@@ -657,8 +695,8 @@ func (ev *evaluator) evalCall(x *Call) (*series, error) {
 // pointing one update back and delta exposes the inter-update trend
 // instead of reading as zero.
 func (ev *evaluator) prevOf(s *series) (prevVals, gapSeconds []float64) {
-	prevVals = make([]float64, ev.n)
-	gapSeconds = make([]float64, ev.n)
+	prevVals = ev.newFloats()
+	gapSeconds = ev.newFloats()
 	period := ev.period.Seconds()
 	if ev.mode == DeltaNaive {
 		for i := range prevVals {
@@ -708,7 +746,7 @@ func (ev *evaluator) evalTemporal(x *Temporal) (*series, error) {
 	lo := int(x.Lo / ev.period)
 	hi := int(x.Hi / ev.period)
 	// Prefix sums of truthiness for O(1) window queries.
-	pref := make([]int, ev.n+1)
+	pref := ev.newInts()
 	for i := 0; i < ev.n; i++ {
 		pref[i+1] = pref[i]
 		if truthy(s.vals[i]) {
@@ -716,7 +754,7 @@ func (ev *evaluator) evalTemporal(x *Temporal) (*series, error) {
 		}
 	}
 	exists := x.Op == "eventually" || x.Op == "once"
-	out := make([]float64, ev.n)
+	out := ev.newFloats()
 	for t := 0; t < ev.n; t++ {
 		var a, b int
 		var truncated bool
