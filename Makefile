@@ -12,7 +12,7 @@ help:
 	@echo "  test        build everything and run the full suite (default)"
 	@echo "  race        race-clean gate: vet + chaos sweep + short suite under -race (archive/recheck run unshortened)"
 	@echo "  short       the suite minus campaign-scale tests"
-	@echo "  bench       all benchmarks with -benchmem; records BENCH_PR8.json via cmd/benchjson"
+	@echo "  bench       all benchmarks with -benchmem; records BENCH_PR9.json via cmd/benchjson"
 	@echo "  chaos       seeded transport-chaos suite under -race + wire fuzz smoke"
 	@echo "  crash       subprocess SIGKILL matrix: 16 seeded kills of a real monitord under -race"
 	@echo "  fuzz        brief fuzz passes (wire decoder, spec parser, archive segments)"
@@ -56,11 +56,14 @@ crash:
 short:
 	$(GO) test -short ./...
 
-# Runs every benchmark and snapshots the numbers to BENCH_PR8.json so
+# Runs every benchmark and snapshots the numbers to BENCH_PR9.json so
 # performance work leaves a committed, diffable record; the label says
-# which PR produced the snapshot even once copied elsewhere.
+# which PR produced the snapshot even once copied elsewhere. The PR9
+# snapshot is the proof the flight recorder kept the pinned costs:
+# Fig1 codec 0 allocs/op, MonitorOnline 400 allocs/op, and
+# BenchmarkFleetIngest within 3% of BENCH_PR8.json.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson -label PR8 > BENCH_PR8.json
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson -label PR9 > BENCH_PR9.json
 
 # Brief fuzz passes over the parser/formatter, the wire codec and the
 # archive segment reader.

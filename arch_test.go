@@ -162,11 +162,23 @@ func TestFleetDependencySurface(t *testing.T) {
 		"cpsmon/internal/sigdb":    true,
 		"cpsmon/internal/speclang": true,
 		"cpsmon/internal/obs":      true,
+		"cpsmon/internal/flight":   true,
 	}
 	for ipath, files := range cpsmonImports(t, "internal/fleet") {
 		if !allowed[ipath] {
-			t.Errorf("%v import %s: fleet may depend only on wire, core, can, sigdb, speclang, obs", files, ipath)
+			t.Errorf("%v import %s: fleet may depend only on wire, core, can, sigdb, speclang, obs, flight", files, ipath)
 		}
+	}
+}
+
+// TestFlightStaysStandardLibraryOnly keeps the flight recorder a leaf
+// package like obs: the fleet server, the daemon and client-side code
+// all feed spans into it, so it may import nothing of cpsmon — that is
+// what lets it link everywhere (including obs's admin tests) without
+// cycles.
+func TestFlightStaysStandardLibraryOnly(t *testing.T) {
+	for ipath, files := range cpsmonImports(t, "internal/flight") {
+		t.Errorf("%v import %s: flight must stay standard-library-only", files, ipath)
 	}
 }
 

@@ -14,6 +14,8 @@
 //	monitorctl -signals                          # print the Figure 1 inventory
 //	monitorctl -writedb my.netdb                 # export the network DB template
 //	monitorctl -metrics 127.0.0.1:9321           # scrape a monitord admin endpoint
+//	monitorctl -top 127.0.0.1:9321               # live fleet latency view
+//	monitorctl -top 127.0.0.1:9321 -interval 0   # one frame, then exit
 //	monitorctl -archive-dir /var/lib/cpsmon -archive-ls
 //	                                             # list a monitord archive's segments
 //	monitorctl -archive-dir /var/lib/cpsmon -recheck specs/tightened.spec -from 1m -to 5m
@@ -56,6 +58,8 @@ func run(args []string) error {
 		writeDB   = fs.String("writedb", "", "write the built-in vehicle database to this file as a template and exit")
 		signals   = fs.Bool("signals", false, "print the network's signal inventory (paper Figure 1 for the built-in vehicle) and exit")
 		metrics   = fs.String("metrics", "", "scrape a monitord admin endpoint (host:port or URL), pretty-print its metrics, and exit")
+		top       = fs.String("top", "", "render a live fleet latency view (rates, per-vehicle e2e quantiles, SLO burn, stage breakdown) from a monitord admin endpoint")
+		interval  = fs.Duration("interval", 2*time.Second, "refresh interval for -top (0 = render one frame and exit)")
 		online    = fs.Bool("online", false, "replay the capture through the streaming monitor, printing events as they become decidable (requires a .canlog trace)")
 		stream    = fs.String("stream", "", "replay the capture to a monitord fleet server at this address, printing its incremental verdicts (requires a .canlog trace)")
 		speed     = fs.Float64("speed", 0, "replay speed for -stream: 1 is real time, 2 double speed, 0 as fast as the server accepts")
@@ -80,6 +84,9 @@ func run(args []string) error {
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if *metrics != "" {
 		return runMetrics(*metrics, os.Stdout)
+	}
+	if *top != "" {
+		return runTop(*top, *interval, os.Stdout)
 	}
 	if *writeDB != "" {
 		f, err := os.Create(*writeDB)

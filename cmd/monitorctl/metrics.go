@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
 	"text/tabwriter"
@@ -27,12 +28,25 @@ type promFamily struct {
 
 // runMetrics scrapes a monitord admin endpoint and renders its metric
 // families for humans: one block per family with its type and help
-// text, one aligned line per series. Histogram bucket series are
-// elided — their count and sum lines carry the operational signal.
+// text, one aligned line per series, sorted by name and label
+// signature so repeated scrapes diff cleanly. Histogram bucket series
+// are elided in favor of estimated p50/p95/p99 lines interpolated from
+// the cumulative buckets (the same estimator -top uses), alongside the
+// count and sum.
 //
 // target is the admin address as given to monitord -admin (host:port)
 // or a full URL; a bare address scrapes http://<target>/metrics.
 func runMetrics(target string, out io.Writer) error {
+	fams, err := scrapeFamilies(metricsURL(target))
+	if err != nil {
+		return err
+	}
+	return printFamilies(out, fams)
+}
+
+// metricsURL resolves a -metrics/-top target into the scrape URL: a
+// bare host:port becomes http://<target>/metrics.
+func metricsURL(target string) string {
 	url := target
 	if !strings.Contains(url, "://") {
 		url = "http://" + url
@@ -40,26 +54,32 @@ func runMetrics(target string, out io.Writer) error {
 	if !strings.Contains(strings.TrimPrefix(url, "http://"), "/") {
 		url += "/metrics"
 	}
+	return url
+}
+
+// scrapeFamilies fetches and parses one exposition, rejecting targets
+// that answer but expose nothing.
+func scrapeFamilies(url string) ([]*promFamily, error) {
 	resp, err := http.Get(url)
 	if err != nil {
-		return fmt.Errorf("admin endpoint unreachable: %w (is monitord running with -admin, and is the address right?)", err)
+		return nil, fmt.Errorf("admin endpoint unreachable: %w (is monitord running with -admin, and is the address right?)", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("scrape %s: status %s", url, resp.Status)
+		return nil, fmt.Errorf("scrape %s: status %s", url, resp.Status)
 	}
 	fams, err := parseExposition(resp.Body)
 	if err != nil {
-		return fmt.Errorf("scrape %s: %w", url, err)
+		return nil, fmt.Errorf("scrape %s: %w", url, err)
 	}
 	samples := 0
 	for _, f := range fams {
 		samples += len(f.samples)
 	}
 	if samples == 0 {
-		return fmt.Errorf("scrape %s: endpoint answered but exposed no metrics — not a monitord admin endpoint?", url)
+		return nil, fmt.Errorf("scrape %s: endpoint answered but exposed no metrics — not a monitord admin endpoint?", url)
 	}
-	return printFamilies(out, fams)
+	return fams, nil
 }
 
 // parseExposition reads Prometheus text exposition into families,
@@ -131,11 +151,17 @@ func parseExposition(r io.Reader) ([]*promFamily, error) {
 	return fams, sc.Err()
 }
 
-// printFamilies renders the families as aligned blocks.
+// printFamilies renders the families as aligned blocks, sorted by
+// family name with each family's series sorted by full series string
+// (name plus label signature) — the order is a pure function of the
+// scraped state, so two scrapes diff series-for-series.
 func printFamilies(out io.Writer, fams []*promFamily) error {
+	sorted := make([]*promFamily, len(fams))
+	copy(sorted, fams)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].name < sorted[j].name })
 	tw := tabwriter.NewWriter(out, 0, 4, 2, ' ', 0)
 	first := true
-	for _, f := range fams {
+	for _, f := range sorted {
 		if len(f.samples) == 0 {
 			continue
 		}
@@ -148,11 +174,30 @@ func printFamilies(out io.Writer, fams []*promFamily) error {
 			kind = "untyped"
 		}
 		fmt.Fprintf(tw, "%s (%s)\t%s\n", f.name, kind, f.help)
-		for _, s := range f.samples {
+		samples := make([]promSample, len(f.samples))
+		copy(samples, f.samples)
+		sort.Slice(samples, func(i, j int) bool { return samples[i].series < samples[j].series })
+		for _, s := range samples {
 			if f.kind == "histogram" && strings.Contains(s.series, "_bucket") {
 				continue
 			}
 			fmt.Fprintf(tw, "  %s\t%s\n", s.series, strconv.FormatFloat(s.value, 'g', -1, 64))
+		}
+		if f.kind == "histogram" {
+			// Estimated quantiles per label set, interpolated from the
+			// cumulative buckets. Latency histograms render as durations,
+			// anything else in the family's native unit.
+			asLatency := strings.HasSuffix(f.name, "_seconds")
+			for _, h := range histogramSeries(f) {
+				q := func(p float64) string {
+					v := h.quantile(p)
+					if asLatency {
+						return fmtLatency(v)
+					}
+					return strconv.FormatFloat(v, 'g', 4, 64)
+				}
+				fmt.Fprintf(tw, "  %s%s\tp50=%s p95=%s p99=%s\n", f.name, h.labels, q(0.50), q(0.95), q(0.99))
+			}
 		}
 	}
 	return tw.Flush()

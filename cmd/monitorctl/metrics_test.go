@@ -54,6 +54,59 @@ func TestRunMetricsPrettyPrintsFamilies(t *testing.T) {
 	}
 }
 
+// TestBucketQuantileInterpolation pins the shared estimator on a
+// hand-computable series: 10 observations spread uniformly across the
+// (0.001, 0.005] bucket put the median at its midpoint.
+func TestBucketQuantileInterpolation(t *testing.T) {
+	h := histSeries{
+		upper: []float64{0.001, 0.005, 0.01},
+		cum:   []float64{0, 10, 10},
+		count: 10,
+	}
+	if got := h.quantile(0.50); got != 0.003 {
+		t.Errorf("p50 = %v, want 0.003 (midpoint of the only occupied bucket)", got)
+	}
+	if got := h.quantile(1.0); got != 0.005 {
+		t.Errorf("p100 = %v, want the occupied bucket's upper bound", got)
+	}
+	// Rank past the last finite bucket clamps to its bound.
+	h2 := histSeries{upper: []float64{0.001}, cum: []float64{3}, count: 10}
+	if got := h2.quantile(0.99); got != 0.001 {
+		t.Errorf("overflow quantile = %v, want clamp to 0.001", got)
+	}
+	if got := (histSeries{}).quantile(0.5); got == got { // NaN != NaN
+		t.Errorf("empty series quantile = %v, want NaN", got)
+	}
+}
+
+// TestRunMetricsQuantileLinesAndOrder pins the satellite behaviors:
+// histogram families gain estimated p50/p95/p99 lines, and the output
+// order is a pure function of the scraped state (families by name,
+// series by name+labels).
+func TestRunMetricsQuantileLinesAndOrder(t *testing.T) {
+	srv := adminFixture(t)
+	var sb strings.Builder
+	if err := runMetrics(srv.URL+"/metrics", &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "p50=") || !strings.Contains(out, "p95=") || !strings.Contains(out, "p99=") {
+		t.Errorf("no quantile line for the latency histogram:\n%s", out)
+	}
+	// The default buckets are powers of four from 10µs; the 2ms
+	// observation interpolates to its bucket bound, 2.56ms.
+	if !strings.Contains(out, "p50=2.56ms") {
+		t.Errorf("p50 estimate not interpolated to the occupied bucket:\n%s", out)
+	}
+	// Families render sorted by name: the histogram family first.
+	first := strings.Index(out, "cpsmon_fleet_frames_ingested_total (")
+	second := strings.Index(out, "cpsmon_fleet_ingest_batch_latency_seconds (")
+	third := strings.Index(out, "cpsmon_fleet_sessions_active (")
+	if first < 0 || second < 0 || third < 0 || !(first < second && second < third) {
+		t.Errorf("families not sorted by name (positions %d, %d, %d):\n%s", first, second, third, out)
+	}
+}
+
 func TestRunMetricsRejectsBadTarget(t *testing.T) {
 	srv := adminFixture(t)
 	var sb strings.Builder

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// histSeries is one histogram series reassembled from its scraped
+// cumulative _bucket/_sum/_count samples: finite upper bounds
+// ascending, the +Inf total carried by count.
+type histSeries struct {
+	labels string    // label signature without le, `{vehicle="x"}` or ""
+	upper  []float64 // finite bucket upper bounds, ascending
+	cum    []float64 // cumulative counts, parallel to upper
+	count  float64   // total observations (the _count sample)
+	sum    float64   // the _sum sample
+}
+
+// histogramSeries reassembles a scraped histogram family into one
+// histSeries per label set, sorted by label signature so the output is
+// deterministic. It is the shared parser behind -metrics quantile
+// lines and the -top per-vehicle table.
+func histogramSeries(f *promFamily) []histSeries {
+	acc := make(map[string]*histSeries)
+	get := func(sig string) *histSeries {
+		h, ok := acc[sig]
+		if !ok {
+			h = &histSeries{labels: sig}
+			acc[sig] = h
+		}
+		return h
+	}
+	for _, s := range f.samples {
+		name, labels := splitSeries(s.series)
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			le := ""
+			rest := labels[:0:0]
+			for _, l := range labels {
+				if strings.HasPrefix(l, `le="`) {
+					le = strings.TrimSuffix(strings.TrimPrefix(l, `le="`), `"`)
+				} else {
+					rest = append(rest, l)
+				}
+			}
+			if le == "+Inf" {
+				continue // the _count sample carries the total
+			}
+			ub, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				continue
+			}
+			h := get(labelSignature(rest))
+			h.upper = append(h.upper, ub)
+			h.cum = append(h.cum, s.value)
+		case strings.HasSuffix(name, "_sum"):
+			get(labelSignature(labels)).sum = s.value
+		case strings.HasSuffix(name, "_count"):
+			get(labelSignature(labels)).count = s.value
+		}
+	}
+	out := make([]histSeries, 0, len(acc))
+	for _, h := range acc {
+		sort.Sort(byUpper{h})
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}
+
+// byUpper sorts a series' bucket pairs by upper bound.
+type byUpper struct{ h *histSeries }
+
+func (b byUpper) Len() int           { return len(b.h.upper) }
+func (b byUpper) Less(i, j int) bool { return b.h.upper[i] < b.h.upper[j] }
+func (b byUpper) Swap(i, j int) {
+	b.h.upper[i], b.h.upper[j] = b.h.upper[j], b.h.upper[i]
+	b.h.cum[i], b.h.cum[j] = b.h.cum[j], b.h.cum[i]
+}
+
+// quantile estimates the q-quantile (0..1) from the cumulative buckets
+// the way PromQL's histogram_quantile does: find the bucket the target
+// rank falls in and interpolate linearly inside it. Observations past
+// the last finite bound clamp to that bound; an empty series is NaN.
+func (h histSeries) quantile(q float64) float64 {
+	if h.count == 0 || len(h.upper) == 0 {
+		return math.NaN()
+	}
+	rank := q * h.count
+	for i, c := range h.cum {
+		if c >= rank {
+			lower, prev := 0.0, 0.0
+			if i > 0 {
+				lower, prev = h.upper[i-1], h.cum[i-1]
+			}
+			if c == prev {
+				return h.upper[i]
+			}
+			return lower + (h.upper[i]-lower)*(rank-prev)/(c-prev)
+		}
+	}
+	return h.upper[len(h.upper)-1]
+}
+
+// splitSeries breaks a sample's series string into its metric name and
+// raw label terms ("a=\"b\"" each). Label values in this codebase never
+// contain commas, so the simple split suffices.
+func splitSeries(series string) (name string, labels []string) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		return series, nil
+	}
+	inner := strings.TrimSuffix(series[i+1:], "}")
+	if inner == "" {
+		return series[:i], nil
+	}
+	return series[:i], strings.Split(inner, ",")
+}
+
+// labelSignature renders label terms back into a canonical signature.
+func labelSignature(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(labels, ",") + "}"
+}
+
+// labelValue extracts one label's value from a signature, "" if absent.
+func labelValue(sig, name string) string {
+	for _, l := range strings.Split(strings.Trim(sig, "{}"), ",") {
+		if strings.HasPrefix(l, name+`="`) {
+			return strings.TrimSuffix(strings.TrimPrefix(l, name+`="`), `"`)
+		}
+	}
+	return ""
+}
+
+// fmtLatency renders a latency in seconds at display precision; NaN
+// (an empty histogram) prints as a dash.
+func fmtLatency(sec float64) string {
+	if math.IsNaN(sec) {
+		return "-"
+	}
+	d := time.Duration(sec * float64(time.Second))
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(100 * time.Nanosecond).String()
+	}
+}
+
+// fmtNanos renders a span duration in nanoseconds for display.
+func fmtNanos(n int64) string { return fmtLatency(float64(n) / 1e9) }

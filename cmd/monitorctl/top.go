@@ -1,0 +1,252 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"cpsmon/internal/flight"
+	"cpsmon/internal/obs"
+)
+
+// topState carries the previous poll's counter totals so the next
+// frame can print rates from deltas.
+type topState struct {
+	at     time.Time
+	totals map[string]float64
+}
+
+// rate counters shown on the fleet line, scraped total → per-second
+// delta between polls.
+var topRates = []struct{ metric, label string }{
+	{"cpsmon_fleet_frames_ingested_total", "frames"},
+	{"cpsmon_fleet_events_emitted_total", "events"},
+	{"cpsmon_fleet_violations_emitted_total", "violations"},
+}
+
+// runTop renders a live, auto-refreshing terminal view of a monitord
+// admin endpoint: fleet throughput rates, the detection-latency SLO
+// burn, the flight recorder's per-stage latency breakdown and a
+// per-vehicle end-to-end quantile table. interval 0 renders exactly
+// one frame and exits, for scripting and tests; otherwise the screen
+// is cleared and redrawn every interval until interrupted.
+func runTop(target string, interval time.Duration, out io.Writer) error {
+	base := strings.TrimSuffix(metricsURL(target), "/metrics")
+	var prev *topState
+	for {
+		frame, cur, err := topFrame(target, base, prev)
+		if err != nil {
+			return err
+		}
+		if interval <= 0 {
+			_, err = io.WriteString(out, frame)
+			return err
+		}
+		// Home the cursor and clear below instead of a full wipe, so a
+		// refresh never flickers.
+		if _, err := io.WriteString(out, "\x1b[H\x1b[2J"+frame); err != nil {
+			return err
+		}
+		prev = cur
+		time.Sleep(interval)
+	}
+}
+
+// topFrame scrapes the endpoint once and renders one frame.
+func topFrame(target, base string, prev *topState) (string, *topState, error) {
+	fams, err := scrapeFamilies(base + "/metrics")
+	if err != nil {
+		return "", nil, err
+	}
+	now := time.Now()
+	totals := make(map[string]float64)
+	var e2e *promFamily
+	for _, f := range fams {
+		if f.name == "cpsmon_fleet_e2e_latency_seconds" {
+			e2e = f
+		}
+		for _, s := range f.samples {
+			totals[s.series] += s.value
+		}
+	}
+
+	var sb strings.Builder
+	state, burn := topHealth(base)
+	fmt.Fprintf(&sb, "monitord %s — %s", target, state)
+	if prev != nil {
+		fmt.Fprintf(&sb, " — refreshed %s", now.Format("15:04:05"))
+	}
+	fmt.Fprintln(&sb)
+	fmt.Fprintln(&sb)
+
+	tw := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "sessions\tactive %.0f\topened %.0f\tresumed %.0f\n",
+		totals["cpsmon_fleet_sessions_active"],
+		totals["cpsmon_fleet_sessions_opened_total"],
+		totals["cpsmon_fleet_sessions_resumed_total"])
+	fmt.Fprint(tw, "fleet")
+	for _, r := range topRates {
+		fmt.Fprintf(tw, "\t%s %.0f%s", r.label, totals[r.metric], topRate(prev, now, totals, r.metric))
+	}
+	fmt.Fprintln(tw)
+	if _, ok := totals["cpsmon_fleet_slo_burn_rate"]; ok {
+		fmt.Fprintf(tw, "slo\tburn %.2f\ttarget %s\tobjective %.4g%%\n",
+			burn,
+			fmtLatency(totals["cpsmon_fleet_slo_target_seconds"]),
+			100*totals["cpsmon_fleet_slo_objective"])
+	}
+	tw.Flush()
+
+	if snap, ok := topFlight(base); ok {
+		fmt.Fprintf(&sb, "flight    recorded %d  dropped %d  sampled %d (every %d)\n",
+			snap.Recorded, snap.Dropped, snap.Sampled, snap.SampleEvery)
+		sb.WriteString(renderStages(snap))
+	}
+	sb.WriteString(renderVehicles(e2e))
+	return sb.String(), &topState{at: now, totals: totals}, nil
+}
+
+// topRate renders " (+N/s)" for one counter when a previous poll gives
+// a baseline, "" otherwise.
+func topRate(prev *topState, now time.Time, totals map[string]float64, metric string) string {
+	if prev == nil {
+		return ""
+	}
+	dt := now.Sub(prev.at).Seconds()
+	if dt <= 0 {
+		return ""
+	}
+	return fmt.Sprintf(" (+%.0f/s)", (totals[metric]-prev.totals[metric])/dt)
+}
+
+// topHealth reads /healthz: the structured state string and SLO burn,
+// degrading gracefully to the HTTP status alone on an older daemon.
+func topHealth(base string) (state string, burn float64) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return "unreachable", 0
+	}
+	defer resp.Body.Close()
+	var h obs.Health
+	if json.NewDecoder(resp.Body).Decode(&h) == nil && h.State != "" {
+		return h.State, h.SLOBurn
+	}
+	if resp.StatusCode == http.StatusOK {
+		return "ok", 0
+	}
+	return "draining", 0
+}
+
+// topFlight reads /debug/flight; absent (404, or an old daemon) just
+// drops the stage section.
+func topFlight(base string) (flight.Snapshot, bool) {
+	resp, err := http.Get(base + "/debug/flight")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return flight.Snapshot{}, false
+	}
+	defer resp.Body.Close()
+	var snap flight.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return flight.Snapshot{}, false
+	}
+	return snap, true
+}
+
+// renderStages aggregates the snapshot's spans into a per-stage table
+// (pipeline order), with per-rule eval spans broken out beneath eval,
+// slowest rule first.
+func renderStages(snap flight.Snapshot) string {
+	type agg struct {
+		n        int
+		sum, max int64
+	}
+	stages := make(map[string]*agg)
+	rules := make(map[string]*agg)
+	fold := func(m map[string]*agg, key string, dur int64) {
+		a, ok := m[key]
+		if !ok {
+			a = &agg{}
+			m[key] = a
+		}
+		a.n++
+		a.sum += dur
+		if dur > a.max {
+			a.max = dur
+		}
+	}
+	for _, sp := range snap.Spans {
+		if sp.Rule != "" {
+			fold(rules, sp.Rule, sp.Dur)
+			continue
+		}
+		fold(stages, sp.Stage, sp.Dur)
+	}
+	if len(stages) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nSTAGE\tSPANS\tAVG\tMAX")
+	row := func(name string, a *agg) {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\n", name, a.n, fmtNanos(a.sum/int64(a.n)), fmtNanos(a.max))
+	}
+	for st := flight.StageIngest; int(st) < flight.NumStages; st++ {
+		name := st.String()
+		a, ok := stages[name]
+		if !ok {
+			continue
+		}
+		row(name, a)
+		if st == flight.StageEval && len(rules) > 0 {
+			names := make([]string, 0, len(rules))
+			for r := range rules {
+				names = append(names, r)
+			}
+			sort.Slice(names, func(i, j int) bool {
+				ri, rj := rules[names[i]], rules[names[j]]
+				if ri.sum != rj.sum {
+					return ri.sum > rj.sum
+				}
+				return names[i] < names[j]
+			})
+			for _, r := range names {
+				row("  "+r, rules[r])
+			}
+		}
+	}
+	tw.Flush()
+	return sb.String()
+}
+
+// renderVehicles renders the per-vehicle end-to-end latency quantile
+// table from the scraped histogram family.
+func renderVehicles(e2e *promFamily) string {
+	if e2e == nil {
+		return ""
+	}
+	series := histogramSeries(e2e)
+	if len(series) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	tw := tabwriter.NewWriter(&sb, 0, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "\nVEHICLE\tBATCHES\tE2E P50\tP95\tP99")
+	for _, h := range series {
+		name := labelValue(h.labels, "vehicle")
+		if name == "" {
+			name = h.labels
+		}
+		fmt.Fprintf(tw, "%s\t%.0f\t%s\t%s\t%s\n", name, h.count,
+			fmtLatency(h.quantile(0.50)), fmtLatency(h.quantile(0.95)), fmtLatency(h.quantile(0.99)))
+	}
+	tw.Flush()
+	return sb.String()
+}

@@ -15,7 +15,9 @@
 //	monitord -drop -queue 16                    # shed load instead of blocking
 //	monitord -idle-timeout 30s -resume-grace 2m -silence-gap 500ms
 //	                                            # field-network hardening knobs
-//	monitord -admin 127.0.0.1:9321              # /metrics, /healthz, pprof
+//	monitord -admin 127.0.0.1:9321              # /metrics, /healthz, pprof,
+//	                                            # /debug/flight span snapshot
+//	monitord -flight-sample 16 -slo-target 50ms # denser tracing, tighter SLO
 //	monitord -journal verdicts.jsonl            # append-only event/verdict log
 //	monitord -state-dir /var/lib/monitord       # crash-safe: ledger + archive,
 //	                                            # sessions survive kill -9
@@ -34,11 +36,19 @@
 // with no authentication of its own: bind it to loopback (or an
 // otherwise access-controlled address), never the vehicle-facing
 // network. /healthz flips to 503 the moment a drain starts, so load
-// balancers stop routing before the listener closes.
+// balancers stop routing before the listener closes; its JSON body
+// reports "degraded" (still 200) while the detection-latency SLO is
+// burning error budget faster than the objective allows.
+//
+// The daemon always runs a sampled flight recorder (-flight-sample 0
+// disables it): SIGQUIT dumps the span ring and the slowest end-to-end
+// traces as JSON to stderr, and `monitorctl -top` renders the same
+// data live from the admin endpoint.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -55,6 +65,7 @@ import (
 	"cpsmon/internal/archive"
 	"cpsmon/internal/durable"
 	"cpsmon/internal/fleet"
+	"cpsmon/internal/flight"
 	"cpsmon/internal/obs"
 	"cpsmon/internal/rules"
 	"cpsmon/internal/sigdb"
@@ -93,6 +104,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		archiveDir  = fs.String("archive-dir", "", "archive every applied frame run, event and verdict into segment files in this directory (empty = off)")
 		archiveSeg  = fs.Int64("archive-segment-size", 0, "archive segment rotation threshold in bytes (0 = default 8MiB)")
 		archiveKeep = fs.Duration("archive-retention", 0, "remove sealed archive segments older than this, swept periodically (0 = keep forever)")
+		flightEvery = fs.Int("flight-sample", 64, "record per-stage latency spans for every Nth batch into the flight recorder; dump with SIGQUIT or /debug/flight (0 = off)")
+		sloTarget   = fs.Duration("slo-target", 100*time.Millisecond, "detection-latency SLO: batches at or under this end-to-end latency are good (0 = no SLO)")
+		sloObj      = fs.Float64("slo-objective", 0.99, "fraction of batches that must meet -slo-target before /healthz reports degraded")
+		sloWindow   = fs.Duration("slo-window", time.Minute, "rolling window the SLO burn rate is computed over")
 	)
 	var drainGrace time.Duration
 	fs.DurationVar(&drainGrace, "drain-timeout", 10*time.Second, "how long shutdown waits for sessions to drain before force-closing them")
@@ -128,6 +143,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var flt *flight.Recorder
+	if *flightEvery > 0 {
+		flt = flight.New(flight.Config{SampleEvery: *flightEvery})
+	}
+	var slo *flight.SLO
+	if *sloTarget > 0 {
+		slo = flight.NewSLO(*sloTarget, *sloObj, *sloWindow)
+	}
+
 	cfg := fleet.Config{
 		DB:           db,
 		Resolve:      resolve,
@@ -140,6 +164,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ResumeGrace:  *resumeGrace,
 		SilenceGap:   *silenceGap,
 		ErrorBudget:  *errorBudget,
+		Flight:       flt,
+		SLO:          slo,
 	}
 
 	var led *durable.Ledger
@@ -216,17 +242,54 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	// draining flips /healthz to 503 the moment shutdown begins, so
 	// health checks stop routing before the listener actually closes.
 	var draining atomic.Bool
+	var repaired int64
+	if journal != nil {
+		repaired = journal.Repaired()
+	}
+	health := func() obs.Health {
+		h := obs.Health{RepairedJournalBytes: repaired}
+		if slo != nil {
+			h.SLOBurn = slo.Burn()
+			h.SLOTargetSeconds = slo.Target().Seconds()
+			if slo.Degraded() {
+				h.State = "degraded"
+			}
+		}
+		return h
+	}
 	if *adminAddr != "" {
 		ln, err := net.Listen("tcp", *adminAddr)
 		if err != nil {
 			return fmt.Errorf("admin: %w", err)
 		}
-		admin := &http.Server{Handler: obs.NewAdminHandler(srv.Registry(), func() bool { return !draining.Load() })}
+		acfg := obs.AdminConfig{
+			Registry: srv.Registry(),
+			Ready:    func() bool { return !draining.Load() },
+			Health:   health,
+		}
+		if flt != nil {
+			acfg.Flight = func() any { return flt.Snapshot() }
+		}
+		admin := &http.Server{Handler: obs.NewAdmin(acfg)}
 		go admin.Serve(ln)
 		// The admin endpoint outlives the drain on purpose: /metrics
 		// stays scrapeable while sessions settle. It dies with the
 		// process.
 		fmt.Fprintf(out, "monitord: admin on %s\n", ln.Addr())
+	}
+
+	if flt != nil {
+		// SIGQUIT dumps the flight recorder instead of killing the
+		// process — the in-field "what is the pipeline doing right now"
+		// lever when the admin endpoint is off or unreachable.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		defer signal.Stop(quit)
+		go func() {
+			for range quit {
+				dumpFlight(os.Stderr, flt)
+			}
+		}()
 	}
 
 	if err := srv.Listen(*addr); err != nil {
@@ -267,6 +330,17 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	printStats(out, srv.Stats())
 	return err
+}
+
+// dumpFlight writes the recorder's snapshot — ring contents plus the
+// slowest end-to-end traces — as indented JSON, one SIGQUIT at a time.
+func dumpFlight(w io.Writer, flt *flight.Recorder) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	fmt.Fprintln(w, "monitord: flight recorder dump:")
+	if err := enc.Encode(flt.Snapshot()); err != nil {
+		fmt.Fprintln(w, "monitord: flight dump:", err)
+	}
 }
 
 // sweepRetention periodically removes sealed archive segments older

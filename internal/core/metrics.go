@@ -80,13 +80,5 @@ func NewMetrics(reg *obs.Registry, spec string, ruleNames []string) *Metrics {
 // path's zero-allocation contract.
 func (o *OnlineMonitor) Instrument(m *Metrics) {
 	o.met = m
-	if m == nil {
-		o.sc.Observe(nil)
-		return
-	}
-	o.sc.Observe(func(rule int, nanos int64) {
-		if rule < len(m.ruleStep) {
-			m.ruleStep[rule].Observe(float64(nanos) / 1e9)
-		}
-	})
+	o.installObserver()
 }

@@ -61,6 +61,14 @@ type OnlineMonitor struct {
 	// Instrument. All updates are atomic counter bumps, so the
 	// allocation-free contract above holds with metrics enabled.
 	met *Metrics
+
+	// Stage-timing state (see stagetiming.go): timing is armed per
+	// sampled batch by BeginStageTiming; the accumulators attribute the
+	// batch's wall time to decode vs evaluation.
+	timing      bool
+	decodeNanos int64
+	evalNanos   int64
+	ruleNanos   []int64
 }
 
 // Online creates a streaming session of this monitor over the given
@@ -171,7 +179,14 @@ func (o *OnlineMonitor) push(f can.Frame) error {
 	}
 
 	// Decode straight into the latched vector: no map, no hashing.
-	if _, err := o.plan.UnpackInto(f.ID, f.Data, o.latched); err != nil {
+	if o.timing {
+		t0 := time.Now()
+		_, err := o.plan.UnpackInto(f.ID, f.Data, o.latched)
+		o.decodeNanos += int64(time.Since(t0))
+		if err != nil {
+			return err
+		}
+	} else if _, err := o.plan.UnpackInto(f.ID, f.Data, o.latched); err != nil {
 		return err
 	}
 	for _, di := range dst {
@@ -184,13 +199,20 @@ func (o *OnlineMonitor) push(f can.Frame) error {
 // its events into the scratch buffer.
 func (o *OnlineMonitor) finalizeStep() error {
 	var t0 time.Time
-	if o.met != nil {
+	timed := o.met != nil || o.timing
+	if timed {
 		t0 = time.Now()
 	}
 	evs, err := o.sc.Step(o.latched, o.updated)
-	if o.met != nil {
-		o.met.stepLatency.Observe(time.Since(t0).Seconds())
-		o.met.steps.Inc()
+	if timed {
+		d := time.Since(t0)
+		if o.met != nil {
+			o.met.stepLatency.Observe(d.Seconds())
+			o.met.steps.Inc()
+		}
+		if o.timing {
+			o.evalNanos += int64(d)
+		}
 	}
 	if err != nil {
 		return err

@@ -1,7 +1,10 @@
 package fleet
 
 import (
+	"time"
+
 	"cpsmon/internal/can"
+	"cpsmon/internal/flight"
 	"cpsmon/internal/wire"
 )
 
@@ -74,10 +77,27 @@ func newArchivePump(s *Server, sink Archiver, depth int) *archivePump {
 }
 
 // run drains the queue until the channel closes, then flushes the sink
-// one last time.
+// one last time. With a flight recorder attached, every Nth item (the
+// recorder's sampling period) and every barrier — the flush/fsync path
+// whose stalls matter most — is recorded as an archive-stage span.
 func (p *archivePump) run() {
 	defer close(p.stopped)
+	flt := p.srv.cfg.Flight
+	every := uint64(flt.SampleEvery()) // 0 without a recorder
+	var n uint64
 	for it := range p.ch {
+		var t0 time.Time
+		sampled := false
+		if every > 0 {
+			if it.kind == archBarrier {
+				sampled = true
+			} else if n++; n%every == 0 {
+				sampled = true
+			}
+			if sampled {
+				t0 = time.Now()
+			}
+		}
 		var err error
 		switch it.kind {
 		case archFrames:
@@ -91,6 +111,11 @@ func (p *archivePump) run() {
 				err = f.Flush()
 			}
 			close(it.done)
+		}
+		if sampled {
+			// Interning an already-known vehicle is a map lookup under a
+			// mutex — fine off the ingest path, on a sampled item only.
+			flt.Record(it.session, flt.Intern(it.vehicle), flight.StageArchive, 0, 0, t0, time.Since(t0))
 		}
 		if err != nil {
 			p.srv.stats.archiveErrors.Add(1)

@@ -8,6 +8,7 @@ import (
 
 	"cpsmon/internal/archive"
 	"cpsmon/internal/can"
+	"cpsmon/internal/flight"
 	"cpsmon/internal/sigdb"
 )
 
@@ -86,6 +87,25 @@ func BenchmarkFleetIngest(b *testing.B) {
 	for _, sessions := range []int{1, 8, 64} {
 		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
 			_, addr := startServer(b, nil)
+			benchIngest(b, log, sessions, addr)
+		})
+	}
+}
+
+// BenchmarkFleetIngestFlight is BenchmarkFleetIngest with the flight
+// recorder and latency SLO attached at default sampling (1 in 64
+// batches) — the configuration a production daemon runs. The
+// acceptance bar is under 3% regression against the plain benchmark:
+// the per-batch overhead is one atomic sampling decision, one
+// histogram observation and one SLO bucket update.
+func BenchmarkFleetIngestFlight(b *testing.B) {
+	log := benchLog(b, 3000)
+	for _, sessions := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			_, addr := startServer(b, func(cfg *Config) {
+				cfg.Flight = flight.New(flight.Config{})
+				cfg.SLO = flight.NewSLO(0, 0, 0)
+			})
 			benchIngest(b, log, sessions, addr)
 		})
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"cpsmon/internal/can"
+	"cpsmon/internal/flight"
 	"cpsmon/internal/obs"
 	"cpsmon/internal/wire"
 )
@@ -77,6 +78,10 @@ type Options struct {
 	// per vehicle name: the replay-depth gauge is registered by series
 	// and a second same-vehicle client would silently read the first's.
 	Metrics *obs.Registry
+	// Flight, when not nil, records sampled delivery spans — the time a
+	// batch spends between Send and the server's cumulative ack covering
+	// it — into the given flight recorder.
+	Flight *flight.Recorder
 }
 
 // ClientStats counts a client's transport recovery activity.
@@ -154,6 +159,13 @@ type Client struct {
 	finSent      bool
 	finSeq       uint64
 
+	// Flight-recorder state (nil/empty without Options.Flight).
+	// sendTimes parallels unacked: the Send wall time of each pending
+	// batch, so an ack can be turned into a delivery span.
+	flt       *flight.Recorder
+	fveh      flight.Ref
+	sendTimes []time.Time
+
 	// backoff is the next recovery episode's starting delay: inflated
 	// by failed attempts, reset to Options.Backoff by a successful
 	// resume handshake — a healthy transport earns the base interval
@@ -213,6 +225,10 @@ func DialOptions(addr string, o Options) (*Client, error) {
 		backoff: o.Backoff,
 		rng:     rand.New(rand.NewSource(seed)),
 		done:    make(chan struct{}),
+		flt:     o.Flight,
+	}
+	if c.flt != nil {
+		c.fveh = c.flt.Intern(o.Vehicle)
 	}
 	c.cond = sync.NewCond(&c.mu)
 	c.stats = newClientCounters(reg, o.Vehicle, func() float64 {
@@ -314,6 +330,18 @@ func (c *Client) advanceAck(seq uint64) {
 	i := 0
 	for i < len(c.unacked) && c.unacked[i].Seq <= seq {
 		i++
+	}
+	if c.flt != nil && len(c.sendTimes) == len(c.unacked) {
+		// Each newly acked batch is one sampling unit: the deliver span
+		// covers Send to cumulative ack, round trips and replays included.
+		now := time.Now()
+		for j := 0; j < i; j++ {
+			if c.flt.Sample() {
+				c.flt.Record(c.session, c.fveh, flight.StageDeliver, 0,
+					c.unacked[j].Seq, c.sendTimes[j], now.Sub(c.sendTimes[j]))
+			}
+		}
+		c.sendTimes = append(c.sendTimes[:0], c.sendTimes[i:]...)
 	}
 	c.unacked = append(c.unacked[:0], c.unacked[i:]...)
 	c.acked = seq
@@ -601,6 +629,9 @@ func (c *Client) Send(frames []can.Frame) error {
 		c.nextSeq++
 		b := wire.SeqBatch{Seq: c.nextSeq, Frames: frames[:n]}
 		c.unacked = append(c.unacked, b)
+		if c.flt != nil {
+			c.sendTimes = append(c.sendTimes, time.Now())
+		}
 		gen, bw, recovering := c.gen, c.bw, c.recovering
 		c.mu.Unlock()
 		frames = frames[n:]

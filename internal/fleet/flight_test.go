@@ -1,0 +1,205 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"cpsmon/internal/flight"
+	"cpsmon/internal/obs"
+	"cpsmon/internal/wire"
+)
+
+// TestFlightRecorderEndToEnd is the tracing e2e: eight sessions stream
+// HIL captures through a server with a flight recorder sampling every
+// batch and a detection-latency SLO, with the clients feeding delivery
+// spans into the same recorder. Afterwards the /debug/flight snapshot,
+// the per-vehicle e2e latency histograms and the SLO gauges must all be
+// consistent with the verdicts the sessions actually delivered.
+func TestFlightRecorderEndToEnd(t *testing.T) {
+	sessions := 8
+	dur := 20 * time.Second
+	if testing.Short() {
+		dur = 5 * time.Second
+	}
+	logs := fleetScenarios(t, sessions, dur)
+
+	reg := obs.NewRegistry()
+	flt := flight.New(flight.Config{SampleEvery: 1, Exemplars: 4})
+	// A generous 5s target: local loopback batches always make it, so
+	// the SLO must read zero burn and stay out of the degraded state.
+	slo := flight.NewSLO(5*time.Second, 0.99, time.Minute)
+	srv, addr := startServer(t, func(c *Config) {
+		c.Metrics = reg
+		c.Flight = flt
+		c.SLO = slo
+	})
+
+	admin := httptest.NewServer(obs.NewAdmin(obs.AdminConfig{
+		Registry: reg,
+		Health: func() obs.Health {
+			h := obs.Health{State: "ok", SLOBurn: slo.Burn(), SLOTargetSeconds: slo.Target().Seconds()}
+			if slo.Degraded() {
+				h.State = "degraded"
+			}
+			return h
+		},
+		Flight: func() any { return flt.Snapshot() },
+	}))
+	defer admin.Close()
+
+	var wg sync.WaitGroup
+	verdicts := make([]*wire.Verdict, sessions)
+	for i := 0; i < sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := DialOptions(addr, Options{
+				Vehicle: fmt.Sprintf("veh-%03d", i),
+				Spec:    "strict",
+				Metrics: reg,
+				Flight:  flt,
+			})
+			if err != nil {
+				t.Errorf("session %d: %v", i, err)
+				return
+			}
+			defer c.Close()
+			v, err := c.Replay(logs[i], 0)
+			if err != nil {
+				t.Errorf("session %d: %v", i, err)
+				return
+			}
+			verdicts[i] = v
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range verdicts {
+		if v == nil {
+			t.Fatalf("session %d delivered no verdict", i)
+		}
+	}
+	st := srv.Stats()
+
+	// The /debug/flight snapshot: spans for every server stage plus the
+	// client-side delivery stage, all attributed to dialed vehicles.
+	resp, err := http.Get(admin.URL + "/debug/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap flight.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode /debug/flight: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/flight status %d", resp.StatusCode)
+	}
+	if snap.SampleEvery != 1 {
+		t.Errorf("snapshot sample_every = %d, want 1", snap.SampleEvery)
+	}
+	if snap.Recorded == 0 || len(snap.Spans) == 0 {
+		t.Fatalf("no spans recorded: recorded=%d ring=%d", snap.Recorded, len(snap.Spans))
+	}
+	if snap.Sampled == 0 {
+		t.Error("no batches counted as sampled")
+	}
+	vehicles := make(map[string]bool, sessions)
+	for i := 0; i < sessions; i++ {
+		vehicles[fmt.Sprintf("veh-%03d", i)] = true
+	}
+	stages := make(map[string]bool)
+	for _, sp := range snap.Spans {
+		stages[sp.Stage] = true
+		if !vehicles[sp.Vehicle] {
+			t.Fatalf("span for unknown vehicle %q", sp.Vehicle)
+		}
+		if sp.Dur < 0 || sp.Start <= 0 {
+			t.Fatalf("nonsense span timing: %+v", sp)
+		}
+	}
+	for _, want := range []string{"ingest", "decode", "eval", "emit", "deliver"} {
+		if !stages[want] {
+			t.Errorf("no %s-stage span in the ring (stages seen: %v)", want, stages)
+		}
+	}
+
+	// Exemplars: the slowest traces must name real sessions, break their
+	// end-to-end time down by stage, and be ordered slowest-first.
+	if len(snap.Slowest) == 0 {
+		t.Fatal("no exemplar traces retained")
+	}
+	for i, tr := range snap.Slowest {
+		if !vehicles[tr.Vehicle] {
+			t.Fatalf("exemplar for unknown vehicle %q", tr.Vehicle)
+		}
+		if tr.E2E <= 0 || tr.Seq == 0 {
+			t.Fatalf("nonsense exemplar: %+v", tr)
+		}
+		var staged int64
+		for _, n := range tr.Stages {
+			staged += n
+		}
+		// The emit stage's clock is read a hair after the e2e clock, so
+		// allow the breakdown a millisecond of measurement slack.
+		if staged <= 0 || staged > tr.E2E+int64(time.Millisecond) {
+			t.Errorf("exemplar stage breakdown %v does not fit inside e2e %d", tr.Stages, tr.E2E)
+		}
+		if i > 0 && tr.E2E > snap.Slowest[i-1].E2E {
+			t.Errorf("exemplars out of order: [%d]=%d > [%d]=%d", i, tr.E2E, i-1, snap.Slowest[i-1].E2E)
+		}
+	}
+
+	// Per-vehicle e2e histograms: one series per vehicle, and their
+	// counts sum to exactly the batches the server applied.
+	samples := scrape(t, reg)
+	for i := 0; i < sessions; i++ {
+		key := fmt.Sprintf(`cpsmon_fleet_e2e_latency_seconds_count{vehicle="veh-%03d"}`, i)
+		if samples[key] == 0 {
+			t.Errorf("no e2e latency samples for %s", key)
+		}
+	}
+	if got := sumFamily(samples, "cpsmon_fleet_e2e_latency_seconds_count"); got != float64(st.IngestBatches) {
+		t.Errorf("e2e histogram counts sum to %v, server applied %d batches", got, st.IngestBatches)
+	}
+
+	// SLO: every applied batch was observed, none breached the generous
+	// target, so burn is exactly zero and health stays ok.
+	good, bad := slo.Counts()
+	if good+bad != st.IngestBatches {
+		t.Errorf("SLO observed %d batches, server applied %d", good+bad, st.IngestBatches)
+	}
+	if bad != 0 {
+		t.Errorf("%d batches breached a 5s loopback target", bad)
+	}
+	if got := samples["cpsmon_fleet_slo_burn_rate"]; got != 0 {
+		t.Errorf("slo_burn_rate gauge = %v, want 0", got)
+	}
+	if got := samples["cpsmon_fleet_slo_target_seconds"]; got != 5 {
+		t.Errorf("slo_target_seconds gauge = %v, want 5", got)
+	}
+	if got := samples["cpsmon_fleet_slo_objective"]; got != 0.99 {
+		t.Errorf("slo_objective gauge = %v, want 0.99", got)
+	}
+	if got := samples["cpsmon_fleet_flight_spans_recorded"]; got != float64(snap.Recorded) {
+		t.Errorf("spans_recorded gauge = %v, snapshot says %d", got, snap.Recorded)
+	}
+
+	// And the structured health body agrees.
+	resp, err = http.Get(admin.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h obs.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatalf("decode /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || h.State != "ok" || h.SLOBurn != 0 {
+		t.Errorf("healthz = %d %+v, want 200 state ok with zero burn", resp.StatusCode, h)
+	}
+}

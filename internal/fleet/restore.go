@@ -185,6 +185,7 @@ func (r *Restorer) Finish(skips RestoreSkips) error {
 
 	sess.rebuilding = false
 	sess.om.Instrument(sess.entry.met)
+	sess.setupFlight()
 	// New sessions must never reuse a recovered ID: per-session archive
 	// queries and ledger folds key on it. SessionBase normally covers
 	// this; the CAS keeps the invariant even without it.

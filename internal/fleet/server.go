@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"cpsmon/internal/core"
+	"cpsmon/internal/flight"
 	"cpsmon/internal/obs"
 	"cpsmon/internal/sigdb"
 	"cpsmon/internal/speclang"
@@ -158,6 +159,18 @@ type Config struct {
 	// for the covering watermark. Zero selects the default (100ms);
 	// only consulted when a Ledger is attached.
 	WatermarkInterval time.Duration
+	// Flight, when not nil, is the sampled latency flight recorder the
+	// server traces batch stages into: queue wait, decode, rule
+	// evaluation, event emission, archive writes and ledger syncs. It
+	// also enables the per-vehicle end-to-end latency histograms on the
+	// server registry. The sampling cost on an unsampled batch is one
+	// atomic increment; see internal/flight.
+	Flight *flight.Recorder
+	// SLO, when not nil, tracks the detection-latency objective: every
+	// batch's end-to-end latency is classified good or bad against the
+	// SLO target, and the rolling-window burn rate is exported as
+	// gauges (and, via monitord, in the /healthz degraded state).
+	SLO *flight.SLO
 }
 
 const (
@@ -188,12 +201,14 @@ type shard struct {
 }
 
 // specEntry is a resolved spec: the shared immutable monitor, the rule
-// order for verdict records, and the monitor metrics every session of
-// this spec aggregates into.
+// order for verdict records, the monitor metrics every session of this
+// spec aggregates into, and the flight refs for per-rule eval spans
+// (interned once at spec compile, nil without a recorder).
 type specEntry struct {
-	mon   *core.Monitor
-	rules []string
-	met   *core.Metrics
+	mon    *core.Monitor
+	rules  []string
+	met    *core.Metrics
+	frules []flight.Ref
 }
 
 // parked is one detached v2 session awaiting resume, with the grace
@@ -311,6 +326,7 @@ func NewServer(cfg Config) (*Server, error) {
 		reg.GaugeFunc("cpsmon_fleet_archive_queue_depth", "Archive items waiting in the pump queue.",
 			func() float64 { return float64(len(s.arch.ch)) })
 	}
+	registerFlightMetrics(reg, cfg.Flight, cfg.SLO)
 	return s, nil
 }
 
@@ -622,6 +638,11 @@ func (s *Server) spec(name string) (*specEntry, error) {
 		label = "default"
 	}
 	e.met = core.NewMetrics(s.reg, label, e.rules)
+	if flt := s.cfg.Flight; flt != nil {
+		for _, r := range e.rules {
+			e.frules = append(e.frules, flt.Intern(r))
+		}
+	}
 	s.specs[name] = e
 	return e, nil
 }
@@ -709,6 +730,7 @@ func (s *Server) handleHello(conn net.Conn, br *bufio.Reader, hello wire.Hello) 
 		vehicle: hello.Vehicle,
 		tally:   make(map[string]*ruleTally, len(entry.rules)),
 	}
+	sess.setupFlight()
 	var ack wire.Record = wire.HelloAck{Session: sess.id}
 	if sess.proto >= 2 {
 		sess.token = newToken()

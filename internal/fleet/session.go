@@ -12,6 +12,8 @@ import (
 
 	"cpsmon/internal/can"
 	"cpsmon/internal/core"
+	"cpsmon/internal/flight"
+	"cpsmon/internal/obs"
 	"cpsmon/internal/speclang"
 	"cpsmon/internal/wire"
 )
@@ -122,6 +124,12 @@ type session struct {
 	// evScratch is the wire-event buffer reused across apply calls;
 	// events are copied out (retained or written) before the next batch.
 	evScratch []wire.Event
+
+	// Flight instrumentation (see flightglue.go): the interned vehicle
+	// ref and the per-vehicle end-to-end latency histogram, both set by
+	// setupFlight when the server carries a recorder, zero otherwise.
+	fveh flight.Ref
+	e2e  *obs.Histogram
 
 	// quarantined counts malformed records skipped on the current
 	// attachment (reader-owned, reset per attachment).
@@ -501,10 +509,23 @@ func (sess *session) work() {
 			sess.abandon()
 			return
 		}
+		// The sampling decision is one atomic increment; a sampled
+		// batch additionally gets core's decode/eval stage attribution
+		// and its spans recorded (see flightglue.go).
+		sampled := sess.srv.cfg.Flight.Sample()
+		var tApply time.Time
+		if sampled {
+			tApply = time.Now()
+			sess.om.BeginStageTiming()
+		}
 		out, err := sess.apply(it.frames)
 		if err != nil {
 			sess.fail(fmt.Errorf("monitor: %w", err))
 			return
+		}
+		var tEmit time.Time
+		if sampled {
+			tEmit = time.Now()
 		}
 		if sess.proto >= 2 {
 			// The batch is fully applied: advance before emitting so a
@@ -519,7 +540,12 @@ func (sess *session) work() {
 			}
 		}
 		stats.framesIngested.Add(uint64(len(it.frames)))
-		stats.ingestLatency.Observe(time.Since(it.enq).Seconds())
+		e2e := time.Since(it.enq)
+		stats.ingestLatency.Observe(e2e.Seconds())
+		sess.observeE2E(e2e)
+		if sampled {
+			sess.recordFlight(it, tApply, tEmit, e2e)
+		}
 		if ok && sess.proto >= 2 && !ledgered {
 			ok = wire.Write(sess.bw, wire.Ack{Seq: sess.lastApplied}) == nil
 		}
@@ -594,11 +620,13 @@ func (sess *session) syncLedger() bool {
 	if led == nil || sess.proto < 2 || sess.lastApplied == sess.ledgeredSeq {
 		return true
 	}
+	t0 := time.Now()
 	sess.srv.archBarrier()
 	if err := led.Watermark(sess.id, sess.lastApplied, sess.ingested, sess.rejected); err != nil {
 		sess.srv.stats.ledgerErrors.Add(1)
 		return false
 	}
+	sess.recordLedgerSpan(t0)
 	sess.ledgeredSeq = sess.lastApplied
 	return true
 }

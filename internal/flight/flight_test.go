@@ -1,0 +1,271 @@
+package flight
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSamplingHonored(t *testing.T) {
+	r := New(Config{SampleEvery: 4})
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if r.Sample() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Errorf("SampleEvery=4 over 400 batches sampled %d, want 100", hits)
+	}
+	_, _, sampled := r.Stats()
+	if sampled != 100 {
+		t.Errorf("Stats sampled = %d, want 100", sampled)
+	}
+
+	every := New(Config{SampleEvery: 1})
+	for i := 0; i < 10; i++ {
+		if !every.Sample() {
+			t.Fatal("SampleEvery=1 skipped a batch")
+		}
+	}
+}
+
+func TestNilRecorderIsOff(t *testing.T) {
+	var r *Recorder
+	if r.Sample() {
+		t.Error("nil recorder sampled")
+	}
+	r.Record(1, 0, StageEval, 0, 1, time.Now(), time.Millisecond)
+	r.Exemplar(1, 0, 1, time.Now(), time.Millisecond, [NumStages]int64{})
+	if got := r.Snapshot(); len(got.Spans) != 0 || len(got.Slowest) != 0 {
+		t.Errorf("nil recorder snapshot not empty: %+v", got)
+	}
+	if r.Intern("x") != 0 {
+		t.Error("nil recorder interned a ref")
+	}
+}
+
+func TestRecordAndSnapshot(t *testing.T) {
+	r := New(Config{RingSize: 8, SampleEvery: 1})
+	veh := r.Intern("veh-1")
+	rule := r.Intern("R1")
+	base := time.Unix(100, 0)
+	r.Record(7, veh, StageIngest, 0, 3, base, 2*time.Millisecond)
+	r.Record(7, veh, StageEval, rule, 3, base.Add(2*time.Millisecond), 5*time.Millisecond)
+
+	snap := r.Snapshot()
+	if snap.RingSize != 8 || snap.SampleEvery != 1 {
+		t.Errorf("snapshot config echo = %d/%d, want 8/1", snap.RingSize, snap.SampleEvery)
+	}
+	if len(snap.Spans) != 2 {
+		t.Fatalf("snapshot holds %d spans, want 2: %+v", len(snap.Spans), snap.Spans)
+	}
+	first, second := snap.Spans[0], snap.Spans[1]
+	if first.Stage != "ingest" || first.Session != 7 || first.Vehicle != "veh-1" || first.Seq != 3 ||
+		first.Start != base.UnixNano() || first.Dur != int64(2*time.Millisecond) || first.Rule != "" {
+		t.Errorf("ingest span = %+v", first)
+	}
+	if second.Stage != "eval" || second.Rule != "R1" || second.Dur != int64(5*time.Millisecond) {
+		t.Errorf("eval span = %+v", second)
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := New(Config{RingSize: 4, SampleEvery: 1})
+	veh := r.Intern("v")
+	for i := 0; i < 10; i++ {
+		r.Record(uint64(i), veh, StageEmit, 0, uint64(i), time.Unix(int64(i), 0), time.Millisecond)
+	}
+	snap := r.Snapshot()
+	if len(snap.Spans) != 4 {
+		t.Fatalf("ring of 4 holds %d spans", len(snap.Spans))
+	}
+	// Oldest → newest: sessions 6, 7, 8, 9.
+	for i, sp := range snap.Spans {
+		if want := uint64(6 + i); sp.Session != want {
+			t.Errorf("span %d session = %d, want %d (oldest-first ring order)", i, sp.Session, want)
+		}
+	}
+}
+
+func TestExemplarRetainsSlowest(t *testing.T) {
+	r := New(Config{Exemplars: 3})
+	veh := r.Intern("veh-9")
+	at := time.Unix(50, 0)
+	for i, e2e := range []time.Duration{5, 30, 10, 40, 20, 1} {
+		var stages [NumStages]int64
+		stages[StageEval] = int64(e2e*time.Millisecond) / 2
+		r.Exemplar(1, veh, uint64(i+1), at, e2e*time.Millisecond, stages)
+	}
+	got := r.Snapshot().Slowest
+	if len(got) != 3 {
+		t.Fatalf("retained %d exemplars, want 3", len(got))
+	}
+	wantE2E := []int64{int64(40 * time.Millisecond), int64(30 * time.Millisecond), int64(20 * time.Millisecond)}
+	for i, tr := range got {
+		if tr.E2E != wantE2E[i] {
+			t.Errorf("exemplar %d e2e = %d, want %d (slowest first)", i, tr.E2E, wantE2E[i])
+		}
+		if tr.Vehicle != "veh-9" {
+			t.Errorf("exemplar %d vehicle = %q", i, tr.Vehicle)
+		}
+		if tr.Stages["eval"] != tr.E2E/2 {
+			t.Errorf("exemplar %d stage map = %v", i, tr.Stages)
+		}
+	}
+}
+
+func TestInternIsStable(t *testing.T) {
+	r := New(Config{})
+	a := r.Intern("alpha")
+	b := r.Intern("beta")
+	if a == b {
+		t.Fatal("distinct strings share a ref")
+	}
+	if r.Intern("alpha") != a {
+		t.Error("re-interning returned a new ref")
+	}
+	if r.Intern("") != 0 {
+		t.Error("empty string is not ref 0")
+	}
+}
+
+// TestRingConcurrencyNoTornSpans hammers the ring from many writers
+// while snapshots run concurrently, and asserts every surfaced span is
+// internally consistent. Writers encode a checkable invariant into
+// each span (seq == session*1000+i, dur == start's second), so a torn
+// read — fields mixed from two writers — is detectable. Run under
+// -race this also proves the seqlock protocol is data-race-free.
+func TestRingConcurrencyNoTornSpans(t *testing.T) {
+	r := New(Config{RingSize: 64, SampleEvery: 1})
+	const writers, perWriter = 8, 2000
+	refs := make([]Ref, writers)
+	for w := range refs {
+		refs[w] = r.Intern(string(rune('a' + w)))
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var snapErr error
+	var snapMu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			for _, sp := range snap.Spans {
+				w := sp.Session / 1_000_000
+				i := sp.Session % 1_000_000
+				if sp.Seq != w*1000+i%1000 || sp.Dur != int64(w+1) {
+					snapMu.Lock()
+					if snapErr == nil {
+						snapErr = &tornSpanError{sp}
+					}
+					snapMu.Unlock()
+					return
+				}
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				session := uint64(w)*1_000_000 + uint64(i)
+				r.Record(session, refs[w], Stage(i%NumStages), 0,
+					uint64(w)*1000+uint64(i%1000), time.Unix(0, 0), time.Duration(w+1))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	// Writers finish quickly; give the reader a beat, then stop it.
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	<-done
+
+	if snapErr != nil {
+		t.Fatalf("torn span surfaced: %v", snapErr)
+	}
+	recorded, dropped, _ := r.Stats()
+	if recorded+dropped != writers*perWriter {
+		t.Errorf("recorded %d + dropped %d != %d spans written", recorded, dropped, writers*perWriter)
+	}
+	if recorded == 0 {
+		t.Error("every span was dropped")
+	}
+}
+
+type tornSpanError struct{ sp Span }
+
+func (e *tornSpanError) Error() string { return "inconsistent span fields" }
+
+func TestSLOBurn(t *testing.T) {
+	s := NewSLO(10*time.Millisecond, 0.9, time.Minute)
+	clock := int64(time.Hour) // far from epoch 0 so bucket epochs are nonzero
+	s.now = func() int64 { return clock }
+
+	for i := 0; i < 90; i++ {
+		s.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		s.Observe(time.Second)
+	}
+	good, bad := s.Counts()
+	if good != 90 || bad != 10 {
+		t.Fatalf("counts = %d good / %d bad, want 90/10", good, bad)
+	}
+	// 10% bad over a 10% budget: burning exactly at the allowed rate.
+	if burn := s.Burn(); burn < 0.99 || burn > 1.01 {
+		t.Errorf("burn = %v, want ~1.0", burn)
+	}
+	if !s.Degraded() {
+		t.Error("burn 1.0 not reported degraded")
+	}
+
+	// Advance past the window: everything ages out.
+	clock += int64(2 * time.Minute)
+	if good, bad := s.Counts(); good != 0 || bad != 0 {
+		t.Errorf("counts after window expiry = %d/%d, want 0/0", good, bad)
+	}
+	if s.Burn() != 0 {
+		t.Errorf("burn after expiry = %v, want 0", s.Burn())
+	}
+
+	// Fresh healthy traffic: burn falls to zero.
+	for i := 0; i < 100; i++ {
+		s.Observe(time.Millisecond)
+	}
+	if s.Burn() != 0 || s.Degraded() {
+		t.Errorf("healthy traffic burns %v", s.Burn())
+	}
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	s.Observe(time.Second)
+	if s.Burn() != 0 || s.Degraded() || s.Target() != 0 {
+		t.Error("nil SLO not inert")
+	}
+}
+
+func TestSLOBucketRollover(t *testing.T) {
+	s := NewSLO(10*time.Millisecond, 0.99, 12*time.Second) // 1s buckets
+	clock := int64(time.Hour)
+	s.now = func() int64 { return clock }
+	s.Observe(time.Second) // bad
+	// A full window later the same ring bucket recurs; its stale count
+	// must reset rather than accumulate.
+	clock += int64(12 * time.Second)
+	s.Observe(time.Millisecond) // good, same bucket index
+	good, bad := s.Counts()
+	if good != 1 || bad != 0 {
+		t.Errorf("counts after rollover = %d good / %d bad, want 1/0", good, bad)
+	}
+}

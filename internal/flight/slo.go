@@ -1,0 +1,158 @@
+package flight
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// SLO tracks a detection-latency service-level objective over a
+// rolling window: every end-to-end verdict latency at or under Target
+// is good, everything slower is bad, and the burn rate is the bad
+// fraction divided by the error budget (1 − Objective). A burn rate of
+// 1.0 means the service is spending its budget exactly as fast as the
+// objective allows; sustained burn above 1.0 means the SLO will be
+// violated over the window — the fleet health endpoint reports the
+// service degraded at that point.
+//
+// The window is a ring of time buckets updated with atomics: Observe
+// is lock-free and allocation-free, so it can run once per ingested
+// batch without touching the hot path's pinned costs. Bucket resets
+// race observations arriving in the same instant by design — a
+// monitoring estimate, not an audit log.
+type SLO struct {
+	target    int64   // nanoseconds
+	budget    float64 // 1 - objective
+	objective float64
+	bucketDur int64 // nanoseconds per bucket
+	buckets   []sloBucket
+
+	// now is the clock, swappable in tests.
+	now func() int64
+}
+
+type sloBucket struct {
+	epoch     atomic.Int64 // bucket timestamp = epoch * bucketDur
+	good, bad atomic.Uint64
+}
+
+// sloBuckets subdivides the window; more buckets smooth the roll-off
+// at the cost of a longer scan per Burn call.
+const sloBuckets = 12
+
+// NewSLO builds a tracker for the given latency target and objective
+// (the fraction of observations that must meet the target, e.g. 0.99)
+// over a rolling window. Zero or out-of-range arguments select the
+// defaults: 100ms target, 0.99 objective, 60s window.
+func NewSLO(target time.Duration, objective float64, window time.Duration) *SLO {
+	if target <= 0 {
+		target = 100 * time.Millisecond
+	}
+	if objective <= 0 || objective >= 1 {
+		objective = 0.99
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	bucketDur := int64(window) / sloBuckets
+	if bucketDur < int64(time.Millisecond) {
+		bucketDur = int64(time.Millisecond)
+	}
+	return &SLO{
+		target:    int64(target),
+		budget:    1 - objective,
+		objective: objective,
+		bucketDur: bucketDur,
+		buckets:   make([]sloBucket, sloBuckets),
+		now:       func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// Target returns the latency target.
+func (s *SLO) Target() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.target)
+}
+
+// Objective returns the good-fraction objective.
+func (s *SLO) Objective() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.objective
+}
+
+// Window returns the rolling window length.
+func (s *SLO) Window() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.bucketDur * sloBuckets)
+}
+
+// Observe records one end-to-end latency. Lock-free; a nil SLO is a
+// no-op, so call sites need no nil checks.
+func (s *SLO) Observe(latency time.Duration) {
+	if s == nil {
+		return
+	}
+	epoch := s.now() / s.bucketDur
+	b := &s.buckets[epoch%sloBuckets]
+	if e := b.epoch.Load(); e != epoch && b.epoch.CompareAndSwap(e, epoch) {
+		// This observation opens the bucket's new epoch: clear the stale
+		// window-ago counts. An observation racing between the CAS and
+		// the stores can be lost — acceptable for a monitoring estimate.
+		b.good.Store(0)
+		b.bad.Store(0)
+	}
+	if int64(latency) <= s.target {
+		b.good.Add(1)
+	} else {
+		b.bad.Add(1)
+	}
+}
+
+// Counts returns the good and bad observation totals over the window.
+func (s *SLO) Counts() (good, bad uint64) {
+	if s == nil {
+		return 0, 0
+	}
+	epoch := s.now() / s.bucketDur
+	for i := range s.buckets {
+		b := &s.buckets[i]
+		e := b.epoch.Load()
+		if e == 0 || epoch-e >= sloBuckets {
+			continue // empty or aged out of the window
+		}
+		good += b.good.Load()
+		bad += b.bad.Load()
+	}
+	return good, bad
+}
+
+// BadFraction returns the fraction of windowed observations that
+// missed the target, zero when the window is empty.
+func (s *SLO) BadFraction() float64 {
+	good, bad := s.Counts()
+	if good+bad == 0 {
+		return 0
+	}
+	return float64(bad) / float64(good+bad)
+}
+
+// Burn returns the windowed burn rate: BadFraction divided by the
+// error budget. 1.0 burns the budget exactly as fast as the objective
+// allows; above 1.0 the SLO is being violated over the window.
+func (s *SLO) Burn() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.BadFraction() / s.budget
+}
+
+// Degraded reports whether the window's burn rate is at or above 1.0 —
+// the service is missing its detection-latency objective right now.
+func (s *SLO) Degraded() bool {
+	return s != nil && s.Burn() >= 1.0
+}

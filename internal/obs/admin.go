@@ -1,38 +1,93 @@
 package obs
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/pprof"
 )
 
-// NewAdminHandler builds the monitord admin surface:
+// Health is the structured /healthz body. State is one of "ok",
+// "draining" or "degraded"; the remaining fields carry the operational
+// detail a fleet dashboard wants without a full metrics scrape: how
+// hard the detection-latency SLO budget is burning and how many bytes
+// of journal the last recovery had to repair.
+type Health struct {
+	State                string  `json:"state"`
+	SLOBurn              float64 `json:"slo_burn"`
+	SLOTargetSeconds     float64 `json:"slo_target_seconds,omitempty"`
+	RepairedJournalBytes int64   `json:"repaired_journal_bytes"`
+}
+
+// AdminConfig wires the admin surface. obs stays standard-library-only
+// (arch-pinned), so the flight recorder and SLO tracker arrive as
+// closures rather than imports: Health supplies the /healthz body and
+// Flight the /debug/flight snapshot (any JSON-marshalable value).
+type AdminConfig struct {
+	Registry *Registry
+	// Ready gates the /healthz status code: 200 while true, 503 once
+	// it flips (drain-aware readiness: load balancers stop routing
+	// before the listener actually closes). Nil means always ready.
+	Ready func() bool
+	// Health supplies the structured /healthz body. Nil derives a
+	// minimal body ("ok"/"draining") from Ready alone. When Ready is
+	// false the reported state is forced to "draining" regardless of
+	// what Health returns, so the body never contradicts the 503.
+	Health func() Health
+	// Flight supplies the /debug/flight snapshot. Nil leaves the
+	// route responding 404.
+	Flight func() any
+}
+
+// NewAdminHandler builds the monitord admin surface with the legacy
+// two-argument signature; see NewAdmin for the full configuration.
+func NewAdminHandler(reg *Registry, ready func() bool) http.Handler {
+	return NewAdmin(AdminConfig{Registry: reg, Ready: ready})
+}
+
+// NewAdmin builds the monitord admin surface:
 //
 //   - /metrics        — the registry in Prometheus text format
-//   - /healthz        — 200 "ok" while ready() is true, 503 "draining"
-//     once it flips (drain-aware readiness: load balancers stop
-//     routing before the listener actually closes)
+//   - /healthz        — structured JSON health (see Health); 200 while
+//     ready, 503 once draining. A degraded SLO keeps the 200 so load
+//     balancers do not amplify a latency problem into an outage.
+//   - /debug/flight   — JSON snapshot of the flight-recorder ring and
+//     slowest exemplar traces (404 when no recorder is wired)
 //   - /debug/pprof/…  — the standard runtime profiles
 //
 // The handler carries live profiling endpoints and operational
 // detail, so it must only ever be bound to a loopback or otherwise
 // access-controlled address; it performs no authentication itself.
-// A nil ready is treated as always ready.
-func NewAdminHandler(reg *Registry, ready func() bool) http.Handler {
+func NewAdmin(cfg AdminConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		reg.WritePrometheus(w)
+		cfg.Registry.WritePrometheus(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if ready == nil || ready() {
-			w.WriteHeader(http.StatusOK)
-			w.Write([]byte("ok\n"))
-			return
+		ready := cfg.Ready == nil || cfg.Ready()
+		var h Health
+		if cfg.Health != nil {
+			h = cfg.Health()
 		}
-		w.WriteHeader(http.StatusServiceUnavailable)
-		w.Write([]byte("draining\n"))
+		if h.State == "" {
+			h.State = "ok"
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !ready {
+			h.State = "draining"
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.Encode(h)
 	})
+	if cfg.Flight != nil {
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(cfg.Flight())
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
