@@ -12,11 +12,11 @@ help:
 	@echo "  test        build everything and run the full suite (default)"
 	@echo "  race        race-clean gate: vet + chaos sweep + short suite under -race (archive/recheck run unshortened)"
 	@echo "  short       the suite minus campaign-scale tests"
-	@echo "  bench       all benchmarks with -benchmem; records BENCH_PR9.json via cmd/benchjson"
+	@echo "  bench       all benchmarks with -benchmem; records BENCH_PR10.json via cmd/benchjson"
 	@echo "  chaos       seeded transport-chaos suite under -race + wire fuzz smoke"
 	@echo "  crash       subprocess SIGKILL matrix: 16 seeded kills of a real monitord under -race"
 	@echo "  fuzz        brief fuzz passes (wire decoder, spec parser, archive segments)"
-	@echo "  fuzz-smoke  10s each of the segment-store and wire-decoder fuzzers"
+	@echo "  fuzz-smoke  10s each of the segment, wire, ledger and spec-parser fuzzers"
 	@echo "  vet         go vet everything"
 
 test:
@@ -34,10 +34,12 @@ test:
 # passes from masking them. core and speclang join the list with PR 8's
 # parallel grid evaluation and sharded recheck: the differential tests
 # (parallel output == sequential at 1/2/4/8 workers) are only meaningful
-# under the race detector.
+# under the race detector. specreg joins with PR 10: the rollout
+# controller races its poll loop against operator promote/rollback by
+# design.
 race: vet chaos crash
 	$(GO) test -race -short ./...
-	$(GO) test -race -count=1 ./internal/archive ./internal/recheck ./internal/durable ./internal/core ./internal/speclang
+	$(GO) test -race -count=1 ./internal/archive ./internal/recheck ./internal/durable ./internal/core ./internal/speclang ./internal/specreg
 
 # The seeded transport-chaos suite (fault-injected connections, resume,
 # drain) under the race detector, plus a short wire-decoder fuzz smoke —
@@ -56,28 +58,33 @@ crash:
 short:
 	$(GO) test -short ./...
 
-# Runs every benchmark and snapshots the numbers to BENCH_PR9.json so
+# Runs every benchmark and snapshots the numbers to BENCH_PR10.json so
 # performance work leaves a committed, diffable record; the label says
-# which PR produced the snapshot even once copied elsewhere. The PR9
-# snapshot is the proof the flight recorder kept the pinned costs:
-# Fig1 codec 0 allocs/op, MonitorOnline 400 allocs/op, and
-# BenchmarkFleetIngest within 3% of BENCH_PR8.json.
+# which PR produced the snapshot even once copied elsewhere. The PR10
+# snapshot is the proof spec rollout kept the pinned costs with shadow
+# mode off — Fig1 codec 0 allocs/op, MonitorOnline 400 allocs/op,
+# BenchmarkFleetIngest within 3% of BENCH_PR9.json — and documents the
+# deliberate ~2x ns/frame of BenchmarkFleetIngestShadow while a canary
+# is being dual-evaluated.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson -label PR9 > BENCH_PR9.json
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | tee /dev/stderr | $(GO) run ./cmd/benchjson -label PR10 > BENCH_PR10.json
 
 # Brief fuzz passes over the parser/formatter, the wire codec and the
 # archive segment reader.
 fuzz: fuzz-smoke
 	$(GO) test -run=^$$ -fuzz=FuzzParse -fuzztime=10s ./internal/speclang
 
-# The three deserializers that face bytes an attacker (or a crash)
-# wrote: the archive segment store recovering arbitrary tail damage,
-# the wire decoder, and the session ledger fold. 10 seconds each — the
-# smoke level CI can afford on every run.
+# The deserializers that face bytes an attacker (or a crash) wrote:
+# the archive segment store recovering arbitrary tail damage, the wire
+# decoder, the session ledger fold — and, since `spec push` started
+# accepting operator uploads into a running daemon, the spec parser and
+# compiler (every refusal must be a positioned error, never a panic).
+# 10 seconds each — the smoke level CI can afford on every run.
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzSegment -fuzztime=10s ./internal/archive
 	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzLedgerFold -fuzztime=10s ./internal/durable
+	$(GO) test -run=^$$ -fuzz=FuzzSpecParser -fuzztime=10s ./internal/speclang
 
 vet:
 	$(GO) vet ./...

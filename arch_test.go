@@ -245,6 +245,23 @@ func TestDurableDependencySurface(t *testing.T) {
 	}
 }
 
+// TestSpecRegistryDependencySurface keeps the spec registry a leaf
+// over the metrics registry: it stores rule text and drives rollouts
+// through the Fleet interface, so it may import only internal/obs —
+// the daemon adapts the fleet server to it, never the other way
+// around. That is what lets offline tooling (monitorctl) read a
+// registry directory without linking the fleet server.
+func TestSpecRegistryDependencySurface(t *testing.T) {
+	allowed := map[string]bool{
+		"cpsmon/internal/obs": true,
+	}
+	for ipath, files := range cpsmonImports(t, "internal/specreg") {
+		if !allowed[ipath] {
+			t.Errorf("%v import %s: specreg may depend only on obs", files, ipath)
+		}
+	}
+}
+
 // TestRecheckDependencySurface bounds the recheck engine: it reads
 // archives and replays them through the monitor engine, so it may see
 // the archive store, the engine and its inputs, plus the metrics

@@ -20,6 +20,13 @@
 //	                                             # list a monitord archive's segments
 //	monitorctl -archive-dir /var/lib/cpsmon -recheck specs/tightened.spec -from 1m -to 5m
 //	                                             # re-verify archived traffic against a spec
+//	monitorctl -archive-dir /var/lib/cpsmon -spec-dir /var/lib/cpsmon/specs -recheck 3f1a9c0d2e4b
+//	                                             # ... against a registry spec by hash
+//	monitorctl spec push -f tightened.spec -admin 127.0.0.1:9321
+//	monitorctl spec status -admin 127.0.0.1:9321 # rollout phase + shadow counters
+//	monitorctl spec promote -admin 127.0.0.1:9321
+//	monitorctl spec rollback -reason "too chatty" -admin 127.0.0.1:9321
+//	monitorctl -version                          # print build version and exit
 //	monitorctl -db plant.netdb -rules plant.spec -trace plant.canlog
 package main
 
@@ -42,7 +49,15 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// `monitorctl spec <verb>` is a subcommand group with its own flags;
+	// everything else goes through the single flag set in run.
+	var err error
+	if len(os.Args) > 1 && os.Args[1] == "spec" {
+		err = runSpec(os.Args[2:], os.Stdout)
+	} else {
+		err = run(os.Args[1:])
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "monitorctl:", err)
 		os.Exit(1)
 	}
@@ -70,7 +85,9 @@ func run(args []string) error {
 		margin    = fs.Duration("margin", 2*time.Second, "context margin around each explained violation")
 		verbose   = fs.Bool("v", false, "list every violation")
 
+		version     = fs.Bool("version", false, "print the build version and exit")
 		archiveDir  = fs.String("archive-dir", "", "monitord archive directory for -archive-ls and -recheck")
+		specDir     = fs.String("spec-dir", "", "monitord spec registry directory: lets -recheck name a stored spec by content hash (12+ hex digits) instead of a file")
 		archiveLs   = fs.Bool("archive-ls", false, "list the segments of -archive-dir and exit")
 		recheckSpec = fs.String("recheck", "", "re-verify archived traffic in -archive-dir against this rule set (strict, relaxed, or a .spec path) and report per-rule divergence")
 		fromT       = fs.Duration("from", 0, "capture-time lower bound for -recheck (0 = start of archive)")
@@ -82,6 +99,10 @@ func run(args []string) error {
 	}
 	set := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *version {
+		fmt.Println(versionString("monitorctl"))
+		return nil
+	}
 	if *metrics != "" {
 		return runMetrics(*metrics, os.Stdout)
 	}
@@ -141,7 +162,16 @@ func run(args []string) error {
 		if set["vehicle"] {
 			opt.Vehicle = *vehicle
 		}
-		return runRecheck(*archiveDir, *recheckSpec, db, mode, opt, os.Stdout)
+		spec := *recheckSpec
+		if *specDir != "" {
+			resolved, cleanup, err := resolveRegistrySpec(*specDir, spec)
+			if err != nil {
+				return err
+			}
+			defer cleanup()
+			spec = resolved
+		}
+		return runRecheck(*archiveDir, spec, db, mode, opt, os.Stdout)
 	}
 	if *tracePath == "" {
 		fs.Usage()

@@ -1,0 +1,251 @@
+package main
+
+// The spec subcommand group drives a monitord's rollout surface over
+// its admin endpoint:
+//
+//	monitorctl spec push -f tightened.spec -admin 127.0.0.1:9321
+//	monitorctl spec status -admin 127.0.0.1:9321
+//	monitorctl spec promote -admin 127.0.0.1:9321
+//	monitorctl spec rollback -reason "too chatty" -admin 127.0.0.1:9321
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"cpsmon/internal/specreg"
+)
+
+// specStatus mirrors monitord's /spec/status JSON body. It is decoded
+// into local types rather than shared ones so monitorctl keeps working
+// against daemons a revision ahead or behind.
+type specStatus struct {
+	Status struct {
+		Phase       string `json:"phase"`
+		Hash        string `json:"hash"`
+		Name        string `json:"name"`
+		ActiveHash  string `json:"active_hash"`
+		ActiveEpoch uint64 `json:"active_epoch"`
+		Gate        struct {
+			Sessions    int    `json:"Sessions"`
+			Regressions int    `json:"Regressions"`
+			Fixes       int    `json:"Fixes"`
+			Detail      string `json:"Detail"`
+		} `json:"gate"`
+		Err    string `json:"error"`
+		Reason string `json:"rollback_reason"`
+		Shadow struct {
+			Sessions         int64  `json:"Sessions"`
+			Batches          uint64 `json:"Batches"`
+			DivergentBatches uint64 `json:"DivergentBatches"`
+			Divergences      uint64 `json:"Divergences"`
+			Errors           uint64 `json:"Errors"`
+		} `json:"shadow"`
+	} `json:"status"`
+	Specs []struct {
+		Hash      string `json:"hash"`
+		Name      string `json:"name"`
+		Active    bool   `json:"active"`
+		Candidate bool   `json:"candidate"`
+	} `json:"specs"`
+}
+
+// runSpec dispatches `monitorctl spec <verb>`.
+func runSpec(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: monitorctl spec <push|status|promote|rollback> [-admin host:port] ...")
+	}
+	verb, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("monitorctl spec "+verb, flag.ContinueOnError)
+	admin := fs.String("admin", "127.0.0.1:9321", "monitord admin endpoint (host:port or URL)")
+	file := fs.String("f", "", "spec file to push")
+	name := fs.String("name", "", "name recorded for the pushed spec (default: the file's base name)")
+	reason := fs.String("reason", "", "reason recorded with the rollback")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	base := adminBase(*admin)
+
+	switch verb {
+	case "push":
+		if *file == "" {
+			return fmt.Errorf("spec push requires -f <file>")
+		}
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		n := *name
+		if n == "" {
+			n = filepath.Base(*file)
+		}
+		var rep struct {
+			Hash string `json:"hash"`
+		}
+		if err := specPost(base+"/spec/push?name="+url.QueryEscape(n), src, &rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "pushed %s as candidate %.12s; shadow evaluation running\n", *file, rep.Hash)
+		return nil
+	case "status":
+		var st specStatus
+		if err := specGet(base+"/spec/status", &st); err != nil {
+			return err
+		}
+		printSpecStatus(out, &st)
+		return nil
+	case "promote":
+		var st specStatus
+		if err := specPost(base+"/spec/promote", nil, &st); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "promoted %.12s at epoch %d\n", st.Status.ActiveHash, st.Status.ActiveEpoch)
+		return nil
+	case "rollback":
+		u := base + "/spec/rollback"
+		if *reason != "" {
+			u += "?reason=" + url.QueryEscape(*reason)
+		}
+		var st specStatus
+		if err := specPost(u, nil, &st); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "rolled back %.12s: %s\n", st.Status.Hash, st.Status.Reason)
+		return nil
+	default:
+		return fmt.Errorf("unknown spec subcommand %q (want push, status, promote or rollback)", verb)
+	}
+}
+
+// resolveRegistrySpec lets -recheck name a spec out of a monitord
+// registry by content hash (or a unique 12+ digit prefix): the
+// built-in names and real file paths pass through untouched, anything
+// else is looked up in the registry and materialized into a temporary
+// .spec file for the recheck to compile. Best run against a stopped
+// daemon's registry or a copy — the open repairs torn tails in place.
+func resolveRegistrySpec(dir, spec string) (string, func(), error) {
+	nop := func() {}
+	if spec == "strict" || spec == "relaxed" {
+		return spec, nop, nil
+	}
+	if _, err := os.Stat(spec); err == nil {
+		return spec, nop, nil
+	}
+	reg, err := specreg.OpenRegistry(dir)
+	if err != nil {
+		return "", nop, err
+	}
+	defer reg.Close()
+	s, ok := reg.Get(spec)
+	if !ok {
+		return "", nop, fmt.Errorf("spec %q: not a file and not a hash in registry %s", spec, dir)
+	}
+	f, err := os.CreateTemp("", "recheck-"+s.Hash[:12]+"-*.spec")
+	if err != nil {
+		return "", nop, err
+	}
+	if _, err := f.WriteString(s.Source); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", nop, err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", nop, err
+	}
+	return f.Name(), func() { os.Remove(f.Name()) }, nil
+}
+
+// adminBase resolves an admin target into a URL prefix with no
+// trailing slash: a bare host:port becomes http://<target>.
+func adminBase(target string) string {
+	u := target
+	if !strings.Contains(u, "://") {
+		u = "http://" + u
+	}
+	return strings.TrimRight(u, "/")
+}
+
+func specGet(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return fmt.Errorf("admin endpoint unreachable: %w (is monitord running with -admin and -spec-dir?)", err)
+	}
+	return specDecode(resp, v)
+}
+
+func specPost(url string, body []byte, v any) error {
+	resp, err := http.Post(url, "text/plain", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("admin endpoint unreachable: %w (is monitord running with -admin and -spec-dir?)", err)
+	}
+	return specDecode(resp, v)
+}
+
+// specDecode reads a /spec/* reply, surfacing the server's JSON error
+// body on non-200 statuses.
+func specDecode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("%s", e.Error)
+		}
+		return fmt.Errorf("spec request: status %s", resp.Status)
+	}
+	return json.Unmarshal(body, v)
+}
+
+// printSpecStatus renders the rollout snapshot and the stored specs.
+func printSpecStatus(out io.Writer, st *specStatus) {
+	s := &st.Status
+	fmt.Fprintf(out, "phase:  %s\n", s.Phase)
+	fmt.Fprintf(out, "active: %.12s epoch %d\n", s.ActiveHash, s.ActiveEpoch)
+	if s.Hash != "" && s.Hash != s.ActiveHash {
+		fmt.Fprintf(out, "candidate: %.12s (%s)\n", s.Hash, s.Name)
+	}
+	if s.Gate.Sessions > 0 || s.Gate.Detail != "" {
+		fmt.Fprintf(out, "gate:   %s\n", s.Gate.Detail)
+	}
+	if s.Phase == "shadowing" {
+		sh := &s.Shadow
+		frac := 0.0
+		if sh.Batches > 0 {
+			frac = float64(sh.DivergentBatches) / float64(sh.Batches)
+		}
+		fmt.Fprintf(out, "shadow: %d sessions, %d batches compared, %d divergent (%.2f%%), %d rule divergences, %d errors\n",
+			sh.Sessions, sh.Batches, sh.DivergentBatches, 100*frac, sh.Divergences, sh.Errors)
+	}
+	if s.Err != "" {
+		fmt.Fprintf(out, "error:  %s\n", s.Err)
+	}
+	if s.Reason != "" {
+		fmt.Fprintf(out, "rollback reason: %s\n", s.Reason)
+	}
+	if len(st.Specs) > 0 {
+		fmt.Fprintln(out, "\nHASH          NAME")
+		for _, sp := range st.Specs {
+			mark := ""
+			if sp.Active {
+				mark = "  [active]"
+			}
+			if sp.Candidate {
+				mark += "  [candidate]"
+			}
+			fmt.Fprintf(out, "%.12s  %s%s\n", sp.Hash, sp.Name, mark)
+		}
+	}
+}

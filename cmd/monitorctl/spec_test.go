@@ -1,0 +1,186 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"cpsmon/internal/rules"
+	"cpsmon/internal/specreg"
+)
+
+// fakeSpecServer emulates monitord's /spec/ surface closely enough to
+// exercise the subcommand group: it records the last push and serves a
+// canned status.
+func fakeSpecServer(t *testing.T) (*httptest.Server, *struct {
+	Name   string
+	Source string
+	Reason string
+}) {
+	t.Helper()
+	got := &struct {
+		Name   string
+		Source string
+		Reason string
+	}{}
+	mux := http.NewServeMux()
+	status := map[string]any{
+		"status": map[string]any{
+			"phase":        "shadowing",
+			"hash":         "c0ffee0123456789",
+			"name":         "tightened.spec",
+			"active_hash":  "ab1e0123456789ab",
+			"active_epoch": 3,
+			"gate":         map[string]any{"Sessions": 2, "Fixes": 1, "Detail": "2 sessions rechecked"},
+			"shadow":       map[string]any{"Sessions": 1, "Batches": 40, "DivergentBatches": 1, "Divergences": 2},
+		},
+		"specs": []map[string]any{
+			{"hash": "ab1e0123456789ab", "name": "strict", "active": true},
+			{"hash": "c0ffee0123456789", "name": "tightened.spec", "candidate": true},
+		},
+	}
+	mux.HandleFunc("/spec/status", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(status)
+	})
+	mux.HandleFunc("/spec/push", func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		got.Name = r.URL.Query().Get("name")
+		got.Source = string(b)
+		if strings.Contains(got.Source, "broken") {
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]string{"error": "does not compile"})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"hash": "c0ffee0123456789"})
+	})
+	mux.HandleFunc("/spec/promote", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(status)
+	})
+	mux.HandleFunc("/spec/rollback", func(w http.ResponseWriter, r *http.Request) {
+		got.Reason = r.URL.Query().Get("reason")
+		json.NewEncoder(w).Encode(status)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, got
+}
+
+func TestSpecSubcommands(t *testing.T) {
+	srv, got := fakeSpecServer(t)
+
+	specFile := t.TempDir() + "/tightened.spec"
+	if err := os.WriteFile(specFile, []byte("rule text"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runSpec([]string{"push", "-f", specFile, "-admin", srv.URL}, &out); err != nil {
+		t.Fatalf("spec push: %v", err)
+	}
+	if got.Name != "tightened.spec" || got.Source != "rule text" {
+		t.Fatalf("push sent name %q source %q", got.Name, got.Source)
+	}
+	if !strings.Contains(out.String(), "c0ffee012345") {
+		t.Fatalf("push output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := runSpec([]string{"status", "-admin", srv.URL}, &out); err != nil {
+		t.Fatalf("spec status: %v", err)
+	}
+	for _, want := range []string{"shadowing", "ab1e0123456789ab"[:12], "epoch 3", "40 batches", "tightened.spec", "[active]", "[candidate]"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("status output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	if err := runSpec([]string{"promote", "-admin", srv.URL}, &out); err != nil {
+		t.Fatalf("spec promote: %v", err)
+	}
+	if !strings.Contains(out.String(), "epoch 3") {
+		t.Fatalf("promote output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := runSpec([]string{"rollback", "-reason", "too chatty", "-admin", srv.URL}, &out); err != nil {
+		t.Fatalf("spec rollback: %v", err)
+	}
+	if got.Reason != "too chatty" {
+		t.Fatalf("rollback sent reason %q", got.Reason)
+	}
+
+	// A server-side refusal surfaces its JSON error message.
+	if err := os.WriteFile(specFile, []byte("broken spec"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runSpec([]string{"push", "-f", specFile, "-admin", srv.URL}, &out)
+	if err == nil || !strings.Contains(err.Error(), "does not compile") {
+		t.Fatalf("refused push error = %v", err)
+	}
+
+	// Unknown verbs and missing flags fail up front.
+	if err := runSpec([]string{"bogus"}, &out); err == nil {
+		t.Fatal("unknown verb accepted")
+	}
+	if err := runSpec([]string{"push", "-admin", srv.URL}, &out); err == nil {
+		t.Fatal("push without -f accepted")
+	}
+	if err := runSpec(nil, &out); err == nil {
+		t.Fatal("bare spec accepted")
+	}
+}
+
+// TestResolveRegistrySpec covers the -recheck registry-hash path:
+// built-ins and files pass through, hashes materialize, junk errors.
+func TestResolveRegistrySpec(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := specreg.OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := reg.Put("strict", rules.StrictSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg.Close()
+
+	for _, passthrough := range []string{"strict", "relaxed"} {
+		got, cleanup, err := resolveRegistrySpec(dir, passthrough)
+		if err != nil || got != passthrough {
+			t.Fatalf("resolve(%q) = %q, %v", passthrough, got, err)
+		}
+		cleanup()
+	}
+
+	got, cleanup, err := resolveRegistrySpec(dir, hash[:12])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cleanup()
+	src, err := os.ReadFile(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(src) != rules.StrictSource {
+		t.Fatalf("materialized spec differs from the registry source")
+	}
+	cleanup()
+	if _, err := os.Stat(got); !os.IsNotExist(err) {
+		t.Fatalf("cleanup left %s behind (%v)", got, err)
+	}
+
+	if _, _, err := resolveRegistrySpec(dir, "not-a-hash-or-file"); err == nil {
+		t.Fatal("junk spec resolved")
+	}
+}
+
+func TestMonitorctlVersionString(t *testing.T) {
+	if v := versionString("monitorctl"); !strings.HasPrefix(v, "monitorctl ") {
+		t.Fatalf("versionString = %q", v)
+	}
+}

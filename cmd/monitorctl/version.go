@@ -1,0 +1,35 @@
+package main
+
+import "runtime/debug"
+
+// versionString renders the -version line from the binary's embedded
+// build info: module version plus the VCS revision stamped by the Go
+// toolchain, with a +dirty marker for uncommitted builds.
+func versionString(cmd string) string {
+	version, rev, dirty := "(devel)", "", false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
+	}
+	out := cmd + " " + version
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		out += " (" + rev
+		if dirty {
+			out += "+dirty"
+		}
+		out += ")"
+	}
+	return out
+}

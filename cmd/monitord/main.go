@@ -22,6 +22,22 @@
 //	monitord -state-dir /var/lib/monitord       # crash-safe: ledger + archive,
 //	                                            # sessions survive kill -9
 //	monitord -drain-timeout 30s                 # bound the shutdown drain
+//	monitord -spec-dir /var/lib/monitord/specs  # durable spec registry: push,
+//	                                            # shadow, promote or roll back
+//	                                            # rule sets without a restart
+//	monitord -spec-auto-promote -spec-max-divergence 0.01
+//	                                            # hands-off canary rollout
+//	monitord -version                           # print build version and exit
+//
+// With -spec-dir the admin endpoint grows a /spec/ surface
+// (monitorctl spec push/status/promote/rollback drives it): a pushed
+// candidate is parse-checked, re-checked offline against the archive
+// (-spec-gate-window bounds how far back), then shadow-evaluated next
+// to the active spec on live traffic — its verdicts are never
+// delivered — until it is promoted under a new spec epoch or rolled
+// back because divergence or SLO burn crossed the configured
+// thresholds. SIGHUP re-reads -rules and pushes it through the same
+// pipeline.
 //
 // Stream a recorded capture to it with:
 //
@@ -70,6 +86,7 @@ import (
 	"cpsmon/internal/rules"
 	"cpsmon/internal/sigdb"
 	"cpsmon/internal/speclang"
+	"cpsmon/internal/specreg"
 	"cpsmon/internal/wire"
 )
 
@@ -104,6 +121,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		archiveDir  = fs.String("archive-dir", "", "archive every applied frame run, event and verdict into segment files in this directory (empty = off)")
 		archiveSeg  = fs.Int64("archive-segment-size", 0, "archive segment rotation threshold in bytes (0 = default 8MiB)")
 		archiveKeep = fs.Duration("archive-retention", 0, "remove sealed archive segments older than this, swept periodically (0 = keep forever)")
+		version     = fs.Bool("version", false, "print the build version and exit")
+		specDir     = fs.String("spec-dir", "", "spec rollout registry: keep a durable, content-addressed spec store here and serve /spec push/status/promote/rollback on the admin endpoint (empty = off)")
+		specGateWin = fs.Duration("spec-gate-window", 0, "how much trailing archived capture time the offline gate re-checks a pushed spec against (0 = the whole archive)")
+		specMaxRegr = fs.Int("spec-max-regressions", 0, "most per-rule regressions the offline gate tolerates before refusing a pushed spec")
+		specMinBat  = fs.Uint64("spec-min-shadow-batches", 100, "shadow-compared batches required before divergence is judged (and, with -spec-auto-promote, before promotion)")
+		specMaxDiv  = fs.Float64("spec-max-divergence", 0.01, "divergent-batch fraction above which a shadowing candidate is rolled back")
+		specMaxBurn = fs.Float64("spec-max-slo-burn", 0, "SLO burn fraction above which a shadowing candidate is rolled back (0 = don't tie rollback to the SLO)")
+		specAutoPro = fs.Bool("spec-auto-promote", false, "promote a candidate automatically once -spec-min-shadow-batches have compared clean")
 		flightEvery = fs.Int("flight-sample", 64, "record per-stage latency spans for every Nth batch into the flight recorder; dump with SIGQUIT or /debug/flight (0 = off)")
 		sloTarget   = fs.Duration("slo-target", 100*time.Millisecond, "detection-latency SLO: batches at or under this end-to-end latency are good (0 = no SLO)")
 		sloObj      = fs.Float64("slo-objective", 0.99, "fraction of batches that must meet -slo-target before /healthz reports degraded")
@@ -114,6 +139,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fs.DurationVar(&drainGrace, "drain", 10*time.Second, "alias for -drain-timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(out, versionString("monitord"))
+		return nil
 	}
 
 	db := sigdb.Vehicle()
@@ -181,8 +210,32 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cfg.Ledger = led
 		cfg.Epoch = led.Epoch()
 		cfg.SessionBase = led.State().MaxSession
+		// Spec epochs must stay monotonic across restarts: start from
+		// the last promote the ledger saw.
+		cfg.SpecEpoch = led.State().SpecEpoch
 		if *archiveDir == "" {
 			*archiveDir = filepath.Join(*stateDir, "archive")
+		}
+	}
+
+	var reg *specreg.Registry
+	if *specDir != "" {
+		reg, err = specreg.OpenRegistry(*specDir)
+		if err != nil {
+			return err
+		}
+		defer reg.Close()
+		// First boot: store and promote the daemon's default rule set so
+		// the active pointer always names a real spec.
+		src, err := rulesSource(*ruleSpec)
+		if err != nil {
+			return err
+		}
+		if err := seedRegistry(reg, *ruleSpec, src, cfg.SpecEpoch); err != nil {
+			return err
+		}
+		if e := reg.State().ActiveEpoch; e > cfg.SpecEpoch {
+			cfg.SpecEpoch = e
 		}
 	}
 
@@ -239,6 +292,60 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
+	var ctrl *specreg.Controller
+	if reg != nil {
+		scfg := specreg.Config{
+			Registry:         reg,
+			Fleet:            fleetAdapter{srv},
+			Validate:         specValidator(db),
+			MaxRegressions:   *specMaxRegr,
+			MinShadowBatches: *specMinBat,
+			MaxDivergence:    *specMaxDiv,
+			MaxSLOBurn:       *specMaxBurn,
+			AutoPromote:      *specAutoPro,
+			Metrics:          srv.Registry(),
+		}
+		if slo != nil {
+			scfg.SLOBurn = slo.Burn
+		}
+		if *archiveDir != "" {
+			scfg.Gate = specGate(*archiveDir, archiver, db, mode, *specGateWin)
+		}
+		ctrl, err = specreg.NewController(scfg)
+		if err != nil {
+			return err
+		}
+		defer ctrl.Close()
+		st := reg.State()
+		fmt.Fprintf(out, "monitord: spec registry %s (active %.12s epoch %d)\n", *specDir, st.ActiveHash, st.ActiveEpoch)
+
+		// SIGHUP re-reads the -rules selection and pushes it through the
+		// rollout pipeline — the spec file equivalent of a config reload,
+		// except it gates and shadows instead of swapping blindly.
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		defer signal.Stop(hup)
+		go func() {
+			for range hup {
+				src, err := rulesSource(*ruleSpec)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "monitord: SIGHUP reload:", err)
+					continue
+				}
+				if specreg.Hash(src) == reg.State().ActiveHash {
+					fmt.Fprintf(os.Stderr, "monitord: SIGHUP: %s unchanged, nothing to roll out\n", *ruleSpec)
+					continue
+				}
+				hash, err := ctrl.Push(*ruleSpec, src)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "monitord: SIGHUP push:", err)
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "monitord: SIGHUP: pushed %s as candidate %.12s\n", *ruleSpec, hash)
+			}
+		}()
+	}
+
 	// draining flips /healthz to 503 the moment shutdown begins, so
 	// health checks stop routing before the listener actually closes.
 	var draining atomic.Bool
@@ -255,6 +362,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 				h.State = "degraded"
 			}
 		}
+		if ctrl != nil {
+			h.Rollout = ctrl.Status().Phase
+			h.SpecEpoch = srv.ActiveEpoch()
+		}
 		return h
 	}
 	if *adminAddr != "" {
@@ -269,6 +380,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		if flt != nil {
 			acfg.Flight = func() any { return flt.Snapshot() }
+		}
+		if ctrl != nil {
+			acfg.Spec = specHandler(ctrl, reg)
 		}
 		admin := &http.Server{Handler: obs.NewAdmin(acfg)}
 		go admin.Serve(ln)

@@ -1,0 +1,252 @@
+package main
+
+// Spec rollout wiring: the -spec-dir registry, the rollout controller
+// with its offline recheck gate, and the /spec/* admin surface that
+// monitorctl's spec subcommands drive.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"cpsmon/internal/archive"
+	"cpsmon/internal/core"
+	"cpsmon/internal/fleet"
+	"cpsmon/internal/recheck"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/speclang"
+	"cpsmon/internal/specreg"
+)
+
+// fleetAdapter narrows *fleet.Server to specreg.Fleet. specreg is
+// arch-pinned below the fleet (offline tooling links it without the
+// server), so the stats type is converted here rather than shared.
+type fleetAdapter struct{ srv *fleet.Server }
+
+func (a fleetAdapter) BeginShadow(hash, source string) error { return a.srv.BeginShadow(hash, source) }
+func (a fleetAdapter) AbortShadow(hash string) error         { return a.srv.AbortShadow(hash) }
+func (a fleetAdapter) PromoteShadow(hash string, epoch uint64) error {
+	return a.srv.PromoteShadow(hash, epoch)
+}
+func (a fleetAdapter) ActiveEpoch() uint64 { return a.srv.ActiveEpoch() }
+func (a fleetAdapter) ShadowStats() (specreg.ShadowStats, bool) {
+	st, ok := a.srv.ShadowStats()
+	return specreg.ShadowStats{
+		Hash:             st.Hash,
+		Promoted:         st.Promoted,
+		Epoch:            st.Epoch,
+		Sessions:         st.Sessions,
+		Batches:          st.Batches,
+		DivergentBatches: st.DivergentBatches,
+		Divergences:      st.Divergences,
+		Errors:           st.Errors,
+	}, ok
+}
+
+// rulesSource returns the spec source text behind a -rules selection:
+// the built-in strict/relaxed sources, or the named file's contents.
+func rulesSource(spec string) (string, error) {
+	switch spec {
+	case "strict":
+		return rules.StrictSource, nil
+	case "relaxed":
+		return rules.RelaxedSource, nil
+	}
+	b, err := os.ReadFile(spec)
+	return string(b), err
+}
+
+// specValidator pre-checks a pushed source: parse plus compile against
+// the daemon's network database, so a typo is refused before anything
+// durable happens.
+func specValidator(db *sigdb.DB) func(string) error {
+	return func(source string) error {
+		f, err := speclang.Parse(source)
+		if err != nil {
+			return err
+		}
+		_, err = speclang.Compile(f, db.SignalNames())
+		return err
+	}
+}
+
+// specGate builds the controller's offline gate: flush the archive
+// tail, re-check the candidate against the archived history (bounded to
+// the trailing window when one is set), and report per-rule regressions
+// and fixes. The catalog is reopened per gate so freshly sealed
+// segments are seen.
+func specGate(dir string, archiver *archive.Writer, db *sigdb.DB, mode speclang.DeltaMode, window time.Duration) func(string) (specreg.GateResult, error) {
+	return func(source string) (specreg.GateResult, error) {
+		f, err := speclang.Parse(source)
+		if err != nil {
+			return specreg.GateResult{}, err
+		}
+		rs, err := speclang.Compile(f, db.SignalNames())
+		if err != nil {
+			return specreg.GateResult{}, err
+		}
+		if archiver != nil {
+			if err := archiver.Flush(); err != nil {
+				return specreg.GateResult{}, err
+			}
+		}
+		cat, err := archive.OpenCatalog(dir)
+		if err != nil {
+			return specreg.GateResult{}, err
+		}
+		var opt recheck.Options
+		if window > 0 {
+			var tmax time.Duration
+			for _, s := range cat.Segments() {
+				if s.TMax > tmax {
+					tmax = s.TMax
+				}
+			}
+			if tmax > window {
+				opt.From = tmax - window
+			}
+		}
+		rep, err := recheck.Run(cat, db, core.Config{Rules: rs, DeltaMode: mode, Triage: rules.DefaultTriage()}, opt)
+		if err != nil {
+			return specreg.GateResult{}, err
+		}
+		return specreg.GateResult{
+			Sessions:    rep.Checked,
+			Regressions: rep.Regressions,
+			Fixes:       rep.Fixes,
+			Detail: fmt.Sprintf("%d sessions rechecked, %d frames replayed: %d regressions, %d fixes",
+				rep.Checked, rep.FramesReplayed, rep.Regressions, rep.Fixes),
+		}, nil
+	}
+}
+
+// seedRegistry makes a fresh registry's active pointer name a real
+// spec: on first boot the daemon's default rule set is stored and
+// promoted, at an epoch continuing the ledger's count so epochs stay
+// monotonic even if the registry directory was recreated.
+func seedRegistry(reg *specreg.Registry, name, source string, ledgerEpoch uint64) error {
+	if reg.State().ActiveEpoch != 0 {
+		return nil
+	}
+	hash, err := reg.Put(name, source)
+	if err != nil {
+		return err
+	}
+	epoch := ledgerEpoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	return reg.Promote(hash, epoch)
+}
+
+// specListEntry is one registry spec in the /spec/status reply.
+type specListEntry struct {
+	Hash      string `json:"hash"`
+	Name      string `json:"name"`
+	Active    bool   `json:"active,omitempty"`
+	Candidate bool   `json:"candidate,omitempty"`
+}
+
+// specStatusReply is the /spec/status body: the rollout snapshot plus
+// the registry's stored specs in insertion order.
+type specStatusReply struct {
+	Status specreg.Status  `json:"status"`
+	Specs  []specListEntry `json:"specs"`
+}
+
+// maxSpecBody bounds a pushed spec source; real specs are a few KiB.
+const maxSpecBody = 1 << 20
+
+// specHandler serves the rollout surface under /spec/:
+//
+//	POST /spec/push?name=N   — body is the spec source; gates and shadows it
+//	GET  /spec/status        — rollout phase, shadow counters, stored specs
+//	POST /spec/promote       — swap the shadowing candidate in
+//	POST /spec/rollback?reason=R — withdraw the shadowing candidate
+//
+// Like the rest of the admin mux it performs no authentication; the
+// -admin address must be loopback or otherwise access-controlled.
+func specHandler(ctrl *specreg.Controller, reg *specreg.Registry) http.Handler {
+	writeJSON := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(v)
+	}
+	fail := func(w http.ResponseWriter, code int, err error) {
+		writeJSON(w, code, map[string]string{"error": err.Error()})
+	}
+	status := func() specStatusReply {
+		st := reg.State()
+		rep := specStatusReply{Status: ctrl.Status(), Specs: []specListEntry{}}
+		for _, s := range reg.Specs() {
+			rep.Specs = append(rep.Specs, specListEntry{
+				Hash:      s.Hash,
+				Name:      s.Name,
+				Active:    s.Hash == st.ActiveHash,
+				Candidate: s.Hash == st.CandidateHash,
+			})
+		}
+		return rep
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/spec/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, status())
+	})
+	mux.HandleFunc("/spec/push", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			fail(w, http.StatusMethodNotAllowed, fmt.Errorf("spec push is a POST"))
+			return
+		}
+		src, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBody+1))
+		if err != nil {
+			fail(w, http.StatusBadRequest, err)
+			return
+		}
+		if len(src) > maxSpecBody {
+			fail(w, http.StatusRequestEntityTooLarge, fmt.Errorf("spec source over %d bytes", maxSpecBody))
+			return
+		}
+		name := r.URL.Query().Get("name")
+		if name == "" {
+			name = "pushed"
+		}
+		hash, err := ctrl.Push(name, string(src))
+		if err != nil {
+			fail(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"hash": hash})
+	})
+	mux.HandleFunc("/spec/promote", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			fail(w, http.StatusMethodNotAllowed, fmt.Errorf("spec promote is a POST"))
+			return
+		}
+		if err := ctrl.Promote(); err != nil {
+			fail(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, status())
+	})
+	mux.HandleFunc("/spec/rollback", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			fail(w, http.StatusMethodNotAllowed, fmt.Errorf("spec rollback is a POST"))
+			return
+		}
+		reason := r.URL.Query().Get("reason")
+		if reason == "" {
+			reason = "operator rollback"
+		}
+		if err := ctrl.Rollback(reason); err != nil {
+			fail(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, status())
+	})
+	return mux
+}

@@ -1,0 +1,342 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"cpsmon/internal/fleet"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/specreg"
+)
+
+// adminAddr scrapes the admin endpoint's address out of the daemon's
+// startup output.
+func adminAddr(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if m := adminRE.FindStringSubmatch(out.String()); m != nil {
+			return m[1]
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its admin address:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// specStatusBody mirrors the /spec/status reply.
+type specStatusBody struct {
+	Status specreg.Status `json:"status"`
+	Specs  []struct {
+		Hash      string `json:"hash"`
+		Name      string `json:"name"`
+		Active    bool   `json:"active"`
+		Candidate bool   `json:"candidate"`
+	} `json:"specs"`
+}
+
+func specStatusOf(t *testing.T, admin string) specStatusBody {
+	t.Helper()
+	resp, err := http.Get("http://" + admin + "/spec/status")
+	if err != nil {
+		t.Fatalf("GET /spec/status: %v", err)
+	}
+	defer resp.Body.Close()
+	var st specStatusBody
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode /spec/status: %v", err)
+	}
+	return st
+}
+
+// specPushTo pushes source through /spec/push and returns the reply
+// and status code.
+func specPushTo(t *testing.T, admin, name, source string) (map[string]string, int) {
+	t.Helper()
+	resp, err := http.Post(
+		fmt.Sprintf("http://%s/spec/push?name=%s", admin, name),
+		"text/plain", strings.NewReader(source))
+	if err != nil {
+		t.Fatalf("POST /spec/push: %v", err)
+	}
+	defer resp.Body.Close()
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("decode /spec/push reply: %v", err)
+	}
+	return body, resp.StatusCode
+}
+
+func specPostOK(t *testing.T, admin, path string) {
+	t.Helper()
+	resp, err := http.Post("http://"+admin+path, "text/plain", nil)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("POST %s: status %s (%s)", path, resp.Status, e["error"])
+	}
+}
+
+// TestDaemonSpecRolloutLifecycle drives the whole surface over HTTP:
+// seeded registry, push, shadow on a live session, promote, and the
+// epoch stamp on verdicts either side of the promote.
+func TestDaemonSpecRolloutLifecycle(t *testing.T) {
+	specDir := t.TempDir()
+	addr, out, shutdown := startDaemon(t, "-spec-dir", specDir, "-admin", "127.0.0.1:0")
+	admin := adminAddr(t, out)
+
+	// First boot seeded the default rule set at epoch 1.
+	st := specStatusOf(t, admin)
+	if st.Status.Phase != "idle" || st.Status.ActiveEpoch != 1 {
+		t.Fatalf("seeded status = %+v", st.Status)
+	}
+	if len(st.Specs) != 1 || !st.Specs[0].Active || st.Specs[0].Name != "strict" {
+		t.Fatalf("seeded specs = %+v", st.Specs)
+	}
+	if st.Status.ActiveHash != specreg.Hash(rules.StrictSource) {
+		t.Fatalf("seeded active hash = %s", st.Status.ActiveHash)
+	}
+
+	// Push the relaxed source; no archive means no offline gate, so it
+	// goes straight to shadow.
+	body, code := specPushTo(t, admin, "relaxed", rules.RelaxedSource)
+	if code != http.StatusOK || body["hash"] == "" {
+		t.Fatalf("push: status %d, body %v", code, body)
+	}
+	hash := body["hash"]
+	if st := specStatusOf(t, admin); st.Status.Phase != "shadowing" {
+		t.Fatalf("post-push phase = %s", st.Status.Phase)
+	}
+
+	// A session opened now dual-evaluates; its delivered verdict is the
+	// active spec's, stamped with the pre-promote epoch.
+	c, err := fleet.Dial(addr, "veh-shadow", "", nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Send(testFrames(t)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	v, err := c.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if v.SpecEpoch != 1 {
+		t.Fatalf("verdict before promote stamped epoch %d, want 1", v.SpecEpoch)
+	}
+	st = specStatusOf(t, admin)
+	if st.Status.Shadow.Batches == 0 {
+		t.Fatalf("no shadow-compared batches after a full session: %+v", st.Status.Shadow)
+	}
+
+	// /healthz carries the rollout phase and active epoch.
+	resp, err := http.Get("http://" + admin + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	var h struct {
+		Rollout   string `json:"rollout"`
+		SpecEpoch uint64 `json:"spec_epoch"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&h)
+	resp.Body.Close()
+	if err != nil || h.Rollout != "shadowing" || h.SpecEpoch != 1 {
+		t.Fatalf("healthz rollout = %+v (%v)", h, err)
+	}
+
+	specPostOK(t, admin, "/spec/promote")
+	st = specStatusOf(t, admin)
+	if st.Status.Phase != "promoted" || st.Status.ActiveEpoch != 2 || st.Status.ActiveHash != hash {
+		t.Fatalf("post-promote status = %+v", st.Status)
+	}
+
+	// A session opened after the promote runs the new spec and stamps
+	// the new epoch.
+	c2, err := fleet.Dial(addr, "veh-after", "", nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c2.Close()
+	if err := c2.Send(testFrames(t)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	v2, err := c2.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if v2.SpecEpoch != 2 {
+		t.Fatalf("verdict after promote stamped epoch %d, want 2", v2.SpecEpoch)
+	}
+	shutdown()
+
+	// The registry is durable: a reopen sees the promoted pointer.
+	reg, err := specreg.OpenRegistry(specDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	if rs := reg.State(); rs.ActiveHash != hash || rs.ActiveEpoch != 2 {
+		t.Fatalf("reopened registry state = %+v", rs)
+	}
+}
+
+// TestDaemonSpecRollbackDeliversNoCandidateVerdicts pins the shadow
+// guarantee end to end: a candidate pushed, evaluated against live
+// traffic and rolled back never delivers a verdict, and the session's
+// own verdict stays the active spec's.
+func TestDaemonSpecRollbackDeliversNoCandidateVerdicts(t *testing.T) {
+	specDir := t.TempDir()
+	addr, out, shutdown := startDaemon(t, "-spec-dir", specDir, "-admin", "127.0.0.1:0")
+	admin := adminAddr(t, out)
+
+	if _, code := specPushTo(t, admin, "relaxed", rules.RelaxedSource); code != http.StatusOK {
+		t.Fatalf("push status %d", code)
+	}
+	c, err := fleet.Dial(addr, "veh-rb", "", nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Send(testFrames(t)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	specPostOK(t, admin, "/spec/rollback?reason=operator+test")
+	st := specStatusOf(t, admin)
+	if st.Status.Phase != "rolled-back" || st.Status.Reason == "" {
+		t.Fatalf("post-rollback status = %+v", st.Status)
+	}
+	v, err := c.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if v.SpecEpoch != 1 {
+		t.Fatalf("verdict after rollback stamped epoch %d, want 1 (active spec)", v.SpecEpoch)
+	}
+	shutdown()
+}
+
+// TestDaemonSpecGateRunsRecheck pushes against a daemon with an
+// archive: the offline gate must re-check the archived session before
+// the candidate reaches shadow.
+func TestDaemonSpecGateRunsRecheck(t *testing.T) {
+	archiveDir := t.TempDir()
+	specDir := t.TempDir()
+	addr, out, shutdown := startDaemon(t,
+		"-spec-dir", specDir, "-admin", "127.0.0.1:0", "-archive-dir", archiveDir)
+	admin := adminAddr(t, out)
+
+	c, err := fleet.Dial(addr, "veh-hist", "", nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Send(testFrames(t)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if _, err := c.Finish(); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	// The archive pump is asynchronous: wait for the session's verdict
+	// to reach the writer (the gate's own flush then lands it on disk)
+	// before gating against it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if scrapeAdmin(t, "http://"+admin)[`cpsmon_archive_appends_total{kind="verdict"}`] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("archived verdict never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if body, code := specPushTo(t, admin, "relaxed", rules.RelaxedSource); code != http.StatusOK {
+		t.Fatalf("push status %d: %v", code, body)
+	}
+	st := specStatusOf(t, admin)
+	if st.Status.Phase != "shadowing" {
+		t.Fatalf("post-push phase = %s (err %q)", st.Status.Phase, st.Status.Err)
+	}
+	if st.Status.Gate.Sessions != 1 || !strings.Contains(st.Status.Gate.Detail, "rechecked") {
+		t.Fatalf("gate result = %+v", st.Status.Gate)
+	}
+	shutdown()
+}
+
+// TestDaemonSpecPushRefusesBrokenSource: a candidate that does not
+// compile is refused over HTTP and stores nothing.
+func TestDaemonSpecPushRefusesBrokenSource(t *testing.T) {
+	specDir := t.TempDir()
+	_, out, shutdown := startDaemon(t, "-spec-dir", specDir, "-admin", "127.0.0.1:0")
+	admin := adminAddr(t, out)
+	body, code := specPushTo(t, admin, "broken", "rule nope { this is not speclang }")
+	if code == http.StatusOK || body["error"] == "" {
+		t.Fatalf("broken push accepted: status %d, body %v", code, body)
+	}
+	st := specStatusOf(t, admin)
+	if len(st.Specs) != 1 { // only the seeded default
+		t.Fatalf("broken push stored a spec: %+v", st.Specs)
+	}
+	shutdown()
+}
+
+// TestDaemonSIGHUPPushesRulesFile: editing the -rules file and sending
+// SIGHUP pushes the new text through the rollout pipeline instead of
+// blind-swapping it.
+func TestDaemonSIGHUPPushesRulesFile(t *testing.T) {
+	ruleFile := filepath.Join(t.TempDir(), "rules.spec")
+	if err := os.WriteFile(ruleFile, []byte(rules.StrictSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	specDir := t.TempDir()
+	_, out, shutdown := startDaemon(t,
+		"-spec-dir", specDir, "-admin", "127.0.0.1:0", "-rules", ruleFile)
+	admin := adminAddr(t, out)
+
+	if err := os.WriteFile(ruleFile, []byte(rules.RelaxedSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := specStatusOf(t, admin)
+		if st.Status.Phase == "shadowing" {
+			if st.Status.Hash != specreg.Hash(rules.RelaxedSource) {
+				t.Fatalf("SIGHUP pushed hash %s, want the edited file's", st.Status.Hash)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("SIGHUP never started a rollout: %+v", st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	shutdown()
+}
+
+// TestVersionFlag: -version prints and exits cleanly without starting
+// a listener.
+func TestVersionFlag(t *testing.T) {
+	out := &syncBuffer{}
+	if err := run(t.Context(), []string{"-version"}, out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "monitord") {
+		t.Fatalf("-version output = %q", out.String())
+	}
+}

@@ -28,7 +28,7 @@
 // in this repository):
 //
 //	u32  length (kind through CRC, i.e. everything below)
-//	u8   kind (1 frames, 2 event, 4 verdict)
+//	u8   kind (1 frames, 2 event, 4 verdict, 8 epoch)
 //	u64  sequence (archive-wide, monotonically increasing from 1)
 //	u64  session
 //	u64  tmin, u64 tmax (capture-time span covered, nanoseconds)
@@ -40,7 +40,11 @@
 // the wire batch layout (u64 time, u32 id, 8 data bytes). Event and
 // verdict payloads embed one complete wire record exactly as
 // wire.Append produces it, so the archive stores what moved on the
-// wire and decodes with the same strict codec.
+// wire and decodes with the same strict codec. An epoch payload is a
+// u64 spec epoch followed by a u16-length-prefixed spec content hash;
+// the record carries no session, vehicle or time span — its meaning is
+// positional (every trace record after it in archive order was
+// produced under that spec, until the next marker).
 //
 // Sealing a segment appends a sparse index block — one (sequence,
 // tmin, offset) entry per stride of records — and a fixed-size footer:
@@ -87,8 +91,16 @@ const (
 	KindEvent
 	// KindVerdict is a session's end-of-stream verdict.
 	KindVerdict
+	// KindEpoch is a spec promote marker: from this point in archive
+	// order, the deployment's default spec is the one the record names.
+	// Deliberately outside KindAll — trace queries and rechecks written
+	// before spec provenance existed keep seeing exactly the records
+	// they always did; provenance-aware readers opt in with the mask.
+	KindEpoch
 
-	// KindAll selects every record kind.
+	// KindAll selects every trace record kind (frames, events,
+	// verdicts). Epoch markers are metadata, not trace, and must be
+	// selected explicitly.
 	KindAll = KindFrames | KindEvent | KindVerdict
 )
 
@@ -101,6 +113,8 @@ func (k Kind) String() string {
 		return "event"
 	case KindVerdict:
 		return "verdict"
+	case KindEpoch:
+		return "epoch"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -219,7 +233,7 @@ func parseEnvelope(body []byte) (envelope, error) {
 		return e, fmt.Errorf("archive: record checksum mismatch")
 	}
 	e.kind = Kind(data[0])
-	if e.kind != KindFrames && e.kind != KindEvent && e.kind != KindVerdict {
+	if e.kind != KindFrames && e.kind != KindEvent && e.kind != KindVerdict && e.kind != KindEpoch {
 		return e, fmt.Errorf("archive: unknown record kind %d", data[0])
 	}
 	e.seq = binary.LittleEndian.Uint64(data[1:9])

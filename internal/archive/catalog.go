@@ -318,7 +318,8 @@ type Query struct {
 	Vehicle string
 	// Session, when nonzero, selects one session's records.
 	Session uint64
-	// Kinds is a Kind mask; zero selects all kinds.
+	// Kinds is a Kind mask; zero selects KindAll — every trace kind,
+	// but not epoch markers, which must be requested explicitly.
 	Kinds Kind
 }
 
@@ -335,7 +336,7 @@ func (q Query) skipsSegment(info SegmentInfo) bool {
 	if kinds == 0 {
 		kinds = KindAll
 	}
-	if kinds&KindVerdict != 0 {
+	if kinds&(KindVerdict|KindEpoch) != 0 {
 		return false
 	}
 	return (q.To > 0 && info.TMin > q.To) || (q.From > 0 && info.TMax < q.From)
@@ -356,6 +357,10 @@ type Record struct {
 	Event wire.Event
 	// Verdict holds a KindVerdict record's payload.
 	Verdict wire.Verdict
+	// SpecEpoch and SpecHash hold a KindEpoch record's payload: the
+	// promoted spec generation and its content hash.
+	SpecEpoch uint64
+	SpecHash  string
 }
 
 // Iterator walks a catalog's records in archive order (segment by
@@ -508,8 +513,8 @@ func (it *Iterator) match(env envelope) bool {
 	if env.kind&kinds == 0 {
 		return false
 	}
-	if env.kind == KindVerdict {
-		return true // spans the whole session
+	if env.kind == KindVerdict || env.kind == KindEpoch {
+		return true // no meaningful capture-time span
 	}
 	if env.tmax < it.q.From {
 		return false
@@ -560,6 +565,20 @@ func (it *Iterator) decode(env envelope) bool {
 			return false
 		}
 		it.rec.Verdict = v
+		return true
+	case KindEpoch:
+		p := env.payload
+		if len(p) < 10 {
+			it.err = errors.New("archive: epoch record payload truncated")
+			return false
+		}
+		n := int(binary.LittleEndian.Uint16(p[8:10]))
+		if len(p) != 10+n {
+			it.err = fmt.Errorf("archive: epoch record declares a %d-byte hash over %d payload bytes", n, len(p)-10)
+			return false
+		}
+		it.rec.SpecEpoch = binary.LittleEndian.Uint64(p[:8])
+		it.rec.SpecHash = string(p[10:])
 		return true
 	}
 	return false

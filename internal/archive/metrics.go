@@ -11,8 +11,8 @@ import (
 // handles are pre-created at Instrument time so the append hot path
 // pays an atomic load, an index and an add — no allocation, no map.
 type Metrics struct {
-	appends   [3]*obs.Counter // frames, event, verdict
-	bytes     [3]*obs.Counter
+	appends   [4]*obs.Counter // frames, event, verdict, epoch
+	bytes     [4]*obs.Counter
 	sealed    *obs.Counter
 	recovered *obs.Counter
 	swept     *obs.Counter
@@ -33,6 +33,8 @@ func kindSlot(k Kind) int {
 		return 0
 	case KindEvent:
 		return 1
+	case KindEpoch:
+		return 3
 	default:
 		return 2
 	}
@@ -55,7 +57,7 @@ func Instrument(reg *obs.Registry) {
 		corrupt: reg.Counter("cpsmon_archive_corrupt_records_total",
 			"Records skipped during iteration for a failed checksum or envelope."),
 	}
-	for _, k := range []Kind{KindFrames, KindEvent, KindVerdict} {
+	for _, k := range []Kind{KindFrames, KindEvent, KindVerdict, KindEpoch} {
 		l := obs.Label{Name: "kind", Value: k.String()}
 		m.appends[kindSlot(k)] = reg.Counter("cpsmon_archive_appends_total",
 			"Records appended to the archive.", l)

@@ -265,6 +265,28 @@ func (w *Writer) ArchiveVerdict(session uint64, vehicle string, v wire.Verdict) 
 	return w.commit(b, 0, 0)
 }
 
+// ArchiveSpecEpoch appends one spec-epoch marker: from this record on
+// (in archive order), trace records were produced under the spec whose
+// content hash it names. The marker carries no session, vehicle or
+// capture-time span; like a verdict it is exempt from time-range
+// filtering, and it is outside KindAll so only provenance-aware
+// queries see it.
+func (w *Writer) ArchiveSpecEpoch(epoch uint64, hash string) error {
+	if len(hash) > 0xFFFF {
+		return fmt.Errorf("archive: spec hash over 64KiB")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return ErrClosed
+	}
+	b := w.begin(KindEpoch, 0, "", 0, 0)
+	b = binary.LittleEndian.AppendUint64(b, epoch)
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(hash)))
+	b = append(b, hash...)
+	return w.commit(b, 0, 0)
+}
+
 // begin starts a record in the scratch buffer: length placeholder plus
 // the envelope through the vehicle string.
 func (w *Writer) begin(k Kind, session uint64, vehicle string, tmin, tmax time.Duration) []byte {

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"hash/maphash"
+	"time"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/sigdb"
+)
+
+// ShadowMonitor evaluates a candidate spec alongside a primary
+// OnlineMonitor during a canary rollout: the session feeds it exactly
+// the frame runs the primary applied (post stale-filter), and after
+// each batch compares the two monitors' event output. Its events are
+// never delivered anywhere — they exist to measure divergence, and to
+// seed the session's state should the candidate be promoted.
+//
+// Determinism: both monitors see the same frames in the same order on
+// the same evaluation grid, and stream evaluation is a pure function
+// of the frame sequence, so two shadows of the same spec produce
+// byte-identical event streams — a shadow of an unchanged spec
+// diverges exactly never. Divergence is therefore entirely attributable
+// to the spec delta, not to scheduling.
+//
+// A ShadowMonitor is owned by one session worker goroutine; it is not
+// safe for concurrent use.
+type ShadowMonitor struct {
+	om *OnlineMonitor
+	// events accumulates the candidate's output for the current batch;
+	// the slice is reused across batches (BatchEvents' lifetime
+	// contract mirrors the OnlineMonitor scratch contract).
+	events []OnlineEvent
+	closed bool
+}
+
+// Shadow builds a shadow evaluator for this (candidate) monitor over
+// db. The returned shadow is un-instrumented: candidate evaluation
+// must never count into the primary spec's monitor metrics.
+func (m *Monitor) Shadow(db *sigdb.DB) (*ShadowMonitor, error) {
+	om, err := m.Online(db)
+	if err != nil {
+		return nil, err
+	}
+	return &ShadowMonitor{om: om}, nil
+}
+
+// Push feeds one applied frame run to the candidate, accumulating its
+// events for the current batch. Runs are post-filter (the primary
+// already rejected stale frames), so the candidate's own rejection
+// count stays zero on a well-formed feed; rejected frames are skipped
+// rather than treated as errors, mirroring the primary's tolerance.
+func (s *ShadowMonitor) Push(run []can.Frame) error {
+	evs, _, err := s.om.PushFrames(run)
+	if err != nil {
+		return err
+	}
+	s.events = append(s.events, evs...)
+	return nil
+}
+
+// BatchEvents returns the candidate events accumulated since the last
+// EndBatch. The slice is scratch: valid until the next Push after
+// EndBatch.
+func (s *ShadowMonitor) BatchEvents() []OnlineEvent { return s.events }
+
+// EndBatch resets the per-batch event accumulator. Call once per
+// primary batch, after comparing.
+func (s *ShadowMonitor) EndBatch() { s.events = s.events[:0] }
+
+// Promote surrenders the underlying monitor so the session can adopt
+// it as its primary at a batch boundary. The shadow is spent
+// afterwards: Close becomes a no-op and the caller owns the monitor's
+// lifetime (including its eventual Close).
+func (s *ShadowMonitor) Promote() *OnlineMonitor {
+	om := s.om
+	s.om = nil
+	s.closed = true
+	return om
+}
+
+// Close discards the shadow, closing the candidate monitor and
+// dropping its pending end-of-stream events on the floor — a shadow's
+// events are never delivered.
+func (s *ShadowMonitor) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	if s.om != nil {
+		s.om.Close()
+		s.om = nil
+	}
+}
+
+// shadowSeed seeds the batch signature hash; one process-wide seed
+// keeps signatures comparable across monitors within the process (they
+// are never persisted).
+var shadowSeed = maphash.MakeSeed()
+
+// BatchSignature folds a batch's events into a comparable signature:
+// the event count plus an order-sensitive hash over (rule, kind,
+// time). Two monitors that produced the same events in the same order
+// get equal signatures; a count or content difference makes them
+// diverge. End-event payloads (peak, message) are deliberately
+// excluded — divergence tracks *when rules fire*, the verdict-shaping
+// signal, not message wording.
+func BatchSignature(evs []OnlineEvent) (n int, sig uint64) {
+	var h maphash.Hash
+	h.SetSeed(shadowSeed)
+	for _, e := range evs {
+		h.WriteString(e.Rule)
+		h.WriteByte(byte(e.Kind))
+		var t [8]byte
+		putU64(t[:], uint64(e.Time))
+		h.Write(t[:])
+	}
+	return len(evs), h.Sum64()
+}
+
+// putU64 is a little-endian store without pulling encoding/binary into
+// the signature hot loop's inlining budget.
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// RuleEventCounts tallies a batch's events per rule name into counts,
+// allocating map entries only for rules that actually fired. Both
+// sides of a shadow comparison are folded into the same map with
+// opposite signs, so a zero-sum map means the batch agreed rule for
+// rule; leftover nonzero entries name the diverging rules.
+func RuleEventCounts(counts map[string]int, evs []OnlineEvent, sign int) {
+	for _, e := range evs {
+		counts[e.Rule] += sign
+	}
+}
+
+// ShadowDivergence compares one batch of primary events against the
+// candidate's, returning the per-rule absolute count differences (nil
+// when the batch agrees) using scratch as the working map. Equal
+// signatures short-circuit: the common case — both sides silent, or
+// identical events — costs two hashes and no map work.
+func ShadowDivergence(scratch map[string]int, primary, candidate []OnlineEvent) map[string]int {
+	pn, psig := BatchSignature(primary)
+	cn, csig := BatchSignature(candidate)
+	if pn == cn && psig == csig {
+		return nil
+	}
+	for k := range scratch {
+		delete(scratch, k)
+	}
+	RuleEventCounts(scratch, primary, +1)
+	RuleEventCounts(scratch, candidate, -1)
+	for k, v := range scratch {
+		if v == 0 {
+			delete(scratch, k)
+		}
+	}
+	if len(scratch) == 0 {
+		// Same per-rule counts but different times: still a divergence
+		// (the specs disagree about when, not whether). Surface it on a
+		// synthetic key so callers never mistake it for agreement.
+		scratch[""] = 1
+	}
+	return scratch
+}
+
+// ShadowClock reports the candidate monitor's last accepted frame
+// time, for sanity-checking that primary and shadow advanced together.
+func (s *ShadowMonitor) ShadowClock() (time.Duration, bool) {
+	if s.om == nil {
+		return 0, false
+	}
+	return s.om.lastTime, s.om.sawFrame
+}

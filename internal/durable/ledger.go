@@ -30,11 +30,12 @@
 //	verdict   u64 session | u64 eventSeq | embedded wire Verdict
 //	delivered u64 session
 //	closed    u64 session
+//	specepoch u64 spec epoch | u16 len + spec content hash
 //
 // # Durability classes
 //
 // Records whose loss would break a protocol promise — epoch, open,
-// verdict — are fsync'd before the append returns. Watermarks are
+// verdict, specepoch — are fsync'd before the append returns. Watermarks are
 // written immediately (surviving a process kill, the threat model this
 // package is built for) and fsync'd in groups on a short interval, so
 // a machine crash costs at most the last interval's acknowledgements.
@@ -67,6 +68,7 @@ const (
 	recVerdict   = 0x04
 	recDelivered = 0x05
 	recClosed    = 0x06
+	recSpecEpoch = 0x07
 )
 
 const (
@@ -110,6 +112,12 @@ type State struct {
 	// MaxSession is the highest session ID ever opened; the server's
 	// SessionBase, so new grants never collide with recovered ones.
 	MaxSession uint64
+	// SpecEpoch and SpecHash are the last promoted spec generation the
+	// ledger recorded, zero/empty before any promote. A restarting
+	// monitord seeds its fleet Config.SpecEpoch from this so epochs
+	// stay monotonic across processes.
+	SpecEpoch uint64
+	SpecHash  string
 	// Sessions holds every session the ledger knows, keyed by ID,
 	// including closed ones.
 	Sessions map[uint64]*Session
@@ -289,6 +297,16 @@ func foldRecord(st *State, kind byte, p []byte) bool {
 		if s := st.Sessions[u64(p)]; s != nil {
 			s.Closed = true
 		}
+	case recSpecEpoch:
+		if len(p) < 10 {
+			return false
+		}
+		hash, rest, ok := cutString(p[8:])
+		if !ok || len(rest) != 0 {
+			return false
+		}
+		st.SpecEpoch = u64(p)
+		st.SpecHash = hash
 	default:
 		return false
 	}
@@ -439,4 +457,18 @@ func (l *Ledger) SessionClosed(session uint64) error {
 	var p [8]byte
 	binary.LittleEndian.PutUint64(p[:], session)
 	return l.append(recClosed, p[:], false)
+}
+
+// SpecEpochChanged implements the fleet server's optional epoch-ledger
+// extension: durable before returning, because the promote it records
+// changes which spec every later verdict means.
+func (l *Ledger) SpecEpochChanged(epoch uint64, hash string) error {
+	if len(hash) > 0xFFFF {
+		return fmt.Errorf("durable: spec hash over 64KiB")
+	}
+	p := make([]byte, 0, 8+2+len(hash))
+	p = binary.LittleEndian.AppendUint64(p, epoch)
+	p = binary.LittleEndian.AppendUint16(p, uint16(len(hash)))
+	p = append(p, hash...)
+	return l.append(recSpecEpoch, p, true)
 }

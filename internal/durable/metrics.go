@@ -9,7 +9,7 @@ import (
 // Metrics holds the package's counter handles, pre-created so the hot
 // append path pays one atomic load and an Add — no map lookups.
 type Metrics struct {
-	records     [7]*obs.Counter // indexed by record kind
+	records     [8]*obs.Counter // indexed by record kind
 	bytes       *obs.Counter
 	fsyncs      *obs.Counter
 	truncations *obs.Counter
@@ -24,7 +24,7 @@ type Metrics struct {
 var metrics atomic.Pointer[Metrics]
 
 // kindNames labels the per-kind record counters.
-var kindNames = [7]string{"", "epoch", "open", "watermark", "verdict", "delivered", "closed"}
+var kindNames = [8]string{"", "epoch", "open", "watermark", "verdict", "delivered", "closed", "specepoch"}
 
 // Instrument points the package's counters at reg. Pass nil to detach.
 // Ledger appends and recovery runs after the call are counted; calls
@@ -48,7 +48,7 @@ func Instrument(reg *obs.Registry) {
 		framesReplayed: reg.Counter("cpsmon_durable_frames_replayed_total",
 			"Archived frames replayed into monitors during recovery."),
 	}
-	for k := recEpoch; k <= recClosed; k++ {
+	for k := recEpoch; k <= recSpecEpoch; k++ {
 		m.records[k] = reg.Counter("cpsmon_durable_ledger_records_total",
 			"Records appended to the session ledger, by kind.",
 			obs.Label{Name: "kind", Value: kindNames[k]})

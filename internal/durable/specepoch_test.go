@@ -1,0 +1,40 @@
+package durable
+
+import "testing"
+
+// TestLedgerSpecEpochFold checks the spec-provenance record: a promote
+// recorded by one process is folded into the next process's open-time
+// state, with the latest promote winning.
+func TestLedgerSpecEpochFold(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := l.State(); st.SpecEpoch != 0 || st.SpecHash != "" {
+		t.Fatalf("fresh ledger spec epoch = %d %q, want none", st.SpecEpoch, st.SpecHash)
+	}
+	if err := l.SpecEpochChanged(1, "hash-one"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SpecEpochChanged(2, "hash-two"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	st := l2.State()
+	if st.SpecEpoch != 2 || st.SpecHash != "hash-two" {
+		t.Fatalf("folded spec epoch = %d %q, want 2 %q", st.SpecEpoch, st.SpecHash, "hash-two")
+	}
+	// The process epoch and the spec epoch are independent counters.
+	if st.Epoch != 2 {
+		t.Fatalf("process epoch = %d, want 2", st.Epoch)
+	}
+}

@@ -27,6 +27,14 @@ type archFlusher interface {
 	Flush() error
 }
 
+// epochArchiver is the optional spec-provenance extension: an Archiver
+// implementing it receives an epoch marker at each spec promote, so
+// offline rechecks can tell which spec generation produced the
+// surrounding records. archive.Writer implements it.
+type epochArchiver interface {
+	ArchiveSpecEpoch(epoch uint64, hash string) error
+}
+
 // archKind discriminates pump queue items.
 type archKind uint8
 
@@ -35,6 +43,7 @@ const (
 	archEvent
 	archVerdict
 	archBarrier
+	archEpoch
 )
 
 // archItem is one unit of archive work. Frames items reference the
@@ -49,6 +58,9 @@ type archItem struct {
 	event   wire.Event
 	verdict wire.Verdict
 	done    chan struct{}
+	// epoch and hash carry an archEpoch marker's payload.
+	epoch uint64
+	hash  string
 }
 
 // archivePump decouples session workers from archive I/O: workers
@@ -111,6 +123,10 @@ func (p *archivePump) run() {
 				err = f.Flush()
 			}
 			close(it.done)
+		case archEpoch:
+			if ea, ok := p.sink.(epochArchiver); ok {
+				err = ea.ArchiveSpecEpoch(it.epoch, it.hash)
+			}
 		}
 		if sampled {
 			// Interning an already-known vehicle is a map lookup under a
@@ -187,6 +203,21 @@ func (s *Server) archiveVerdict(session uint64, vehicle string, v wire.Verdict) 
 		return
 	}
 	s.arch.ch <- archItem{kind: archVerdict, session: session, vehicle: vehicle, verdict: v}
+	s.stats.archiveRecords.Add(1)
+}
+
+// archiveEpoch enqueues a spec-epoch marker. Like a verdict the send
+// blocks: a promote happens once per rollout and its provenance must
+// not be shed. The marker lands in queue order — before any record a
+// session produces after noticing the promote.
+func (s *Server) archiveEpoch(epoch uint64, hash string) {
+	if s.arch == nil {
+		return
+	}
+	if _, ok := s.arch.sink.(epochArchiver); !ok {
+		return
+	}
+	s.arch.ch <- archItem{kind: archEpoch, epoch: epoch, hash: hash}
 	s.stats.archiveRecords.Add(1)
 }
 

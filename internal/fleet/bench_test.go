@@ -9,6 +9,7 @@ import (
 	"cpsmon/internal/archive"
 	"cpsmon/internal/can"
 	"cpsmon/internal/flight"
+	"cpsmon/internal/rules"
 	"cpsmon/internal/sigdb"
 )
 
@@ -45,6 +46,14 @@ func benchLog(b *testing.B, ticks int) *can.Log {
 // benchIngest runs b.N rounds of `sessions` concurrent clients
 // replaying log against addr, reporting frames/sec and ns/frame.
 func benchIngest(b *testing.B, log *can.Log, sessions int, addr string) {
+	benchIngestSpec(b, log, sessions, addr, "strict")
+}
+
+// benchIngestSpec is benchIngest with the hello spec under the
+// caller's control. The shadow benchmark needs sessions on the
+// default spec — named-spec sessions are rollout-exempt and would
+// measure nothing.
+func benchIngestSpec(b *testing.B, log *can.Log, sessions int, addr, spec string) {
 	b.Helper()
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -54,7 +63,7 @@ func benchIngest(b *testing.B, log *can.Log, sessions int, addr string) {
 			wg.Add(1)
 			go func(s int) {
 				defer wg.Done()
-				c, err := Dial(addr, fmt.Sprintf("bench-%03d", s), "strict", nil)
+				c, err := Dial(addr, fmt.Sprintf("bench-%03d", s), spec, nil)
 				if err != nil {
 					b.Error(err)
 					return
@@ -143,6 +152,27 @@ func BenchmarkFleetIngestArchived(b *testing.B) {
 // benchmark (internal/durable), which archives losslessly by
 // construction — comparing it against the shedding mode would charge
 // the ledger for archive writes the shedding mode silently skipped.
+// BenchmarkFleetIngestShadow is BenchmarkFleetIngest with a candidate
+// spec shadowing every session: each batch is evaluated twice (active
+// and candidate) and the verdict tallies compared at batch boundaries.
+// Roughly 2x ns/frame is the expected and documented cost — shadow
+// mode is a bounded canary window, not a steady state. The number that
+// must NOT move is the shadow-off BenchmarkFleetIngest above: the
+// rollout hook on the hot path is one atomic generation load per
+// batch.
+func BenchmarkFleetIngestShadow(b *testing.B) {
+	log := benchLog(b, 3000)
+	for _, sessions := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("sessions=%d", sessions), func(b *testing.B) {
+			srv, addr := startServer(b, nil)
+			if err := srv.BeginShadow("bench-candidate", rules.RelaxedSource); err != nil {
+				b.Fatal(err)
+			}
+			benchIngestSpec(b, log, sessions, addr, "")
+		})
+	}
+}
+
 func BenchmarkFleetIngestArchivedLossless(b *testing.B) {
 	log := benchLog(b, 3000)
 	for _, sessions := range []int{1, 8, 64} {

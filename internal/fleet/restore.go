@@ -85,7 +85,13 @@ func (s *Server) NewRestorer(info RestoredSession) (*Restorer, error) {
 	if dupParked || dupAttached {
 		return nil, fmt.Errorf("fleet: session %d token already present", info.ID)
 	}
-	entry, err := s.spec(info.Spec)
+	// The rebuild resolves the spec by name against the *current*
+	// deployment — the replay runs through whatever the default spec is
+	// now — so an unfinalized session is stamped with the current
+	// active epoch. A finalized one instead inherits the epoch its
+	// ledgered verdict carries (see Finish), keeping the byte-equality
+	// check honest.
+	entry, epoch, err := s.specFor(info.Spec)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: session %d spec %q: %w", info.ID, info.Spec, err)
 	}
@@ -94,14 +100,16 @@ func (s *Server) NewRestorer(info RestoredSession) (*Restorer, error) {
 		return nil, fmt.Errorf("fleet: session %d monitor: %w", info.ID, err)
 	}
 	sess := &session{
-		id:      info.ID,
-		srv:     s,
-		proto:   info.Proto,
-		token:   info.Token,
-		vehicle: info.Vehicle,
-		om:      om,
-		entry:   entry,
-		tally:   make(map[string]*ruleTally, len(entry.rules)),
+		id:        info.ID,
+		srv:       s,
+		proto:     info.Proto,
+		token:     info.Token,
+		vehicle:   info.Vehicle,
+		om:        om,
+		entry:     entry,
+		specName:  info.Spec,
+		specEpoch: epoch,
+		tally:     make(map[string]*ruleTally, len(entry.rules)),
 		// rebuilding suppresses archiving, hooks and emission counters:
 		// the replay reproduces state, it must not re-report anything.
 		rebuilding: true,
@@ -161,6 +169,7 @@ func (r *Restorer) Finish(skips RestoreSkips) error {
 	sess.skipArchVerdict = skips.Verdict
 
 	if info.Verdict != nil {
+		sess.specEpoch = info.Verdict.SpecEpoch
 		evs, err := sess.om.Close()
 		if err != nil {
 			r.Abort()

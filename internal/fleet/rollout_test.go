@@ -1,0 +1,332 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"cpsmon/internal/can"
+	"cpsmon/internal/core"
+	"cpsmon/internal/rules"
+	"cpsmon/internal/sigdb"
+	"cpsmon/internal/wire"
+)
+
+const candHash = "cand-0123456789abcdef"
+
+// offlineVerdictFor runs one log through an offline monitor and
+// summarizes it the way the server tallies a verdict: per rule, the
+// violated flag and violation count.
+func offlineVerdictFor(t *testing.T, rs func() (*core.Monitor, error), log *can.Log) map[string]int {
+	t.Helper()
+	mon, err := rs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := mon.CheckLog(log, sigdb.Vehicle())
+	if err != nil {
+		t.Fatalf("CheckLog: %v", err)
+	}
+	out := make(map[string]int)
+	for _, rr := range rep.Rules {
+		out[rr.Name()] = len(rr.Result.Violations)
+	}
+	return out
+}
+
+func strictMonitor() (*core.Monitor, error) {
+	rs, err := rules.Strict()
+	if err != nil {
+		return nil, err
+	}
+	return core.New(core.Config{Rules: rs, Triage: rules.DefaultTriage()})
+}
+
+func relaxedMonitor() (*core.Monitor, error) {
+	rs, err := rules.Relaxed()
+	if err != nil {
+		return nil, err
+	}
+	return core.New(core.Config{Rules: rs, Triage: rules.DefaultTriage()})
+}
+
+// verdictCounts summarizes a wire verdict per rule for comparison with
+// an offline run.
+func verdictCounts(v *wire.Verdict) map[string]int {
+	out := make(map[string]int)
+	for _, rv := range v.Rules {
+		out[rv.Rule] = int(rv.Violations)
+	}
+	return out
+}
+
+func equalCounts(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRolloutShadowPromoteMidStream is the rollout acceptance test: a
+// fleet of sessions streams while a candidate spec is pushed into
+// shadow and promoted mid-stream. Every delivered verdict must be
+// entirely one spec's — sessions that finished before the promote
+// match the old spec's offline CheckLog and carry the old epoch;
+// sessions that shadowed through the promote match the new spec's
+// CheckLog over their full stream and carry the new epoch, exactly
+// once each; and a session that predates the shadow round keeps the
+// old spec to the end even though it outlives the promote.
+func TestRolloutShadowPromoteMidStream(t *testing.T) {
+	sessions := 8
+	const dur = 60 * time.Second
+	if testing.Short() {
+		sessions = 4
+	}
+	logs := fleetScenarios(t, sessions, dur)
+	srv, addr := startServer(t, func(cfg *Config) { cfg.SpecEpoch = 1 })
+
+	// One session is already past its first frame when the rollout
+	// begins: it must keep the old spec and epoch to the end.
+	preLog := logs[0]
+	pre, err := Dial(addr, "veh-pre", "", nil)
+	if err != nil {
+		t.Fatalf("Dial pre: %v", err)
+	}
+	defer pre.Close()
+	preFrames := preLog.Frames()
+	if err := pre.Send(preFrames[:len(preFrames)/2]); err != nil {
+		t.Fatalf("pre Send: %v", err)
+	}
+	// Send returns once the frames are on the wire, not once the server
+	// has applied them — wait until the worker has, so the session is
+	// demonstrably mid-stream (and shadow-ineligible) at BeginShadow.
+	deadline := time.Now().Add(10 * time.Second)
+	for srv.Stats().FramesIngested == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("server never ingested the pre-rollout frames")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := srv.BeginShadow(candHash, rules.RelaxedSource); err != nil {
+		t.Fatalf("BeginShadow: %v", err)
+	}
+
+	// Group A finishes entirely before the promote: old spec, old epoch.
+	// Group B opens now too (eligible from the first frame), streams its
+	// first half, and rides through the promote.
+	half := sessions / 2
+	typeA := make([]*wire.Verdict, half)
+	var wg sync.WaitGroup
+	for i := 0; i < half; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := Dial(addr, fmt.Sprintf("veh-a%02d", i), "", nil)
+			if err != nil {
+				t.Errorf("Dial a%d: %v", i, err)
+				return
+			}
+			defer c.Close()
+			v, err := c.Replay(logs[i], 0)
+			if err != nil {
+				t.Errorf("Replay a%d: %v", i, err)
+				return
+			}
+			typeA[i] = v
+		}(i)
+	}
+
+	typeB := make([]*Client, sessions-half)
+	for i := range typeB {
+		c, err := Dial(addr, fmt.Sprintf("veh-b%02d", i), "", nil)
+		if err != nil {
+			t.Fatalf("Dial b%d: %v", i, err)
+		}
+		defer c.Close()
+		typeB[i] = c
+		frames := logs[half+i].Frames()
+		if err := c.Send(frames[:len(frames)/2]); err != nil {
+			t.Fatalf("b%d first half: %v", i, err)
+		}
+	}
+	wg.Wait()
+
+	// Send is asynchronous: wait until every group-B worker has synced
+	// into the round (installed its shadow) so the promote is genuinely
+	// mid-stream for all of them. Group A has finished and dropped its
+	// shadows by now, so the count settles at exactly group B.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		st, ok := srv.ShadowStats()
+		if ok && st.Sessions == int64(len(typeB)) && st.Batches > 0 {
+			if st.Hash != candHash {
+				t.Fatalf("mid-stream ShadowStats = %+v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shadow never settled on %d sessions: %+v, %v", len(typeB), st, ok)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if err := srv.PromoteShadow(candHash, 2); err != nil {
+		t.Fatalf("PromoteShadow: %v", err)
+	}
+	if got := srv.ActiveEpoch(); got != 2 {
+		t.Fatalf("ActiveEpoch after promote = %d", got)
+	}
+
+	// Group B streams its second half and finishes under the new spec.
+	for i, c := range typeB {
+		frames := logs[half+i].Frames()
+		if err := c.Send(frames[len(frames)/2:]); err != nil {
+			t.Fatalf("b%d second half: %v", i, err)
+		}
+	}
+	// The pre-rollout session finishes last: it outlived the promote
+	// but never had a comparable shadow.
+	if err := pre.Send(preFrames[len(preFrames)/2:]); err != nil {
+		t.Fatalf("pre second half: %v", err)
+	}
+
+	for i, v := range typeA {
+		if v == nil {
+			t.Fatalf("session a%d delivered no verdict", i)
+		}
+		if v.SpecEpoch != 1 {
+			t.Errorf("session a%d: epoch %d, want 1 (finished before promote)", i, v.SpecEpoch)
+		}
+		want := offlineVerdictFor(t, strictMonitor, logs[i])
+		if got := verdictCounts(v); !equalCounts(got, want) {
+			t.Errorf("session a%d: verdict %v, strict offline %v", i, got, want)
+		}
+	}
+	for i, c := range typeB {
+		v, err := c.Finish()
+		if err != nil {
+			t.Fatalf("b%d Finish: %v", i, err)
+		}
+		if v.SpecEpoch != 2 {
+			t.Errorf("session b%d: epoch %d, want 2 (adopted the candidate)", i, v.SpecEpoch)
+		}
+		// The adopted verdict must be the candidate's as if it had been
+		// primary from the session's first frame.
+		want := offlineVerdictFor(t, relaxedMonitor, logs[half+i])
+		if got := verdictCounts(v); !equalCounts(got, want) {
+			t.Errorf("session b%d: verdict %v, relaxed offline %v", i, got, want)
+		}
+	}
+	vPre, err := pre.Finish()
+	if err != nil {
+		t.Fatalf("pre Finish: %v", err)
+	}
+	if vPre.SpecEpoch != 1 {
+		t.Errorf("pre-rollout session: epoch %d, want 1 (no comparable shadow, never spliced)", vPre.SpecEpoch)
+	}
+	if want := offlineVerdictFor(t, strictMonitor, preLog); !equalCounts(verdictCounts(vPre), want) {
+		t.Errorf("pre-rollout session: verdict %v, strict offline %v", verdictCounts(vPre), want)
+	}
+
+	// Every shadowing session adopted exactly once.
+	if got := srv.stats.shadowAdoptions.Value(); got != uint64(len(typeB)) {
+		t.Errorf("shadow adoptions = %d, want %d", got, len(typeB))
+	}
+	if st, ok := srv.ShadowStats(); !ok || !st.Promoted || st.Epoch != 2 {
+		t.Errorf("post-promote ShadowStats = %+v, %v", st, ok)
+	}
+}
+
+// TestRolloutAbortDeliversNothingOfCandidate: a candidate shadowed
+// against live traffic and aborted leaves no trace in the delivered
+// verdict — the session finishes on the active spec and epoch with the
+// offline ground truth of the old spec.
+func TestRolloutAbortDeliversNothingOfCandidate(t *testing.T) {
+	log := hilLog(t, 7, 30*time.Second, []injection{{
+		from: 10 * time.Second, to: 20 * time.Second,
+		signals: map[string]float64{sigdb.SigACCSetSpeed: 1e9},
+	}})
+	srv, addr := startServer(t, func(cfg *Config) { cfg.SpecEpoch = 1 })
+
+	if err := srv.BeginShadow(candHash, rules.RelaxedSource); err != nil {
+		t.Fatalf("BeginShadow: %v", err)
+	}
+	c, err := Dial(addr, "veh-abort", "", nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	frames := log.Frames()
+	if err := c.Send(frames[:len(frames)/2]); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	if err := srv.AbortShadow(candHash); err != nil {
+		t.Fatalf("AbortShadow: %v", err)
+	}
+	if err := c.Send(frames[len(frames)/2:]); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	v, err := c.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if v.SpecEpoch != 1 {
+		t.Errorf("verdict epoch after abort = %d, want 1", v.SpecEpoch)
+	}
+	want := offlineVerdictFor(t, strictMonitor, log)
+	if got := verdictCounts(v); !equalCounts(got, want) {
+		t.Errorf("verdict after abort %v, strict offline %v", got, want)
+	}
+	if _, ok := srv.ShadowStats(); ok {
+		t.Error("aborted rollout still published")
+	}
+	// A promote of the aborted candidate must be refused.
+	if err := srv.PromoteShadow(candHash, 2); err == nil {
+		t.Error("promote of an aborted candidate accepted")
+	}
+}
+
+// TestRolloutShadowCountsDivergence: shadowing a genuinely different
+// spec over traffic where the two disagree must surface in the
+// divergence counters — the signal the controller's thresholds act on.
+func TestRolloutShadowCountsDivergence(t *testing.T) {
+	// The corrupt-range fault separates strict from relaxed (relaxed
+	// tolerates what strict flags), so divergences are guaranteed.
+	log := hilLog(t, 11, 60*time.Second, []injection{{
+		from: 15 * time.Second, to: 35 * time.Second,
+		signals: map[string]float64{sigdb.SigTargetRange: 4294967296.000001},
+	}})
+	srv, addr := startServer(t, func(cfg *Config) { cfg.SpecEpoch = 1 })
+	if err := srv.BeginShadow(candHash, rules.RelaxedSource); err != nil {
+		t.Fatalf("BeginShadow: %v", err)
+	}
+	c, err := Dial(addr, "veh-div", "", nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Replay(log, 0); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	st, ok := srv.ShadowStats()
+	if !ok {
+		t.Fatal("no shadow stats")
+	}
+	offStrict := offlineVerdictFor(t, strictMonitor, log)
+	offRelaxed := offlineVerdictFor(t, relaxedMonitor, log)
+	differ := !equalCounts(offStrict, offRelaxed)
+	if differ && st.Divergences == 0 {
+		t.Errorf("specs disagree offline (%v vs %v) but shadow counted no divergences: %+v",
+			offStrict, offRelaxed, st)
+	}
+	if !differ && st.DivergentBatches > 0 {
+		t.Errorf("specs agree offline but shadow counted %d divergent batches", st.DivergentBatches)
+	}
+}

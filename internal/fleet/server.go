@@ -159,6 +159,12 @@ type Config struct {
 	// for the covering watermark. Zero selects the default (100ms);
 	// only consulted when a Ledger is attached.
 	WatermarkInterval time.Duration
+	// SpecEpoch is the spec generation the server's default rule set
+	// starts at. Default-spec sessions stamp the active epoch into
+	// their verdicts; a live promote (PromoteShadow) advances it.
+	// Sessions selecting a named spec carry epoch zero — the epoch
+	// tracks the deployment's default spec lineage only.
+	SpecEpoch uint64
 	// Flight, when not nil, is the sampled latency flight recorder the
 	// server traces batch stages into: queue wait, decode, rule
 	// evaluation, event emission, archive writes and ledger syncs. It
@@ -243,8 +249,20 @@ type Server struct {
 	attached map[uint64]*session
 	parkedBy map[uint64]*parked
 
-	specMu sync.Mutex
-	specs  map[string]*specEntry
+	// specMu guards the resolved-spec cache and the active epoch: a
+	// promote replaces the default entry and advances the epoch in one
+	// critical section, so a concurrent Hello can never pair the old
+	// spec with the new epoch.
+	specMu      sync.Mutex
+	specs       map[string]*specEntry
+	activeEpoch uint64
+
+	// rollout publishes the current shadow/promote state; rolloutGen
+	// tells session workers (one atomic load per batch) that it moved.
+	// shadowSessions counts sessions currently dual-evaluating.
+	rollout        atomic.Pointer[rolloutState]
+	rolloutGen     atomic.Uint64
+	shadowSessions atomic.Int64
 
 	reg   *obs.Registry
 	stats counters
@@ -302,6 +320,9 @@ func NewServer(cfg Config) (*Server, error) {
 		s.shards[i].sessions = make(map[uint64]*session)
 	}
 	s.nextID.Store(cfg.SessionBase)
+	s.activeEpoch = cfg.SpecEpoch
+	reg.GaugeFunc("cpsmon_shadow_sessions", "Sessions currently shadow-evaluating a candidate spec.",
+		func() float64 { return float64(s.shadowSessions.Load()) })
 	reg.GaugeFunc("cpsmon_fleet_sessions_active", "Sessions currently accepted and not yet resolved.",
 		func() float64 {
 			opened, closed := s.stats.sessionsOpened.Value(), s.stats.sessionsClosed.Value()
@@ -590,6 +611,11 @@ func (s *Server) reapAll() {
 // its in-memory monitor dies with the process, but the next process
 // rebuilds it from the archive and the client's resume still succeeds.
 func (s *Server) discard(sess *session) {
+	if sess.shadow != nil {
+		// The worker is gone (only parked/reaped sessions are
+		// discarded), so the shadow is ours to release.
+		sess.dropShadow()
+	}
 	if s.cfg.Ledger != nil && s.closed.Load() && (!sess.finalized || !sess.delivered) {
 		if !sess.finalized {
 			sess.finalized = true
@@ -611,14 +637,28 @@ func (s *Server) discard(sess *session) {
 
 // spec resolves and caches one spec selection.
 func (s *Server) spec(name string) (*specEntry, error) {
+	e, _, err := s.specFor(name)
+	return e, err
+}
+
+// specFor resolves a spec selection together with the epoch stamp its
+// sessions carry, in one specMu critical section — so a Hello racing a
+// promote gets either (old spec, old epoch) or (new spec, new epoch),
+// never a mixture. Named specs are outside the default lineage and
+// stamp zero.
+func (s *Server) specFor(name string) (*specEntry, uint64, error) {
 	s.specMu.Lock()
 	defer s.specMu.Unlock()
+	epoch := uint64(0)
+	if name == "" {
+		epoch = s.activeEpoch
+	}
 	if e, ok := s.specs[name]; ok {
-		return e, nil
+		return e, epoch, nil
 	}
 	rs, err := s.cfg.Resolve(name)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	mon, err := core.New(core.Config{
 		Rules:     rs,
@@ -627,7 +667,7 @@ func (s *Server) spec(name string) (*specEntry, error) {
 		Triage:    s.cfg.Triage,
 	})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	e := &specEntry{mon: mon}
 	for _, r := range rs.Rules() {
@@ -644,7 +684,7 @@ func (s *Server) spec(name string) (*specEntry, error) {
 		}
 	}
 	s.specs[name] = e
-	return e, nil
+	return e, epoch, nil
 }
 
 // refuse answers a connection that never became a session.
@@ -709,7 +749,7 @@ func (s *Server) handleHello(conn net.Conn, br *bufio.Reader, hello wire.Hello) 
 		s.refuse(conn, "server draining")
 		return
 	}
-	entry, err := s.spec(hello.Spec)
+	entry, epoch, err := s.specFor(hello.Spec)
 	if err != nil {
 		s.refuse(conn, fmt.Sprintf("spec %q: %v", hello.Spec, err))
 		return
@@ -722,13 +762,15 @@ func (s *Server) handleHello(conn net.Conn, br *bufio.Reader, hello wire.Hello) 
 	om.Instrument(entry.met)
 
 	sess := &session{
-		id:      s.nextID.Add(1),
-		srv:     s,
-		proto:   hello.Version,
-		om:      om,
-		entry:   entry,
-		vehicle: hello.Vehicle,
-		tally:   make(map[string]*ruleTally, len(entry.rules)),
+		id:        s.nextID.Add(1),
+		srv:       s,
+		proto:     hello.Version,
+		om:        om,
+		entry:     entry,
+		vehicle:   hello.Vehicle,
+		specName:  hello.Spec,
+		specEpoch: epoch,
+		tally:     make(map[string]*ruleTally, len(entry.rules)),
 	}
 	sess.setupFlight()
 	var ack wire.Record = wire.HelloAck{Session: sess.id}

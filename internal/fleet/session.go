@@ -71,6 +71,26 @@ type session struct {
 	om    *core.OnlineMonitor
 	entry *specEntry
 
+	// Spec identity for the verdict: the Hello's spec selection and
+	// the epoch stamp resolved with it (advanced by a mid-stream
+	// candidate adoption). Worker-owned after the handshake.
+	specName  string
+	specEpoch uint64
+
+	// Rollout state (see rollout.go), all worker-owned: the worker's
+	// view of the server rollout generation, the candidate being
+	// dual-evaluated (nil shadow-off — the only word the hot path
+	// checks), the candidate's running verdict tally for adoption at
+	// promote, the primary's retained events for the current batch, and
+	// the divergence scratch map.
+	rolloutGen  uint64
+	shadow      *core.ShadowMonitor
+	shadowHash  string
+	shadowEntry *specEntry
+	shadowTally map[string]*ruleTally
+	primShadow  []core.OnlineEvent
+	divScratch  map[string]int
+
 	// Attachment state, replaced on every resume. Written only by the
 	// attaching goroutine before the reader/worker start.
 	conn       net.Conn
@@ -479,6 +499,13 @@ func (sess *session) work() {
 		if !open {
 			break
 		}
+		// Rollout reconciliation: one atomic load per batch; the
+		// reconcile itself runs only when a BeginShadow / Promote /
+		// Abort actually happened since this worker last looked, so
+		// promotion lands exactly at a batch boundary.
+		if g := sess.srv.rolloutGen.Load(); g != sess.rolloutGen {
+			sess.syncRollout(g)
+		}
 		if it.finish {
 			if !sess.foldShed(^uint64(0)) && !draining() {
 				sess.abandon()
@@ -522,6 +549,9 @@ func (sess *session) work() {
 		if err != nil {
 			sess.fail(fmt.Errorf("monitor: %w", err))
 			return
+		}
+		if sess.shadow != nil {
+			sess.shadowCompare(it.seq)
 		}
 		var tEmit time.Time
 		if sampled {
@@ -665,6 +695,12 @@ func (sess *session) apply(frames []can.Frame) ([]wire.Event, error) {
 		// Archive exactly what the monitor applied, so replaying the
 		// archive reproduces this session's verdict.
 		sess.archiveRun(run)
+		if sess.shadow != nil {
+			// The candidate sees the identical post-filter run; the
+			// primary's events are retained for the batch-boundary
+			// comparison before convert reuses their scratch.
+			sess.shadowFeed(run, evs)
+		}
 		out = sess.convert(out, evs)
 		return nil
 	}
@@ -727,20 +763,7 @@ func (sess *session) convert(out []wire.Event, evs []core.OnlineEvent) []wire.Ev
 			w.Msg = v.Msg
 			w.Class = uint8(e.Class)
 
-			t := sess.tally[e.Rule]
-			if t == nil {
-				t = &ruleTally{}
-				sess.tally[e.Rule] = t
-			}
-			t.violations++
-			switch e.Class {
-			case core.ClassReal:
-				t.real++
-			case core.ClassTransient:
-				t.transient++
-			case core.ClassNegligible:
-				t.negligible++
-			}
+			tallyViolation(sess.tally, e)
 			if !sess.rebuilding {
 				sess.srv.stats.violationsEmitted.Add(1)
 			}
@@ -748,6 +771,26 @@ func (sess *session) convert(out []wire.Event, evs []core.OnlineEvent) []wire.Ev
 		out = append(out, w)
 	}
 	return out
+}
+
+// tallyViolation folds one closed violation into a verdict tally. Both
+// the primary path (convert) and the shadow path use it, so an adopted
+// candidate tally is classified exactly as a primary one would be.
+func tallyViolation(m map[string]*ruleTally, e core.OnlineEvent) {
+	t := m[e.Rule]
+	if t == nil {
+		t = &ruleTally{}
+		m[e.Rule] = t
+	}
+	t.violations++
+	switch e.Class {
+	case core.ClassReal:
+		t.real++
+	case core.ClassTransient:
+		t.transient++
+	case core.ClassNegligible:
+		t.negligible++
+	}
 }
 
 // archiveRun archives one applied frame run. A crash-recovery rebuild
@@ -864,6 +907,12 @@ func (sess *session) foldShed(next uint64) bool {
 // verdict record is retained so a resume within the grace window can
 // re-deliver it even if this write never reaches the client.
 func (sess *session) finalize() {
+	if sess.shadow != nil {
+		// A session finishing mid-shadow resolves under its primary
+		// alone; the candidate is discarded, its verdicts never
+		// deliverable.
+		sess.dropShadow()
+	}
 	evs, err := sess.om.Close()
 	if err != nil {
 		sess.fail(err)
@@ -967,6 +1016,7 @@ func (sess *session) verdict() wire.Verdict {
 		FramesIngested: sess.ingested,
 		FramesDropped:  sess.dropped.Load(),
 		FramesRejected: sess.rejected,
+		SpecEpoch:      sess.specEpoch,
 	}
 	for _, name := range sess.entry.rules {
 		rv := wire.RuleVerdict{Rule: name}

@@ -38,6 +38,14 @@ type counters struct {
 	restoreFailed    *obs.Counter
 	ledgerErrors     *obs.Counter
 
+	shadowRounds           *obs.Counter
+	shadowBatches          *obs.Counter
+	shadowDivergentBatches *obs.Counter
+	shadowDivergences      *obs.Counter
+	shadowErrors           *obs.Counter
+	shadowPromotes         *obs.Counter
+	shadowAdoptions        *obs.Counter
+
 	// ingestLatency observes seconds from a batch entering its session
 	// queue to its last frame being fully evaluated; its count and sum
 	// stand in for the old batch/nanosecond accumulators.
@@ -74,6 +82,14 @@ func newCounters(reg *obs.Registry) counters {
 		sessionsRestored: c("cpsmon_fleet_sessions_restored_total", "Sessions rebuilt from ledger and archive after a restart."),
 		restoreFailed:    c("cpsmon_fleet_sessions_restore_failed_total", "Ledgered sessions whose archive rebuild failed."),
 		ledgerErrors:     c("cpsmon_fleet_ledger_errors_total", "Ledger appends that returned an error."),
+
+		shadowRounds:           c("cpsmon_shadow_rounds_total", "Candidate specs that entered shadow mode."),
+		shadowBatches:          c("cpsmon_shadow_batches_total", "Frame batches evaluated by both active and candidate spec."),
+		shadowDivergentBatches: c("cpsmon_shadow_divergent_batches_total", "Shadow-compared batches where the two specs disagreed."),
+		shadowDivergences:      c("cpsmon_shadow_divergences_total", "Per-rule event-count deltas summed over divergent batches."),
+		shadowErrors:           c("cpsmon_shadow_errors_total", "Candidate evaluation failures; each costs that session its shadow."),
+		shadowPromotes:         c("cpsmon_shadow_promotes_total", "Candidate specs promoted to active."),
+		shadowAdoptions:        c("cpsmon_shadow_adoptions_total", "Sessions that swapped to the candidate monitor at a promote."),
 
 		ingestLatency: reg.Histogram("cpsmon_fleet_ingest_batch_latency_seconds",
 			"Queue-to-evaluated latency of one frame batch.", obs.DefaultLatencyBuckets()),
@@ -129,6 +145,15 @@ type Stats struct {
 	// disagreed). LedgerErrors counts ledger appends that failed.
 	SessionsRestored, SessionsRestoreFailed, LedgerErrors uint64
 
+	// ShadowBatches counts batches dual-evaluated against a candidate
+	// spec; ShadowDivergentBatches the subset where the specs disagreed;
+	// ShadowDivergences the per-rule event-count deltas summed over
+	// them. ShadowErrors counts candidate evaluation failures and
+	// ShadowAdoptions sessions that swapped to the candidate at a
+	// promote.
+	ShadowBatches, ShadowDivergentBatches, ShadowDivergences uint64
+	ShadowErrors, ShadowAdoptions                            uint64
+
 	// IngestBatches and IngestNanos accumulate per-batch ingest
 	// latency: the time from a batch entering its session queue to the
 	// last of its frames being fully evaluated.
@@ -149,28 +174,33 @@ func (s *Server) Stats() Stats {
 	opened := s.stats.sessionsOpened.Value()
 	closed := s.stats.sessionsClosed.Value()
 	st := Stats{
-		SessionsOpened:        opened,
-		SessionsClosed:        closed,
-		SessionsRefused:       s.stats.sessionsRefused.Value(),
-		SessionsResumed:       s.stats.sessionsResumed.Value(),
-		SessionsReaped:        s.stats.sessionsReaped.Value(),
-		FramesIngested:        s.stats.framesIngested.Value(),
-		FramesDropped:         s.stats.framesDropped.Value(),
-		FramesRejected:        s.stats.framesRejected.Value(),
-		BatchesBlocked:        s.stats.batchesBlocked.Value(),
-		ViolationsEmitted:     s.stats.violationsEmitted.Value(),
-		EventsEmitted:         s.stats.eventsEmitted.Value(),
-		GapEvents:             s.stats.gapEvents.Value(),
-		RecordsQuarantined:    s.stats.recordsQuarantined.Value(),
-		DupBatchesDropped:     s.stats.dupBatchesDropped.Value(),
-		ArchiveRecords:        s.stats.archiveRecords.Value(),
-		ArchiveDropped:        s.stats.archiveDropped.Value(),
-		ArchiveErrors:         s.stats.archiveErrors.Value(),
-		SessionsRestored:      s.stats.sessionsRestored.Value(),
-		SessionsRestoreFailed: s.stats.restoreFailed.Value(),
-		LedgerErrors:          s.stats.ledgerErrors.Value(),
-		IngestBatches:         s.stats.ingestLatency.Count(),
-		IngestNanos:           uint64(s.stats.ingestLatency.Sum() * 1e9),
+		SessionsOpened:         opened,
+		SessionsClosed:         closed,
+		SessionsRefused:        s.stats.sessionsRefused.Value(),
+		SessionsResumed:        s.stats.sessionsResumed.Value(),
+		SessionsReaped:         s.stats.sessionsReaped.Value(),
+		FramesIngested:         s.stats.framesIngested.Value(),
+		FramesDropped:          s.stats.framesDropped.Value(),
+		FramesRejected:         s.stats.framesRejected.Value(),
+		BatchesBlocked:         s.stats.batchesBlocked.Value(),
+		ViolationsEmitted:      s.stats.violationsEmitted.Value(),
+		EventsEmitted:          s.stats.eventsEmitted.Value(),
+		GapEvents:              s.stats.gapEvents.Value(),
+		RecordsQuarantined:     s.stats.recordsQuarantined.Value(),
+		DupBatchesDropped:      s.stats.dupBatchesDropped.Value(),
+		ArchiveRecords:         s.stats.archiveRecords.Value(),
+		ArchiveDropped:         s.stats.archiveDropped.Value(),
+		ArchiveErrors:          s.stats.archiveErrors.Value(),
+		SessionsRestored:       s.stats.sessionsRestored.Value(),
+		SessionsRestoreFailed:  s.stats.restoreFailed.Value(),
+		LedgerErrors:           s.stats.ledgerErrors.Value(),
+		ShadowBatches:          s.stats.shadowBatches.Value(),
+		ShadowDivergentBatches: s.stats.shadowDivergentBatches.Value(),
+		ShadowDivergences:      s.stats.shadowDivergences.Value(),
+		ShadowErrors:           s.stats.shadowErrors.Value(),
+		ShadowAdoptions:        s.stats.shadowAdoptions.Value(),
+		IngestBatches:          s.stats.ingestLatency.Count(),
+		IngestNanos:            uint64(s.stats.ingestLatency.Sum() * 1e9),
 	}
 	if opened > closed {
 		st.SessionsActive = opened - closed

@@ -16,6 +16,10 @@ type Health struct {
 	SLOBurn              float64 `json:"slo_burn"`
 	SLOTargetSeconds     float64 `json:"slo_target_seconds,omitempty"`
 	RepairedJournalBytes int64   `json:"repaired_journal_bytes"`
+	// Rollout is the spec rollout phase ("idle", "shadowing", ...) when
+	// a spec registry is configured; SpecEpoch the active spec epoch.
+	Rollout   string `json:"rollout,omitempty"`
+	SpecEpoch uint64 `json:"spec_epoch,omitempty"`
 }
 
 // AdminConfig wires the admin surface. obs stays standard-library-only
@@ -36,6 +40,11 @@ type AdminConfig struct {
 	// Flight supplies the /debug/flight snapshot. Nil leaves the
 	// route responding 404.
 	Flight func() any
+	// Spec, when non-nil, is mounted at /spec/ — the daemon's spec
+	// rollout surface (push, status, promote, rollback). It arrives as
+	// a handler rather than an import for the same reason Flight is a
+	// closure: obs stays standard-library-only.
+	Spec http.Handler
 }
 
 // NewAdminHandler builds the monitord admin surface with the legacy
@@ -87,6 +96,9 @@ func NewAdmin(cfg AdminConfig) http.Handler {
 			enc.SetIndent("", "  ")
 			enc.Encode(cfg.Flight())
 		})
+	}
+	if cfg.Spec != nil {
+		mux.Handle("/spec/", cfg.Spec)
 	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

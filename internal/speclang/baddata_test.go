@@ -1,0 +1,73 @@
+package speclang
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestBadSpecCorpus pins the parser's diagnostics for every
+// malformed-spec class in specs/testdata/bad: each file must be
+// rejected with a positioned *Error whose line, column and message
+// match. Operators see exactly these strings when a `spec push` is
+// refused, so position drift is a user-visible regression, not an
+// internal detail.
+func TestBadSpecCorpus(t *testing.T) {
+	cases := []struct {
+		file      string
+		line, col int
+		msg       string
+	}{
+		{"stray-toplevel.spec", 2, 1, "expected 'const', 'spec' or 'monitor'"},
+		{"missing-assert.spec", 1, 1, "has no assert clause"},
+		{"unbounded-temporal.spec", 2, 18, "'always' requires a bound"},
+		{"reversed-bounds.spec", 2, 12, "invalid temporal bounds [5s:1s]"},
+		{"unterminated-string.spec", 1, 19, "newline in string"},
+		{"unclosed-monitor.spec", 4, 1, "expected 'when' or 'after', found end of input"},
+		{"bad-const.spec", 1, 15, "expected number, found 'fast'"},
+		{"duplicate-severity.spec", 3, 5, "duplicate severity clause"},
+	}
+
+	dir := filepath.Join("..", "..", "specs", "testdata", "bad")
+	covered := make(map[string]bool, len(cases))
+	for _, tc := range cases {
+		covered[tc.file] = true
+		t.Run(tc.file, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join(dir, tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = Parse(string(src))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.file)
+			}
+			var pe *Error
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is %T, want *speclang.Error: %v", err, err)
+			}
+			if pe.Line != tc.line || pe.Col != tc.col {
+				t.Errorf("error at %d:%d, want %d:%d (%s)", pe.Line, pe.Col, tc.line, tc.col, pe.Msg)
+			}
+			if !strings.Contains(pe.Msg, tc.msg) {
+				t.Errorf("message %q does not contain %q", pe.Msg, tc.msg)
+			}
+		})
+	}
+
+	// The corpus and the table must stay in sync: a bad-spec file
+	// without a pinned diagnostic is an untested error class.
+	files, err := filepath.Glob(filepath.Join(dir, "*.spec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no corpus files in %s", dir)
+	}
+	for _, f := range files {
+		if !covered[filepath.Base(f)] {
+			t.Errorf("corpus file %s has no expected diagnostic in the table", filepath.Base(f))
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package speclang
 
 import (
+	"errors"
 	"testing"
 )
 
@@ -48,6 +49,56 @@ spec R "d" {
 		printed := Format(file)
 		if _, err := Parse(printed); err != nil {
 			t.Fatalf("formatted output does not reparse: %v\n--- input ---\n%q\n--- output ---\n%s", err, src, printed)
+		}
+	})
+}
+
+// FuzzSpecParser is the rollout-facing contract: arbitrary bytes
+// pushed at `monitorctl spec push` reach Parse and then Compile, and
+// the refusal must always be a positioned *Error (never a panic, never
+// a bare error the operator can't locate in their file). Accepted
+// input must additionally survive the full pipeline the registry runs:
+// format, reparse, recompile.
+func FuzzSpecParser(f *testing.F) {
+	seeds := []string{
+		"garbage at top level",
+		"spec NoAssert {\n    let d = delta(x)\n}",
+		"spec U {\n    assert always(x)\n}",
+		"spec R {\n    assert eventually[5s:1s](x)\n}",
+		"spec S \"unterminated {\n    assert x\n}",
+		"monitor M {\n    initial state A {\n        when x => violate \"m\" then A",
+		"const limit = fast\nspec R { assert x < limit }",
+		"spec D {\n    severity x\n    severity y\n    assert x\n}",
+		"spec OK { assert eventually[0:400ms](x > 0) }",
+		"spec OK2 { warmup 100ms on rise(b) assert b -> valid(x) }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	signals := []string{"x", "y", "b"}
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			var pe *Error
+			if !errors.As(err, &pe) {
+				t.Fatalf("Parse returned %T, want *Error: %v", err, err)
+			}
+			if pe.Line < 1 || pe.Col < 1 {
+				t.Fatalf("unpositioned parse error %d:%d: %s", pe.Line, pe.Col, pe.Msg)
+			}
+			return
+		}
+		rs, err := Compile(file, signals)
+		if err != nil {
+			return // semantic rejection is fine; panics are not
+		}
+		_ = rs
+		reparsed, err := Parse(Format(file))
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v", err)
+		}
+		if _, err := Compile(reparsed, signals); err != nil {
+			t.Fatalf("formatted output does not recompile: %v\n--- input ---\n%q", err, src)
 		}
 	})
 }

@@ -1,0 +1,454 @@
+package specreg
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"cpsmon/internal/obs"
+)
+
+// Phase is where a rollout stands. The zero value is PhaseIdle.
+type Phase int
+
+const (
+	// PhaseIdle: no rollout in flight.
+	PhaseIdle Phase = iota
+	// PhaseGating: the candidate is being re-checked offline against
+	// archived history.
+	PhaseGating
+	// PhaseGateFailed: the offline gate refused the candidate; the spec
+	// stays stored, nothing reached the fleet.
+	PhaseGateFailed
+	// PhaseShadowing: the fleet evaluates the candidate next to the
+	// active spec on live traffic; candidate verdicts are never
+	// delivered.
+	PhaseShadowing
+	// PhasePromoted: the candidate became the active spec under a new
+	// epoch.
+	PhasePromoted
+	// PhaseRolledBack: the candidate was withdrawn (by threshold or by
+	// hand) with zero candidate verdicts delivered.
+	PhaseRolledBack
+)
+
+// String names the phase as status displays show it.
+func (p Phase) String() string {
+	switch p {
+	case PhaseIdle:
+		return "idle"
+	case PhaseGating:
+		return "gating"
+	case PhaseGateFailed:
+		return "gate-failed"
+	case PhaseShadowing:
+		return "shadowing"
+	case PhasePromoted:
+		return "promoted"
+	case PhaseRolledBack:
+		return "rolled-back"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// ShadowStats mirrors the fleet server's shadow-round snapshot.
+// specreg is arch-pinned below the fleet (it must stay linkable from
+// offline tooling), so the fleet arrives behind the Fleet interface
+// and the daemon adapts the server's own stats type to this one.
+type ShadowStats struct {
+	// Hash is the candidate under evaluation; Promoted whether the
+	// round already promoted (Epoch then carries the new epoch).
+	Hash     string
+	Promoted bool
+	Epoch    uint64
+	// Sessions counts sessions currently dual-evaluating. Batches and
+	// DivergentBatches count shadow-compared batches fleet-wide;
+	// Divergences sums the per-rule event-count deltas; Errors counts
+	// candidate evaluation failures.
+	Sessions                               int64
+	Batches, DivergentBatches, Divergences uint64
+	Errors                                 uint64
+}
+
+// Fleet is the controller's view of a running fleet server.
+// fleet.Server satisfies it through a thin adapter in the daemon
+// (converting its stats type to ShadowStats).
+type Fleet interface {
+	// BeginShadow compiles source and starts dual evaluation in every
+	// eligible session; AbortShadow withdraws it; PromoteShadow swaps
+	// the candidate in as the active spec under epoch.
+	BeginShadow(hash, source string) error
+	AbortShadow(hash string) error
+	PromoteShadow(hash string, epoch uint64) error
+	// ShadowStats snapshots the current round; ok is false when none
+	// is in flight. ActiveEpoch is the epoch new default-spec sessions
+	// are stamped with.
+	ShadowStats() (ShadowStats, bool)
+	ActiveEpoch() uint64
+}
+
+// GateResult is the offline gate's summary: how the candidate's
+// verdicts compare with the recorded ones over the archive window.
+type GateResult struct {
+	// Sessions is how many archived sessions were re-checked.
+	// Regressions counts rules that got noisier (new or more
+	// violations) and Fixes rules that got quieter.
+	Sessions, Regressions, Fixes int
+	// Detail is a one-line human summary for status displays.
+	Detail string
+}
+
+// Config wires a Controller.
+type Config struct {
+	// Registry stores specs and pointer state; required.
+	Registry *Registry
+	// Fleet is the live server; required.
+	Fleet Fleet
+	// Validate pre-checks a pushed source (parse + compile) before
+	// anything durable happens. Nil skips — the fleet's BeginShadow
+	// still compiles, but by then the spec is stored.
+	Validate func(source string) error
+	// Gate re-checks the candidate against archived history; nil skips
+	// the offline gate. A gate error fails the push.
+	Gate func(source string) (GateResult, error)
+	// MaxRegressions is the most per-rule regressions the gate may
+	// report before the push is refused.
+	MaxRegressions int
+	// MinShadowBatches is how many shadow-compared batches must
+	// accumulate before the watch loop judges divergence (and, with
+	// AutoPromote, promotes).
+	MinShadowBatches uint64
+	// MaxDivergence is the divergent-batch fraction
+	// (DivergentBatches/Batches) above which the watch loop rolls the
+	// candidate back.
+	MaxDivergence float64
+	// SLOBurn, when non-nil, supplies the deployment's current SLO
+	// burn fraction; a reading above MaxSLOBurn (when > 0) during
+	// shadow rolls the candidate back — a rollout that coincides with
+	// an SLO fire is the wrong thing to keep pushing.
+	SLOBurn    func() float64
+	MaxSLOBurn float64
+	// AutoPromote promotes automatically once MinShadowBatches have
+	// compared clean. False leaves promotion to an explicit Promote
+	// call (monitorctl spec promote).
+	AutoPromote bool
+	// Interval is the watch loop cadence; default one second.
+	Interval time.Duration
+	// Metrics, when non-nil, receives the controller's counters.
+	Metrics *obs.Registry
+}
+
+// Status is a point-in-time rollout snapshot, JSON-shaped for the
+// daemon's admin surface.
+type Status struct {
+	Phase string `json:"phase"`
+	// Hash and Name identify the candidate of the current or last
+	// rollout; empty when none happened yet.
+	Hash string `json:"hash,omitempty"`
+	Name string `json:"name,omitempty"`
+	// ActiveHash and ActiveEpoch identify the promoted spec.
+	ActiveHash  string `json:"active_hash,omitempty"`
+	ActiveEpoch uint64 `json:"active_epoch"`
+	// Gate carries the last offline-gate summary, Err the last
+	// validate/gate failure, Reason the last rollback's cause.
+	Gate   GateResult `json:"gate,omitempty"`
+	Err    string     `json:"error,omitempty"`
+	Reason string     `json:"rollback_reason,omitempty"`
+	// Shadow carries the live round's counters while shadowing.
+	Shadow ShadowStats `json:"shadow,omitempty"`
+}
+
+// Controller drives one candidate at a time through the rollout
+// pipeline: validate → store → offline gate → shadow → promote or
+// rollback. Safe for concurrent use; the watch loop enforces the
+// divergence and SLO thresholds in the background.
+type Controller struct {
+	cfg Config
+
+	mu     sync.Mutex
+	phase  Phase
+	hash   string
+	name   string
+	gate   GateResult
+	errMsg string
+	reason string
+
+	pushes       *obs.Counter
+	gateFailures *obs.Counter
+	promotes     *obs.Counter
+	rollbacks    *obs.Counter
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewController validates cfg, registers metrics, and starts the
+// watch loop. Close releases it.
+func NewController(cfg Config) (*Controller, error) {
+	if cfg.Registry == nil || cfg.Fleet == nil {
+		return nil, errors.New("specreg: controller requires a Registry and a Fleet")
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	c := &Controller{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	if reg := cfg.Metrics; reg != nil {
+		c.pushes = reg.Counter("cpsmon_specreg_pushes_total", "Spec pushes accepted into the rollout pipeline.")
+		c.gateFailures = reg.Counter("cpsmon_specreg_gate_failures_total", "Pushes refused by the offline gate.")
+		c.promotes = reg.Counter("cpsmon_specreg_promotes_total", "Candidates promoted to active.")
+		c.rollbacks = reg.Counter("cpsmon_specreg_rollbacks_total", "Candidates rolled back during shadow.")
+		reg.GaugeFunc("cpsmon_specreg_phase", "Rollout phase (0 idle, 1 gating, 2 gate-failed, 3 shadowing, 4 promoted, 5 rolled-back).",
+			func() float64 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				return float64(c.phase)
+			})
+	}
+	go c.watch()
+	return c, nil
+}
+
+// Close stops the watch loop. An in-flight shadow round keeps running
+// in the fleet — Close is for process shutdown, not rollback.
+func (c *Controller) Close() {
+	close(c.stop)
+	<-c.done
+}
+
+// Push drives a new candidate through validation, storage and the
+// offline gate, then hands it to the fleet for shadow evaluation. It
+// returns the candidate's content hash. Only one rollout may be in
+// flight: a push during gating or shadowing is refused.
+func (c *Controller) Push(name, source string) (string, error) {
+	if err := c.beginPush(name, source); err != nil {
+		return "", err
+	}
+	hash, err := c.cfg.Registry.Put(name, source)
+	if err != nil {
+		c.fail(err)
+		return "", err
+	}
+	c.mu.Lock()
+	c.hash = hash
+	c.mu.Unlock()
+
+	if c.cfg.Gate != nil {
+		res, err := c.cfg.Gate(source)
+		if err != nil {
+			c.failGate(fmt.Errorf("specreg: offline gate: %w", err))
+			return hash, fmt.Errorf("specreg: offline gate: %w", err)
+		}
+		c.mu.Lock()
+		c.gate = res
+		c.mu.Unlock()
+		if res.Regressions > c.cfg.MaxRegressions {
+			err := fmt.Errorf("specreg: offline gate found %d rule regressions (max %d)", res.Regressions, c.cfg.MaxRegressions)
+			c.failGate(err)
+			return hash, err
+		}
+	}
+
+	if err := c.cfg.Registry.SetCandidate(hash); err != nil {
+		c.fail(err)
+		return hash, err
+	}
+	if err := c.cfg.Fleet.BeginShadow(hash, source); err != nil {
+		c.fail(err)
+		return hash, err
+	}
+	c.mu.Lock()
+	c.phase = PhaseShadowing
+	c.mu.Unlock()
+	if c.pushes != nil {
+		c.pushes.Add(1)
+	}
+	return hash, nil
+}
+
+// beginPush validates the source and claims the pipeline.
+func (c *Controller) beginPush(name, source string) error {
+	if c.cfg.Validate != nil {
+		if err := c.cfg.Validate(source); err != nil {
+			return fmt.Errorf("specreg: candidate %q does not compile: %w", name, err)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.phase == PhaseGating || c.phase == PhaseShadowing {
+		return fmt.Errorf("specreg: rollout of %.12s already in flight (%s)", c.hash, c.phase)
+	}
+	c.phase = PhaseGating
+	c.name, c.gate, c.errMsg, c.reason = name, GateResult{}, "", ""
+	return nil
+}
+
+// fail records a pipeline error and returns to idle; failGate records
+// a gate refusal specifically.
+func (c *Controller) fail(err error) {
+	c.mu.Lock()
+	c.phase = PhaseIdle
+	c.errMsg = err.Error()
+	c.mu.Unlock()
+}
+
+func (c *Controller) failGate(err error) {
+	c.mu.Lock()
+	c.phase = PhaseGateFailed
+	c.errMsg = err.Error()
+	c.mu.Unlock()
+	if c.gateFailures != nil {
+		c.gateFailures.Add(1)
+	}
+}
+
+// Promote swaps the shadowing candidate in as the active spec, under
+// the next epoch, durably in registry order: the fleet records the
+// promote in ledger and archive before sessions adopt, then the
+// registry's pointer moves.
+func (c *Controller) Promote() error {
+	c.mu.Lock()
+	if c.phase != PhaseShadowing {
+		c.mu.Unlock()
+		return fmt.Errorf("specreg: no candidate shadowing (phase %s)", c.phase)
+	}
+	hash := c.hash
+	c.mu.Unlock()
+	return c.promote(hash)
+}
+
+func (c *Controller) promote(hash string) error {
+	epoch := c.cfg.Fleet.ActiveEpoch() + 1
+	if err := c.cfg.Fleet.PromoteShadow(hash, epoch); err != nil {
+		return err
+	}
+	if err := c.cfg.Registry.Promote(hash, epoch); err != nil {
+		// The fleet already promoted; the registry pointer is behind
+		// until the next successful promote. Surface it — losing the
+		// pointer does not un-promote the fleet.
+		c.fail(err)
+		return err
+	}
+	c.mu.Lock()
+	c.phase = PhasePromoted
+	c.mu.Unlock()
+	if c.promotes != nil {
+		c.promotes.Add(1)
+	}
+	return nil
+}
+
+// Rollback withdraws the shadowing candidate with a recorded reason.
+// No candidate verdict was ever delivered — that is what shadow mode
+// guarantees.
+func (c *Controller) Rollback(reason string) error {
+	c.mu.Lock()
+	if c.phase != PhaseShadowing {
+		c.mu.Unlock()
+		return fmt.Errorf("specreg: no candidate shadowing (phase %s)", c.phase)
+	}
+	hash := c.hash
+	c.mu.Unlock()
+	return c.rollback(hash, reason)
+}
+
+func (c *Controller) rollback(hash, reason string) error {
+	if err := c.cfg.Fleet.AbortShadow(hash); err != nil {
+		return err
+	}
+	if err := c.cfg.Registry.Rollback(hash, reason); err != nil {
+		c.fail(err)
+		return err
+	}
+	c.mu.Lock()
+	c.phase = PhaseRolledBack
+	c.reason = reason
+	c.mu.Unlock()
+	if c.rollbacks != nil {
+		c.rollbacks.Add(1)
+	}
+	return nil
+}
+
+// Status snapshots the rollout.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	st := Status{
+		Phase:  c.phase.String(),
+		Hash:   c.hash,
+		Name:   c.name,
+		Gate:   c.gate,
+		Err:    c.errMsg,
+		Reason: c.reason,
+	}
+	shadowing := c.phase == PhaseShadowing
+	c.mu.Unlock()
+	if shadowing {
+		if stats, ok := c.cfg.Fleet.ShadowStats(); ok {
+			st.Shadow = stats
+		}
+	}
+	reg := c.cfg.Registry.State()
+	st.ActiveHash, st.ActiveEpoch = reg.ActiveHash, reg.ActiveEpoch
+	return st
+}
+
+// watch is the controller's background loop: while a candidate
+// shadows, it enforces the divergence and SLO-burn thresholds and,
+// with AutoPromote, promotes a clean round.
+func (c *Controller) watch() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.tick()
+		}
+	}
+}
+
+// tick runs one watch-loop evaluation.
+func (c *Controller) tick() {
+	c.mu.Lock()
+	if c.phase != PhaseShadowing {
+		c.mu.Unlock()
+		return
+	}
+	hash := c.hash
+	c.mu.Unlock()
+
+	if c.cfg.SLOBurn != nil && c.cfg.MaxSLOBurn > 0 {
+		if burn := c.cfg.SLOBurn(); burn > c.cfg.MaxSLOBurn {
+			c.rollback(hash, fmt.Sprintf("slo burn %.2f over %.2f during shadow", burn, c.cfg.MaxSLOBurn))
+			return
+		}
+	}
+
+	stats, ok := c.cfg.Fleet.ShadowStats()
+	if !ok || stats.Hash != hash {
+		// The round vanished under us (server shutdown, or an abort
+		// outside the controller): return to idle rather than act on
+		// another round's numbers.
+		c.fail(errors.New("specreg: shadow round no longer in flight"))
+		return
+	}
+	if stats.Errors > 0 {
+		c.rollback(hash, fmt.Sprintf("%d candidate evaluation errors during shadow", stats.Errors))
+		return
+	}
+	if stats.Batches < c.cfg.MinShadowBatches {
+		return // not enough evidence yet, either way
+	}
+	frac := float64(stats.DivergentBatches) / float64(stats.Batches)
+	if c.cfg.MaxDivergence > 0 && frac > c.cfg.MaxDivergence {
+		c.rollback(hash, fmt.Sprintf("divergence %.4f over %.4f after %d batches", frac, c.cfg.MaxDivergence, stats.Batches))
+		return
+	}
+	if c.cfg.AutoPromote {
+		c.promote(hash)
+	}
+}

@@ -1,0 +1,298 @@
+package specreg
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeFleet is a scriptable Fleet: tests drive its shadow stats and
+// record every call the controller makes.
+type fakeFleet struct {
+	mu          sync.Mutex
+	epoch       uint64
+	shadowing   string
+	stats       ShadowStats
+	begun       []string
+	aborted     []string
+	promoted    []string
+	beginErr    error
+	promotedCnt int
+}
+
+func (f *fakeFleet) BeginShadow(hash, source string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.beginErr != nil {
+		return f.beginErr
+	}
+	f.shadowing = hash
+	f.stats = ShadowStats{Hash: hash}
+	f.begun = append(f.begun, hash)
+	return nil
+}
+
+func (f *fakeFleet) AbortShadow(hash string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.shadowing != hash {
+		return errors.New("fake: not shadowing that hash")
+	}
+	f.shadowing = ""
+	f.aborted = append(f.aborted, hash)
+	return nil
+}
+
+func (f *fakeFleet) PromoteShadow(hash string, epoch uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.shadowing != hash {
+		return errors.New("fake: not shadowing that hash")
+	}
+	if epoch <= f.epoch {
+		return errors.New("fake: epoch not increasing")
+	}
+	f.shadowing = ""
+	f.epoch = epoch
+	f.promoted = append(f.promoted, hash)
+	f.promotedCnt++
+	return nil
+}
+
+func (f *fakeFleet) ShadowStats() (ShadowStats, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.shadowing == "" {
+		return ShadowStats{}, false
+	}
+	return f.stats, true
+}
+
+func (f *fakeFleet) ActiveEpoch() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.epoch
+}
+
+func (f *fakeFleet) setStats(st ShadowStats) {
+	f.mu.Lock()
+	st.Hash = f.shadowing
+	f.stats = st
+	f.mu.Unlock()
+}
+
+func newTestController(t *testing.T, f *fakeFleet, mut func(*Config)) *Controller {
+	t.Helper()
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { reg.Close() })
+	cfg := Config{
+		Registry:         reg,
+		Fleet:            f,
+		MinShadowBatches: 10,
+		MaxDivergence:    0.1,
+		Interval:         5 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	c, err := NewController(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// waitPhase polls Status until the phase matches or the deadline hits.
+func waitPhase(t *testing.T, c *Controller, want string) Status {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		st := c.Status()
+		if st.Phase == want {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("phase = %s, want %s (status %+v)", st.Phase, want, st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestControllerPushGatePromote(t *testing.T) {
+	f := &fakeFleet{epoch: 1}
+	var gated string
+	c := newTestController(t, f, func(cfg *Config) {
+		cfg.Validate = func(src string) error {
+			if strings.Contains(src, "broken") {
+				return errors.New("parse error")
+			}
+			return nil
+		}
+		cfg.Gate = func(src string) (GateResult, error) {
+			gated = src
+			return GateResult{Sessions: 4, Fixes: 1, Detail: "1 rule quieter"}, nil
+		}
+	})
+
+	// A source that fails validation never touches the registry.
+	if _, err := c.Push("bad", "broken spec"); err == nil {
+		t.Fatal("invalid push accepted")
+	}
+	if got := len(c.cfg.Registry.Specs()); got != 0 {
+		t.Fatalf("invalid push stored %d specs", got)
+	}
+
+	hash, err := c.Push("relaxed", "candidate source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gated != "candidate source" {
+		t.Fatal("gate never saw the candidate")
+	}
+	st := c.Status()
+	if st.Phase != "shadowing" || st.Hash != hash || st.Gate.Fixes != 1 {
+		t.Fatalf("post-push status = %+v", st)
+	}
+	if len(f.begun) != 1 || f.begun[0] != hash {
+		t.Fatalf("fleet saw BeginShadow %v", f.begun)
+	}
+	// A second push while one shadows is refused.
+	if _, err := c.Push("other", "another source"); err == nil {
+		t.Fatal("concurrent rollout accepted")
+	}
+
+	// Manual promote: fleet first, then the registry pointer, epoch
+	// one past the fleet's active.
+	if err := c.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.promoted) != 1 || f.epoch != 2 {
+		t.Fatalf("fleet promote state: %v epoch %d", f.promoted, f.epoch)
+	}
+	reg := c.cfg.Registry.State()
+	if reg.ActiveHash != hash || reg.ActiveEpoch != 2 || reg.CandidateHash != "" {
+		t.Fatalf("registry state after promote = %+v", reg)
+	}
+	if st := c.Status(); st.Phase != "promoted" || st.ActiveEpoch != 2 {
+		t.Fatalf("status after promote = %+v", st)
+	}
+	// Promote twice is refused.
+	if err := c.Promote(); err == nil {
+		t.Fatal("double promote accepted")
+	}
+}
+
+func TestControllerGateRefusesRegressions(t *testing.T) {
+	f := &fakeFleet{}
+	c := newTestController(t, f, func(cfg *Config) {
+		cfg.MaxRegressions = 1
+		cfg.Gate = func(string) (GateResult, error) {
+			return GateResult{Sessions: 4, Regressions: 3}, nil
+		}
+	})
+	if _, err := c.Push("noisy", "regressive source"); err == nil {
+		t.Fatal("regressive candidate passed the gate")
+	}
+	st := c.Status()
+	if st.Phase != "gate-failed" || st.Err == "" {
+		t.Fatalf("status = %+v", st)
+	}
+	if len(f.begun) != 0 {
+		t.Fatal("gate-failed candidate reached the fleet")
+	}
+	// The pipeline frees up: a clean push afterwards proceeds.
+	c.cfg.Gate = func(string) (GateResult, error) { return GateResult{}, nil }
+	if _, err := c.Push("clean", "clean source"); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Status(); st.Phase != "shadowing" {
+		t.Fatalf("phase after recovery push = %s", st.Phase)
+	}
+}
+
+func TestControllerAutoRollbackOnDivergence(t *testing.T) {
+	f := &fakeFleet{}
+	c := newTestController(t, f, nil)
+	hash, err := c.Push("diverging", "divergent source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Below the evidence floor nothing happens, however divergent.
+	f.setStats(ShadowStats{Batches: 5, DivergentBatches: 5})
+	time.Sleep(30 * time.Millisecond)
+	if st := c.Status(); st.Phase != "shadowing" {
+		t.Fatalf("rolled back before MinShadowBatches: %+v", st)
+	}
+	// Past the floor, 20%% divergent > 10%% threshold → rollback.
+	f.setStats(ShadowStats{Batches: 100, DivergentBatches: 20, Divergences: 41})
+	st := waitPhase(t, c, "rolled-back")
+	if st.Reason == "" || !strings.Contains(st.Reason, "divergence") {
+		t.Fatalf("rollback reason = %q", st.Reason)
+	}
+	if len(f.aborted) != 1 || f.aborted[0] != hash {
+		t.Fatalf("fleet aborts = %v", f.aborted)
+	}
+	if f.promotedCnt != 0 {
+		t.Fatal("rolled-back candidate was promoted")
+	}
+	regSt := c.cfg.Registry.State()
+	if regSt.RollbackHash != hash || regSt.CandidateHash != "" {
+		t.Fatalf("registry state after rollback = %+v", regSt)
+	}
+}
+
+func TestControllerAutoRollbackOnShadowErrors(t *testing.T) {
+	f := &fakeFleet{}
+	c := newTestController(t, f, nil)
+	if _, err := c.Push("erroring", "error source"); err != nil {
+		t.Fatal(err)
+	}
+	f.setStats(ShadowStats{Batches: 2, Errors: 1})
+	st := waitPhase(t, c, "rolled-back")
+	if !strings.Contains(st.Reason, "error") {
+		t.Fatalf("rollback reason = %q", st.Reason)
+	}
+}
+
+func TestControllerAutoRollbackOnSLOBurn(t *testing.T) {
+	f := &fakeFleet{}
+	var burn float64
+	var mu sync.Mutex
+	c := newTestController(t, f, func(cfg *Config) {
+		cfg.MaxSLOBurn = 0.5
+		cfg.SLOBurn = func() float64 { mu.Lock(); defer mu.Unlock(); return burn }
+	})
+	if _, err := c.Push("slow", "slow source"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	burn = 0.9
+	mu.Unlock()
+	st := waitPhase(t, c, "rolled-back")
+	if !strings.Contains(st.Reason, "slo burn") {
+		t.Fatalf("rollback reason = %q", st.Reason)
+	}
+}
+
+func TestControllerAutoPromote(t *testing.T) {
+	f := &fakeFleet{epoch: 7}
+	c := newTestController(t, f, func(cfg *Config) { cfg.AutoPromote = true })
+	hash, err := c.Push("clean", "clean candidate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.setStats(ShadowStats{Batches: 50, DivergentBatches: 1}) // 2% < 10%
+	st := waitPhase(t, c, "promoted")
+	if st.ActiveEpoch != 8 || st.ActiveHash != hash {
+		t.Fatalf("promoted status = %+v", st)
+	}
+	if len(f.promoted) != 1 {
+		t.Fatalf("fleet promotes = %v", f.promoted)
+	}
+}

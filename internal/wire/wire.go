@@ -36,6 +36,17 @@
 // The protocol is versioned via the Hello record: a server refuses a
 // hello whose version it does not speak with an Error record.
 //
+// # Version 4: spec epochs
+//
+// Version 4 keeps every version-3 record and extends Verdict (and
+// therefore VerdictSeq) with a trailing spec-epoch field: the rollout
+// generation of the spec that produced the verdict, stamped by servers
+// running the spec registry's canary pipeline. The field is encoded
+// only when nonzero — a server with no registry produces byte-for-byte
+// the version-3 layout — and decoders accept the epoch-less layout,
+// reading epoch zero, so version-2 and version-3 peers interoperate
+// unchanged.
+//
 // # Version 3: server epochs
 //
 // Version 3 keeps every version-2 record and extends SessionGrant and
@@ -97,7 +108,7 @@ import (
 // peers interoperate with a version-2 server (they simply never see the
 // v2 record types).
 const (
-	Version    = 3
+	Version    = 4
 	MinVersion = 1
 )
 
@@ -299,6 +310,11 @@ type Verdict struct {
 	// counts frames shed under overload; FramesRejected counts frames
 	// refused for arriving out of time order.
 	FramesIngested, FramesDropped, FramesRejected uint64
+	// SpecEpoch is the rollout generation of the spec that produced
+	// this verdict (version 4), stamped by servers running the spec
+	// registry. Zero — the only value a registry-less server produces —
+	// is encoded as the absent version-3 layout, byte for byte.
+	SpecEpoch uint64
 }
 
 func (Verdict) wireType() byte { return typeVerdict }
@@ -321,7 +337,11 @@ func appendVerdictFields(buf []byte, v Verdict) []byte {
 	}
 	buf = binary.LittleEndian.AppendUint64(buf, v.FramesIngested)
 	buf = binary.LittleEndian.AppendUint64(buf, v.FramesDropped)
-	return binary.LittleEndian.AppendUint64(buf, v.FramesRejected)
+	buf = binary.LittleEndian.AppendUint64(buf, v.FramesRejected)
+	if v.SpecEpoch != 0 {
+		buf = binary.LittleEndian.AppendUint64(buf, v.SpecEpoch)
+	}
+	return buf
 }
 
 // Error reports a protocol-level failure (bad hello, unknown spec,
@@ -714,6 +734,7 @@ func (d *decoder) verdict() Verdict {
 	v.FramesIngested = d.u64()
 	v.FramesDropped = d.u64()
 	v.FramesRejected = d.u64()
+	v.SpecEpoch = d.optU64()
 	return v
 }
 

@@ -42,6 +42,11 @@ func sampleRecords() []Record {
 			},
 			FramesIngested: 100000, FramesDropped: 12, FramesRejected: 1,
 		},
+		Verdict{
+			Rules:          []RuleVerdict{{Rule: "Rule0", Violated: true, Violations: 1}},
+			FramesIngested: 64,
+			SpecEpoch:      3,
+		},
 		Error{Msg: "unknown spec \"plant\""},
 		SeqBatch{Seq: 1},
 		SeqBatch{Seq: 42, Frames: []can.Frame{
@@ -61,6 +66,10 @@ func sampleRecords() []Record {
 		VerdictSeq{EventSeq: 19, Verdict: Verdict{
 			Rules:          []RuleVerdict{{Rule: "Rule1", Violated: true, Violations: 1, Real: 1}},
 			FramesIngested: 12,
+		}},
+		VerdictSeq{EventSeq: 20, Verdict: Verdict{
+			Rules:          []RuleVerdict{{Rule: "Rule1", Violated: false}},
+			FramesIngested: 12, SpecEpoch: 2,
 		}},
 	}
 }
@@ -149,6 +158,19 @@ func TestGoldenBytes(t *testing.T) {
 				"0500000000000000" + "0100000000000000" + "0200000000000000",
 		},
 		{
+			// A nonzero spec epoch (version 4) appends one trailing u64;
+			// the zero-epoch "verdict" case above pins that the version-3
+			// layout is still produced byte for byte when no registry is
+			// stamping epochs.
+			"verdict-epoch",
+			Verdict{Rules: []RuleVerdict{{Rule: "R", Violated: true, Violations: 2, Real: 1, Transient: 1}},
+				FramesIngested: 5, FramesDropped: 1, FramesRejected: 2, SpecEpoch: 7},
+			"39000000" + "06" + "01000000" +
+				"010052" + "01" + "02000000" + "01000000" + "01000000" + "00000000" +
+				"0500000000000000" + "0100000000000000" + "0200000000000000" +
+				"0700000000000000",
+		},
+		{
 			"error", Error{Msg: "no"},
 			"05000000" + "07" + "02006e6f",
 		},
@@ -227,6 +249,51 @@ func TestVersion2CompatDecode(t *testing.T) {
 			"grant-v2",
 			"1d000000" + "0b" + "0900000000000000" + "efbeadde00000000" + "0400000000000000" + "85ac929a",
 			SessionGrant{Session: 9, Token: 0xDEADBEEF, AckSeq: 4},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			buf, err := hex.DecodeString(c.hex)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Read(bytes.NewReader(buf))
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if !reflect.DeepEqual(got, c.want) {
+				t.Errorf("decoded %+v, want %+v", got, c.want)
+			}
+		})
+	}
+}
+
+// TestVersion3CompatDecode pins the version-3 verdict encodings — the
+// exact bytes the PR-1/PR-2 golden tests froze, without the spec-epoch
+// field — and requires current decoders to accept them with epoch
+// zero, so version-3 peers keep interoperating.
+func TestVersion3CompatDecode(t *testing.T) {
+	cases := []struct {
+		name string
+		hex  string
+		want Record
+	}{
+		{
+			"verdict-v3",
+			"31000000" + "06" + "01000000" +
+				"010052" + "01" + "02000000" + "01000000" + "01000000" + "00000000" +
+				"0500000000000000" + "0100000000000000" + "0200000000000000",
+			Verdict{Rules: []RuleVerdict{{Rule: "R", Violated: true, Violations: 2, Real: 1, Transient: 1}},
+				FramesIngested: 5, FramesDropped: 1, FramesRejected: 2},
+		},
+		{
+			"verdictseq-v3",
+			"3d000000" + "0e" + "0600000000000000" + "01000000" +
+				"010052" + "01" + "02000000" + "01000000" + "01000000" + "00000000" +
+				"0500000000000000" + "0100000000000000" + "0200000000000000" + "2dacba79",
+			VerdictSeq{EventSeq: 6, Verdict: Verdict{
+				Rules:          []RuleVerdict{{Rule: "R", Violated: true, Violations: 2, Real: 1, Transient: 1}},
+				FramesIngested: 5, FramesDropped: 1, FramesRejected: 2}},
 		},
 	}
 	for _, c := range cases {
