@@ -178,7 +178,15 @@ func run(args []string) error {
 		return fmt.Errorf("-trace is required")
 	}
 	if *stream != "" {
-		return runStream(*stream, *tracePath, *ruleSpec, *vehicle, *speed, *retry, *maxRetry)
+		streamSpec := *ruleSpec
+		if !set["rules"] {
+			// No explicit -rules: ride the server's default spec instead
+			// of pinning its name, so the session is eligible for spec
+			// rollouts (named-spec sessions are rollout-exempt by design
+			// — see DESIGN.md §16).
+			streamSpec = ""
+		}
+		return runStream(*stream, *tracePath, streamSpec, *vehicle, *speed, *retry, *maxRetry)
 	}
 
 	rs, err := loadRules(*ruleSpec, db)

@@ -33,21 +33,13 @@ type specStatus struct {
 		Name        string `json:"name"`
 		ActiveHash  string `json:"active_hash"`
 		ActiveEpoch uint64 `json:"active_epoch"`
-		Gate        struct {
-			Sessions    int    `json:"Sessions"`
-			Regressions int    `json:"Regressions"`
-			Fixes       int    `json:"Fixes"`
-			Detail      string `json:"Detail"`
-		} `json:"gate"`
-		Err    string `json:"error"`
-		Reason string `json:"rollback_reason"`
-		Shadow struct {
-			Sessions         int64  `json:"Sessions"`
-			Batches          uint64 `json:"Batches"`
-			DivergentBatches uint64 `json:"DivergentBatches"`
-			Divergences      uint64 `json:"Divergences"`
-			Errors           uint64 `json:"Errors"`
-		} `json:"shadow"`
+		// Gate and Shadow are pointers: the daemon omits them when no
+		// gate ran / no round is shadowing, and nil keeps that
+		// distinguishable from a gate over zero sessions.
+		Gate   *specGateResult  `json:"gate"`
+		Err    string           `json:"error"`
+		Reason string           `json:"rollback_reason"`
+		Shadow *specShadowStats `json:"shadow"`
 	} `json:"status"`
 	Specs []struct {
 		Hash      string `json:"hash"`
@@ -55,6 +47,21 @@ type specStatus struct {
 		Active    bool   `json:"active"`
 		Candidate bool   `json:"candidate"`
 	} `json:"specs"`
+}
+
+type specGateResult struct {
+	Sessions    int    `json:"Sessions"`
+	Regressions int    `json:"Regressions"`
+	Fixes       int    `json:"Fixes"`
+	Detail      string `json:"Detail"`
+}
+
+type specShadowStats struct {
+	Sessions         int64  `json:"Sessions"`
+	Batches          uint64 `json:"Batches"`
+	DivergentBatches uint64 `json:"DivergentBatches"`
+	Divergences      uint64 `json:"Divergences"`
+	Errors           uint64 `json:"Errors"`
 }
 
 // runSpec dispatches `monitorctl spec <verb>`.
@@ -217,11 +224,11 @@ func printSpecStatus(out io.Writer, st *specStatus) {
 	if s.Hash != "" && s.Hash != s.ActiveHash {
 		fmt.Fprintf(out, "candidate: %.12s (%s)\n", s.Hash, s.Name)
 	}
-	if s.Gate.Sessions > 0 || s.Gate.Detail != "" {
+	if s.Gate != nil {
 		fmt.Fprintf(out, "gate:   %s\n", s.Gate.Detail)
 	}
-	if s.Phase == "shadowing" {
-		sh := &s.Shadow
+	if s.Phase == "shadowing" && s.Shadow != nil {
+		sh := s.Shadow
 		frac := 0.0
 		if sh.Batches > 0 {
 			frac = float64(sh.DivergentBatches) / float64(sh.Batches)

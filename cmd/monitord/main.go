@@ -237,6 +237,36 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if e := reg.State().ActiveEpoch; e > cfg.SpecEpoch {
 			cfg.SpecEpoch = e
 		}
+		// A previous run may have promoted past the -rules default. The
+		// registry is the durable record of what the fleet runs: new
+		// default-spec sessions must resume on its active spec, since
+		// cfg.SpecEpoch already resumed at the promoted epoch and an
+		// epoch must provably name one rule text — stamping it on
+		// -rules verdicts would corrupt provenance.
+		if st := reg.State(); st.ActiveHash != "" {
+			if sp, ok := reg.Get(st.ActiveHash); ok && sp.Source != src {
+				f, err := speclang.Parse(sp.Source)
+				if err != nil {
+					return fmt.Errorf("spec registry: active spec %.12s: %w", st.ActiveHash, err)
+				}
+				defSet, err := speclang.Compile(f, db.SignalNames())
+				if err != nil {
+					return fmt.Errorf("spec registry: active spec %.12s: %w", st.ActiveHash, err)
+				}
+				// Only the unnamed default rides the registry: sessions
+				// that name a spec — including the -rules name — stay
+				// pinned to what they asked for.
+				orig := cfg.Resolve
+				cfg.Resolve = func(name string) (*speclang.RuleSet, error) {
+					if name == "" {
+						return defSet, nil
+					}
+					return orig(name)
+				}
+				fmt.Fprintf(out, "monitord: default spec resumed from registry: %s (%.12s, epoch %d)\n",
+					sp.Name, sp.Hash, st.ActiveEpoch)
+			}
+		}
 	}
 
 	var journal *obs.Journal
@@ -491,6 +521,13 @@ func newResolver(def string, db *sigdb.DB) (fleet.SpecResolver, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rules %q: %w", def, err)
 	}
+	return resolverWithDefault(defSet, def), nil
+}
+
+// resolverWithDefault builds the resolver around an already-compiled
+// default rule set — the -rules selection at startup, or the registry's
+// active spec when a previous run promoted past it.
+func resolverWithDefault(defSet *speclang.RuleSet, def string) fleet.SpecResolver {
 	return func(name string) (*speclang.RuleSet, error) {
 		switch name {
 		case "", def:
@@ -502,7 +539,7 @@ func newResolver(def string, db *sigdb.DB) (fleet.SpecResolver, error) {
 		default:
 			return nil, fmt.Errorf("unknown spec (want \"\", %q, \"strict\" or \"relaxed\")", def)
 		}
-	}, nil
+	}
 }
 
 func loadRules(spec string, db *sigdb.DB) (*speclang.RuleSet, error) {

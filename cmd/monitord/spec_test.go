@@ -138,7 +138,7 @@ func TestDaemonSpecRolloutLifecycle(t *testing.T) {
 		t.Fatalf("verdict before promote stamped epoch %d, want 1", v.SpecEpoch)
 	}
 	st = specStatusOf(t, admin)
-	if st.Status.Shadow.Batches == 0 {
+	if st.Status.Shadow == nil || st.Status.Shadow.Batches == 0 {
 		t.Fatalf("no shadow-compared batches after a full session: %+v", st.Status.Shadow)
 	}
 
@@ -270,7 +270,7 @@ func TestDaemonSpecGateRunsRecheck(t *testing.T) {
 	if st.Status.Phase != "shadowing" {
 		t.Fatalf("post-push phase = %s (err %q)", st.Status.Phase, st.Status.Err)
 	}
-	if st.Status.Gate.Sessions != 1 || !strings.Contains(st.Status.Gate.Detail, "rechecked") {
+	if st.Status.Gate == nil || st.Status.Gate.Sessions != 1 || !strings.Contains(st.Status.Gate.Detail, "rechecked") {
 		t.Fatalf("gate result = %+v", st.Status.Gate)
 	}
 	shutdown()
@@ -327,6 +327,74 @@ func TestDaemonSIGHUPPushesRulesFile(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	shutdown()
+}
+
+// TestDaemonSpecRegistryResumesPromotedDefault: a promote survives a
+// restart in full. The restarted daemon resumes the registry's epoch,
+// so it must resume the registry's active spec as its default too —
+// running the -rules default while stamping the promoted epoch would
+// attach an epoch that durably names one rule text to verdicts
+// produced by another.
+func TestDaemonSpecRegistryResumesPromotedDefault(t *testing.T) {
+	specDir := t.TempDir()
+	// One rule with a name no built-in spec uses, so the delivered
+	// verdict's rule rows identify which spec actually ran.
+	const tinySpec = "spec Tight { assert !ACCEnabled }"
+
+	_, out, shutdown := startDaemon(t, "-spec-dir", specDir, "-admin", "127.0.0.1:0")
+	admin := adminAddr(t, out)
+	if body, code := specPushTo(t, admin, "tight", tinySpec); code != http.StatusOK {
+		t.Fatalf("push: status %d, body %v", code, body)
+	}
+	specPostOK(t, admin, "/spec/promote")
+	if st := specStatusOf(t, admin); st.Status.Phase != "promoted" || st.Status.ActiveEpoch != 2 {
+		t.Fatalf("post-promote status = %+v", st.Status)
+	}
+	shutdown()
+
+	addr, out2, shutdown2 := startDaemon(t, "-spec-dir", specDir, "-admin", "127.0.0.1:0")
+	defer shutdown2()
+	if !strings.Contains(out2.String(), "default spec resumed from registry: tight") {
+		t.Fatalf("restart did not resume the registry's active spec:\n%s", out2.String())
+	}
+
+	// A default-spec session on the restarted daemon runs the promoted
+	// spec, not the -rules default, and stamps the promoted epoch.
+	c, err := fleet.Dial(addr, "veh-resumed", "", nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Send(testFrames(t)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	v, err := c.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if v.SpecEpoch != 2 {
+		t.Fatalf("post-restart verdict stamped epoch %d, want 2", v.SpecEpoch)
+	}
+	if len(v.Rules) != 1 || v.Rules[0].Rule != "Tight" {
+		t.Fatalf("post-restart default session ran the wrong spec: %+v", v.Rules)
+	}
+
+	// Explicitly named built-ins stay pinned and unaffected.
+	c2, err := fleet.Dial(addr, "veh-pinned", "strict", nil)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c2.Close()
+	if err := c2.Send(testFrames(t)); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	v2, err := c2.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	if len(v2.Rules) <= 1 {
+		t.Fatalf("pinned strict session got the promoted spec: %+v", v2.Rules)
+	}
 }
 
 // TestVersionFlag: -version prints and exits cleanly without starting

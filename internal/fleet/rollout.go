@@ -15,6 +15,13 @@ package fleet
 // per-session locking and lands exactly at a batch boundary — never
 // mid-batch.
 //
+// Begin/Abort/Promote serialize on rolloutMu, so a transition always
+// sees the state it read: a promote cannot race an abort into
+// installing a superseded candidate, and the multi-step promote
+// (spec-cache swap, durable provenance, publish) is atomic with
+// respect to the other transitions. Workers stay lock-free — they only
+// load the published pointer.
+//
 // Shadow soundness: a candidate monitor is only comparable to the
 // primary when both have seen the identical frame prefix (warmup
 // windows, prev() references and state machines all depend on it).
@@ -54,6 +61,26 @@ type rolloutState struct {
 	hash  string
 	entry *specEntry
 	epoch uint64 // nonzero once promoted
+
+	// base is the server-lifetime shadow counters snapshotted when this
+	// round began; ShadowStats subtracts it so every round reports from
+	// zero. Carried unchanged through promote — the stats counters
+	// themselves are cumulative metrics and never reset.
+	base shadowBaseline
+}
+
+// shadowBaseline is one snapshot of the cumulative shadow counters.
+type shadowBaseline struct {
+	batches, divergentBatches, divergences, errors uint64
+}
+
+func (s *Server) shadowBaselineNow() shadowBaseline {
+	return shadowBaseline{
+		batches:          s.stats.shadowBatches.Value(),
+		divergentBatches: s.stats.shadowDivergentBatches.Value(),
+		divergences:      s.stats.shadowDivergences.Value(),
+		errors:           s.stats.shadowErrors.Value(),
+	}
 }
 
 // epochLedger is the optional ledger extension recording spec-epoch
@@ -74,10 +101,11 @@ type ShadowStats struct {
 	Epoch    uint64
 	// Sessions counts sessions currently dual-evaluating.
 	Sessions int64
-	// Batches counts shadow-compared batches; DivergentBatches those
-	// where the two specs disagreed; Divergences the per-rule event
-	// count deltas summed over divergent batches; Errors candidate
-	// evaluation failures (each costs that session its shadow).
+	// Batches counts this round's shadow-compared batches;
+	// DivergentBatches those where the two specs disagreed; Divergences
+	// the per-rule event count deltas summed over divergent batches;
+	// Errors candidate evaluation failures (each costs that session its
+	// shadow). All four start at zero for every round.
 	Batches, DivergentBatches, Divergences, Errors uint64
 }
 
@@ -96,7 +124,14 @@ func (s *Server) BeginShadow(hash, source string) error {
 	if err != nil {
 		return fmt.Errorf("fleet: candidate %s: %w", hash, err)
 	}
-	s.rollout.Store(&rolloutState{mode: rolloutShadowing, hash: hash, entry: entry})
+	s.rolloutMu.Lock()
+	defer s.rolloutMu.Unlock()
+	s.rollout.Store(&rolloutState{
+		mode:  rolloutShadowing,
+		hash:  hash,
+		entry: entry,
+		base:  s.shadowBaselineNow(),
+	})
 	s.rolloutGen.Add(1)
 	s.stats.shadowRounds.Add(1)
 	return nil
@@ -106,15 +141,20 @@ func (s *Server) BeginShadow(hash, source string) error {
 // published state is cleared and every shadowing session drops its
 // candidate at the next batch boundary. No candidate state survives —
 // zero candidate verdicts were ever deliverable, since shadow events
-// never reach the emit path.
+// never reach the emit path. A round that already promoted is past
+// aborting — the candidate is the active spec with durable provenance
+// written, so a late rollback must be refused, not half-applied.
 func (s *Server) AbortShadow(hash string) error {
+	s.rolloutMu.Lock()
+	defer s.rolloutMu.Unlock()
 	st := s.rollout.Load()
 	if st == nil || st.hash != hash {
 		return fmt.Errorf("fleet: no rollout for candidate %s", hash)
 	}
-	if !s.rollout.CompareAndSwap(st, nil) {
-		return fmt.Errorf("fleet: rollout for candidate %s superseded", hash)
+	if st.mode == rolloutPromoted {
+		return fmt.Errorf("fleet: candidate %s already promoted at epoch %d", hash, st.epoch)
 	}
+	s.rollout.Store(nil)
 	s.rolloutGen.Add(1)
 	return nil
 }
@@ -134,15 +174,21 @@ func (s *Server) AbortShadow(hash string) error {
 // state) deliberately keep the old spec and epoch to the end of their
 // stream.
 func (s *Server) PromoteShadow(hash string, epoch uint64) error {
+	if epoch == 0 {
+		return errors.New("fleet: promote requires a nonzero epoch")
+	}
+	// rolloutMu is held across every check and mutation below, so no
+	// Begin/Abort can supersede the round after the checks pass: once
+	// this function commits the spec cache and the durable records, the
+	// publish is guaranteed to follow.
+	s.rolloutMu.Lock()
+	defer s.rolloutMu.Unlock()
 	st := s.rollout.Load()
 	if st == nil || st.hash != hash {
 		return fmt.Errorf("fleet: no rollout for candidate %s", hash)
 	}
 	if st.mode != rolloutShadowing {
 		return fmt.Errorf("fleet: candidate %s is not shadowing", hash)
-	}
-	if epoch == 0 {
-		return errors.New("fleet: promote requires a nonzero epoch")
 	}
 	s.specMu.Lock()
 	if epoch <= s.activeEpoch {
@@ -163,17 +209,17 @@ func (s *Server) PromoteShadow(hash string, epoch uint64) error {
 	}
 	s.archiveEpoch(epoch, hash)
 
-	next := &rolloutState{mode: rolloutPromoted, hash: hash, entry: st.entry, epoch: epoch}
-	if !s.rollout.CompareAndSwap(st, next) {
-		return fmt.Errorf("fleet: rollout for candidate %s superseded during promote", hash)
-	}
+	s.rollout.Store(&rolloutState{mode: rolloutPromoted, hash: hash, entry: st.entry, epoch: epoch, base: st.base})
 	s.rolloutGen.Add(1)
 	s.stats.shadowPromotes.Add(1)
 	return nil
 }
 
 // ShadowStats reports the current rollout's live counters; ok is false
-// when no rollout is published.
+// when no rollout is published. The counters are per-round: the
+// cumulative stats are read against the baseline BeginShadow
+// snapshotted, so a fresh round reports from zero and the controller's
+// thresholds never act on an earlier round's evidence.
 func (s *Server) ShadowStats() (st ShadowStats, ok bool) {
 	r := s.rollout.Load()
 	if r == nil {
@@ -184,10 +230,10 @@ func (s *Server) ShadowStats() (st ShadowStats, ok bool) {
 		Promoted:         r.mode == rolloutPromoted,
 		Epoch:            r.epoch,
 		Sessions:         s.shadowSessions.Load(),
-		Batches:          s.stats.shadowBatches.Value(),
-		DivergentBatches: s.stats.shadowDivergentBatches.Value(),
-		Divergences:      s.stats.shadowDivergences.Value(),
-		Errors:           s.stats.shadowErrors.Value(),
+		Batches:          s.stats.shadowBatches.Value() - r.base.batches,
+		DivergentBatches: s.stats.shadowDivergentBatches.Value() - r.base.divergentBatches,
+		Divergences:      s.stats.shadowDivergences.Value() - r.base.divergences,
+		Errors:           s.stats.shadowErrors.Value() - r.base.errors,
 	}, true
 }
 

@@ -293,6 +293,57 @@ func TestRolloutAbortDeliversNothingOfCandidate(t *testing.T) {
 	}
 }
 
+// TestRolloutShadowStatsPerRound: ShadowStats must report the current
+// round's evidence only. The controller treats Errors>0 as instant
+// rollback and Batches as the evidence floor, so counters carried over
+// from an earlier round would auto-rollback (or prematurely qualify)
+// every candidate after the first.
+func TestRolloutShadowStatsPerRound(t *testing.T) {
+	srv, _ := startServer(t, func(cfg *Config) { cfg.SpecEpoch = 1 })
+
+	// Round one accumulates evidence — including errors — then aborts.
+	if err := srv.BeginShadow(candHash, rules.RelaxedSource); err != nil {
+		t.Fatalf("BeginShadow: %v", err)
+	}
+	srv.stats.shadowBatches.Add(40)
+	srv.stats.shadowDivergentBatches.Add(7)
+	srv.stats.shadowDivergences.Add(13)
+	srv.stats.shadowErrors.Add(2)
+	st, ok := srv.ShadowStats()
+	if !ok || st.Batches != 40 || st.DivergentBatches != 7 || st.Divergences != 13 || st.Errors != 2 {
+		t.Fatalf("round-one ShadowStats = %+v, %v", st, ok)
+	}
+	if err := srv.AbortShadow(candHash); err != nil {
+		t.Fatalf("AbortShadow: %v", err)
+	}
+
+	// Round two starts from zero, not from round one's totals.
+	if err := srv.BeginShadow("cand-round2", rules.RelaxedSource); err != nil {
+		t.Fatalf("BeginShadow 2: %v", err)
+	}
+	st, ok = srv.ShadowStats()
+	if !ok || st.Batches != 0 || st.DivergentBatches != 0 || st.Divergences != 0 || st.Errors != 0 {
+		t.Fatalf("fresh round ShadowStats = %+v, want all zero", st)
+	}
+	srv.stats.shadowBatches.Add(5)
+	if st, _ = srv.ShadowStats(); st.Batches != 5 {
+		t.Fatalf("round-two batches = %d, want 5", st.Batches)
+	}
+
+	// Promote keeps the round's baseline, and a promoted round can no
+	// longer be aborted — the candidate is the active spec with durable
+	// provenance written.
+	if err := srv.PromoteShadow("cand-round2", 2); err != nil {
+		t.Fatalf("PromoteShadow: %v", err)
+	}
+	if st, _ = srv.ShadowStats(); st.Batches != 5 || !st.Promoted || st.Epoch != 2 {
+		t.Fatalf("post-promote ShadowStats = %+v", st)
+	}
+	if err := srv.AbortShadow("cand-round2"); err == nil {
+		t.Fatal("abort of a promoted round accepted")
+	}
+}
+
 // TestRolloutShadowCountsDivergence: shadowing a genuinely different
 // spec over traffic where the two disagree must surface in the
 // divergence counters — the signal the controller's thresholds act on.

@@ -259,7 +259,10 @@ type Server struct {
 
 	// rollout publishes the current shadow/promote state; rolloutGen
 	// tells session workers (one atomic load per batch) that it moved.
-	// shadowSessions counts sessions currently dual-evaluating.
+	// rolloutMu serializes the Begin/Abort/Promote transitions (readers
+	// never take it). shadowSessions counts sessions currently
+	// dual-evaluating.
+	rolloutMu      sync.Mutex
 	rollout        atomic.Pointer[rolloutState]
 	rolloutGen     atomic.Uint64
 	shadowSessions atomic.Int64

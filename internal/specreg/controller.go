@@ -151,13 +151,17 @@ type Status struct {
 	// ActiveHash and ActiveEpoch identify the promoted spec.
 	ActiveHash  string `json:"active_hash,omitempty"`
 	ActiveEpoch uint64 `json:"active_epoch"`
-	// Gate carries the last offline-gate summary, Err the last
-	// validate/gate failure, Reason the last rollback's cause.
-	Gate   GateResult `json:"gate,omitempty"`
-	Err    string     `json:"error,omitempty"`
-	Reason string     `json:"rollback_reason,omitempty"`
-	// Shadow carries the live round's counters while shadowing.
-	Shadow ShadowStats `json:"shadow,omitempty"`
+	// Gate carries the last offline-gate summary (nil when no gate ran
+	// for the current rollout), Err the last validate/gate failure,
+	// Reason the last rollback's cause. Pointer-typed so omitempty
+	// actually elides them — a zero GateResult would otherwise render
+	// as a gate that ran over zero sessions.
+	Gate   *GateResult `json:"gate,omitempty"`
+	Err    string      `json:"error,omitempty"`
+	Reason string      `json:"rollback_reason,omitempty"`
+	// Shadow carries the live round's counters while shadowing, nil
+	// otherwise.
+	Shadow *ShadowStats `json:"shadow,omitempty"`
 }
 
 // Controller drives one candidate at a time through the rollout
@@ -167,11 +171,19 @@ type Status struct {
 type Controller struct {
 	cfg Config
 
+	// opMu serializes the promote/rollback transitions end to end —
+	// phase re-check, fleet call, registry record, phase update — so a
+	// watch-loop rollback can never interleave with a manual promote
+	// (or vice versa): whichever acquires opMu second re-reads the
+	// phase and bows out. Always acquired before mu, never while
+	// holding it.
+	opMu sync.Mutex
+
 	mu     sync.Mutex
 	phase  Phase
 	hash   string
 	name   string
-	gate   GateResult
+	gate   *GateResult
 	errMsg string
 	reason string
 
@@ -241,7 +253,7 @@ func (c *Controller) Push(name, source string) (string, error) {
 			return hash, fmt.Errorf("specreg: offline gate: %w", err)
 		}
 		c.mu.Lock()
-		c.gate = res
+		c.gate = &res
 		c.mu.Unlock()
 		if res.Regressions > c.cfg.MaxRegressions {
 			err := fmt.Errorf("specreg: offline gate found %d rule regressions (max %d)", res.Regressions, c.cfg.MaxRegressions)
@@ -255,6 +267,12 @@ func (c *Controller) Push(name, source string) (string, error) {
 		return hash, err
 	}
 	if err := c.cfg.Fleet.BeginShadow(hash, source); err != nil {
+		// SetCandidate durably staged the candidate; clear the pointer
+		// with a rollback record so status does not show a stale staged
+		// candidate forever. The original error stays the one reported.
+		if rbErr := c.cfg.Registry.Rollback(hash, "begin shadow: "+err.Error()); rbErr != nil {
+			err = fmt.Errorf("%w (and clearing the candidate pointer failed: %v)", err, rbErr)
+		}
 		c.fail(err)
 		return hash, err
 	}
@@ -280,7 +298,7 @@ func (c *Controller) beginPush(name, source string) error {
 		return fmt.Errorf("specreg: rollout of %.12s already in flight (%s)", c.hash, c.phase)
 	}
 	c.phase = PhaseGating
-	c.name, c.gate, c.errMsg, c.reason = name, GateResult{}, "", ""
+	c.name, c.gate, c.errMsg, c.reason = name, nil, "", ""
 	return nil
 }
 
@@ -319,6 +337,17 @@ func (c *Controller) Promote() error {
 }
 
 func (c *Controller) promote(hash string) error {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	// Re-check under opMu: a rollback (manual or watch-loop) may have
+	// won the race between the caller's phase check and here.
+	c.mu.Lock()
+	if c.phase != PhaseShadowing || c.hash != hash {
+		phase := c.phase
+		c.mu.Unlock()
+		return fmt.Errorf("specreg: candidate %.12s no longer shadowing (phase %s)", hash, phase)
+	}
+	c.mu.Unlock()
 	epoch := c.cfg.Fleet.ActiveEpoch() + 1
 	if err := c.cfg.Fleet.PromoteShadow(hash, epoch); err != nil {
 		return err
@@ -354,6 +383,19 @@ func (c *Controller) Rollback(reason string) error {
 }
 
 func (c *Controller) rollback(hash, reason string) error {
+	c.opMu.Lock()
+	defer c.opMu.Unlock()
+	// Re-check under opMu: a promote may have won the race between the
+	// caller's phase check and here — the promoted candidate must not
+	// be aborted out from under the fleet (AbortShadow would refuse
+	// anyway; bowing out here keeps the registry clean too).
+	c.mu.Lock()
+	if c.phase != PhaseShadowing || c.hash != hash {
+		phase := c.phase
+		c.mu.Unlock()
+		return fmt.Errorf("specreg: candidate %.12s no longer shadowing (phase %s)", hash, phase)
+	}
+	c.mu.Unlock()
 	if err := c.cfg.Fleet.AbortShadow(hash); err != nil {
 		return err
 	}
@@ -378,15 +420,18 @@ func (c *Controller) Status() Status {
 		Phase:  c.phase.String(),
 		Hash:   c.hash,
 		Name:   c.name,
-		Gate:   c.gate,
 		Err:    c.errMsg,
 		Reason: c.reason,
+	}
+	if c.gate != nil {
+		g := *c.gate
+		st.Gate = &g
 	}
 	shadowing := c.phase == PhaseShadowing
 	c.mu.Unlock()
 	if shadowing {
 		if stats, ok := c.cfg.Fleet.ShadowStats(); ok {
-			st.Shadow = stats
+			st.Shadow = &stats
 		}
 	}
 	reg := c.cfg.Registry.State()

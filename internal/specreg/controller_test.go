@@ -156,7 +156,7 @@ func TestControllerPushGatePromote(t *testing.T) {
 		t.Fatal("gate never saw the candidate")
 	}
 	st := c.Status()
-	if st.Phase != "shadowing" || st.Hash != hash || st.Gate.Fixes != 1 {
+	if st.Phase != "shadowing" || st.Hash != hash || st.Gate == nil || st.Gate.Fixes != 1 {
 		t.Fatalf("post-push status = %+v", st)
 	}
 	if len(f.begun) != 1 || f.begun[0] != hash {
@@ -277,6 +277,82 @@ func TestControllerAutoRollbackOnSLOBurn(t *testing.T) {
 	st := waitPhase(t, c, "rolled-back")
 	if !strings.Contains(st.Reason, "slo burn") {
 		t.Fatalf("rollback reason = %q", st.Reason)
+	}
+}
+
+// TestControllerBeginShadowFailureClearsCandidate: when the fleet
+// refuses the candidate after SetCandidate durably staged it, the
+// registry pointer must be cleared with a rollback record — not left
+// showing a staged candidate that never reached the fleet.
+func TestControllerBeginShadowFailureClearsCandidate(t *testing.T) {
+	f := &fakeFleet{beginErr: errors.New("candidate compile blew up")}
+	c := newTestController(t, f, nil)
+	hash, err := c.Push("doomed", "doomed source")
+	if err == nil {
+		t.Fatal("push succeeded despite BeginShadow failure")
+	}
+	regSt := c.cfg.Registry.State()
+	if regSt.CandidateHash != "" {
+		t.Fatalf("candidate pointer still staged after BeginShadow failure: %+v", regSt)
+	}
+	if regSt.RollbackHash != hash || !strings.Contains(regSt.RollbackReason, "begin shadow") {
+		t.Fatalf("no rollback record for the failed candidate: %+v", regSt)
+	}
+	if st := c.Status(); st.Phase != "idle" || st.Err == "" {
+		t.Fatalf("status = %+v", st)
+	}
+	// The pipeline frees up for the next push.
+	f.mu.Lock()
+	f.beginErr = nil
+	f.mu.Unlock()
+	if _, err := c.Push("retry", "better source"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestControllerStaleRollbackRefused simulates the watch loop losing a
+// race with a manual promote: tick captured the hash while the
+// candidate was shadowing, but by the time its rollback runs the
+// promote has completed. The stale rollback must bow out — not abort
+// the promoted rollout in the fleet or write a rollback record over
+// the registry's fresh active pointer. (And symmetrically: a stale
+// promote after a rollback must not resurrect the candidate.)
+func TestControllerStaleRollbackRefused(t *testing.T) {
+	f := &fakeFleet{epoch: 1}
+	c := newTestController(t, f, nil)
+	hash, err := c.Push("racing", "racing source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.rollback(hash, "stale tick"); err == nil {
+		t.Fatal("stale rollback accepted after promote")
+	}
+	if len(f.aborted) != 0 {
+		t.Fatalf("stale rollback reached the fleet: %v", f.aborted)
+	}
+	regSt := c.cfg.Registry.State()
+	if regSt.ActiveHash != hash || regSt.RollbackHash != "" {
+		t.Fatalf("registry after stale rollback = %+v", regSt)
+	}
+	if st := c.Status(); st.Phase != "promoted" {
+		t.Fatalf("phase = %s, want promoted", st.Phase)
+	}
+
+	hash2, err := c.Push("withdrawn", "withdrawn source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rollback("operator says no"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.promote(hash2); err == nil {
+		t.Fatal("stale promote accepted after rollback")
+	}
+	if f.promotedCnt != 1 {
+		t.Fatalf("fleet promotes = %d, want 1", f.promotedCnt)
 	}
 }
 
